@@ -1,0 +1,85 @@
+//! Criterion benches for the substrate crates: simulator throughput
+//! (cycles/second on real kernels) and technology-mapping scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frequenz_core::synthesize;
+use lutmap::{map_netlist, MapOptions};
+use netlist::elaborate;
+use sim::Simulator;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for kernel in [hls::kernels::gsum(64), hls::kernels::matrix(6)] {
+        let g = kernel.seeded_graph();
+        group.bench_with_input(
+            BenchmarkId::new("run", kernel.name),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut s = Simulator::new(g);
+                    black_box(s.run(kernel.max_cycles).expect("completes").cycles)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_elaboration_and_optimization(c: &mut Criterion) {
+    let kernel = hls::kernels::gemver(8);
+    let g = kernel.seeded_graph();
+    c.bench_function("elaborate_gemver", |b| {
+        b.iter(|| black_box(elaborate(&g).netlist.num_gates()))
+    });
+    c.bench_function("optimize_gemver", |b| {
+        b.iter(|| {
+            let mut nl = elaborate(&g).netlist;
+            black_box(nl.optimize().live_after)
+        })
+    });
+}
+
+fn bench_flowmap_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowmap");
+    group.sample_size(10);
+    for (name, kernel) in [
+        ("gsum64", hls::kernels::gsum(64)),
+        ("matrix6", hls::kernels::matrix(6)),
+        ("gemver8", hls::kernels::gemver(8)),
+    ] {
+        let g = kernel.seeded_graph();
+        let mut nl = elaborate(&g).netlist;
+        nl.optimize();
+        group.bench_function(BenchmarkId::new("map", name), |b| {
+            b.iter(|| {
+                black_box(
+                    map_netlist(&nl, &MapOptions::default())
+                        .expect("maps")
+                        .num_luts(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    let kernel = hls::kernels::covariance(8);
+    let g = kernel.seeded_graph();
+    group.bench_function("covariance8", |b| {
+        b.iter(|| black_box(synthesize(&g, 6).expect("synthesizes").lut_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_elaboration_and_optimization,
+    bench_flowmap_scaling,
+    bench_end_to_end_synthesis
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: the iteration cap of the Figure-4 loop (1 … 6).
+//!
+//! One iteration is the non-iterative mapping-aware placement; the paper's
+//! iterative refinement (Section V) needs "less than 3 iterations" to meet
+//! the level target. This sweep shows achieved levels and buffer counts as
+//! the cap grows.
+//!
+//! ```sh
+//! cargo run -p frequenz-bench --release --bin ablation_iterations
+//! ```
+
+use frequenz_core::{optimize_iterative, FlowOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernels = vec![
+        hls::kernels::gsumif(64),
+        hls::kernels::matrix(6),
+        hls::kernels::mvt(6),
+    ];
+    println!(
+        "{:<15} | {:>4} | {:>7} {:>7} {:>9}",
+        "kernel", "cap", "levels", "buffers", "converged"
+    );
+    for k in &kernels {
+        for cap in 1..=6 {
+            let opts = FlowOptions {
+                max_iterations: cap,
+                ..FlowOptions::default()
+            };
+            let r = optimize_iterative(k.graph(), k.back_edges(), &opts)?;
+            println!(
+                "{:<15} | {:>4} | {:>7} {:>7} {:>9}",
+                k.name,
+                cap,
+                r.achieved_levels,
+                r.buffers.len(),
+                r.converged
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

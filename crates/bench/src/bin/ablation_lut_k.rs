@@ -1,0 +1,41 @@
+//! Ablation: LUT input count K ∈ {4, 5, 6}.
+//!
+//! The paper maps with ABC's `if -K 6` (Stratix-IV ALMs ≈ 6-LUTs). Smaller
+//! K deepens the mapping, forcing more buffers for the same nanosecond
+//! budget; this sweep quantifies the sensitivity.
+//!
+//! ```sh
+//! cargo run -p frequenz-bench --release --bin ablation_lut_k
+//! ```
+
+use frequenz_core::{measure, optimize_iterative, FlowOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernels = vec![hls::kernels::gsum(64), hls::kernels::gsumif(64)];
+    println!(
+        "{:<10} | {:>2} | {:>6} {:>7} {:>7} {:>8} {:>9}",
+        "kernel", "K", "levels", "buffers", "LUTs", "CP(ns)", "ET(ns)"
+    );
+    for k in &kernels {
+        for lut_k in [4usize, 5, 6] {
+            let opts = FlowOptions {
+                k: lut_k,
+                ..FlowOptions::default()
+            };
+            let r = optimize_iterative(k.graph(), k.back_edges(), &opts)?;
+            let m = measure(&r.graph, lut_k, k.max_cycles * 8)?;
+            println!(
+                "{:<10} | {:>2} | {:>6} {:>7} {:>7} {:>8.2} {:>9.0}",
+                k.name,
+                lut_k,
+                m.logic_levels,
+                r.buffers.len(),
+                m.luts,
+                m.cp_ns,
+                m.exec_time_ns
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

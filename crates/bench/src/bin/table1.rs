@@ -1,0 +1,55 @@
+//! Regenerates **Table I** of the paper: the nine kernels measured under
+//! the mapping-agnostic baseline ("Prev.") and the iterative mapping-aware
+//! flow ("Iter.") — CP, clock cycles, execution time, LUTs, FFs, logic
+//! levels, and the improvement ratios.
+//!
+//! ```sh
+//! cargo run -p frequenz-bench --release --bin table1
+//! ```
+
+use frequenz_bench::run_table1;
+use frequenz_core::FlowOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = FlowOptions::default();
+    println!(
+        "Table I reproduction — target {} logic levels (CP ≈ {:.1} ns), K = {}",
+        opts.target_levels,
+        opts.target_levels as f64 * dataflow::LOGIC_LEVEL_DELAY_NS,
+        opts.k
+    );
+    let t0 = std::time::Instant::now();
+    let rows = run_table1(&opts)?;
+    println!("\nsummary ({} kernels, {:.1} s):", rows.len(), t0.elapsed().as_secs_f64());
+    let improved_et = rows.iter().filter(|r| r.et_ratio() < 0.0).count();
+    let improved_lut = rows.iter().filter(|r| r.lut_ratio() <= 0.0).count();
+    let improved_ff = rows.iter().filter(|r| r.ff_ratio() <= 0.0).count();
+    let meets = rows
+        .iter()
+        .filter(|r| r.iter.logic_levels <= opts.target_levels)
+        .count();
+    println!("  iterative meets the level target on {meets}/{} kernels", rows.len());
+    println!("  execution time improved on {improved_et}/{} kernels", rows.len());
+    println!("  LUTs improved on {improved_lut}/{}, FFs on {improved_ff}/{}", rows.len(), rows.len());
+    let best_et = rows
+        .iter()
+        .map(|r| r.et_ratio())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "  best execution-time reduction: {:.0}% (paper: up to -29%)",
+        100.0 * best_et
+    );
+
+    // Figure 5 companion series (Iter normalized to Prev).
+    println!("\nFigure 5 series (name, ET ratio, LUT ratio, FF ratio):");
+    for r in &rows {
+        println!(
+            "  {:<15} {:>6.3} {:>6.3} {:>6.3}",
+            r.name,
+            r.iter.exec_time_ns / r.prev.exec_time_ns,
+            r.iter.luts as f64 / r.prev.luts as f64,
+            r.iter.ffs as f64 / r.prev.ffs as f64
+        );
+    }
+    Ok(())
+}

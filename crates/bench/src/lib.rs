@@ -1,0 +1,149 @@
+//! Benchmark harness: the shared Prev-vs-Iter comparison runner used by
+//! the table/figure regeneration binaries (`table1`, `figure5`, the
+//! ablations) and the Criterion benches.
+
+use frequenz_core::{
+    measure, optimize_baseline, optimize_iterative, CircuitReport, FlowOptions, FlowResult,
+};
+use hls::Kernel;
+use sim::Simulator;
+
+/// One row of Table I: a kernel measured under both strategies.
+#[derive(Debug, Clone)]
+pub struct KernelComparison {
+    /// Kernel name.
+    pub name: &'static str,
+    /// The mapping-agnostic baseline measurement ("Prev.").
+    pub prev: CircuitReport,
+    /// The iterative mapping-aware measurement ("Iter.").
+    pub iter: CircuitReport,
+    /// Iterations the mapping-aware flow used.
+    pub iter_iterations: usize,
+    /// Whether the mapping-aware flow met the level target.
+    pub iter_converged: bool,
+}
+
+impl KernelComparison {
+    /// Execution-time ratio `iter / prev − 1` (negative = improvement).
+    pub fn et_ratio(&self) -> f64 {
+        self.iter.exec_time_ns / self.prev.exec_time_ns - 1.0
+    }
+
+    /// LUT ratio `iter / prev − 1`.
+    pub fn lut_ratio(&self) -> f64 {
+        self.iter.luts as f64 / self.prev.luts as f64 - 1.0
+    }
+
+    /// FF ratio `iter / prev − 1`.
+    pub fn ff_ratio(&self) -> f64 {
+        self.iter.ffs as f64 / self.prev.ffs as f64 - 1.0
+    }
+}
+
+/// Errors from a comparison run.
+pub type CompareError = Box<dyn std::error::Error>;
+
+/// Asserts that `result`'s circuit still computes the kernel's reference
+/// outputs (every optimization must be functionally invisible).
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch.
+pub fn verify_outputs(kernel: &Kernel, result: &FlowResult) -> Result<(), CompareError> {
+    let mut s = Simulator::new(&result.graph);
+    let stats = s.run(kernel.max_cycles * 8)?;
+    if let Some(exp) = kernel.expected_exit {
+        if stats.exit_value != Some(exp) {
+            return Err(format!(
+                "{}: exit value {:?} != expected {exp}",
+                kernel.name, stats.exit_value
+            )
+            .into());
+        }
+    }
+    for (mem, expected) in &kernel.expected_mems {
+        if s.memory(*mem) != expected.as_slice() {
+            return Err(format!(
+                "{}: memory {} deviates from the reference",
+                kernel.name,
+                result.graph.memory(*mem).name()
+            )
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// Runs both flows on `kernel` and measures them — one full Table I row.
+///
+/// # Errors
+///
+/// Propagates flow, measurement and verification failures.
+pub fn compare_kernel(
+    kernel: &Kernel,
+    opts: &FlowOptions,
+) -> Result<KernelComparison, CompareError> {
+    let budget = kernel.max_cycles * 8;
+    let prev = optimize_baseline(kernel.graph(), kernel.back_edges(), opts)?;
+    verify_outputs(kernel, &prev)?;
+    let prev_report = measure(&prev.graph, opts.k, budget)?;
+
+    let iter = optimize_iterative(kernel.graph(), kernel.back_edges(), opts)?;
+    verify_outputs(kernel, &iter)?;
+    let iter_report = measure(&iter.graph, opts.k, budget)?;
+
+    Ok(KernelComparison {
+        name: kernel.name,
+        prev: prev_report,
+        iter: iter_report,
+        iter_iterations: iter.iterations.len(),
+        iter_converged: iter.converged,
+    })
+}
+
+/// The evaluation kernel set (Table I scale).
+pub fn evaluation_kernels() -> Vec<Kernel> {
+    hls::kernels::all_kernels()
+}
+
+/// Prints a Table I-style header + rows and returns the comparisons.
+///
+/// # Errors
+///
+/// Propagates the first kernel failure.
+pub fn run_table1(opts: &FlowOptions) -> Result<Vec<KernelComparison>, CompareError> {
+    let mut rows = Vec::new();
+    println!(
+        "{:<15} | {:>6} {:>6} | {:>8} {:>8} | {:>9} {:>9} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>5} {:>5} | {:>5}",
+        "Benchmark", "CP(P)", "CP(I)", "Cyc(P)", "Cyc(I)", "ET(P)", "ET(I)", "ET%",
+        "LUT(P)", "LUT(I)", "LUT%", "FF(P)", "FF(I)", "FF%", "LL(P)", "LL(I)", "iters"
+    );
+    for kernel in evaluation_kernels() {
+        eprintln!("[table1] running {} ...", kernel.name);
+        let t = std::time::Instant::now();
+        let c = compare_kernel(&kernel, opts)?;
+        eprintln!("[table1] {} done in {:.1} s", kernel.name, t.elapsed().as_secs_f64());
+        println!(
+            "{:<15} | {:>6.2} {:>6.2} | {:>8} {:>8} | {:>9.0} {:>9.0} {:>+5.0}% | {:>6} {:>6} {:>+5.0}% | {:>6} {:>6} {:>+5.0}% | {:>5} {:>5} | {:>5}",
+            c.name,
+            c.prev.cp_ns,
+            c.iter.cp_ns,
+            c.prev.cycles,
+            c.iter.cycles,
+            c.prev.exec_time_ns,
+            c.iter.exec_time_ns,
+            100.0 * c.et_ratio(),
+            c.prev.luts,
+            c.iter.luts,
+            100.0 * c.lut_ratio(),
+            c.prev.ffs,
+            c.iter.ffs,
+            100.0 * c.ff_ratio(),
+            c.prev.logic_levels,
+            c.iter.logic_levels,
+            c.iter_iterations,
+        );
+        rows.push(c);
+    }
+    Ok(rows)
+}

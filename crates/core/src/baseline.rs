@@ -1,0 +1,214 @@
+//! The mapping-agnostic baseline (the "Prev." columns of Table I).
+//!
+//! State-of-the-art dataflow buffering characterizes every unit *in
+//! isolation* — each unit is synthesized alone, its combinational depth
+//! measured in logic levels, and the unit-level delays summed along DFG
+//! paths. Cross-unit logic optimization is invisible to this model, so it
+//! systematically over-estimates path delays and places buffers that the
+//! real mapping never needed. A single MILP run (Eq. 1 — no penalties)
+//! then regulates the estimated critical path.
+
+use crate::cfdfc::extract_cfdfcs;
+use crate::iterate::{apply_buffers, FlowError, FlowOptions, FlowResult, IterationRecord};
+use crate::place::{place_buffers, PlacementProblem};
+use crate::synth::synthesize;
+use crate::timing::{TimingGraph, TimingNode, TimingNodeId};
+use dataflow::{ChannelId, Graph, UnitId};
+use lutmap::{map_netlist, MapOptions};
+use netlist::elaborate_isolated;
+use std::collections::HashMap;
+
+/// Measures the isolated logic depth of every unit of `g` (memoized by
+/// unit signature), exactly like pre-characterizing an RTL unit library.
+pub fn characterize_units(g: &Graph, k: usize) -> HashMap<UnitId, u32> {
+    let mut cache: HashMap<(String, u16, usize, usize), u32> = HashMap::new();
+    let mut out = HashMap::new();
+    for (uid, unit) in g.units() {
+        let key = (
+            unit.kind().mnemonic().to_string(),
+            unit.width(),
+            unit.kind().num_inputs(),
+            unit.kind().num_outputs(),
+        );
+        let levels = *cache.entry(key).or_insert_with(|| {
+            let mut nl = elaborate_isolated(g, uid);
+            nl.optimize();
+            match map_netlist(&nl, &MapOptions { k, area_recovery: true }) {
+                Ok(luts) => luts.depth(),
+                Err(_) => 0,
+            }
+        });
+        out.insert(uid, levels);
+    }
+    out
+}
+
+/// Builds the unit-level (pre-characterized) timing model: a unit with
+/// isolated depth `L` becomes a chain of `L` real delay nodes; units with
+/// no logic become a single fake node; channels become breakable edges
+/// between neighbouring chains.
+pub fn baseline_timing_graph(g: &Graph, unit_levels: &HashMap<UnitId, u32>) -> TimingGraph {
+    let mut tg = TimingGraph::default();
+    let mut head: HashMap<UnitId, TimingNodeId> = HashMap::new();
+    let mut tail: HashMap<UnitId, TimingNodeId> = HashMap::new();
+    for (uid, _) in g.units() {
+        let levels = unit_levels.get(&uid).copied().unwrap_or(0);
+        if levels == 0 {
+            let n = tg.add_node(TimingNode {
+                unit: Some(uid),
+                lut: None,
+                fake: true,
+            });
+            head.insert(uid, n);
+            tail.insert(uid, n);
+        } else {
+            let mut prev = None;
+            for i in 0..levels {
+                let n = tg.add_node(TimingNode {
+                    unit: Some(uid),
+                    lut: None,
+                    fake: false,
+                });
+                if i == 0 {
+                    head.insert(uid, n);
+                }
+                if let Some(p) = prev {
+                    tg.add_edge(p, n, None);
+                }
+                prev = Some(n);
+            }
+            tail.insert(uid, prev.expect("levels > 0"));
+        }
+    }
+    for (cid, ch) in g.channels() {
+        let from = tail[&ch.src().unit];
+        let to = head[&ch.dst().unit];
+        tg.add_edge(from, to, Some(cid));
+    }
+    tg
+}
+
+/// Runs the baseline flow: pre-characterize, one MILP solve, done.
+///
+/// The result mirrors [`optimize_iterative`](crate::optimize_iterative)'s
+/// [`FlowResult`] so both flows feed the same reporting; the single
+/// "iteration" records the model's belief, and `achieved_levels` the real
+/// post-synthesis outcome.
+///
+/// # Errors
+///
+/// Propagates synthesis and placement failures.
+pub fn optimize_baseline(
+    base: &Graph,
+    back_edges: &[ChannelId],
+    opts: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
+    let unit_levels = characterize_units(base, opts.k);
+    let timing = baseline_timing_graph(base, &unit_levels);
+    let penalties = HashMap::new(); // Eq. 1: no mapping awareness
+    let cfdfcs = extract_cfdfcs(base, back_edges, opts.max_cfdfcs, opts.sim_budget);
+    let problem = PlacementProblem {
+        graph: base,
+        timing: &timing,
+        penalties: &penalties,
+        cfdfcs: &cfdfcs,
+        // The unit-level model's conservatism is its own buffer margin:
+        // isolated-unit sums already overestimate every path, exactly as
+        // the state-of-the-art flow behaves (it has no margin concept).
+        target_levels: opts.target_levels,
+        fixed: back_edges,
+        alpha: opts.alpha,
+        beta: opts.beta,
+        max_cut_rounds: opts.max_cut_rounds,
+        objective: opts.objective,
+    };
+    let placement = place_buffers(&problem)?;
+    let mut buffers = placement.buffers.clone();
+    if opts.slack_matching {
+        let achieved0 = synthesize(&apply_buffers(base, &buffers), opts.k)?.logic_levels();
+        let slack_opts = crate::slack::SlackOptions {
+            k: opts.k,
+            target_levels: opts.target_levels.max(achieved0),
+            sim_budget: opts.sim_budget,
+            ..crate::slack::SlackOptions::default()
+        };
+        buffers = crate::slack::slack_match(base, &buffers, &slack_opts);
+    }
+    let graph = apply_buffers(base, &buffers);
+    let achieved = synthesize(&graph, opts.k)?.logic_levels();
+    Ok(FlowResult {
+        graph,
+        buffers: buffers.clone(),
+        achieved_levels: achieved,
+        iterations: vec![IterationRecord {
+            iteration: 1,
+            proposed: buffers,
+            achieved_levels: achieved,
+            fixed_for_next: Vec::new(),
+            mean_penalty: 0.0,
+        }],
+        converged: achieved <= opts.target_levels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls::kernels;
+    use sim::Simulator;
+
+    #[test]
+    fn characterization_is_conservative() {
+        // The sum of isolated depths along any path upper-bounds the real
+        // mapped depth (piecewise covers are always available).
+        let k = kernels::gsum(8);
+        let g = k.seeded_graph();
+        let levels = characterize_units(&g, 6);
+        let real = synthesize(&g, 6).unwrap().logic_levels();
+        let model = baseline_timing_graph(&g, &levels);
+        let model_depth = model
+            .depth(|c| g.channel(c).buffer().opaque)
+            .unwrap_or(u32::MAX);
+        assert!(
+            model_depth >= real,
+            "baseline model depth {model_depth} < real {real}"
+        );
+    }
+
+    #[test]
+    fn arithmetic_units_have_positive_isolated_depth() {
+        let k = kernels::gsum(8);
+        let g = k.graph();
+        let levels = characterize_units(g, 6);
+        let add = g
+            .units()
+            .find(|(_, u)| u.kind().mnemonic() == "add")
+            .map(|(id, _)| id)
+            .expect("gsum has an adder");
+        assert!(levels[&add] >= 1);
+    }
+
+    #[test]
+    fn baseline_flow_places_more_buffers_than_iterative() {
+        let k = kernels::gsum(16);
+        let opts = FlowOptions::default();
+        let prev = optimize_baseline(k.graph(), k.back_edges(), &opts).unwrap();
+        let iter = crate::optimize_iterative(k.graph(), k.back_edges(), &opts).unwrap();
+        assert!(
+            prev.buffers.len() >= iter.buffers.len(),
+            "prev {} < iter {}",
+            prev.buffers.len(),
+            iter.buffers.len()
+        );
+    }
+
+    #[test]
+    fn baseline_circuit_is_still_correct() {
+        let k = kernels::gsumif(16);
+        let prev =
+            optimize_baseline(k.graph(), k.back_edges(), &FlowOptions::default()).unwrap();
+        let mut s = Simulator::new(&prev.graph);
+        let stats = s.run(k.max_cycles * 4).unwrap();
+        assert_eq!(stats.exit_value, k.expected_exit);
+    }
+}

@@ -1,0 +1,367 @@
+//! The iterative mapping-aware flow (Figure 4 and Section V).
+//!
+//! Each iteration: synthesize → map LUT edges to the DFG → build the
+//! timing model → compute penalties → solve the MILP → re-synthesize with
+//! the proposed buffers and check the achieved logic levels. On a miss, a
+//! sparse, low-penalty subset of the proposed buffers (spread evenly
+//! across basic blocks) is *fixed* and the procedure repeats with the
+//! refreshed mapping; convergence is not guaranteed in theory but occurs
+//! within a couple of iterations in practice (Section VI-A observes < 3).
+
+use crate::cfdfc::extract_cfdfcs;
+use crate::lutdfg::map_lut_edges;
+use crate::penalty::compute_penalties;
+use crate::place::{place_buffers, PlaceError, PlacementProblem};
+use crate::synth::synthesize;
+use crate::timing::TimingGraph;
+use dataflow::{BufferSpec, ChannelId, Graph};
+use lutmap::MapError;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Tuning knobs of both flows (iterative and baseline).
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// LUT input count (the paper's `if -K 6`).
+    pub k: usize,
+    /// Logic-level budget (the paper targets 6 ⇒ CP ≈ 4.2 ns).
+    pub target_levels: u32,
+    /// Maximum buffering iterations (the paper observes < 3 suffice).
+    pub max_iterations: usize,
+    /// Throughput weight α of Eq. 3.
+    pub alpha: f64,
+    /// Buffer-cost weight β of Eq. 3.
+    pub beta: f64,
+    /// CFDFCs kept for the throughput term.
+    pub max_cfdfcs: usize,
+    /// Cycle budget of the CFDFC profiling simulation.
+    pub sim_budget: u64,
+    /// Cut-generation rounds per MILP solve.
+    pub max_cut_rounds: usize,
+    /// Levels reserved for the control logic a buffer itself inserts
+    /// (TEHB/OEHB handshake gates): the MILP regulates paths to
+    /// `target_levels − buffer_margin` so the real circuit lands at
+    /// `target_levels`.
+    pub buffer_margin: u32,
+    /// Use the logic-sharing penalties of Eq. 3 (`false` = Eq. 1 weights
+    /// on the same mapping-aware model — the penalty ablation).
+    pub use_penalties: bool,
+    /// Run the shared slack-matching pass after placement (both flows).
+    pub slack_matching: bool,
+    /// The MILP objective (Eq. 3 by default; area-only for the ablation).
+    pub objective: crate::place::Objective,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            k: 6,
+            target_levels: 6,
+            max_iterations: 8,
+            alpha: 1.0,
+            beta: 0.01,
+            max_cfdfcs: 8,
+            sim_budget: 400_000,
+            max_cut_rounds: 24,
+            objective: Default::default(),
+            buffer_margin: 1,
+            use_penalties: true,
+            slack_matching: true,
+        }
+    }
+}
+
+/// What happened in one Figure-4 iteration.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Buffers proposed by the solver this iteration (fixed included).
+    pub proposed: Vec<ChannelId>,
+    /// Logic levels achieved after re-synthesis with those buffers.
+    pub achieved_levels: u32,
+    /// Buffers fixed for the next iteration (empty when converged).
+    pub fixed_for_next: Vec<ChannelId>,
+    /// Mean penalty of the proposed buffers (diagnostic).
+    pub mean_penalty: f64,
+}
+
+/// The product of a flow run.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The final buffered circuit.
+    pub graph: Graph,
+    /// The buffers placed.
+    pub buffers: Vec<ChannelId>,
+    /// Logic levels of the final circuit.
+    pub achieved_levels: u32,
+    /// Per-iteration history.
+    pub iterations: Vec<IterationRecord>,
+    /// `true` if the level budget was met.
+    pub converged: bool,
+}
+
+/// Flow failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Technology mapping failed.
+    Synthesis(MapError),
+    /// Buffer placement failed.
+    Placement(PlaceError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            FlowError::Placement(e) => write!(f, "placement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<MapError> for FlowError {
+    fn from(e: MapError) -> Self {
+        FlowError::Synthesis(e)
+    }
+}
+
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> Self {
+        FlowError::Placement(e)
+    }
+}
+
+/// Applies `buffers` (as full OEHB+TEHB pairs) to a copy of `base`.
+pub fn apply_buffers(base: &Graph, buffers: &[ChannelId]) -> Graph {
+    let mut g = base.clone();
+    for &c in buffers {
+        g.set_buffer(c, BufferSpec::FULL);
+    }
+    g
+}
+
+/// Runs the paper's iterative mapping-aware flow.
+///
+/// `base` is the unbuffered circuit; `back_edges` are the loop-ring
+/// channels that receive the initial (and permanent) buffers.
+///
+/// # Errors
+///
+/// Propagates synthesis and placement failures; an unconverged run is not
+/// an error (the result reports `converged: false` with the best circuit
+/// seen).
+pub fn optimize_iterative(
+    base: &Graph,
+    back_edges: &[ChannelId],
+    opts: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
+    let cfdfcs = extract_cfdfcs(base, back_edges, opts.max_cfdfcs, opts.sim_budget);
+    let mut fixed: Vec<ChannelId> = back_edges.to_vec();
+    let mut iterations = Vec::new();
+    let mut best: Option<(u32, Vec<ChannelId>)> = None;
+
+    let mut extra_margin = 0u32;
+    for iteration in 1..=opts.max_iterations {
+        // Synthesize the current circuit (with the fixed buffers) and
+        // derive the mapping-aware timing model.
+        let g_cur = apply_buffers(base, &fixed);
+        let synth = synthesize(&g_cur, opts.k)?;
+        let map = map_lut_edges(base, &synth);
+        let timing = TimingGraph::build(base, &synth, &map);
+        let penalties = if opts.use_penalties {
+            compute_penalties(base, &timing)
+        } else {
+            HashMap::new()
+        };
+
+        let problem = PlacementProblem {
+            graph: base,
+            timing: &timing,
+            penalties: &penalties,
+            cfdfcs: &cfdfcs,
+            // Adaptive margin: every missed iteration tightens the
+            // internal budget one more level, so mapping disruptions the
+            // model cannot foresee are eventually out-margined.
+            target_levels: opts
+                .target_levels
+                .saturating_sub(opts.buffer_margin + extra_margin)
+                .max(2),
+            fixed: &fixed,
+            alpha: opts.alpha,
+            beta: opts.beta,
+            max_cut_rounds: opts.max_cut_rounds,
+            objective: opts.objective,
+        };
+        let placement = place_buffers(&problem)?;
+
+        // Re-synthesize with the proposed buffers; check the real levels.
+        let g_new = apply_buffers(base, &placement.buffers);
+        let synth2 = synthesize(&g_new, opts.k)?;
+        let achieved = synth2.logic_levels();
+
+        let mean_penalty = if placement.buffers.is_empty() {
+            0.0
+        } else {
+            placement
+                .buffers
+                .iter()
+                .map(|c| penalties.get(c).copied().unwrap_or(0.0))
+                .sum::<f64>()
+                / placement.buffers.len() as f64
+        };
+
+        if best
+            .as_ref()
+            .map(|(lv, _)| achieved < *lv)
+            .unwrap_or(true)
+        {
+            best = Some((achieved, placement.buffers.clone()));
+        }
+
+        if achieved <= opts.target_levels || iteration == opts.max_iterations {
+            iterations.push(IterationRecord {
+                iteration,
+                proposed: placement.buffers.clone(),
+                achieved_levels: achieved,
+                fixed_for_next: Vec::new(),
+                mean_penalty,
+            });
+            let converged = achieved <= opts.target_levels;
+            let (mut best_levels, mut best_buffers) = if converged {
+                (achieved, placement.buffers)
+            } else {
+                best.expect("at least one iteration ran")
+            };
+            if opts.slack_matching {
+                let slack_opts = crate::slack::SlackOptions {
+                    k: opts.k,
+                    target_levels: opts.target_levels.max(best_levels),
+                    sim_budget: opts.sim_budget,
+                    ..crate::slack::SlackOptions::default()
+                };
+                let widened = crate::slack::slack_match(base, &best_buffers, &slack_opts);
+                if widened.len() != best_buffers.len() {
+                    best_buffers = widened;
+                    if let Ok(s2) = synthesize(&apply_buffers(base, &best_buffers), opts.k) {
+                        best_levels = s2.logic_levels();
+                    }
+                }
+            }
+            return Ok(FlowResult {
+                graph: apply_buffers(base, &best_buffers),
+                buffers: best_buffers,
+                achieved_levels: best_levels,
+                iterations,
+                converged,
+            });
+        }
+
+        // Miss: tighten the internal budget and fix a sparse, low-penalty
+        // subset, evenly across basic blocks (Section V), then iterate
+        // with the refreshed mapping.
+        extra_margin = (extra_margin + 1).min(3);
+        let new_fixed = select_sparse_subset(base, &placement.buffers, &fixed, &penalties);
+        iterations.push(IterationRecord {
+            iteration,
+            proposed: placement.buffers,
+            achieved_levels: achieved,
+            fixed_for_next: new_fixed.clone(),
+            mean_penalty,
+        });
+        fixed = new_fixed;
+    }
+    unreachable!("loop returns on the last iteration");
+}
+
+/// The paper's subset rule: keep the previously fixed buffers, then add —
+/// per basic block — the proposed buffer with the lowest penalty, so the
+/// retained set is sparse (affects independent logic regions) and cheap
+/// (disrupts the fewest logic optimizations).
+fn select_sparse_subset(
+    g: &Graph,
+    proposed: &[ChannelId],
+    already_fixed: &[ChannelId],
+    penalties: &HashMap<ChannelId, f64>,
+) -> Vec<ChannelId> {
+    let fixed_set: HashSet<ChannelId> = already_fixed.iter().copied().collect();
+    let mut per_bb: HashMap<dataflow::BasicBlockId, (ChannelId, f64)> = HashMap::new();
+    for &c in proposed {
+        if fixed_set.contains(&c) {
+            continue;
+        }
+        let bb = g.unit(g.channel(c).src().unit).bb();
+        let p = penalties.get(&c).copied().unwrap_or(0.0);
+        match per_bb.get(&bb) {
+            Some((_, best)) if *best <= p => {}
+            _ => {
+                per_bb.insert(bb, (c, p));
+            }
+        }
+    }
+    let mut out = already_fixed.to_vec();
+    out.extend(per_bb.values().map(|(c, _)| *c));
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls::kernels;
+    use sim::Simulator;
+
+    #[test]
+    fn iterative_flow_converges_on_gsum() {
+        let k = kernels::gsum(16);
+        let r = optimize_iterative(k.graph(), k.back_edges(), &FlowOptions::default())
+            .expect("flow runs");
+        assert!(r.converged, "achieved {} levels", r.achieved_levels);
+        assert!(r.achieved_levels <= 6);
+        assert!(r.iterations.len() <= 5);
+        // The final circuit still computes the right answer.
+        let mut s = Simulator::new(&r.graph);
+        let stats = s.run(k.max_cycles * 4).unwrap();
+        assert_eq!(stats.exit_value, k.expected_exit);
+    }
+
+    #[test]
+    fn buffers_include_loop_seeds() {
+        let k = kernels::gsumif(16);
+        let r = optimize_iterative(k.graph(), k.back_edges(), &FlowOptions::default()).unwrap();
+        for be in k.back_edges() {
+            assert!(r.buffers.contains(be));
+        }
+    }
+
+    #[test]
+    fn sparse_subset_is_per_basic_block() {
+        let k = kernels::matrix(4);
+        let g = k.graph();
+        let penalties = HashMap::new();
+        let proposed: Vec<_> = g.channels().map(|(c, _)| c).take(12).collect();
+        let picked = select_sparse_subset(g, &proposed, &[], &penalties);
+        // At most one new pick per basic block.
+        let mut bbs = HashSet::new();
+        for c in &picked {
+            let bb = g.unit(g.channel(*c).src().unit).bb();
+            assert!(bbs.insert(bb), "two picks in one bb");
+        }
+    }
+
+    #[test]
+    fn tight_target_still_terminates() {
+        let k = kernels::gsum(8);
+        let opts = FlowOptions {
+            target_levels: 2, // likely unachievable
+            max_iterations: 3,
+            ..FlowOptions::default()
+        };
+        let r = optimize_iterative(k.graph(), k.back_edges(), &opts).unwrap();
+        assert_eq!(r.iterations.len(), 3);
+        assert!(!r.iterations.is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! The buffer-placement MILP (Section III, Eq. 1 and Eq. 3).
+//!
+//! Objective: `max α·Σ_k freq_k·Φ_k − β·Σ_c R_c·(1 + Penalty(c))` — the
+//! paper's Eq. 3; the mapping-agnostic baseline passes zero penalties and
+//! recovers Eq. 1.
+//!
+//! Constraints:
+//!
+//! * **correctness** — every simple cycle carries ≥ 1 buffer (the
+//!   handshake ring must be sequential);
+//! * **throughput** — for each CFDFC `k` (marked-graph steady state):
+//!   `Φ_k ≤ T_k / (L_k + Σ_{c∈k} R_c)`, linearized exactly with McCormick
+//!   products `w = Φ·R` (`Φ ∈ [0,1]`, `R ∈ {0,1}`);
+//! * **clock period** — *lazily generated covering cuts*: after each
+//!   integer solution the timing graph is longest-path analyzed with the
+//!   chosen buffers applied; every path of `L > target` levels yields
+//!   `Σ_{c ∈ path} R_c ≥ ⌈L/target⌉ − 1`. This is equivalent at optimality
+//!   to the monolithic arrival-time MILP the paper references, but keeps
+//!   the model a few hundred rows (see DESIGN.md).
+//!
+//! Paths with no breakable channel (artificial or intra-unit) are
+//! reported, not constrained — the paper's "minor discrepancies from the
+//! target".
+
+use crate::cfdfc::Cfdfc;
+use crate::timing::TimingGraph;
+use dataflow::{enumerate_simple_cycles, ChannelId, Graph};
+use milp::{Cmp, Model, Sense, SolveError, VarId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// What the MILP maximizes (the paper: "our iterative refinement strategy
+/// is perfectly general — it could be ... adapted to any optimization
+/// objective").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Eq. 1 / Eq. 3: maximize `α·Σ freq·Φ − β·Σ cost·R`.
+    #[default]
+    ThroughputAndArea,
+    /// Pure area: minimize `Σ cost·R` subject to the same correctness and
+    /// clock-period constraints (no throughput term).
+    AreaOnly,
+}
+
+/// Inputs to one buffer-placement solve.
+#[derive(Debug)]
+pub struct PlacementProblem<'a> {
+    /// The dataflow graph (buffer annotations are ignored; candidates are
+    /// decided fresh).
+    pub graph: &'a Graph,
+    /// The timing model to regulate (mapping-aware or baseline).
+    pub timing: &'a TimingGraph,
+    /// Per-channel penalties (empty map ⇒ Eq. 1 behaviour).
+    pub penalties: &'a HashMap<ChannelId, f64>,
+    /// Profiled cycles for the throughput term.
+    pub cfdfcs: &'a [Cfdfc],
+    /// The logic-level budget (the paper uses 6).
+    pub target_levels: u32,
+    /// Buffers that must remain placed (loop seeds + buffers fixed by
+    /// earlier iterations).
+    pub fixed: &'a [ChannelId],
+    /// Throughput weight α.
+    pub alpha: f64,
+    /// Buffer-cost weight β.
+    pub beta: f64,
+    /// Cut-generation round limit.
+    pub max_cut_rounds: usize,
+    /// The objective to optimize.
+    pub objective: Objective,
+}
+
+/// The outcome of a placement solve.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// All channels that must carry a buffer (fixed ∪ newly placed).
+    pub buffers: Vec<ChannelId>,
+    /// Predicted throughput per CFDFC (same order as the input).
+    pub throughputs: Vec<f64>,
+    /// Cut rounds used.
+    pub cut_rounds: usize,
+    /// Levels of paths the solver could not break (no breakable channel).
+    pub unbreakable_levels: Vec<u32>,
+    /// Final objective value.
+    pub objective: f64,
+}
+
+/// Placement failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// The MILP solver failed.
+    Solve(SolveError),
+    /// A handshake ring has no breakable channel at all.
+    UnbreakableCycle,
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Solve(e) => write!(f, "buffer-placement MILP failed: {e}"),
+            PlaceError::UnbreakableCycle => {
+                f.write_str("a dataflow cycle has no breakable channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+impl From<SolveError> for PlaceError {
+    fn from(e: SolveError) -> Self {
+        PlaceError::Solve(e)
+    }
+}
+
+/// One covering cut: `Σ R over channels ≥ need`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Cut {
+    channels: BTreeSet<ChannelId>,
+    need: u32,
+}
+
+
+/// Sliding-window covering cuts from a violating path: every contiguous
+/// stretch of more than `target` logic levels must contain at least one
+/// buffered channel. Windows with no breakable channel are recorded in
+/// `unbreakable` instead (the paper's unavoidable target misses).
+fn window_cuts(
+    path: &crate::timing::CriticalPath,
+    target: u32,
+    unbreakable: &mut Vec<u32>,
+) -> Vec<Cut> {
+    let n = path.trace.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        // Grow the window from i until its real-node count exceeds target.
+        let mut levels = 0u32;
+        let mut j = i;
+        let mut found = false;
+        while j < n {
+            if path.trace[j].1 {
+                levels += 1;
+            }
+            if levels > target && j > i {
+                found = true;
+                break;
+            }
+            j += 1;
+        }
+        if !found {
+            break;
+        }
+        let channels: BTreeSet<ChannelId> = path.trace[i + 1..=j]
+            .iter()
+            .filter_map(|(c, _)| *c)
+            .collect();
+        if channels.is_empty() {
+            unbreakable.push(levels);
+        } else {
+            out.push(Cut { channels, need: 1 });
+        }
+        // Restart just past the first breakable position of this window
+        // (or past the window when none exists).
+        let first_break = (i + 1..=j).find(|&k| path.trace[k].0.is_some());
+        i = first_break.unwrap_or(j);
+    }
+    out
+}
+
+/// Solves the buffer-placement problem.
+///
+/// # Errors
+///
+/// [`PlaceError::Solve`] if the MILP is infeasible or unbounded (indicates
+/// inconsistent fixed buffers) and [`PlaceError::UnbreakableCycle`] if a
+/// ring cannot be made sequential.
+pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceError> {
+    // Seed correctness cuts from a bounded cycle sample; deeply nested
+    // loops have combinatorially many simple cycles, and the lazy timing
+    // analysis adds a covering cut for any cycle the sample missed.
+    let cycles = enumerate_simple_cycles(p.graph, 96);
+    let fixed: HashSet<ChannelId> = p.fixed.iter().copied().collect();
+
+    let mut cuts: BTreeSet<Cut> = BTreeSet::new();
+    for cy in &cycles {
+        cuts.insert(Cut {
+            channels: cy.iter().copied().collect(),
+            need: 1,
+        });
+    }
+    // Seed the clock-period cuts from the fixed-buffers-only state: this
+    // usually leaves only refinement work to the lazy rounds.
+    if let Ok(paths) =
+        p.timing
+            .critical_paths(p.target_levels, |c| fixed.contains(&c), 160)
+    {
+        let mut scratch = Vec::new();
+        for path in &paths {
+            cuts.extend(window_cuts(path, p.target_levels, &mut scratch));
+        }
+    }
+
+    let mut rounds = 0usize;
+    let mut unbreakable: Vec<u32> = Vec::new();
+    loop {
+        // Candidate variables: channels referenced by any constraint.
+        let mut candidates: BTreeSet<ChannelId> = fixed.iter().copied().collect();
+        for cut in &cuts {
+            candidates.extend(cut.channels.iter().copied());
+        }
+        for k in p.cfdfcs {
+            candidates.extend(k.channels.iter().copied());
+        }
+
+        let mut model = Model::new(Sense::Maximize);
+        model.set_node_limit(10_000);
+        model.set_gap(1e-4);
+        model.set_time_limit(std::time::Duration::from_millis(900));
+        let mut rvar: HashMap<ChannelId, VarId> = HashMap::new();
+        for &c in &candidates {
+            // The tiny deterministic epsilon breaks the symmetry of
+            // covering constraints (otherwise equal-cost channels explode
+            // the branch-and-bound tree); it is far below any real cost
+            // difference and never changes which solutions are optimal in
+            // the original objective beyond tie-breaking.
+            let eps = 1e-5 * ((c.index() % 13) as f64) / 13.0;
+            let cost =
+                p.beta * (1.0 + p.penalties.get(&c).copied().unwrap_or(0.0)) + eps;
+            let lo = if fixed.contains(&c) { 1.0 } else { 0.0 };
+            let v = model.add_var(format!("R_{c}"), lo, 1.0, -cost, true);
+            rvar.insert(c, v);
+        }
+        // Throughput variables with McCormick linearization (omitted
+        // entirely in area-only mode).
+        let max_freq = p
+            .cfdfcs
+            .iter()
+            .map(|k| k.frequency)
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        let mut phis = Vec::new();
+        let cfdfcs_used: &[Cfdfc] = if p.objective == Objective::AreaOnly {
+            &[]
+        } else {
+            p.cfdfcs
+        };
+        for (ki, k) in cfdfcs_used.iter().enumerate() {
+            let weight = p.alpha * (k.frequency as f64 / max_freq);
+            let phi = model.add_var(format!("phi_{ki}"), 0.0, 1.0, weight, false);
+            phis.push(phi);
+            // L·Φ + Σ w ≤ T.
+            let mut terms = vec![(phi, k.latency as f64)];
+            for &c in &k.channels {
+                let r = rvar[&c];
+                let w = model.add_var(format!("w_{ki}_{c}"), 0.0, 1.0, 0.0, false);
+                // w ≤ Φ ; w ≤ R ; w ≥ Φ + R − 1.
+                model.add_constraint(vec![(w, 1.0), (phi, -1.0)], Cmp::Le, 0.0);
+                model.add_constraint(vec![(w, 1.0), (r, -1.0)], Cmp::Le, 0.0);
+                model.add_constraint(
+                    vec![(w, -1.0), (phi, 1.0), (r, 1.0)],
+                    Cmp::Le,
+                    1.0,
+                );
+                terms.push((w, 1.0));
+            }
+            model.add_constraint(terms, Cmp::Le, k.tokens as f64);
+        }
+        // Covering cuts.
+        for cut in &cuts {
+            let terms: Vec<(VarId, f64)> =
+                cut.channels.iter().map(|c| (rvar[c], 1.0)).collect();
+            if terms.is_empty() {
+                return Err(PlaceError::UnbreakableCycle);
+            }
+            let need = (cut.need as usize).min(terms.len()) as f64;
+            model.add_constraint(terms, Cmp::Ge, need);
+        }
+
+        // Exact solve with a bounded tree; on exhaustion fall back to
+        // rounding the LP relaxation up (covering constraints are
+        // upward-closed, so rounding up preserves feasibility).
+        let sol = match model.solve() {
+            Ok(s) => s,
+            Err(SolveError::NodeLimit) => model.solve_relaxation()?,
+            Err(e) => return Err(e.into()),
+        };
+        let placed: HashSet<ChannelId> = candidates
+            .iter()
+            .copied()
+            .filter(|c| sol.value(rvar[c]) > 1e-6)
+            .collect();
+
+        // Lazy clock-period cuts from the timing model.
+        unbreakable.clear();
+        let is_broken = |c: ChannelId| placed.contains(&c) || fixed.contains(&c);
+        let new_cuts: Vec<Cut> = match p.timing.critical_paths(p.target_levels, is_broken, 48)
+        {
+            Ok(paths) => {
+                let mut v = Vec::new();
+                for path in &paths {
+                    for cut in window_cuts(path, p.target_levels, &mut unbreakable) {
+                        if !cuts.contains(&cut) {
+                            v.push(cut);
+                        }
+                    }
+                }
+                v
+            }
+            Err(cycle_channels) => {
+                if cycle_channels.is_empty() {
+                    return Err(PlaceError::UnbreakableCycle);
+                }
+                vec![Cut {
+                    channels: cycle_channels.into_iter().collect(),
+                    need: 1,
+                }]
+            }
+        };
+
+        if new_cuts.is_empty() || rounds >= p.max_cut_rounds {
+            let mut buffers: Vec<ChannelId> = placed.into_iter().collect();
+            for &c in &fixed {
+                if !buffers.contains(&c) {
+                    buffers.push(c);
+                }
+            }
+            buffers.sort();
+            let throughputs = phis.iter().map(|&v| sol.value(v)).collect();
+            return Ok(PlacementResult {
+                buffers,
+                throughputs,
+                cut_rounds: rounds,
+                unbreakable_levels: unbreakable,
+                objective: sol.objective,
+            });
+        }
+        cuts.extend(new_cuts);
+        rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lutdfg::map_lut_edges;
+    use crate::penalty::compute_penalties;
+    use crate::synth::synthesize;
+    use crate::timing::TimingGraph;
+    use dataflow::BufferSpec;
+    use hls::kernels;
+
+    fn solve_kernel(name: &str, target: u32) -> (dataflow::Graph, PlacementResult) {
+        let k = match name {
+            "gsum" => kernels::gsum(16),
+            "gsumif" => kernels::gsumif(16),
+            other => panic!("unknown kernel {other}"),
+        };
+        let g = k.seeded_graph();
+        let synth = synthesize(&g, 6).unwrap();
+        let map = map_lut_edges(&g, &synth);
+        let timing = TimingGraph::build(&g, &synth, &map);
+        let penalties = compute_penalties(&g, &timing);
+        let cfdfcs = crate::cfdfc::extract_cfdfcs(k.graph(), k.back_edges(), 8, 100_000);
+        let problem = PlacementProblem {
+            graph: k.graph(),
+            timing: &timing,
+            penalties: &penalties,
+            cfdfcs: &cfdfcs,
+            target_levels: target,
+            fixed: k.back_edges(),
+            alpha: 1.0,
+            beta: 0.01,
+            max_cut_rounds: 16,
+            objective: Default::default(),
+        };
+        let r = place_buffers(&problem).unwrap();
+        (g, r)
+    }
+
+    #[test]
+    fn placement_keeps_fixed_buffers() {
+        let k = kernels::gsum(16);
+        let (_, r) = solve_kernel("gsum", 6);
+        for be in k.back_edges() {
+            assert!(r.buffers.contains(be), "fixed {be} dropped");
+        }
+    }
+
+    #[test]
+    fn placement_meets_the_level_budget_in_the_model() {
+        let k = kernels::gsum(16);
+        let g = k.seeded_graph();
+        let synth = synthesize(&g, 6).unwrap();
+        let map = map_lut_edges(&g, &synth);
+        let timing = TimingGraph::build(&g, &synth, &map);
+        let penalties = compute_penalties(&g, &timing);
+        let cfdfcs = crate::cfdfc::extract_cfdfcs(k.graph(), k.back_edges(), 8, 100_000);
+        let problem = PlacementProblem {
+            graph: k.graph(),
+            timing: &timing,
+            penalties: &penalties,
+            cfdfcs: &cfdfcs,
+            target_levels: 6,
+            fixed: k.back_edges(),
+            alpha: 1.0,
+            beta: 0.01,
+            max_cut_rounds: 16,
+            objective: Default::default(),
+        };
+        let r = place_buffers(&problem).unwrap();
+        let broken = |c: dataflow::ChannelId| r.buffers.contains(&c);
+        let depth = timing.depth(broken).unwrap();
+        assert!(
+            depth <= 6 || !r.unbreakable_levels.is_empty(),
+            "model depth {depth} over budget with no unbreakable excuse"
+        );
+    }
+
+    #[test]
+    fn tighter_targets_place_more_buffers() {
+        let (_, loose) = solve_kernel("gsumif", 8);
+        let (_, tight) = solve_kernel("gsumif", 4);
+        assert!(
+            tight.buffers.len() >= loose.buffers.len(),
+            "target 4 placed {} < target 8 placed {}",
+            tight.buffers.len(),
+            loose.buffers.len()
+        );
+    }
+
+    #[test]
+    fn area_only_mode_places_no_more_buffers() {
+        let k = kernels::gsum(16);
+        let g = k.seeded_graph();
+        let synth = synthesize(&g, 6).unwrap();
+        let map = map_lut_edges(k.graph(), &synth);
+        let timing = TimingGraph::build(k.graph(), &synth, &map);
+        let penalties = compute_penalties(k.graph(), &timing);
+        let cfdfcs = crate::cfdfc::extract_cfdfcs(k.graph(), k.back_edges(), 8, 100_000);
+        let solve = |objective| {
+            let problem = PlacementProblem {
+                graph: k.graph(),
+                timing: &timing,
+                penalties: &penalties,
+                cfdfcs: &cfdfcs,
+                target_levels: 6,
+                fixed: k.back_edges(),
+                alpha: 1.0,
+                beta: 0.01,
+                max_cut_rounds: 16,
+                objective,
+            };
+            place_buffers(&problem).unwrap().buffers.len()
+        };
+        let both = solve(Objective::ThroughputAndArea);
+        let area = solve(Objective::AreaOnly);
+        assert!(area <= both, "area-only {area} > combined {both}");
+    }
+
+    #[test]
+    fn throughput_predictions_are_sane() {
+        let (_, r) = solve_kernel("gsum", 6);
+        for &phi in &r.throughputs {
+            assert!((0.0..=1.0 + 1e-6).contains(&phi));
+        }
+    }
+
+    #[test]
+    fn placed_circuit_still_simulates_correctly() {
+        let k = kernels::gsum(16);
+        let (_, r) = solve_kernel("gsum", 6);
+        let mut g = k.graph().clone();
+        for &c in &r.buffers {
+            g.set_buffer(c, BufferSpec::FULL);
+        }
+        let mut s = sim::Simulator::new(&g);
+        let stats = s.run(k.max_cycles).unwrap();
+        assert_eq!(stats.exit_value, k.expected_exit);
+    }
+}

@@ -1,0 +1,88 @@
+//! One synthesis run: graph → optimized gates → K-LUT network.
+//!
+//! This is the "Logic Synthesizer" box of Figure 4: the equivalent of
+//! feeding the circuit's BLIF through ABC's optimization and `if -K 6`.
+
+use dataflow::Graph;
+use lutmap::{map_netlist, LutNetwork, MapError, MapOptions};
+use netlist::{elaborate, Netlist, OptStats};
+
+/// The artifacts of one synthesis run.
+#[derive(Debug)]
+pub struct Synthesis {
+    /// The optimized gate-level netlist.
+    pub netlist: Netlist,
+    /// The mapped LUT network.
+    pub luts: LutNetwork,
+    /// Logic-optimization statistics.
+    pub opt_stats: OptStats,
+}
+
+impl Synthesis {
+    /// Post-synthesis logic levels (the quantity the flow regulates).
+    pub fn logic_levels(&self) -> u32 {
+        self.luts.depth()
+    }
+
+    /// LUT count (the paper's area metric).
+    pub fn lut_count(&self) -> usize {
+        self.luts.num_luts()
+    }
+
+    /// Flip-flop count (buffers + unit state + pipeline registers).
+    pub fn ff_count(&self) -> usize {
+        self.netlist.num_live_regs()
+    }
+}
+
+/// Synthesizes `g` (with its current buffer annotations) down to K-LUTs.
+///
+/// # Errors
+///
+/// [`MapError::CombinationalCycle`] if a dataflow cycle carries no opaque
+/// buffer — callers must seed loop back edges first (Figure 4).
+pub fn synthesize(g: &Graph, k: usize) -> Result<Synthesis, MapError> {
+    let mut nl = elaborate(g).netlist;
+    let opt_stats = nl.optimize();
+    let luts = map_netlist(&nl, &MapOptions { k, area_recovery: true })?;
+    Ok(Synthesis {
+        netlist: nl,
+        luts,
+        opt_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls::kernels;
+
+    #[test]
+    fn synthesizes_seeded_kernel() {
+        let k = kernels::gsum(8);
+        let g = k.seeded_graph();
+        let s = synthesize(&g, 6).unwrap();
+        assert!(s.logic_levels() > 0);
+        assert!(s.lut_count() > 10);
+        assert!(s.ff_count() > 0);
+        assert!(s.opt_stats.rewrites > 0);
+    }
+
+    #[test]
+    fn unseeded_kernel_has_combinational_cycle() {
+        let k = kernels::gsum(8);
+        assert!(matches!(
+            synthesize(k.graph(), 6),
+            Err(MapError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn smaller_k_cannot_reduce_depth() {
+        let k = kernels::gsum(8);
+        let g = k.seeded_graph();
+        let d6 = synthesize(&g, 6).unwrap().logic_levels();
+        let d4 = synthesize(&g, 4).unwrap().logic_levels();
+        assert!(d4 >= d6, "K=4 depth {d4} < K=6 depth {d6}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-layer equivalence: the *gate-level* elaboration of a dataflow
+//! circuit, clocked by the netlist simulator, must produce exactly the
+//! same results as the *token-level* dataflow simulator — the two
+//! implementations of the elastic semantics must agree bit for bit.
+
+use dataflow::{BufferSpec, Graph, OpKind, PortRef, UnitId, UnitKind};
+use netlist::{elaborate, GateKind, NetlistSim};
+use sim::Simulator;
+
+/// Drives the netlist until the exit keep asserts; returns the exit data.
+fn run_netlist(g: &Graph, args: &[(UnitId, u64)], max_cycles: usize) -> Option<u64> {
+    let mut nl = elaborate(g).netlist;
+    nl.optimize();
+
+    // Argument data bits are Input gates with the argument unit's origin,
+    // created in bit order.
+    let mut sim = NetlistSim::new(&nl).expect("acyclic");
+    for &(unit, value) in args {
+        let bits: Vec<_> = nl
+            .gates()
+            .filter(|(_, gt)| {
+                gt.kind() == GateKind::Input && gt.origin() == netlist::Origin::Unit(unit)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        for (bit, id) in bits.iter().enumerate() {
+            sim.set_input(*id, (value >> bit) & 1 != 0);
+        }
+    }
+    // Locate the exit keeps.
+    let exit_valid = nl
+        .keeps()
+        .iter()
+        .find(|(_, n)| n.contains("exit_valid"))
+        .map(|(g, _)| *g)
+        .expect("exit valid keep");
+    let mut data_bits: Vec<_> = nl
+        .keeps()
+        .iter()
+        .filter(|(_, n)| n.contains(":exit_data"))
+        .map(|(g, n)| {
+            let idx: usize = n
+                .split("exit_data")
+                .nth(1)
+                .and_then(|t| t.parse().ok())
+                .expect("bit index");
+            (idx, *g)
+        })
+        .collect();
+    data_bits.sort_by_key(|(i, _)| *i);
+
+    for _ in 0..max_cycles {
+        sim.settle();
+        if sim.peek(exit_valid) {
+            let mut v = 0u64;
+            for (bit, (_, g)) in data_bits.iter().enumerate() {
+                v |= (sim.peek(*g) as u64) << bit;
+            }
+            return Some(v);
+        }
+        sim.step();
+    }
+    None
+}
+
+/// Builds `((a + b) << 1) - c`, optionally with buffers on every channel.
+fn arith_graph(buffered: bool) -> (Graph, UnitId, UnitId, UnitId) {
+    let mut g = Graph::new("xlayer");
+    let bb = g.add_basic_block("bb0");
+    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 12).unwrap();
+    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 12).unwrap();
+    let c = g.add_unit(UnitKind::Argument { index: 2 }, "c", bb, 12).unwrap();
+    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 12).unwrap();
+    let shl = g
+        .add_unit(UnitKind::Operator(OpKind::ShlConst(1)), "shl", bb, 12)
+        .unwrap();
+    let sub = g.add_unit(UnitKind::Operator(OpKind::Sub), "sub", bb, 12).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 12).unwrap();
+    g.connect(PortRef::new(a, 0), PortRef::new(add, 0)).unwrap();
+    g.connect(PortRef::new(b, 0), PortRef::new(add, 1)).unwrap();
+    g.connect(PortRef::new(add, 0), PortRef::new(shl, 0)).unwrap();
+    g.connect(PortRef::new(shl, 0), PortRef::new(sub, 0)).unwrap();
+    g.connect(PortRef::new(c, 0), PortRef::new(sub, 1)).unwrap();
+    g.connect(PortRef::new(sub, 0), PortRef::new(x, 0)).unwrap();
+    g.validate().unwrap();
+    if buffered {
+        for (cid, _) in g.clone().channels() {
+            g.set_buffer(cid, BufferSpec::FULL);
+        }
+    }
+    (g, a, b, c)
+}
+
+fn check(a_val: u64, b_val: u64, c_val: u64, buffered: bool) {
+    let (g, a, b, c) = arith_graph(buffered);
+    // Token-level reference.
+    let mut tok = Simulator::new(&g);
+    tok.set_arg(0, a_val);
+    tok.set_arg(1, b_val);
+    tok.set_arg(2, c_val);
+    let expect = tok.run(1000).expect("token sim").exit_value;
+    // Gate-level run.
+    let got = run_netlist(&g, &[(a, a_val), (b, b_val), (c, c_val)], 1000);
+    assert_eq!(got, expect, "a={a_val} b={b_val} c={c_val} buffered={buffered}");
+}
+
+#[test]
+fn gate_level_matches_token_level_combinational() {
+    for (a, b, c) in [(1, 2, 3), (100, 200, 50), (4095, 1, 0), (7, 7, 4094)] {
+        check(a, b, c, false);
+    }
+}
+
+#[test]
+fn gate_level_matches_token_level_fully_buffered() {
+    for (a, b, c) in [(1, 2, 3), (123, 456, 789), (4095, 4095, 4095)] {
+        check(a, b, c, true);
+    }
+}
+
+#[test]
+fn gate_level_branch_and_select() {
+    // select(a < b, a, b) — the min function, exercising cmp + select.
+    let mut g = Graph::new("minsel");
+    let bb = g.add_basic_block("bb0");
+    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8).unwrap();
+    let fa = g.add_unit(UnitKind::fork(2), "fa", bb, 8).unwrap();
+    let fb = g.add_unit(UnitKind::fork(2), "fb", bb, 8).unwrap();
+    let lt = g.add_unit(UnitKind::Operator(OpKind::Lt), "lt", bb, 8).unwrap();
+    let sel = g
+        .add_unit(UnitKind::Operator(OpKind::Select), "sel", bb, 8)
+        .unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
+    g.connect(PortRef::new(a, 0), PortRef::new(fa, 0)).unwrap();
+    g.connect(PortRef::new(b, 0), PortRef::new(fb, 0)).unwrap();
+    g.connect(PortRef::new(fa, 0), PortRef::new(lt, 0)).unwrap();
+    g.connect(PortRef::new(fb, 0), PortRef::new(lt, 1)).unwrap();
+    g.connect(PortRef::new(lt, 0), PortRef::new(sel, 0)).unwrap();
+    g.connect(PortRef::new(fa, 1), PortRef::new(sel, 1)).unwrap();
+    g.connect(PortRef::new(fb, 1), PortRef::new(sel, 2)).unwrap();
+    g.connect(PortRef::new(sel, 0), PortRef::new(x, 0)).unwrap();
+    g.validate().unwrap();
+
+    for (av, bv) in [(3u64, 9u64), (9, 3), (5, 5), (200, 100)] {
+        let mut tok = Simulator::new(&g);
+        tok.set_arg(0, av);
+        tok.set_arg(1, bv);
+        let expect = tok.run(100).expect("token sim").exit_value;
+        let got = run_netlist(&g, &[(a, av), (b, bv)], 100);
+        assert_eq!(got, expect, "min({av},{bv})");
+    }
+}

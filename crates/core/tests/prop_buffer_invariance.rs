@@ -1,0 +1,66 @@
+//! The fundamental elastic-circuit invariant the whole paper rests on:
+//! *"Buffers can be placed on any channel between the predefined dataflow
+//! units without compromising correctness"* (Section III, citing [4]).
+//!
+//! These property tests place random FULL-buffer subsets on top of the
+//! mandatory loop seeds and require the kernels to still terminate with
+//! bit-exact results.
+
+use dataflow::{BufferSpec, ChannelId};
+use hls::Kernel;
+use proptest::prelude::*;
+use sim::Simulator;
+
+fn check_with_buffers(kernel: &Kernel, extra_mask: &[bool]) -> Result<(), TestCaseError> {
+    let mut g = kernel.graph().clone();
+    for &be in kernel.back_edges() {
+        g.set_buffer(be, BufferSpec::FULL);
+    }
+    for (i, &on) in extra_mask.iter().enumerate() {
+        if on && i < g.num_channels() {
+            g.set_buffer(ChannelId::from_raw(i as u32), BufferSpec::FULL);
+        }
+    }
+    let mut s = Simulator::new(&g);
+    let stats = s
+        .run(kernel.max_cycles * 16)
+        .map_err(|e| TestCaseError::fail(format!("{}: {e}", kernel.name)))?;
+    if let Some(exp) = kernel.expected_exit {
+        prop_assert_eq!(stats.exit_value, Some(exp));
+    }
+    for (mem, expected) in &kernel.expected_mems {
+        prop_assert_eq!(s.memory(*mem), expected.as_slice());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gsum_tolerates_any_buffering(mask in prop::collection::vec(any::<bool>(), 64)) {
+        check_with_buffers(&hls::kernels::gsum(12), &mask)?;
+    }
+
+    #[test]
+    fn gsumif_tolerates_any_buffering(mask in prop::collection::vec(any::<bool>(), 80)) {
+        check_with_buffers(&hls::kernels::gsumif(12), &mask)?;
+    }
+
+    #[test]
+    fn matrix_tolerates_any_buffering(mask in prop::collection::vec(any::<bool>(), 200)) {
+        check_with_buffers(&hls::kernels::matrix(4), &mask)?;
+    }
+
+    #[test]
+    fn insertion_sort_tolerates_any_buffering(
+        mask in prop::collection::vec(any::<bool>(), 128),
+    ) {
+        check_with_buffers(&hls::kernels::insertion_sort(6), &mask)?;
+    }
+
+    #[test]
+    fn stencil_tolerates_any_buffering(mask in prop::collection::vec(any::<bool>(), 256)) {
+        check_with_buffers(&hls::kernels::stencil_2d(5), &mask)?;
+    }
+}

@@ -1,0 +1,213 @@
+//! Simple-cycle enumeration (Johnson's algorithm).
+//!
+//! The buffer-placement MILP needs the set of simple cycles of the DFG for
+//! two purposes: (1) every cycle must carry at least one opaque buffer so
+//! the handshake ring is not combinational; (2) each *choice-free dataflow
+//! circuit* (CFDFC) used for throughput optimization is built from these
+//! cycles.
+
+use crate::{ChannelId, Graph, UnitId};
+
+/// Enumerates the simple cycles of `g` as lists of channel ids, in the
+/// order they are traversed, up to `max_cycles` cycles (a safety valve for
+/// pathological graphs; dataflow circuits from structured code have few).
+///
+/// Uses Johnson's algorithm over the strongly connected components of the
+/// unit graph. The returned cycles are deterministic for a given graph.
+///
+/// # Example
+///
+/// ```
+/// use dataflow::{enumerate_simple_cycles, Graph, UnitKind, PortRef};
+///
+/// # fn main() -> Result<(), dataflow::GraphError> {
+/// let mut g = Graph::new("ring");
+/// let bb = g.add_basic_block("bb0");
+/// let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 0)?;
+/// let f = g.add_unit(UnitKind::fork(2), "f", bb, 0)?;
+/// let src = g.add_unit(UnitKind::Entry, "e", bb, 0)?;
+/// let snk = g.add_unit(UnitKind::Sink, "s", bb, 0)?;
+/// g.connect(PortRef::new(src, 0), PortRef::new(m, 0))?;
+/// g.connect(PortRef::new(m, 0), PortRef::new(f, 0))?;
+/// g.connect(PortRef::new(f, 0), PortRef::new(m, 1))?; // back edge
+/// g.connect(PortRef::new(f, 1), PortRef::new(snk, 0))?;
+/// let cycles = enumerate_simple_cycles(&g, 16);
+/// assert_eq!(cycles.len(), 1);
+/// assert_eq!(cycles[0].len(), 2); // m->f and f->m
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_simple_cycles(g: &Graph, max_cycles: usize) -> Vec<Vec<ChannelId>> {
+    let n = g.num_units();
+    let mut cycles = Vec::new();
+    // Adjacency as (channel, dst) pairs per unit.
+    let adj: Vec<Vec<(ChannelId, UnitId)>> = (0..n)
+        .map(|u| {
+            g.output_channels(UnitId::from_raw(u as u32))
+                .map(|c| (c, g.channel(c).dst().unit))
+                .collect()
+        })
+        .collect();
+
+    let mut blocked = vec![false; n];
+    let mut block_map: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut stack: Vec<(usize, ChannelId)> = Vec::new();
+
+    fn unblock(v: usize, blocked: &mut [bool], block_map: &mut [Vec<usize>]) {
+        if !blocked[v] {
+            return;
+        }
+        blocked[v] = false;
+        let pending = std::mem::take(&mut block_map[v]);
+        for w in pending {
+            unblock(w, blocked, block_map);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn circuit(
+        v: usize,
+        start: usize,
+        adj: &[Vec<(ChannelId, UnitId)>],
+        blocked: &mut [bool],
+        block_map: &mut [Vec<usize>],
+        stack: &mut Vec<(usize, ChannelId)>,
+        cycles: &mut Vec<Vec<ChannelId>>,
+        max_cycles: usize,
+    ) -> bool {
+        if cycles.len() >= max_cycles {
+            return true;
+        }
+        let mut found = false;
+        blocked[v] = true;
+        for &(ch, w) in &adj[v] {
+            let w = w.index();
+            if w < start {
+                continue; // only consider the subgraph induced by >= start
+            }
+            if w == start {
+                let mut cycle: Vec<ChannelId> = stack.iter().map(|&(_, c)| c).collect();
+                cycle.push(ch);
+                cycles.push(cycle);
+                found = true;
+                if cycles.len() >= max_cycles {
+                    break;
+                }
+            } else if !blocked[w] {
+                stack.push((v, ch));
+                if circuit(
+                    w, start, adj, blocked, block_map, stack, cycles, max_cycles,
+                ) {
+                    found = true;
+                }
+                stack.pop();
+                if cycles.len() >= max_cycles {
+                    break;
+                }
+            }
+        }
+        if found {
+            unblock(v, blocked, block_map);
+        } else {
+            for &(_, w) in &adj[v] {
+                let w = w.index();
+                if w >= start && !block_map[w].contains(&v) {
+                    block_map[w].push(v);
+                }
+            }
+        }
+        found
+    }
+
+    for start in 0..n {
+        if cycles.len() >= max_cycles {
+            break;
+        }
+        for b in blocked.iter_mut() {
+            *b = false;
+        }
+        for m in block_map.iter_mut() {
+            m.clear();
+        }
+        stack.clear();
+        circuit(
+            start,
+            start,
+            &adj,
+            &mut blocked,
+            &mut block_map,
+            &mut stack,
+            &mut cycles,
+            max_cycles,
+        );
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PortRef, UnitKind};
+
+    /// Two nested rings sharing a merge/fork pair:
+    /// e -> m1 -> f1 -> m1 (inner), and f1 -> m2 -> f2 -> m2 / f2 -> m1 path.
+    fn two_loop_graph() -> Graph {
+        let mut g = Graph::new("two_loops");
+        let bb = g.add_basic_block("bb0");
+        let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
+        let m1 = g.add_unit(UnitKind::Merge { inputs: 2 }, "m1", bb, 0).unwrap();
+        let f1 = g.add_unit(UnitKind::fork(2), "f1", bb, 0).unwrap();
+        let m2 = g.add_unit(UnitKind::Merge { inputs: 2 }, "m2", bb, 0).unwrap();
+        let f2 = g.add_unit(UnitKind::fork(2), "f2", bb, 0).unwrap();
+        let s = g.add_unit(UnitKind::Sink, "s", bb, 0).unwrap();
+        g.connect(PortRef::new(e, 0), PortRef::new(m1, 0)).unwrap();
+        g.connect(PortRef::new(m1, 0), PortRef::new(f1, 0)).unwrap();
+        g.connect(PortRef::new(f1, 0), PortRef::new(m1, 1)).unwrap(); // loop 1
+        g.connect(PortRef::new(f1, 1), PortRef::new(m2, 0)).unwrap();
+        g.connect(PortRef::new(m2, 0), PortRef::new(f2, 0)).unwrap();
+        g.connect(PortRef::new(f2, 0), PortRef::new(m2, 1)).unwrap(); // loop 2
+        g.connect(PortRef::new(f2, 1), PortRef::new(s, 0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn finds_both_loops() {
+        let g = two_loop_graph();
+        let cycles = enumerate_simple_cycles(&g, 100);
+        assert_eq!(cycles.len(), 2);
+        for c in &cycles {
+            assert_eq!(c.len(), 2);
+            // Each cycle must close: dst of last == src of first.
+            let first = g.channel(c[0]);
+            let last = g.channel(*c.last().unwrap());
+            assert_eq!(last.dst().unit, first.src().unit);
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut g = Graph::new("acyclic");
+        let bb = g.add_basic_block("bb0");
+        let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
+        let s = g.add_unit(UnitKind::Sink, "s", bb, 0).unwrap();
+        g.connect(PortRef::new(e, 0), PortRef::new(s, 0)).unwrap();
+        assert!(enumerate_simple_cycles(&g, 10).is_empty());
+    }
+
+    #[test]
+    fn respects_cap() {
+        let g = two_loop_graph();
+        let cycles = enumerate_simple_cycles(&g, 1);
+        assert_eq!(cycles.len(), 1);
+    }
+
+    #[test]
+    fn cycle_channels_are_consecutive() {
+        let g = two_loop_graph();
+        for cycle in enumerate_simple_cycles(&g, 10) {
+            for w in cycle.windows(2) {
+                assert_eq!(g.channel(w[0]).dst().unit, g.channel(w[1]).src().unit);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Graphviz export for dataflow graphs.
+
+use crate::Graph;
+use std::fmt::Write as _;
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// Units are grouped into clusters by basic block; buffered channels
+    /// are drawn bold and labeled with their [`BufferSpec`].
+    ///
+    /// [`BufferSpec`]: crate::BufferSpec
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dataflow::{Graph, UnitKind, PortRef};
+    /// # fn main() -> Result<(), dataflow::GraphError> {
+    /// let mut g = Graph::new("t");
+    /// let bb = g.add_basic_block("bb0");
+    /// let e = g.add_unit(UnitKind::Entry, "e", bb, 0)?;
+    /// let s = g.add_unit(UnitKind::Sink, "s", bb, 0)?;
+    /// g.connect(PortRef::new(e, 0), PortRef::new(s, 0))?;
+    /// let dot = g.to_dot();
+    /// assert!(dot.contains("digraph"));
+    /// assert!(dot.contains("e"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontname=monospace];");
+        for (bid, bb) in self.basic_blocks() {
+            let _ = writeln!(out, "  subgraph cluster_{} {{", bid.index());
+            let _ = writeln!(out, "    label=\"{}\";", bb.name());
+            for (uid, unit) in self.units() {
+                if unit.bb() == bid {
+                    let _ = writeln!(
+                        out,
+                        "    {} [label=\"{}\\n{}\"];",
+                        uid,
+                        unit.name(),
+                        unit.kind()
+                    );
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (_, ch) in self.channels() {
+            let style = if ch.buffer().is_none() {
+                String::new()
+            } else {
+                format!(" [style=bold, color=red, label=\"{}\"]", ch.buffer())
+            };
+            let _ = writeln!(out, "  {} -> {}{};", ch.src().unit, ch.dst().unit, style);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BufferSpec, Graph, PortRef, UnitKind};
+
+    #[test]
+    fn dot_marks_buffers() {
+        let mut g = Graph::new("t");
+        let bb = g.add_basic_block("bb0");
+        let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
+        let s = g.add_unit(UnitKind::Sink, "s", bb, 0).unwrap();
+        let ch = g.connect(PortRef::new(e, 0), PortRef::new(s, 0)).unwrap();
+        g.set_buffer(ch, BufferSpec::FULL);
+        let dot = g.to_dot();
+        assert!(dot.contains("OB+TB"));
+        assert!(dot.contains("cluster_0"));
+    }
+}

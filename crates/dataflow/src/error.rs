@@ -1,0 +1,93 @@
+//! Error type for graph construction and validation.
+
+use crate::{ChannelId, PortRef, UnitId};
+use std::fmt;
+
+/// Errors produced while building or validating a dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A referenced unit id does not exist in the graph.
+    UnknownUnit(UnitId),
+    /// A referenced channel id does not exist in the graph.
+    UnknownChannel(ChannelId),
+    /// A port index is out of range for the unit's kind.
+    PortOutOfRange {
+        /// The offending reference.
+        port: PortRef,
+        /// Whether an input or output port was addressed.
+        is_input: bool,
+        /// Number of ports the unit actually has in that direction.
+        available: usize,
+    },
+    /// Two channels target the same port.
+    PortAlreadyConnected(PortRef),
+    /// Source and destination port widths disagree.
+    WidthMismatch {
+        /// Producer port.
+        src: PortRef,
+        /// Producer width.
+        src_width: u16,
+        /// Consumer port.
+        dst: PortRef,
+        /// Consumer width.
+        dst_width: u16,
+    },
+    /// A port was left unconnected at validation time.
+    DanglingPort {
+        /// The unconnected port.
+        port: PortRef,
+        /// Whether it is an input port.
+        is_input: bool,
+    },
+    /// A unit name is used more than once.
+    DuplicateName(String),
+    /// A fork/join/merge/mux was declared with fewer than two branches.
+    DegenerateUnit(UnitId),
+    /// A load/store references a memory id not present in the graph.
+    UnknownMemory(UnitId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownUnit(u) => write!(f, "unknown unit {u}"),
+            GraphError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+            GraphError::PortOutOfRange {
+                port,
+                is_input,
+                available,
+            } => write!(
+                f,
+                "{} port {port} out of range (unit has {available})",
+                if *is_input { "input" } else { "output" }
+            ),
+            GraphError::PortAlreadyConnected(p) => {
+                write!(f, "port {p} is already connected")
+            }
+            GraphError::WidthMismatch {
+                src,
+                src_width,
+                dst,
+                dst_width,
+            } => write!(
+                f,
+                "width mismatch: {src} is {src_width} bits but {dst} is {dst_width} bits"
+            ),
+            GraphError::DanglingPort { port, is_input } => write!(
+                f,
+                "{} port {port} is not connected",
+                if *is_input { "input" } else { "output" }
+            ),
+            GraphError::DuplicateName(n) => write!(f, "duplicate unit name {n:?}"),
+            GraphError::DegenerateUnit(u) => {
+                write!(f, "unit {u} needs at least two branches")
+            }
+            GraphError::UnknownMemory(u) => {
+                write!(f, "unit {u} references a memory that does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,81 @@
+//! Property tests for the cycle enumerator and graph invariants.
+
+use dataflow::{enumerate_simple_cycles, Graph, PortRef, UnitKind};
+use proptest::prelude::*;
+
+/// Builds a chain of `n` merge/fork pairs where each pair optionally closes
+/// a self-ring, returning the expected ring count.
+fn ring_chain(ring_mask: &[bool]) -> (Graph, usize) {
+    let mut g = Graph::new("rings");
+    let bb = g.add_basic_block("bb0");
+    let entry = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
+    let mut prev = PortRef::new(entry, 0);
+    let mut expected = 0;
+    for (i, &closed) in ring_mask.iter().enumerate() {
+        let m = g
+            .add_unit(UnitKind::Merge { inputs: 2 }, format!("m{i}"), bb, 0)
+            .unwrap();
+        let f = g
+            .add_unit(UnitKind::fork(2), format!("f{i}"), bb, 0)
+            .unwrap();
+        g.connect(prev, PortRef::new(m, 0)).unwrap();
+        g.connect(PortRef::new(m, 0), PortRef::new(f, 0)).unwrap();
+        if closed {
+            g.connect(PortRef::new(f, 0), PortRef::new(m, 1)).unwrap();
+            expected += 1;
+            prev = PortRef::new(f, 1);
+        } else {
+            // Leave the ring open: port f.0 continues, m.1 fed by a source.
+            let s = g
+                .add_unit(UnitKind::Source, format!("s{i}"), bb, 0)
+                .unwrap();
+            g.connect(PortRef::new(s, 0), PortRef::new(m, 1)).unwrap();
+            let snk = g
+                .add_unit(UnitKind::Sink, format!("k{i}"), bb, 0)
+                .unwrap();
+            g.connect(PortRef::new(f, 0), PortRef::new(snk, 0)).unwrap();
+            prev = PortRef::new(f, 1);
+        }
+    }
+    let exit = g.add_unit(UnitKind::Exit, "x", bb, 0).unwrap();
+    g.connect(prev, PortRef::new(exit, 0)).unwrap();
+    g.validate().unwrap();
+    (g, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn finds_exactly_the_closed_rings(mask in prop::collection::vec(any::<bool>(), 1..8)) {
+        let (g, expected) = ring_chain(&mask);
+        let cycles = enumerate_simple_cycles(&g, 1000);
+        prop_assert_eq!(cycles.len(), expected);
+        for cy in &cycles {
+            // Consecutive and closing.
+            for w in cy.windows(2) {
+                prop_assert_eq!(g.channel(w[0]).dst().unit, g.channel(w[1]).src().unit);
+            }
+            let first = g.channel(cy[0]);
+            let last = g.channel(*cy.last().unwrap());
+            prop_assert_eq!(last.dst().unit, first.src().unit);
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_minimal(mask in prop::collection::vec(any::<bool>(), 1..8)) {
+        let (g, _) = ring_chain(&mask);
+        let entry = g.unit_by_name("e").unwrap();
+        let exit = g.unit_by_name("x").unwrap();
+        let path = g.shortest_path(entry, exit).expect("connected");
+        // The chain has 2 channels per stage + the final hop; a shortest
+        // path can never exceed the total channel count.
+        prop_assert!(path.len() <= g.num_channels());
+        // And it must be a real consecutive path from entry to exit.
+        prop_assert_eq!(g.channel(path[0]).src().unit, entry);
+        prop_assert_eq!(g.channel(*path.last().unwrap()).dst().unit, exit);
+        for w in path.windows(2) {
+            prop_assert_eq!(g.channel(w[0]).dst().unit, g.channel(w[1]).src().unit);
+        }
+    }
+}

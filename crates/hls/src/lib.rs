@@ -1,0 +1,29 @@
+//! Mini-HLS frontend and the paper's benchmark kernels.
+//!
+//! This crate replaces Dynamatic's C frontend: [`KernelBuilder`] lowers
+//! structured programs into elastic dataflow circuits with the standard
+//! Dynamatic component library, and [`kernels`] hand-lowers the nine
+//! evaluation kernels of the paper (insertion_sort, stencil_2d,
+//! covariance, gsum, gsumif, gaussian, matrix, mvt, gemver) exactly the
+//! way Dynamatic lowers their C sources — one basic block per CFG node,
+//! loop back edges as dataflow rings.
+//!
+//! Every kernel ships with a software reference model; the
+//! [`sim`](../sim) crate checks the circuit against it.
+//!
+//! # Example
+//!
+//! ```
+//! use hls::kernels;
+//!
+//! let k = kernels::gsum(16);
+//! assert_eq!(k.name, "gsum");
+//! k.graph().validate().expect("kernels validate");
+//! ```
+
+mod builder;
+pub mod data;
+pub mod kernels;
+
+pub use builder::{BuiltKernel, KernelBuilder, LoopCtx, LoopExit, Val, WhileCtx};
+pub use kernels::{all_kernels, Kernel};

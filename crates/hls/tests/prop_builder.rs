@@ -1,0 +1,128 @@
+//! Property tests: circuits built from random straight-line expression
+//! recipes compute exactly what a software evaluator computes, for any
+//! argument values — exercising the builder's auto-fork/sink
+//! materialization and every combinational operator end to end.
+
+use hls::{KernelBuilder, Val};
+use proptest::prelude::*;
+use sim::Simulator;
+
+const MASK: u64 = 0xFFFF;
+
+fn signed(v: u64) -> i64 {
+    (v as u16) as i16 as i64
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Shl(usize, u8),
+    Shr(usize, u8),
+    Lt(usize, usize, usize, usize),    // select(lt(a,b), c, d)
+    Ge(usize, usize, usize, usize),    // select(ge(a,b), c, d)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Sub(a, b)),
+        (any::<usize>(), 0u8..8).prop_map(|(a, k)| Op::Shl(a, k)),
+        (any::<usize>(), 0u8..8).prop_map(|(a, k)| Op::Shr(a, k)),
+        (any::<usize>(), any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(a, b, c, d)| Op::Lt(a, b, c, d)),
+        (any::<usize>(), any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(a, b, c, d)| Op::Ge(a, b, c, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn straight_line_circuits_match_reference(
+        args in prop::collection::vec(0u64..0x1_0000, 1..4),
+        ops in prop::collection::vec(op(), 1..20),
+    ) {
+        // Build the circuit and the reference side by side.
+        let mut k = KernelBuilder::new("prop", 16);
+        let mut vals: Vec<Val> = (0..args.len()).map(|i| k.arg(i as u8)).collect();
+        let mut refs: Vec<u64> = args.clone();
+        for o in &ops {
+            let pick = |i: usize| i % vals.len();
+            let (v, r) = match *o {
+                Op::Add(a, b) => (
+                    k.add(vals[pick(a)], vals[pick(b)]),
+                    (refs[pick(a)].wrapping_add(refs[pick(b)])) & MASK,
+                ),
+                Op::Sub(a, b) => (
+                    k.sub(vals[pick(a)], vals[pick(b)]),
+                    (refs[pick(a)].wrapping_sub(refs[pick(b)])) & MASK,
+                ),
+                Op::Shl(a, sh) => (k.shl(vals[pick(a)], sh), (refs[pick(a)] << sh) & MASK),
+                Op::Shr(a, sh) => (k.shr(vals[pick(a)], sh), (refs[pick(a)] & MASK) >> sh),
+                Op::Lt(a, b, c, d) => {
+                    let cond = k.lt(vals[pick(a)], vals[pick(b)]);
+                    let sel = k.select(cond, vals[pick(c)], vals[pick(d)]);
+                    let r = if signed(refs[pick(a)]) < signed(refs[pick(b)]) {
+                        refs[pick(c)]
+                    } else {
+                        refs[pick(d)]
+                    };
+                    (sel, r)
+                }
+                Op::Ge(a, b, c, d) => {
+                    let cond = k.ge(vals[pick(a)], vals[pick(b)]);
+                    let sel = k.select(cond, vals[pick(c)], vals[pick(d)]);
+                    let r = if signed(refs[pick(a)]) >= signed(refs[pick(b)]) {
+                        refs[pick(c)]
+                    } else {
+                        refs[pick(d)]
+                    };
+                    (sel, r)
+                }
+            };
+            vals.push(v);
+            refs.push(r);
+        }
+        let out = *vals.last().expect("nonempty");
+        let expected = *refs.last().expect("nonempty");
+        let built = k.finish_with_value(out).expect("builds");
+        built.graph.validate().expect("validates");
+
+        let mut s = Simulator::new(&built.graph);
+        for (i, &a) in args.iter().enumerate() {
+            s.set_arg(i as u8, a);
+        }
+        let stats = s.run(10_000).expect("runs");
+        prop_assert_eq!(stats.exit_value, Some(expected));
+    }
+
+    #[test]
+    fn counted_loops_sum_correctly(n in 1u64..24, step in 1u64..5) {
+        // s = Σ_{i<n} (i * step)  via repeated addition (no multiplier).
+        let mut k = KernelBuilder::new("loopsum", 16);
+        let lo = k.constant(0);
+        let hi = k.constant(n);
+        let s0 = k.constant(0);
+        let acc0 = k.constant(0);
+        let lp = k.loop_start(lo, hi, &[("s", s0), ("acc", acc0)], &[]);
+        // acc += step each iteration; s += acc.
+        let stepc = k.constant(step);
+        let acc1 = k.add(lp.var("acc"), stepc);
+        let s1 = k.add(lp.var("s"), lp.var("acc"));
+        let done = k.loop_end(lp, &[("s", s1), ("acc", acc1)]);
+        let built = k.finish_with_value(done.var("s")).expect("builds");
+        let g = {
+            let mut g = built.graph.clone();
+            for &c in &built.back_edges {
+                g.set_buffer(c, dataflow::BufferSpec::FULL);
+            }
+            g
+        };
+        let mut s = Simulator::new(&g);
+        let stats = s.run(100_000).expect("runs");
+        let expected: u64 = (0..n).map(|i| i * step).sum::<u64>() & MASK;
+        prop_assert_eq!(stats.exit_value, Some(expected));
+    }
+}

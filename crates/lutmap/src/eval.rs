@@ -1,0 +1,122 @@
+//! Functional verification of a LUT cover against its source netlist.
+//!
+//! Technology mapping must not change circuit function: each LUT, evaluated
+//! as a function of *only its declared inputs*, must reproduce the value of
+//! its root gate. This module re-evaluates every LUT locally (through its
+//! covered gate cone) while a [`NetlistSim`] provides the reference values,
+//! and reports the first mismatch.
+
+use crate::network::{LutInput, LutNetwork};
+use netlist::{GateId, GateKind, Netlist, NetlistSim};
+use std::collections::HashMap;
+
+/// Checks that every LUT computes the same value as its root gate for the
+/// current state of `sim` (call [`NetlistSim::settle`] or
+/// [`NetlistSim::step`] first).
+///
+/// Returns the first `(lut_root, expected, got)` mismatch, or `None` if the
+/// cover is functionally faithful for this input vector.
+pub fn check_equivalence(
+    nl: &Netlist,
+    net: &LutNetwork,
+    sim: &NetlistSim<'_>,
+) -> Option<(GateId, bool, bool)> {
+    // Evaluate LUTs in level order so LUT inputs are available.
+    let mut order: Vec<usize> = (0..net.num_luts()).collect();
+    order.sort_by_key(|&i| net.lut(crate::LutId::from_raw(i as u32)).level());
+    let mut lut_value: Vec<bool> = vec![false; net.num_luts()];
+    for i in order {
+        let lut = net.lut(crate::LutId::from_raw(i as u32));
+        // Input values come from other LUTs or startpoints (sim values).
+        let mut env: HashMap<GateId, bool> = HashMap::new();
+        for input in lut.inputs() {
+            match *input {
+                LutInput::Lut(src) => {
+                    env.insert(net.lut(src).root(), lut_value[src.index()]);
+                }
+                LutInput::Start(g) => {
+                    env.insert(g, sim.peek(g));
+                }
+            }
+        }
+        let got = eval_cone(nl, lut.root(), &mut env);
+        lut_value[i] = got;
+        let expected = sim.peek(lut.root());
+        if got != expected {
+            return Some((lut.root(), expected, got));
+        }
+    }
+    None
+}
+
+/// Recursively evaluates `g` from the values in `env` (which is extended
+/// with memoized intermediate results).
+fn eval_cone(nl: &Netlist, g: GateId, env: &mut HashMap<GateId, bool>) -> bool {
+    if let Some(&v) = env.get(&g) {
+        return v;
+    }
+    let gate = nl.gate(g);
+    let v = match gate.kind() {
+        GateKind::Const(c) => c,
+        GateKind::Alias => {
+            let f = nl.resolve(g);
+            eval_cone(nl, f, env)
+        }
+        GateKind::Not => !eval_fanin(nl, gate.fanin()[0], env),
+        GateKind::And => {
+            eval_fanin(nl, gate.fanin()[0], env) & eval_fanin(nl, gate.fanin()[1], env)
+        }
+        GateKind::Or => {
+            eval_fanin(nl, gate.fanin()[0], env) | eval_fanin(nl, gate.fanin()[1], env)
+        }
+        GateKind::Xor => {
+            eval_fanin(nl, gate.fanin()[0], env) ^ eval_fanin(nl, gate.fanin()[1], env)
+        }
+        GateKind::Mux => {
+            if eval_fanin(nl, gate.fanin()[0], env) {
+                eval_fanin(nl, gate.fanin()[1], env)
+            } else {
+                eval_fanin(nl, gate.fanin()[2], env)
+            }
+        }
+        GateKind::Input | GateKind::Reg | GateKind::RegEn => {
+            unreachable!("startpoint {g} must be provided by the LUT inputs")
+        }
+    };
+    env.insert(g, v);
+    v
+}
+
+fn eval_fanin(nl: &Netlist, f: GateId, env: &mut HashMap<GateId, bool>) -> bool {
+    let f = nl.resolve(f);
+    eval_cone(nl, f, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{map_netlist, MapOptions};
+    use netlist::Origin;
+
+    const O: Origin = Origin::External;
+
+    #[test]
+    fn cover_is_equivalent_for_all_inputs_of_small_circuit() {
+        let mut nl = Netlist::new();
+        let ins: Vec<GateId> = (0..4).map(|_| nl.input(O)).collect();
+        let g1 = nl.and(ins[0], ins[1], O);
+        let g2 = nl.xor(ins[2], ins[3], O);
+        let g3 = nl.or(g1, g2, O);
+        let g4 = nl.mux(g3, ins[0], ins[3], O);
+        nl.add_keep(g4, "out");
+        let net = map_netlist(&nl, &MapOptions::default()).unwrap();
+        let mut sim = NetlistSim::new(&nl).unwrap();
+        for v in 0..16u8 {
+            for (i, &inp) in ins.iter().enumerate() {
+                sim.set_input(inp, (v >> i) & 1 != 0);
+            }
+            sim.settle();
+            assert_eq!(check_equivalence(&nl, &net, &sim), None, "vector {v:04b}");
+        }
+    }
+}

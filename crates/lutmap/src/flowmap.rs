@@ -1,0 +1,416 @@
+//! FlowMap labeling: depth-optimal K-feasible cut computation.
+//!
+//! For every logic gate `t` (in topological order) we compute its *label*
+//! `l(t)` — the depth of `t` in a depth-optimal K-LUT mapping — and a
+//! K-feasible cut realizing that label. The classic FlowMap theorem states
+//! `l(t) ∈ {p, p+1}` with `p` the maximum fanin label, decided by a
+//! max-flow ≤ K test on the fanin cone with all label-`p` nodes collapsed
+//! into the sink (Cong & Ding, 1994).
+
+use netlist::{GateId, Netlist};
+use std::collections::HashMap;
+
+/// The combinational DAG view of a netlist: live logic gates with resolved
+/// (alias-free) fanins.
+#[derive(Debug)]
+pub(crate) struct CombView {
+    /// Logic gates in topological order.
+    pub topo: Vec<GateId>,
+    /// Resolved fanins per gate id (only filled for logic gates).
+    pub fanins: HashMap<GateId, Vec<GateId>>,
+}
+
+impl CombView {
+    /// Extracts the view; fails on combinational cycles.
+    pub fn build(nl: &Netlist) -> Result<Self, Vec<GateId>> {
+        let order = nl.topo_logic()?;
+        let mut topo = Vec::new();
+        let mut fanins = HashMap::new();
+        for id in order {
+            let g = nl.gate(id);
+            if !g.kind().is_logic() {
+                continue; // skip aliases
+            }
+            let mut resolved: Vec<GateId> = g.fanin().iter().map(|&f| nl.resolve(f)).collect();
+            // A gate may see the same net twice (e.g. AND(x, x) pre-opt);
+            // keep duplicates out of cut computations by deduping here.
+            resolved.dedup();
+            fanins.insert(id, resolved);
+            topo.push(id);
+        }
+        Ok(CombView { topo, fanins })
+    }
+
+    /// `true` if `g` is an internal (logic) node of the view.
+    pub fn is_logic(&self, g: GateId) -> bool {
+        self.fanins.contains_key(&g)
+    }
+}
+
+/// Result of the labeling phase.
+#[derive(Debug)]
+pub(crate) struct Labeling {
+    /// `label[gate]` for logic gates; startpoints are absent (label 0).
+    /// Retained for diagnostics and the labeling tests.
+    #[allow(dead_code)]
+    pub label: HashMap<GateId, u32>,
+    /// The chosen K-feasible cut per logic gate.
+    pub cut: HashMap<GateId, Vec<GateId>>,
+}
+
+/// Computes FlowMap labels and cuts for every logic gate.
+///
+/// With `max_volume` set, the K-feasible cut realizing each label is the
+/// *max-volume* min cut (sink side of the flow network) instead of the
+/// source-side cut: the mapped LUTs then swallow as many gates as the
+/// label allows, which recovers area at identical (optimal) depth — the
+/// same refinement classic FlowMap implementations apply.
+pub(crate) fn compute_labels(view: &CombView, k: usize, max_volume: bool) -> Labeling {
+    let mut label: HashMap<GateId, u32> = HashMap::new();
+    let mut cut: HashMap<GateId, Vec<GateId>> = HashMap::new();
+    let mut cone_buf = ConeBuffers::default();
+
+    for &t in &view.topo {
+        let fanins = &view.fanins[&t];
+        let p = fanins
+            .iter()
+            .map(|f| label.get(f).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        if p == 0 {
+            // Directly fed by startpoints: depth 1, trivial cut.
+            debug_assert!(fanins.len() <= k, "gate arity exceeds K");
+            label.insert(t, 1);
+            cut.insert(t, fanins.clone());
+            continue;
+        }
+        match min_cut_with_collapsed(view, &label, t, p, k, max_volume, &mut cone_buf) {
+            Some(c) => {
+                label.insert(t, p);
+                cut.insert(t, c);
+            }
+            None => {
+                label.insert(t, p + 1);
+                cut.insert(t, fanins.clone());
+            }
+        }
+    }
+    Labeling { label, cut }
+}
+
+#[derive(Default)]
+struct ConeBuffers {
+    cone: Vec<GateId>,
+    mark: HashMap<GateId, bool>,
+}
+
+/// Max-flow test: collapse `t` and all cone nodes labeled `p` into the
+/// sink; if a node cut of size ≤ k exists between startpoint leaves and the
+/// sink, return the cut (as netlist gates), else `None`.
+#[allow(clippy::too_many_arguments)]
+fn min_cut_with_collapsed(
+    view: &CombView,
+    label: &HashMap<GateId, u32>,
+    t: GateId,
+    p: u32,
+    k: usize,
+    max_volume: bool,
+    buf: &mut ConeBuffers,
+) -> Option<Vec<GateId>> {
+    // 1. Collect the cone of t: internal logic nodes and startpoint leaves.
+    buf.cone.clear();
+    buf.mark.clear();
+    let mut stack = vec![t];
+    buf.mark.insert(t, true);
+    while let Some(u) = stack.pop() {
+        buf.cone.push(u);
+        if let Some(fs) = view.fanins.get(&u) {
+            for &f in fs {
+                if buf.mark.insert(f, true).is_none() {
+                    stack.push(f);
+                }
+            }
+        }
+    }
+
+    // 2. Local indexing. Collapsed nodes (t and label==p internals) merge
+    //    into the sink.
+    let mut local: HashMap<GateId, usize> = HashMap::new();
+    let mut locals: Vec<GateId> = Vec::new();
+    let mut collapsed: HashMap<GateId, bool> = HashMap::new();
+    for &u in &buf.cone {
+        let is_collapsed = u == t || label.get(&u).copied().unwrap_or(0) == p;
+        collapsed.insert(u, is_collapsed && view.is_logic(u));
+        if !(is_collapsed && view.is_logic(u)) {
+            local.insert(u, locals.len());
+            locals.push(u);
+        }
+    }
+
+    // Flow network: node 0 = source, node 1 = sink; node i (≥0 local) has
+    // in = 2 + 2i, out = 2 + 2i + 1; in→out capacity 1.
+    let n_nodes = 2 + 2 * locals.len();
+    let mut flow = FlowNet::new(n_nodes);
+    const INF: i32 = i32::MAX / 2;
+    for (i, &u) in locals.iter().enumerate() {
+        let (uin, uout) = (2 + 2 * i, 2 + 2 * i + 1);
+        flow.add_edge(uin, uout, 1);
+        if !view.is_logic(u) {
+            // Startpoint leaf: fed by the source.
+            flow.add_edge(0, uin, INF);
+        }
+    }
+    // DAG edges within the cone.
+    for &u in &buf.cone {
+        if let Some(fs) = view.fanins.get(&u) {
+            let u_collapsed = collapsed[&u];
+            let udst = if u_collapsed {
+                1 // edges into collapsed nodes go to the sink
+            } else {
+                2 + 2 * local[&u]
+            };
+            for &f in fs {
+                if collapsed.get(&f).copied().unwrap_or(false) {
+                    continue; // labels are monotone; S→non-S edges don't occur
+                }
+                let fout = 2 + 2 * local[&f] + 1;
+                flow.add_edge(fout, udst, INF);
+            }
+        }
+    }
+
+    // 3. Max-flow with early abort once flow exceeds k.
+    let mut total = 0usize;
+    while total <= k {
+        match flow.augment(0, 1) {
+            Some(_) => total += 1,
+            None => break,
+        }
+    }
+    if total > k {
+        return None;
+    }
+
+    // 4. Min cut. Source-side: nodes whose in-side is reachable from the
+    //    source in the residual graph but whose out-side is not.
+    //    Sink-side (max volume): nodes whose out-side reaches the sink but
+    //    whose in-side does not.
+    let mut cut_nodes = Vec::new();
+    if max_volume {
+        let reach = flow.residual_reaching(1);
+        for (i, &u) in locals.iter().enumerate() {
+            let (uin, uout) = (2 + 2 * i, 2 + 2 * i + 1);
+            if reach[uout] && !reach[uin] {
+                cut_nodes.push(u);
+            }
+        }
+    } else {
+        let reach = flow.residual_reachable(0);
+        for (i, &u) in locals.iter().enumerate() {
+            let (uin, uout) = (2 + 2 * i, 2 + 2 * i + 1);
+            if reach[uin] && !reach[uout] {
+                cut_nodes.push(u);
+            }
+        }
+    }
+    debug_assert!(cut_nodes.len() <= k, "min cut exceeded K");
+    debug_assert!(!cut_nodes.is_empty(), "empty cut for {t}");
+    Some(cut_nodes)
+}
+
+/// A small max-flow network (BFS augmenting paths).
+struct FlowNet {
+    /// Adjacency: per node, list of edge indices.
+    adj: Vec<Vec<usize>>,
+    /// Edge targets.
+    to: Vec<usize>,
+    /// Residual capacities; edge `e ^ 1` is the reverse of `e`.
+    cap: Vec<i32>,
+}
+
+impl FlowNet {
+    fn new(n: usize) -> Self {
+        FlowNet {
+            adj: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: i32) {
+        let e = self.to.len();
+        self.to.push(to);
+        self.cap.push(cap);
+        self.adj[from].push(e);
+        self.to.push(from);
+        self.cap.push(0);
+        self.adj[to].push(e + 1);
+    }
+
+    /// Pushes one unit of flow along a shortest augmenting path.
+    fn augment(&mut self, s: usize, t: usize) -> Option<()> {
+        let mut prev_edge: Vec<Option<usize>> = vec![None; self.adj.len()];
+        let mut visited = vec![false; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[s] = true;
+        queue.push_back(s);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                if self.cap[e] > 0 && !visited[self.to[e]] {
+                    visited[self.to[e]] = true;
+                    prev_edge[self.to[e]] = Some(e);
+                    if self.to[e] == t {
+                        break 'bfs;
+                    }
+                    queue.push_back(self.to[e]);
+                }
+            }
+        }
+        if !visited[t] {
+            return None;
+        }
+        // All augmenting paths carry exactly 1 unit (node capacities are 1).
+        let mut v = t;
+        while v != s {
+            let e = prev_edge[v].expect("path edge");
+            self.cap[e] -= 1;
+            self.cap[e ^ 1] += 1;
+            v = if e.is_multiple_of(2) {
+                // forward edge e: source is to[e ^ 1]
+                self.to[e ^ 1]
+            } else {
+                self.to[e ^ 1]
+            };
+        }
+        Some(())
+    }
+
+    /// Nodes that can reach `t` through residual-capacity edges.
+    fn residual_reaching(&self, t: usize) -> Vec<bool> {
+        let mut reach = vec![false; self.adj.len()];
+        reach[t] = true;
+        // Fixpoint over incoming residual edges (edge u→v with cap > 0
+        // lets u reach whatever v reaches).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in 0..self.to.len() {
+                if self.cap[e] > 0 {
+                    let u = self.to[e ^ 1];
+                    let v = self.to[e];
+                    if reach[v] && !reach[u] {
+                        reach[u] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    /// Nodes reachable from `s` in the residual graph.
+    fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut reach = vec![false; self.adj.len()];
+        let mut stack = vec![s];
+        reach[s] = true;
+        while let Some(u) = stack.pop() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if self.cap[e] > 0 && !reach[v] {
+                    reach[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        reach
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Origin;
+
+    const O: Origin = Origin::External;
+
+    #[test]
+    fn chain_labels_grow_with_k_saturation() {
+        // A chain of 2-input ANDs over 9 inputs: with K=2 every AND is its
+        // own LUT (labels 1..8); with K=6, label stays low.
+        let mut nl = Netlist::new();
+        let inputs: Vec<GateId> = (0..9).map(|_| nl.input(O)).collect();
+        let mut acc = inputs[0];
+        let mut gates = Vec::new();
+        for &i in &inputs[1..] {
+            acc = nl.and(acc, i, O);
+            gates.push(acc);
+        }
+        nl.add_keep(acc, "out");
+        let view = CombView::build(&nl).unwrap();
+
+        let lab2 = compute_labels(&view, 2, false);
+        assert_eq!(lab2.label[gates.last().unwrap()], 8);
+
+        let lab6 = compute_labels(&view, 6, false);
+        assert_eq!(lab6.label[gates.last().unwrap()], 2);
+    }
+
+    #[test]
+    fn balanced_tree_of_8_fits_two_levels_k6() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<GateId> = (0..8).map(|_| nl.input(O)).collect();
+        let root = nl.and_tree(&inputs, O);
+        nl.add_keep(root, "out");
+        let view = CombView::build(&nl).unwrap();
+        let lab = compute_labels(&view, 6, true);
+        assert_eq!(lab.label[&root], 2);
+        let cut = &lab.cut[&root];
+        assert!(cut.len() <= 6);
+    }
+
+    #[test]
+    fn single_gate_has_label_one() {
+        let mut nl = Netlist::new();
+        let a = nl.input(O);
+        let b = nl.input(O);
+        let g = nl.and(a, b, O);
+        nl.add_keep(g, "out");
+        let view = CombView::build(&nl).unwrap();
+        let lab = compute_labels(&view, 6, true);
+        assert_eq!(lab.label[&g], 1);
+        assert_eq!(lab.cut[&g], vec![a, b]);
+    }
+
+    #[test]
+    fn cuts_are_k_feasible() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<GateId> = (0..16).map(|_| nl.input(O)).collect();
+        let root = nl.and_tree(&inputs, O);
+        nl.add_keep(root, "out");
+        let view = CombView::build(&nl).unwrap();
+        for k in [2usize, 3, 4, 6] {
+            let lab = compute_labels(&view, k, k % 2 == 0);
+            for cut in lab.cut.values() {
+                assert!(cut.len() <= k, "cut of {} exceeds K={}", cut.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn reconvergence_packs_into_one_lut() {
+        // f = (a & b) | (a ^ b) depends on only 2 inputs: one 6-LUT.
+        let mut nl = Netlist::new();
+        let a = nl.input(O);
+        let b = nl.input(O);
+        let g1 = nl.and(a, b, O);
+        let g2 = nl.xor(a, b, O);
+        let f = nl.or(g1, g2, O);
+        nl.add_keep(f, "out");
+        let view = CombView::build(&nl).unwrap();
+        let lab = compute_labels(&view, 6, true);
+        assert_eq!(lab.label[&f], 1, "reconvergent cone must fuse");
+        let mut cut = lab.cut[&f].clone();
+        cut.sort_unstable();
+        assert_eq!(cut, vec![a, b]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Phase 2 of FlowMap: LUT generation from the labeled cuts, plus the
+//! public mapping entry point.
+
+use crate::flowmap::{compute_labels, CombView};
+use crate::network::{Lut, LutId, LutInput, LutNetwork};
+use dataflow::UnitId;
+use netlist::{GateId, GateKind, Netlist, Origin};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Options for [`map_netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOptions {
+    /// LUT input count; the paper uses `if -K 6` (K = 6). Must be ≥ 3
+    /// (the widest primitive gate is a 3-input mux).
+    pub k: usize,
+    /// Use max-volume min cuts so LUTs swallow as many gates as their
+    /// label allows (better area at identical, optimal depth).
+    pub area_recovery: bool,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            k: 6,
+            area_recovery: true,
+        }
+    }
+}
+
+/// Errors from technology mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The netlist has a combinational cycle (a dataflow cycle without an
+    /// opaque buffer); the offending gates are listed.
+    CombinationalCycle(Vec<GateId>),
+    /// `k` was smaller than the widest primitive gate (3).
+    KTooSmall(usize),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::CombinationalCycle(gs) => {
+                write!(f, "combinational cycle through {} gates", gs.len())
+            }
+            MapError::KTooSmall(k) => write!(f, "K = {k} is below the minimum of 3"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Maps the live combinational logic of `nl` onto K-input LUTs.
+///
+/// The netlist should be [optimized](Netlist::optimize) first; aliases are
+/// resolved transparently but unoptimized redundancy inflates area.
+///
+/// # Errors
+///
+/// Returns [`MapError::CombinationalCycle`] if the live logic is cyclic and
+/// [`MapError::KTooSmall`] for `k < 3`.
+pub fn map_netlist(nl: &Netlist, opts: &MapOptions) -> Result<LutNetwork, MapError> {
+    if opts.k < 3 {
+        return Err(MapError::KTooSmall(opts.k));
+    }
+    let view = CombView::build(nl).map_err(MapError::CombinationalCycle)?;
+    let labeling = compute_labels(&view, opts.k, opts.area_recovery);
+
+    // Mapping roots: logic gates observed by registers, keeps, or — for
+    // robustness — any non-logic live gate (e.g. a register D pin).
+    let live = nl.live_mask();
+    let mut needed: Vec<GateId> = Vec::new();
+    let mut seen: HashSet<GateId> = HashSet::new();
+    let push_root = |g: GateId, needed: &mut Vec<GateId>, seen: &mut HashSet<GateId>| {
+        let g = nl.resolve(g);
+        if view.is_logic(g) && seen.insert(g) {
+            needed.push(g);
+        }
+    };
+    for (id, gate) in nl.gates() {
+        if !live[id.index()] {
+            continue;
+        }
+        match gate.kind() {
+            GateKind::Reg => push_root(gate.fanin()[0], &mut needed, &mut seen),
+            GateKind::RegEn => {
+                push_root(gate.fanin()[0], &mut needed, &mut seen);
+                push_root(gate.fanin()[1], &mut needed, &mut seen);
+            }
+            _ => {}
+        }
+    }
+    for (g, _) in nl.keeps() {
+        push_root(*g, &mut needed, &mut seen);
+    }
+
+    // Generate LUTs from the cuts, walking the needed frontier.
+    let mut luts: Vec<Lut> = Vec::new();
+    let mut lut_of_gate: HashMap<GateId, LutId> = HashMap::new();
+    let mut frontier = needed;
+    while let Some(root) = frontier.pop() {
+        if lut_of_gate.contains_key(&root) {
+            continue;
+        }
+        let cut = labeling.cut[&root].clone();
+        let covered = covered_gates(&view, root, &cut);
+        let origin = majority_origin(nl, &covered);
+        let id = LutId::from_raw(luts.len() as u32);
+        lut_of_gate.insert(root, id);
+        luts.push(Lut {
+            root,
+            inputs: Vec::new(), // filled below once all LUTs exist
+            gates: covered,
+            origin,
+            level: 0,
+        });
+        for &c in &cut {
+            if view.is_logic(c) && !lut_of_gate.contains_key(&c) && seen.insert(c) {
+                frontier.push(c);
+            }
+        }
+    }
+
+    // Wire LUT inputs now that every needed root has an id.
+    for lut in &mut luts {
+        let inputs: Vec<LutInput> = labeling.cut[&lut.root]
+            .iter()
+            .map(|&c| match lut_of_gate.get(&c) {
+                Some(&l) => LutInput::Lut(l),
+                None => LutInput::Start(c),
+            })
+            .collect();
+        lut.inputs = inputs;
+    }
+
+    // Levels: LUT DAG is acyclic; compute by memoized DFS.
+    let mut levels: Vec<Option<u32>> = vec![None; luts.len()];
+    for i in 0..luts.len() {
+        let _ = compute_level(&luts, i, &mut levels);
+    }
+    for (i, lut) in luts.iter_mut().enumerate() {
+        lut.level = levels[i].expect("level computed");
+    }
+
+    Ok(LutNetwork {
+        luts,
+        lut_of_gate,
+        k: opts.k,
+    })
+}
+
+fn compute_level(luts: &[Lut], i: usize, levels: &mut Vec<Option<u32>>) -> u32 {
+    if let Some(l) = levels[i] {
+        return l;
+    }
+    // Mark to catch accidental cycles (they cannot occur in a valid cover).
+    levels[i] = Some(u32::MAX);
+    let mut max_in = 0;
+    for input in &luts[i].inputs {
+        if let LutInput::Lut(src) = input {
+            let l = compute_level(luts, src.index(), levels);
+            assert_ne!(l, u32::MAX, "cyclic LUT cover");
+            max_in = max_in.max(l);
+        }
+    }
+    let l = max_in + 1;
+    levels[i] = Some(l);
+    l
+}
+
+/// Gates covered by the LUT rooted at `root` with boundary `cut`:
+/// everything reachable backwards from `root` without crossing the cut.
+fn covered_gates(view: &CombView, root: GateId, cut: &[GateId]) -> Vec<GateId> {
+    let cut_set: HashSet<GateId> = cut.iter().copied().collect();
+    let mut covered = Vec::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![root];
+    seen.insert(root);
+    while let Some(u) = stack.pop() {
+        covered.push(u);
+        for &f in &view.fanins[&u] {
+            if !cut_set.contains(&f) && view.is_logic(f) && seen.insert(f) {
+                stack.push(f);
+            }
+        }
+    }
+    covered
+}
+
+/// The paper's LUT labeling rule: "the operation that contributes most to
+/// computing the LUT output value". Unit origins outrank channel-buffer
+/// origins, which outrank external glue; ties break on gate count, then on
+/// the lowest id for determinism.
+fn majority_origin(nl: &Netlist, covered: &[GateId]) -> Origin {
+    let mut unit_counts: HashMap<UnitId, usize> = HashMap::new();
+    let mut chan_counts: HashMap<dataflow::ChannelId, usize> = HashMap::new();
+    for &g in covered {
+        match nl.gate(g).origin() {
+            Origin::Unit(u) => *unit_counts.entry(u).or_default() += 1,
+            Origin::Channel(c) => *chan_counts.entry(c).or_default() += 1,
+            Origin::External => {}
+        }
+    }
+    if let Some((&u, _)) = unit_counts
+        .iter()
+        .max_by_key(|(u, &n)| (n, std::cmp::Reverse(u.index())))
+    {
+        return Origin::Unit(u);
+    }
+    if let Some((&c, _)) = chan_counts
+        .iter()
+        .max_by_key(|(c, &n)| (n, std::cmp::Reverse(c.index())))
+    {
+        return Origin::Channel(c);
+    }
+    Origin::External
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: Origin = Origin::External;
+
+    #[test]
+    fn maps_wide_and_into_two_levels() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<GateId> = (0..8).map(|_| nl.input(O)).collect();
+        let root = nl.and_tree(&inputs, O);
+        nl.add_keep(root, "out");
+        let net = map_netlist(&nl, &MapOptions::default()).unwrap();
+        assert_eq!(net.depth(), 2); // depth-optimal (FlowMap guarantee)
+        assert!(net.num_luts() <= 3); // area is heuristic, not optimal
+        // Every LUT is K-feasible.
+        for (_, lut) in net.luts() {
+            assert!(lut.inputs().len() <= 6);
+        }
+    }
+
+    #[test]
+    fn area_recovery_reduces_lut_count() {
+        // The 8-input AND tree: max-volume cuts must never do worse than
+        // the source-side cuts, at identical (optimal) depth.
+        let mk = |area| {
+            let mut nl = Netlist::new();
+            let inputs: Vec<GateId> = (0..8).map(|_| nl.input(O)).collect();
+            let root = nl.and_tree(&inputs, O);
+            nl.add_keep(root, "out");
+            map_netlist(
+                &nl,
+                &MapOptions {
+                    k: 6,
+                    area_recovery: area,
+                },
+            )
+            .unwrap()
+        };
+        let basic = mk(false);
+        let recovered = mk(true);
+        assert_eq!(basic.depth(), recovered.depth(), "depth is invariant");
+        assert!(
+            recovered.num_luts() <= basic.num_luts(),
+            "recovery {} > basic {}",
+            recovered.num_luts(),
+            basic.num_luts()
+        );
+        // (The globally optimal 2-LUT cover needs an asymmetric cut that
+        // min-cut-based recovery cannot produce; 3 is FlowMap's answer.)
+    }
+
+    #[test]
+    fn registers_break_levels() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<GateId> = (0..8).map(|_| nl.input(O)).collect();
+        let half1 = nl.and_tree(&inputs[..4], O);
+        let r = nl.reg(half1, O);
+        let upper = nl.and_tree(&inputs[4..], O);
+        let root = nl.and(r, upper, O);
+        nl.add_keep(root, "out");
+        let net = map_netlist(&nl, &MapOptions::default()).unwrap();
+        // Each side fits one LUT; the register resets the level count.
+        assert_eq!(net.depth(), 1);
+    }
+
+    #[test]
+    fn rejects_tiny_k() {
+        let nl = Netlist::new();
+        assert_eq!(
+            map_netlist(
+                &nl,
+                &MapOptions {
+                    k: 2,
+                    area_recovery: true,
+                }
+            )
+            .unwrap_err(),
+            MapError::KTooSmall(2)
+        );
+    }
+
+    #[test]
+    fn reports_combinational_cycles() {
+        let mut nl = Netlist::new();
+        let a = nl.input(O);
+        let al = nl.forward_alias(O);
+        let g = nl.and(al, a, O);
+        nl.bind_alias(al, g); // g -> alias -> g
+        nl.add_keep(g, "out");
+        assert!(matches!(
+            map_netlist(&nl, &MapOptions::default()),
+            Err(MapError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn origin_majority_prefers_units() {
+        let mut nl = Netlist::new();
+        let u = Origin::Unit(UnitId::from_raw(7));
+        let a = nl.input(O);
+        let b = nl.input(O);
+        let g1 = nl.and(a, b, u);
+        let g2 = nl.or(g1, a, O);
+        nl.add_keep(g2, "out");
+        let net = map_netlist(&nl, &MapOptions::default()).unwrap();
+        assert_eq!(net.num_luts(), 1);
+        let (_, lut) = net.luts().next().unwrap();
+        assert_eq!(lut.origin(), u);
+    }
+
+    #[test]
+    fn lut_edges_connect_levels() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<GateId> = (0..12).map(|_| nl.input(O)).collect();
+        let root = nl.and_tree(&inputs, O);
+        nl.add_keep(root, "out");
+        let net = map_netlist(&nl, &MapOptions::default()).unwrap();
+        let edges = net.lut_edges();
+        assert!(!edges.is_empty());
+        for (src, dst) in edges {
+            assert!(net.lut(src).level() < net.lut(dst).level());
+        }
+    }
+
+    #[test]
+    fn covered_gates_partition_contains_all_live_logic() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<GateId> = (0..6).map(|_| nl.input(O)).collect();
+        let x = nl.and(inputs[0], inputs[1], O);
+        let y = nl.or(inputs[2], inputs[3], O);
+        let z = nl.xor(inputs[4], inputs[5], O);
+        let m = nl.mux(x, y, z, O);
+        let r = nl.reg(m, O);
+        nl.add_keep(r, "out");
+        let net = map_netlist(&nl, &MapOptions::default()).unwrap();
+        let covered: HashSet<GateId> = net
+            .luts()
+            .flat_map(|(_, l)| l.gates().iter().copied())
+            .collect();
+        for g in [x, y, z, m] {
+            assert!(covered.contains(&g), "{g} not covered");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: FlowMap covers are K-feasible, functionally equivalent
+//! to the gate netlist on random stimulus, and never deeper than the gate
+//! network itself.
+
+use lutmap::{check_equivalence, map_netlist, LutInput, MapOptions};
+use netlist::{GateId, Netlist, NetlistSim, Origin};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum R {
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Mux(usize, usize, usize),
+}
+
+fn recipe() -> impl Strategy<Value = R> {
+    prop_oneof![
+        any::<usize>().prop_map(R::Not),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| R::And(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| R::Or(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| R::Xor(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(s, a, b)| R::Mux(s, a, b)),
+    ]
+}
+
+fn build(n_inputs: usize, rs: &[R]) -> (Netlist, Vec<GateId>) {
+    let o = Origin::External;
+    let mut nl = Netlist::new();
+    let mut pool: Vec<GateId> = (0..n_inputs).map(|_| nl.input(o)).collect();
+    let inputs = pool.clone();
+    for r in rs {
+        let pick = |i: usize| pool[i % pool.len()];
+        let g = match *r {
+            R::Not(a) => {
+                let a = pick(a);
+                nl.not(a, o)
+            }
+            R::And(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                nl.and(a, b, o)
+            }
+            R::Or(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                nl.or(a, b, o)
+            }
+            R::Xor(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                nl.xor(a, b, o)
+            }
+            R::Mux(s, a, b) => {
+                let (s, a, b) = (pick(s), pick(a), pick(b));
+                nl.mux(s, a, b, o)
+            }
+        };
+        pool.push(g);
+    }
+    for (i, &g) in pool.iter().rev().take(3).enumerate() {
+        nl.add_keep(g, format!("out{i}"));
+    }
+    (nl, inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn covers_are_k_feasible_and_equivalent(
+        n_inputs in 1usize..6,
+        rs in prop::collection::vec(recipe(), 1..50),
+        k in 4usize..7,
+        vectors in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let (mut nl, inputs) = build(n_inputs, &rs);
+        nl.optimize();
+        let net = map_netlist(&nl, &MapOptions { k, area_recovery: true }).expect("acyclic");
+        for (_, lut) in net.luts() {
+            prop_assert!(lut.inputs().len() <= k, "LUT exceeds K={k}");
+        }
+        let mut sim = NetlistSim::new(&nl).expect("acyclic");
+        for &word in &vectors {
+            for (bit, &inp) in inputs.iter().enumerate() {
+                sim.set_input(inp, (word >> bit) & 1 != 0);
+            }
+            sim.settle();
+            prop_assert_eq!(check_equivalence(&nl, &net, &sim), None);
+        }
+    }
+
+    #[test]
+    fn lut_depth_not_deeper_than_gate_depth(
+        n_inputs in 1usize..6,
+        rs in prop::collection::vec(recipe(), 1..50),
+    ) {
+        let (mut nl, _) = build(n_inputs, &rs);
+        nl.optimize();
+        let gate_depth = nl.max_gate_depth().expect("acyclic");
+        let net = map_netlist(&nl, &MapOptions::default()).expect("acyclic");
+        prop_assert!(
+            net.depth() <= gate_depth,
+            "LUT depth {} exceeds gate depth {}",
+            net.depth(),
+            gate_depth
+        );
+    }
+
+    #[test]
+    fn lut_edges_respect_levels(
+        n_inputs in 1usize..6,
+        rs in prop::collection::vec(recipe(), 1..50),
+    ) {
+        let (mut nl, _) = build(n_inputs, &rs);
+        nl.optimize();
+        let net = map_netlist(&nl, &MapOptions::default()).expect("acyclic");
+        for (dst, lut) in net.luts() {
+            for input in lut.inputs() {
+                if let LutInput::Lut(src) = input {
+                    prop_assert!(net.lut(*src).level() < net.lut(dst).level());
+                }
+            }
+        }
+    }
+}

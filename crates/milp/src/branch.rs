@@ -1,0 +1,185 @@
+//! Branch & bound over the integer variables.
+//!
+//! Depth-first search with best-incumbent pruning: each node solves the LP
+//! relaxation with tightened bounds, branches on the most fractional
+//! integer variable, and prunes nodes whose LP bound cannot beat the
+//! incumbent. Problems from the buffer placer are mostly covering /
+//! throughput structures whose relaxations are near-integral, so the tree
+//! stays small.
+
+use crate::model::{Model, Sense, Solution, SolveError, Status};
+use crate::simplex::{solve_lp, BoundOverrides};
+
+const INT_TOL: f64 = 1e-6;
+
+pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
+    let maximize = model.sense == Sense::Maximize;
+    let gap = model.gap.max(1e-9);
+    // `better(a, b)` = a beats b by more than the optimality gap.
+    let better = move |a: f64, b: f64| {
+        if maximize {
+            a > b + gap
+        } else {
+            a < b - gap
+        }
+    };
+
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes: u64 = 0;
+    let mut stack: Vec<BoundOverrides> = vec![BoundOverrides::default()];
+    let mut hit_limit = false;
+    let deadline = model.time_limit.map(|l| std::time::Instant::now() + l);
+
+    while let Some(ov) = stack.pop() {
+        nodes += 1;
+        if nodes > model.node_limit {
+            hit_limit = true;
+            break;
+        }
+        if let Some(d) = deadline {
+            if nodes.is_multiple_of(16) && std::time::Instant::now() > d {
+                hit_limit = true;
+                break;
+            }
+        }
+        let lp = match solve_lp(model, &ov) {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        // Bound pruning.
+        if let Some(inc) = &incumbent {
+            if !better(lp.objective, inc.objective) {
+                continue;
+            }
+        }
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64)> = None;
+        let mut best_frac = INT_TOL;
+        for (v, def) in model.vars.iter().enumerate() {
+            if def.integer {
+                let x = lp.values[v];
+                let frac = (x - x.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch_var = Some((v, x));
+                }
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral: candidate incumbent (snap near-integers).
+                let mut values = lp.values.clone();
+                for (v, def) in model.vars.iter().enumerate() {
+                    if def.integer {
+                        values[v] = values[v].round();
+                    }
+                }
+                let candidate = Solution {
+                    values,
+                    objective: lp.objective,
+                    status: Status::Optimal,
+                    nodes,
+                };
+                let replace = incumbent
+                    .as_ref()
+                    .map(|inc| better(candidate.objective, inc.objective))
+                    .unwrap_or(true);
+                if replace {
+                    incumbent = Some(candidate);
+                }
+            }
+            Some((v, x)) => {
+                let floor = x.floor();
+                // Explore the "round toward LP value" side last so the DFS
+                // pops it first.
+                let mut down = ov.clone();
+                down.entries.push((v, f64::NEG_INFINITY, floor));
+                let mut up = ov;
+                up.entries.push((v, floor + 1.0, f64::INFINITY));
+                if x - floor > 0.5 {
+                    stack.push(down);
+                    stack.push(up);
+                } else {
+                    stack.push(up);
+                    stack.push(down);
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some(mut sol) => {
+            if hit_limit {
+                sol.status = Status::Feasible;
+            }
+            sol.nodes = nodes;
+            Ok(sol)
+        }
+        None if hit_limit => Err(SolveError::NodeLimit),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Cmp, Model, Sense, Status};
+
+    #[test]
+    fn pure_lp_needs_one_node() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 4.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.nodes, 1);
+        assert_eq!(sol.status, Status::Optimal);
+    }
+
+    #[test]
+    fn branches_on_fractional() {
+        // max x + y; 2x + 2y <= 3; binary -> optimum 1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Le, 3.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+        assert!(sol.nodes > 1);
+    }
+
+    #[test]
+    fn respects_node_limit_without_incumbent() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Le, 3.0);
+        m.set_node_limit(0);
+        assert!(m.solve().is_err());
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + y; x integer <= 2.5 constraint; y continuous <= 0.5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 2.0, true);
+        let y = m.add_var("y", 0.0, 10.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 2.5);
+        m.add_constraint(vec![(y, 2.0)], Cmp::Le, 1.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+        assert!((sol.value(y) - 0.5).abs() < 1e-6);
+        assert!((sol.objective - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_milp() {
+        // min 3x + 2y st x + y >= 1.5, binaries: optimum = 2 picks... x=0,y=1 infeasible (1 < 1.5)
+        // so x=1,y=1 cost 5; or x=1,y=0 -> 1 < 1.5 infeasible. Answer 5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary("x", 3.0);
+        let y = m.add_binary("y", 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.5);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,38 @@
+//! A small mixed-integer linear programming solver.
+//!
+//! This crate replaces Gurobi in the paper's flow. It provides:
+//!
+//! * a dense two-phase primal simplex LP solver with Bland's anti-cycling
+//!   rule,
+//! * branch & bound over integer/binary variables with incumbent pruning,
+//! * a lazy-cut loop ([`Model::solve_with_cuts`]) used by the buffer
+//!   placer to add critical-path covering constraints on demand.
+//!
+//! The buffer-placement MILPs of the evaluation have a few hundred binary
+//! variables and a few hundred rows — comfortably within reach of a dense
+//! tableau.
+//!
+//! # Example
+//!
+//! Maximize `3x + 2y` subject to `x + y ≤ 4`, `x + 3y ≤ 6`, `x, y ≥ 0`:
+//!
+//! ```
+//! use milp::{Model, Sense, Cmp};
+//!
+//! # fn main() -> Result<(), milp::SolveError> {
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY, 3.0, false);
+//! let y = m.add_var("y", 0.0, f64::INFINITY, 2.0, false);
+//! m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+//! m.add_constraint(vec![(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+//! let sol = m.solve()?;
+//! assert!((sol.objective - 12.0).abs() < 1e-6); // x = 4, y = 0
+//! # Ok(())
+//! # }
+//! ```
+
+mod branch;
+mod model;
+mod simplex;
+
+pub use model::{Cmp, Constraint, Model, Sense, Solution, SolveError, Status, VarId};

@@ -1,0 +1,401 @@
+//! Model-building API and solver entry points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a decision variable within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The raw dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs = rhs`
+    Eq,
+}
+
+/// A linear constraint `Σ coeff·var (≤|≥|=) rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// The linear terms (variable, coefficient).
+    pub terms: Vec<(VarId, f64)>,
+    /// The comparison operator.
+    pub op: Cmp,
+    /// The right-hand side.
+    pub rhs: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lo: f64,
+    pub hi: f64,
+    pub obj: f64,
+    pub integer: bool,
+}
+
+/// Solution quality indicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Proven optimal.
+    Optimal,
+    /// Feasible but the node limit stopped the proof of optimality.
+    Feasible,
+}
+
+/// A solved assignment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Value per variable, indexed by [`VarId`].
+    pub values: Vec<f64>,
+    /// Objective value under the model's [`Sense`].
+    pub objective: f64,
+    /// Whether optimality was proven.
+    pub status: Status,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+impl Solution {
+    /// Value of `v`.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.0]
+    }
+
+    /// Rounded 0/1 reading of a binary variable.
+    pub fn is_one(&self, v: VarId) -> bool {
+        self.values[v.0] > 0.5
+    }
+}
+
+/// Solver failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// Branch & bound exhausted its node budget without any incumbent.
+    NodeLimit,
+    /// A variable was declared with `lo > hi`.
+    BadBounds(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => f.write_str("model is infeasible"),
+            SolveError::Unbounded => f.write_str("model is unbounded"),
+            SolveError::NodeLimit => f.write_str("node limit reached without incumbent"),
+            SolveError::BadBounds(v) => write!(f, "variable {v} has lo > hi"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A mixed-integer linear program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) node_limit: u64,
+    pub(crate) gap: f64,
+    pub(crate) time_limit: Option<std::time::Duration>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            node_limit: 200_000,
+            gap: 1e-9,
+            time_limit: None,
+        }
+    }
+
+    /// Adds a variable and returns its id.
+    ///
+    /// `lo`/`hi` are the bounds (`hi` may be `f64::INFINITY`), `obj` the
+    /// objective coefficient, `integer` whether the variable must take an
+    /// integral value.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        obj: f64,
+        integer: bool,
+    ) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef {
+            name: name.into(),
+            lo,
+            hi,
+            obj,
+            integer,
+        });
+        id
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn add_binary(&mut self, name: impl Into<String>, obj: f64) -> VarId {
+        self.add_var(name, 0.0, 1.0, obj, true)
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, op: Cmp, rhs: f64) {
+        self.constraints.push(Constraint { terms, op, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the absolute optimality gap: branch-and-bound prunes any node
+    /// whose LP bound does not beat the incumbent by more than `gap`
+    /// (default 1e-9 ⇒ exact). A small positive gap collapses search trees
+    /// whose leaves differ only by tie-breaking noise.
+    pub fn set_gap(&mut self, gap: f64) {
+        self.gap = gap.max(0.0);
+    }
+
+    /// Caps branch-and-bound wall-clock time; on expiry the best incumbent
+    /// is returned as [`Status::Feasible`] (or [`SolveError::NodeLimit`]
+    /// when none exists).
+    pub fn set_time_limit(&mut self, limit: std::time::Duration) {
+        self.time_limit = Some(limit);
+    }
+
+    /// Caps the number of branch-and-bound nodes (default 200 000). When
+    /// the cap is hit with an incumbent, [`Status::Feasible`] is returned
+    /// instead of failing.
+    pub fn set_node_limit(&mut self, limit: u64) {
+        self.node_limit = limit;
+    }
+
+    /// Solves the model.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`],
+    /// [`SolveError::NodeLimit`] (no incumbent found in budget), or
+    /// [`SolveError::BadBounds`].
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        for v in &self.vars {
+            if v.lo > v.hi {
+                return Err(SolveError::BadBounds(v.name.clone()));
+            }
+        }
+        crate::branch::branch_and_bound(self)
+    }
+
+    /// Solves only the LP relaxation (integrality dropped). Useful as a
+    /// rounding fallback when branch & bound hits its node limit.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+    /// [`SolveError::BadBounds`].
+    pub fn solve_relaxation(&self) -> Result<Solution, SolveError> {
+        for v in &self.vars {
+            if v.lo > v.hi {
+                return Err(SolveError::BadBounds(v.name.clone()));
+            }
+        }
+        let lp = crate::simplex::solve_lp(self, &crate::simplex::BoundOverrides::default())?;
+        Ok(Solution {
+            values: lp.values,
+            objective: lp.objective,
+            status: Status::Feasible,
+            nodes: 1,
+        })
+    }
+
+    /// Solves with lazy cuts: after each integer-optimal solution the
+    /// callback may return additional constraints (cuts); solving repeats
+    /// until the callback returns no cuts. Returns the final solution and
+    /// the number of cut rounds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`]; infeasibility may also arise from the cuts.
+    pub fn solve_with_cuts<F>(
+        &mut self,
+        max_rounds: usize,
+        mut cuts: F,
+    ) -> Result<(Solution, usize), SolveError>
+    where
+        F: FnMut(&Solution) -> Vec<Constraint>,
+    {
+        let mut rounds = 0;
+        loop {
+            let sol = self.solve()?;
+            let new_cuts = cuts(&sol);
+            if new_cuts.is_empty() || rounds >= max_rounds {
+                return Ok((sol, rounds));
+            }
+            rounds += 1;
+            self.constraints.extend(new_cuts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_lp_maximum() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0, false);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 36.0).abs() < 1e-6);
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+        assert!((sol.value(y) - 6.0).abs() < 1e-6);
+        assert_eq!(sol.status, Status::Optimal);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min x + y s.t. x + y >= 3, x >= 1.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0, false);
+        let y = m.add_var("y", 0.0, 10.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 5.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0, false);
+        m.add_constraint(vec![(x, -1.0)], Cmp::Le, 0.0);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var("x", 2.0, 1.0, 1.0, false);
+        assert!(matches!(m.solve(), Err(SolveError::BadBounds(_))));
+    }
+
+    #[test]
+    fn knapsack_binary() {
+        // Classic 0/1 knapsack: weights 2,3,4,5 values 3,4,5,6, cap 5.
+        let mut m = Model::new(Sense::Maximize);
+        let items: Vec<VarId> = [3.0, 4.0, 5.0, 6.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| m.add_binary(format!("i{i}"), v))
+            .collect();
+        let weights = [2.0, 3.0, 4.0, 5.0];
+        m.add_constraint(
+            items.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
+            Cmp::Le,
+            5.0,
+        );
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 7.0).abs() < 1e-6); // items 0 + 1
+        assert!(sol.is_one(items[0]) && sol.is_one(items[1]));
+    }
+
+    #[test]
+    fn integer_rounding_is_not_used() {
+        // LP optimum fractional (x = 1.5); MILP must give 1 with obj 1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Le, 3.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lazy_cuts_tighten() {
+        // max x + y, x,y in [0,1] binary; cut rounds force x + y <= 1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        let (sol, rounds) = m
+            .solve_with_cuts(10, |s| {
+                if s.value(x) + s.value(y) > 1.5 {
+                    vec![Constraint {
+                        terms: vec![(x, 1.0), (y, 1.0)],
+                        op: Cmp::Le,
+                        rhs: 1.0,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            })
+            .unwrap();
+        assert_eq!(rounds, 1);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -5 with lo = -10.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", -10.0, 10.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, -5.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) + 5.0).abs() < 1e-6);
+    }
+}

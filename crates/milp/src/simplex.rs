@@ -1,0 +1,400 @@
+//! Dense two-phase primal simplex.
+//!
+//! Operates on the LP relaxation of a [`Model`](crate::Model) with
+//! variables shifted to `x' = x − lo ≥ 0`; finite upper bounds become
+//! explicit rows. Phase 1 minimizes the sum of artificial variables to find
+//! a basic feasible solution; phase 2 optimizes the real objective.
+//! Bland's rule guarantees termination.
+
+use crate::model::{Cmp, Model, Sense, SolveError};
+
+const EPS: f64 = 1e-9;
+
+/// Result of an LP solve: variable values (in the model's original space)
+/// and the objective value.
+#[derive(Debug, Clone)]
+pub(crate) struct LpSolution {
+    pub values: Vec<f64>,
+    pub objective: f64,
+}
+
+/// Extra bound constraints layered on top of a model by branch & bound.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BoundOverrides {
+    /// `(var index, new lo, new hi)` triples; later entries win.
+    pub entries: Vec<(usize, f64, f64)>,
+}
+
+impl BoundOverrides {
+    pub fn bounds_for(&self, model: &Model, var: usize) -> (f64, f64) {
+        let mut lo = model.vars[var].lo;
+        let mut hi = model.vars[var].hi;
+        for &(v, l, h) in &self.entries {
+            if v == var {
+                lo = lo.max(l);
+                hi = hi.min(h);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// Solves the LP relaxation of `model` with `overrides` applied.
+pub(crate) fn solve_lp(model: &Model, overrides: &BoundOverrides) -> Result<LpSolution, SolveError> {
+    let n = model.vars.len();
+    let mut lo = vec![0.0f64; n];
+    let mut hi = vec![f64::INFINITY; n];
+    for v in 0..n {
+        let (l, h) = overrides.bounds_for(model, v);
+        if l > h + EPS {
+            return Err(SolveError::Infeasible);
+        }
+        lo[v] = l;
+        hi[v] = h;
+    }
+
+    // Rows: model constraints (rhs adjusted by lower-bound shift) plus one
+    // row per finite upper bound.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        op: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len());
+    for c in &model.constraints {
+        let mut shift = 0.0;
+        for &(v, a) in &c.terms {
+            shift += a * lo[v.index()];
+        }
+        rows.push(Row {
+            coeffs: c.terms.iter().map(|&(v, a)| (v.index(), a)).collect(),
+            op: c.op,
+            rhs: c.rhs - shift,
+        });
+    }
+    for v in 0..n {
+        if hi[v].is_finite() {
+            rows.push(Row {
+                coeffs: vec![(v, 1.0)],
+                op: Cmp::Le,
+                rhs: hi[v] - lo[v],
+            });
+        }
+    }
+
+    // Objective in shifted space (maximize internally).
+    let sign = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let obj: Vec<f64> = model.vars.iter().map(|v| sign * v.obj).collect();
+    let obj_shift: f64 = model
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| sign * v.obj * lo[i])
+        .sum();
+
+    // Build the tableau: columns = n structural + slacks + artificials.
+    let m = rows.len();
+    let mut num_slack = 0usize;
+    for r in &rows {
+        if r.op != Cmp::Eq {
+            num_slack += 1;
+        }
+    }
+    let total_pre_art = n + num_slack;
+
+    // First normalize rhs >= 0 (flip rows with negative rhs).
+    // a: m x (total columns incl. artificials), built incrementally.
+    let mut a = vec![vec![0.0f64; total_pre_art]; m];
+    let mut b = vec![0.0f64; m];
+    let mut slack_idx = 0usize;
+    let mut slack_col_of_row: Vec<Option<usize>> = vec![None; m];
+    for (i, r) in rows.iter().enumerate() {
+        let mut flip = false;
+        if r.rhs < 0.0 {
+            flip = true;
+        }
+        let s = if flip { -1.0 } else { 1.0 };
+        for &(v, coef) in &r.coeffs {
+            a[i][v] += s * coef;
+        }
+        b[i] = s * r.rhs;
+        match r.op {
+            Cmp::Le => {
+                let col = n + slack_idx;
+                a[i][col] = s; // slack (+1) flips with the row
+                slack_col_of_row[i] = Some(col);
+                slack_idx += 1;
+            }
+            Cmp::Ge => {
+                let col = n + slack_idx;
+                a[i][col] = -s; // surplus
+                slack_col_of_row[i] = Some(col);
+                slack_idx += 1;
+            }
+            Cmp::Eq => {}
+        }
+    }
+
+    // Choose initial basis: slack column if it has +1 in the row, otherwise
+    // an artificial variable.
+    let mut basis: Vec<usize> = vec![usize::MAX; m];
+    let mut art_cols: Vec<usize> = Vec::new();
+    let mut ncols = total_pre_art;
+    for i in 0..m {
+        match slack_col_of_row[i] {
+            Some(col) if a[i][col] > 0.5 => basis[i] = col,
+            _ => {
+                for row in a.iter_mut() {
+                    row.push(0.0);
+                }
+                a[i][ncols] = 1.0;
+                basis[i] = ncols;
+                art_cols.push(ncols);
+                ncols += 1;
+            }
+        }
+    }
+
+    // Phase 1: maximize -(sum of artificials).
+    if !art_cols.is_empty() {
+        let mut c1 = vec![0.0f64; ncols];
+        for &col in &art_cols {
+            c1[col] = -1.0;
+        }
+        let z = run_simplex(&mut a, &mut b, &mut basis, &c1)?;
+        if z < -1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Pivot any artificial variables out of the basis if possible.
+        for i in 0..m {
+            if art_cols.contains(&basis[i]) {
+                let pivot_col = (0..total_pre_art).find(|&j| a[i][j].abs() > EPS);
+                if let Some(j) = pivot_col {
+                    pivot(&mut a, &mut b, &mut basis, i, j);
+                }
+                // Rows still basic in an artificial are redundant (zero).
+            }
+        }
+    }
+
+    // Phase 2: real objective; artificial columns fixed at zero by
+    // zeroing their coefficients and never letting them enter (their
+    // objective coefficient is hugely negative).
+    let mut c2 = vec![0.0f64; ncols];
+    c2[..n].copy_from_slice(&obj[..n]);
+    for &col in &art_cols {
+        c2[col] = -1e18;
+    }
+    let z = run_simplex(&mut a, &mut b, &mut basis, &c2)?;
+
+    let mut values = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            values[basis[i]] = b[i];
+        }
+    }
+    for v in 0..n {
+        values[v] += lo[v];
+    }
+    let objective = sign * (z + obj_shift);
+    Ok(LpSolution { values, objective })
+}
+
+/// Runs primal simplex (maximization) on the tableau; returns the optimal
+/// objective value in the shifted space.
+fn run_simplex(
+    a: &mut [Vec<f64>],
+    b: &mut [f64],
+    basis: &mut [usize],
+    c: &[f64],
+) -> Result<f64, SolveError> {
+    let m = a.len();
+    let ncols = c.len();
+    // Maintain the reduced-cost row explicitly: red[j] = c_j − c_B B⁻¹ A_j.
+    // The tableau is kept in canonical form, so the initial row is computed
+    // once and updated with every pivot (O(n) per iteration).
+    let mut red: Vec<f64> = (0..ncols)
+        .map(|j| {
+            let mut r = c[j];
+            for i in 0..m {
+                let cb = c[basis[i]];
+                if cb != 0.0 {
+                    r -= cb * a[i][j];
+                }
+            }
+            r
+        })
+        .collect();
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        if iterations > 2_000_000 {
+            // Bland's rule precludes cycling; this is a hard safety valve.
+            return Err(SolveError::NodeLimit);
+        }
+        // Bland: first improving column.
+        let Some(j) = (0..ncols).find(|&j| red[j] > 1e-7) else {
+            // Optimal: objective = sum over basis of c_b * b_i.
+            let z = (0..m).map(|i| c[basis[i]] * b[i]).sum();
+            return Ok(z);
+        };
+        // Ratio test (Bland: smallest basis index tie-break).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if a[i][j] > EPS {
+                let ratio = b[i] / a[i][j];
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+        pivot(a, b, basis, i, j);
+        // Update reduced costs: red -= red[j] * (pivoted row i).
+        let factor = red[j];
+        if factor.abs() > EPS {
+            for (r, s) in red.iter_mut().zip(a[i].iter()) {
+                *r -= factor * s;
+            }
+        }
+        red[j] = 0.0;
+    }
+}
+
+fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
+    let m = a.len();
+    let piv = a[row][col];
+    debug_assert!(piv.abs() > EPS, "zero pivot");
+    let inv = 1.0 / piv;
+    for x in a[row].iter_mut() {
+        *x *= inv;
+    }
+    b[row] *= inv;
+    for i in 0..m {
+        if i != row {
+            let factor = a[i][col];
+            if factor.abs() > EPS {
+                let (src, dst) = if i < row {
+                    let (lo_part, hi_part) = a.split_at_mut(row);
+                    (&hi_part[0], &mut lo_part[i])
+                } else {
+                    let (lo_part, hi_part) = a.split_at_mut(i);
+                    (&lo_part[row], &mut hi_part[0])
+                };
+                for (d, s) in dst.iter_mut().zip(src.iter()) {
+                    *d -= factor * s;
+                }
+                b[i] -= factor * b[row];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn lp_relaxation_of_fractional_problem() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Le, 3.0);
+        let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!((lp.values[0] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_overrides_apply() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 8.0);
+        let mut ov = BoundOverrides::default();
+        ov.entries.push((0, 0.0, 2.0));
+        let lp = solve_lp(&m, &ov).unwrap();
+        assert!((lp.values[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conflicting_overrides_are_infeasible() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var("x", 0.0, 10.0, 1.0, false);
+        let mut ov = BoundOverrides::default();
+        ov.entries.push((0, 5.0, 10.0));
+        ov.entries.push((0, 0.0, 3.0));
+        assert_eq!(
+            solve_lp(&m, &ov).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // x + y = 4, x - y = 2 -> unique point (3, 1).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 0.0, false);
+        let y = m.add_var("y", 0.0, 10.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
+        let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!((lp.values[0] - 3.0).abs() < 1e-6);
+        assert!((lp.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // -x <= -2  (i.e. x >= 2) with max -x: optimum at x = 2.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, -1.0, false);
+        m.add_constraint(vec![(x, -1.0)], Cmp::Le, -2.0);
+        let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!((lp.values[0] - 2.0).abs() < 1e-6);
+        assert!((lp.objective + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_constraints_are_harmless() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 5.0, 1.0, false);
+        for _ in 0..10 {
+            m.add_constraint(vec![(x, 1.0)], Cmp::Le, 3.0);
+        }
+        let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!((lp.values[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_objective_vars_stay_at_lower_bound() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 1.5, 8.0, 0.0, false);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 7.0);
+        let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        // Zero objective: any feasible x; must respect lo shift correctly.
+        assert!((1.5..=7.0 + 1e-9).contains(&lp.values[0]));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints meeting at the optimum.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint(vec![(y, 1.0)], Cmp::Le, 1.0);
+        m.add_constraint(vec![(x, 2.0), (y, 1.0)], Cmp::Le, 2.0);
+        let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!((lp.objective - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: branch & bound must agree with brute-force enumeration
+//! on random small pure-binary programs, and LP solutions must be feasible.
+
+use milp::{Cmp, Model, Sense, Status};
+use proptest::prelude::*;
+
+/// A random binary program: `n` binary vars, objective coefficients, and a
+/// handful of ≤/≥ constraints with small integer coefficients.
+#[derive(Debug, Clone)]
+struct BinaryProgram {
+    n: usize,
+    obj: Vec<i8>,
+    rows: Vec<(Vec<i8>, bool /* is_le */, i8)>,
+}
+
+fn program() -> impl Strategy<Value = BinaryProgram> {
+    (2usize..7).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-5i8..6, n),
+            prop::collection::vec(
+                (
+                    prop::collection::vec(-3i8..4, n),
+                    any::<bool>(),
+                    -2i8..7,
+                ),
+                0..5,
+            ),
+        )
+            .prop_map(move |(obj, rows)| BinaryProgram { n, obj, rows })
+    })
+}
+
+fn brute_force(p: &BinaryProgram) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << p.n) {
+        let x = |i: usize| ((mask >> i) & 1) as f64;
+        let feasible = p.rows.iter().all(|(coef, is_le, rhs)| {
+            let lhs: f64 = coef.iter().enumerate().map(|(i, &c)| c as f64 * x(i)).sum();
+            if *is_le {
+                lhs <= *rhs as f64 + 1e-9
+            } else {
+                lhs >= *rhs as f64 - 1e-9
+            }
+        });
+        if feasible {
+            let v: f64 = p.obj.iter().enumerate().map(|(i, &c)| c as f64 * x(i)).sum();
+            best = Some(best.map(|b: f64| b.max(v)).unwrap_or(v));
+        }
+    }
+    best
+}
+
+fn to_model(p: &BinaryProgram) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..p.n)
+        .map(|i| m.add_binary(format!("x{i}"), p.obj[i] as f64))
+        .collect();
+    for (coef, is_le, rhs) in &p.rows {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coef)
+            .filter(|(_, &c)| c != 0)
+            .map(|(&v, &c)| (v, c as f64))
+            .collect();
+        if terms.is_empty() {
+            continue;
+        }
+        let op = if *is_le { Cmp::Le } else { Cmp::Ge };
+        m.add_constraint(terms, op, *rhs as f64);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bnb_matches_brute_force(p in program()) {
+        let m = to_model(&p);
+        // Drop rows that became empty (they never constrain the model but
+        // do constrain the brute force when infeasible with zero lhs).
+        let brute = {
+            let filtered = BinaryProgram {
+                rows: p.rows.iter().filter(|(c, _, _)| c.iter().any(|&x| x != 0)).cloned().collect(),
+                ..p.clone()
+            };
+            brute_force(&filtered)
+        };
+        match (m.solve(), brute) {
+            (Ok(sol), Some(best)) => {
+                prop_assert_eq!(sol.status, Status::Optimal);
+                prop_assert!((sol.objective - best).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective, best);
+            }
+            (Err(milp::SolveError::Infeasible), None) => {}
+            (got, want) => prop_assert!(false, "solver {got:?} vs brute force {want:?}"),
+        }
+    }
+
+    #[test]
+    fn solutions_are_feasible(p in program()) {
+        let m = to_model(&p);
+        if let Ok(sol) = m.solve() {
+            for (coef, is_le, rhs) in &p.rows {
+                if coef.iter().all(|&c| c == 0) {
+                    continue;
+                }
+                let lhs: f64 = coef
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| c as f64 * sol.values[i])
+                    .sum();
+                if *is_le {
+                    prop_assert!(lhs <= *rhs as f64 + 1e-6);
+                } else {
+                    prop_assert!(lhs >= *rhs as f64 - 1e-6);
+                }
+            }
+            for v in &sol.values {
+                prop_assert!((v - v.round()).abs() < 1e-6, "binary var fractional: {v}");
+                prop_assert!((-1e-6..=1.0 + 1e-6).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn relaxation_bounds_the_integer_optimum(p in program()) {
+        let m = to_model(&p);
+        if let (Ok(int), Ok(lp)) = (m.solve(), m.solve_relaxation()) {
+            prop_assert!(lp.objective >= int.objective - 1e-6,
+                "LP {} below MILP {}", lp.objective, int.objective);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! BLIF (Berkeley Logic Interchange Format) export and import.
+//!
+//! The paper's flow moves circuits between tools as BLIF (ODIN-II emits
+//! it, ABC consumes it). This module round-trips our netlists through the
+//! same format: gates become `.names` cover lines, flip-flops become
+//! `.latch` entries (clock-enabled registers are expanded to a latch plus
+//! a recirculation `.names` mux, the standard BLIF encoding), and keeps
+//! become `.outputs`.
+
+use crate::gate::{GateId, GateKind, Origin};
+use crate::netgraph::Netlist;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors from BLIF parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BlifError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A signal was referenced but never defined.
+    UndefinedSignal(String),
+    /// `.names` with more inputs than the reader supports (8).
+    TooManyInputs {
+        /// 1-based line number.
+        line: usize,
+        /// Number of inputs found.
+        inputs: usize,
+    },
+}
+
+impl fmt::Display for BlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlifError::Io(e) => write!(f, "blif i/o error: {e}"),
+            BlifError::Syntax { line, message } => {
+                write!(f, "blif syntax error at line {line}: {message}")
+            }
+            BlifError::UndefinedSignal(s) => write!(f, "undefined signal {s:?}"),
+            BlifError::TooManyInputs { line, inputs } => {
+                write!(f, "line {line}: .names with {inputs} inputs (max 8)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlifError {}
+
+impl From<io::Error> for BlifError {
+    fn from(e: io::Error) -> Self {
+        BlifError::Io(e)
+    }
+}
+
+fn sig(id: GateId) -> String {
+    format!("n{}", id.index())
+}
+
+/// Writes the live portion of `nl` as a BLIF model named `model`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_blif<W: Write>(nl: &Netlist, model: &str, mut w: W) -> io::Result<()> {
+    let live = nl.live_mask();
+    writeln!(w, ".model {model}")?;
+    let inputs: Vec<String> = nl
+        .gates()
+        .filter(|(id, g)| live[id.index()] && g.kind() == GateKind::Input)
+        .map(|(id, _)| sig(id))
+        .collect();
+    writeln!(w, ".inputs {}", inputs.join(" "))?;
+    let outputs: Vec<String> = nl.keeps().iter().map(|(g, _)| sig(*g)).collect();
+    writeln!(w, ".outputs {}", outputs.join(" "))?;
+    for (id, g) in nl.gates() {
+        if !live[id.index()] {
+            continue;
+        }
+        let f = |i: usize| sig(g.fanin()[i]);
+        match g.kind() {
+            GateKind::Const(v) => {
+                writeln!(w, ".names {}", sig(id))?;
+                if v {
+                    writeln!(w, "1")?;
+                }
+            }
+            GateKind::Input => {}
+            GateKind::Alias => {
+                writeln!(w, ".names {} {}", f(0), sig(id))?;
+                writeln!(w, "1 1")?;
+            }
+            GateKind::Not => {
+                writeln!(w, ".names {} {}", f(0), sig(id))?;
+                writeln!(w, "0 1")?;
+            }
+            GateKind::And => {
+                writeln!(w, ".names {} {} {}", f(0), f(1), sig(id))?;
+                writeln!(w, "11 1")?;
+            }
+            GateKind::Or => {
+                writeln!(w, ".names {} {} {}", f(0), f(1), sig(id))?;
+                writeln!(w, "1- 1")?;
+                writeln!(w, "-1 1")?;
+            }
+            GateKind::Xor => {
+                writeln!(w, ".names {} {} {}", f(0), f(1), sig(id))?;
+                writeln!(w, "10 1")?;
+                writeln!(w, "01 1")?;
+            }
+            GateKind::Mux => {
+                writeln!(w, ".names {} {} {} {}", f(0), f(1), f(2), sig(id))?;
+                writeln!(w, "11- 1")?;
+                writeln!(w, "0-1 1")?;
+            }
+            GateKind::Reg => {
+                writeln!(w, ".latch {} {} re clk 0", f(0), sig(id))?;
+            }
+            GateKind::RegEn => {
+                // Expand CE into a recirculation mux: d' = en ? d : q.
+                let d_name = format!("{}_d", sig(id));
+                writeln!(w, ".names {} {} {} {}", f(0), f(1), sig(id), d_name)?;
+                writeln!(w, "11- 1")?;
+                writeln!(w, "0-1 1")?;
+                writeln!(w, ".latch {d_name} {} re clk 0", sig(id))?;
+            }
+        }
+    }
+    writeln!(w, ".end")?;
+    Ok(())
+}
+
+/// A parsed `.names` cover row.
+#[derive(Debug)]
+struct Cover {
+    inputs: Vec<String>,
+    output: String,
+    rows: Vec<(Vec<u8>, bool)>, // pattern per input: 0, 1, 2 (= '-')
+}
+
+/// Reads a BLIF model back into a [`Netlist`].
+///
+/// Supports the subset this crate writes plus arbitrary `.names` covers of
+/// up to 8 inputs (synthesized as AND/OR/NOT sums of products) and
+/// `.latch` lines. Keeps are recreated from `.outputs`.
+///
+/// # Errors
+///
+/// [`BlifError`] on malformed input.
+pub fn read_blif<R: BufRead>(r: R) -> Result<Netlist, BlifError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut covers: Vec<Cover> = Vec::new();
+    let mut latches: Vec<(String, String)> = Vec::new(); // (d, q)
+
+    // Tokenize with continuation handling.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((_, prev)) = lines.last_mut() {
+            if prev.ends_with('\\') {
+                prev.pop();
+                prev.push(' ');
+                prev.push_str(&line);
+                continue;
+            }
+        }
+        lines.push((i + 1, line));
+    }
+
+    let mut idx = 0;
+    while idx < lines.len() {
+        let (lineno, line) = &lines[idx];
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some(".model") | Some(".end") => idx += 1,
+            Some(".inputs") => {
+                inputs.extend(toks.map(str::to_string));
+                idx += 1;
+            }
+            Some(".outputs") => {
+                outputs.extend(toks.map(str::to_string));
+                idx += 1;
+            }
+            Some(".latch") => {
+                let args: Vec<&str> = toks.collect();
+                if args.len() < 2 {
+                    return Err(BlifError::Syntax {
+                        line: *lineno,
+                        message: ".latch needs input and output".into(),
+                    });
+                }
+                latches.push((args[0].to_string(), args[1].to_string()));
+                idx += 1;
+            }
+            Some(".names") => {
+                let names: Vec<String> = toks.map(str::to_string).collect();
+                if names.is_empty() {
+                    return Err(BlifError::Syntax {
+                        line: *lineno,
+                        message: ".names needs at least an output".into(),
+                    });
+                }
+                let (ins, out) = names.split_at(names.len() - 1);
+                if ins.len() > 8 {
+                    return Err(BlifError::TooManyInputs {
+                        line: *lineno,
+                        inputs: ins.len(),
+                    });
+                }
+                let mut rows = Vec::new();
+                idx += 1;
+                while idx < lines.len() && !lines[idx].1.starts_with('.') {
+                    let (rl, row) = &lines[idx];
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (pattern, value) = match parts.as_slice() {
+                        [v] if ins.is_empty() => ("", *v),
+                        [p, v] => (*p, *v),
+                        _ => {
+                            return Err(BlifError::Syntax {
+                                line: *rl,
+                                message: format!("bad cover row {row:?}"),
+                            })
+                        }
+                    };
+                    if pattern.len() != ins.len() {
+                        return Err(BlifError::Syntax {
+                            line: *rl,
+                            message: "pattern width mismatch".into(),
+                        });
+                    }
+                    let pat: Vec<u8> = pattern
+                        .chars()
+                        .map(|c| match c {
+                            '0' => Ok(0),
+                            '1' => Ok(1),
+                            '-' => Ok(2),
+                            other => Err(BlifError::Syntax {
+                                line: *rl,
+                                message: format!("bad pattern char {other:?}"),
+                            }),
+                        })
+                        .collect::<Result<_, _>>()?;
+                    rows.push((pat, value == "1"));
+                    idx += 1;
+                }
+                covers.push(Cover {
+                    inputs: ins.to_vec(),
+                    output: out[0].clone(),
+                    rows,
+                });
+            }
+            Some(other) => {
+                return Err(BlifError::Syntax {
+                    line: *lineno,
+                    message: format!("unsupported directive {other:?}"),
+                })
+            }
+            None => idx += 1,
+        }
+    }
+
+    // Build the netlist: declare signals, then wire.
+    let mut nl = Netlist::new();
+    let o = Origin::External;
+    let mut net: HashMap<String, GateId> = HashMap::new();
+    for name in &inputs {
+        let g = nl.input(o);
+        net.insert(name.clone(), g);
+    }
+    // Latch outputs exist before their D cones (forward references).
+    for (_, q) in &latches {
+        let zero = nl.constant(false);
+        let g = nl.reg(zero, o);
+        net.insert(q.clone(), g);
+    }
+    // Cover outputs become forward aliases so arbitrary order works.
+    for c in &covers {
+        net.entry(c.output.clone())
+            .or_insert_with(|| nl.forward_alias(o));
+    }
+    let lookup = |net: &HashMap<String, GateId>, name: &str| -> Result<GateId, BlifError> {
+        net.get(name)
+            .copied()
+            .ok_or_else(|| BlifError::UndefinedSignal(name.to_string()))
+    };
+    for c in &covers {
+        let ins: Vec<GateId> = c
+            .inputs
+            .iter()
+            .map(|n| lookup(&net, n))
+            .collect::<Result<_, _>>()?;
+        // Sum of products over the on-set rows.
+        let mut products = Vec::new();
+        for (pat, value) in &c.rows {
+            if !value {
+                continue; // off-set rows are ignored (BLIF on-set semantics)
+            }
+            let mut lits = Vec::new();
+            for (bit, &p) in pat.iter().enumerate() {
+                match p {
+                    0 => {
+                        let n = nl.not(ins[bit], o);
+                        lits.push(n);
+                    }
+                    1 => lits.push(ins[bit]),
+                    _ => {}
+                }
+            }
+            products.push(nl.and_tree(&lits, o));
+        }
+        let value = nl.or_tree(&products, o);
+        let alias = net[&c.output];
+        nl.bind_alias(alias, value);
+    }
+    for (d, q) in &latches {
+        let dg = lookup(&net, d)?;
+        let qg = net[q];
+        nl.rebind_reg(qg, dg);
+    }
+    for (i, name) in outputs.iter().enumerate() {
+        let g = lookup(&net, name)?;
+        nl.add_keep(g, format!("out{i}:{name}"));
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistSim;
+
+    fn roundtrip(nl: &Netlist) -> Netlist {
+        let mut buf = Vec::new();
+        write_blif(nl, "t", &mut buf).expect("write");
+        read_blif(io::BufReader::new(buf.as_slice())).expect("read")
+    }
+
+    #[test]
+    fn combinational_round_trip_is_equivalent() {
+        let o = Origin::External;
+        let mut nl = Netlist::new();
+        let a = nl.input(o);
+        let b = nl.input(o);
+        let c = nl.input(o);
+        let x = nl.xor(a, b, o);
+        let m = nl.mux(c, x, a, o);
+        let n = nl.not(m, o);
+        nl.add_keep(n, "out");
+        let back = roundtrip(&nl);
+
+        // Identify the reader's inputs in declaration order (a, b, c).
+        let ins: Vec<GateId> = back
+            .gates()
+            .filter(|(_, g)| g.kind() == GateKind::Input)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(ins.len(), 3);
+        let mut sim1 = NetlistSim::new(&nl).unwrap();
+        let mut sim2 = NetlistSim::new(&back).unwrap();
+        for v in 0..8u8 {
+            let bits = [(v & 1) != 0, (v & 2) != 0, (v & 4) != 0];
+            sim1.set_input(a, bits[0]);
+            sim1.set_input(b, bits[1]);
+            sim1.set_input(c, bits[2]);
+            for (g, &bit) in ins.iter().zip(&bits) {
+                sim2.set_input(*g, bit);
+            }
+            sim1.settle();
+            sim2.settle();
+            let o1: Vec<bool> = sim1.observe().iter().map(|(_, v)| *v).collect();
+            let o2: Vec<bool> = sim2.observe().iter().map(|(_, v)| *v).collect();
+            assert_eq!(o1, o2, "vector {v:03b}");
+        }
+    }
+
+    #[test]
+    fn sequential_round_trip_preserves_latches() {
+        let o = Origin::External;
+        let mut nl = Netlist::new();
+        let a = nl.input(o);
+        let r = nl.reg(a, o);
+        let en = nl.input(o);
+        let re = nl.reg_en(en, r, o);
+        nl.add_keep(re, "out");
+        let back = roundtrip(&nl);
+        // One plain latch + one expanded CE latch = 2 latches.
+        let regs = back
+            .gates()
+            .filter(|(_, g)| g.kind() == GateKind::Reg)
+            .count();
+        assert_eq!(regs, 2);
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let o = Origin::External;
+        let mut nl = Netlist::new();
+        let one = nl.constant(true);
+        let zero = nl.constant(false);
+        let g = nl.or(one, zero, o);
+        nl.add_keep(g, "out");
+        let back = roundtrip(&nl);
+        let mut sim = NetlistSim::new(&back).unwrap();
+        sim.settle();
+        assert!(sim.observe()[0].1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let src = ".model x\n.frobnicate y\n.end\n";
+        assert!(matches!(
+            read_blif(io::BufReader::new(src.as_bytes())),
+            Err(BlifError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn reads_multi_input_sop() {
+        let src = "\
+.model sop
+.inputs a b c
+.outputs y
+.names a b c y
+1-0 1
+011 1
+.end
+";
+        let nl = read_blif(io::BufReader::new(src.as_bytes())).expect("parses");
+        let ins: Vec<GateId> = nl
+            .gates()
+            .filter(|(_, g)| g.kind() == GateKind::Input)
+            .map(|(id, _)| id)
+            .collect();
+        let mut sim = NetlistSim::new(&nl).unwrap();
+        for v in 0..8u8 {
+            let bits = [(v & 1) != 0, (v & 2) != 0, (v & 4) != 0];
+            for (g, &bit) in ins.iter().zip(&bits) {
+                sim.set_input(*g, bit);
+            }
+            sim.settle();
+            let expected = (bits[0] && !bits[2]) || (!bits[0] && bits[1] && bits[2]);
+            assert_eq!(sim.observe()[0].1, expected, "vector {v:03b}");
+        }
+    }
+
+    #[test]
+    fn elaborated_kernel_exports_cleanly() {
+        // A realistic end-to-end check: elaborate a small dataflow graph,
+        // optimize, export, re-import, and make sure the model parses with
+        // the same number of latches.
+        use dataflow::{Graph, PortRef, UnitKind};
+        let mut g = Graph::new("t");
+        let bb = g.add_basic_block("bb0");
+        let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
+        let x = g.add_unit(UnitKind::Exit, "x", bb, 0).unwrap();
+        g.connect(PortRef::new(e, 0), PortRef::new(x, 0)).unwrap();
+        let mut nl = crate::elaborate(&g).netlist;
+        nl.optimize();
+        let before_regs = nl.num_live_regs();
+        let back = roundtrip(&nl);
+        assert!(back.num_live_regs() >= before_regs);
+    }
+}

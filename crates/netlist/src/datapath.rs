@@ -1,0 +1,363 @@
+//! Word-level datapath constructions decomposed into gates.
+//!
+//! Arithmetic uses log-depth structures (Kogge–Stone prefix adders) rather
+//! than ripple carry: LUT-based FPGAs without a carry-chain abstraction map
+//! prefix adders to a handful of logic levels, which keeps intra-unit
+//! combinational paths inside the paper's 6-logic-level budget (paths
+//! *inside* a unit can never be broken by buffers).
+
+use crate::gate::{GateId, Origin};
+use crate::netgraph::Netlist;
+
+/// Bitwise NOT of a word.
+pub fn word_not(nl: &mut Netlist, a: &[GateId], o: Origin) -> Vec<GateId> {
+    a.iter().map(|&x| nl.not(x, o)).collect()
+}
+
+/// Bitwise AND of two equal-width words.
+pub fn word_and(nl: &mut Netlist, a: &[GateId], b: &[GateId], o: Origin) -> Vec<GateId> {
+    a.iter().zip(b).map(|(&x, &y)| nl.and(x, y, o)).collect()
+}
+
+/// Bitwise OR of two equal-width words.
+pub fn word_or(nl: &mut Netlist, a: &[GateId], b: &[GateId], o: Origin) -> Vec<GateId> {
+    a.iter().zip(b).map(|(&x, &y)| nl.or(x, y, o)).collect()
+}
+
+/// Bitwise XOR of two equal-width words.
+pub fn word_xor(nl: &mut Netlist, a: &[GateId], b: &[GateId], o: Origin) -> Vec<GateId> {
+    a.iter().zip(b).map(|(&x, &y)| nl.xor(x, y, o)).collect()
+}
+
+/// Per-bit 2:1 mux: `sel ? a : b`.
+pub fn word_mux(
+    nl: &mut Netlist,
+    sel: GateId,
+    a: &[GateId],
+    b: &[GateId],
+    o: Origin,
+) -> Vec<GateId> {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| nl.mux(sel, x, y, o))
+        .collect()
+}
+
+/// Left shift by a constant (zero fill); width preserved.
+pub fn shl_const(nl: &mut Netlist, a: &[GateId], amount: usize, o: Origin) -> Vec<GateId> {
+    let zero = nl.constant(false);
+    let _ = o;
+    (0..a.len())
+        .map(|i| {
+            if i >= amount {
+                a[i - amount]
+            } else {
+                zero
+            }
+        })
+        .collect()
+}
+
+/// Logical right shift by a constant (zero fill); width preserved.
+pub fn shr_const(nl: &mut Netlist, a: &[GateId], amount: usize, o: Origin) -> Vec<GateId> {
+    let zero = nl.constant(false);
+    let _ = o;
+    (0..a.len())
+        .map(|i| {
+            if i + amount < a.len() {
+                a[i + amount]
+            } else {
+                zero
+            }
+        })
+        .collect()
+}
+
+/// A constant word (little-endian bit order, like all words here).
+pub fn const_word(nl: &mut Netlist, value: u64, width: usize) -> Vec<GateId> {
+    (0..width)
+        .map(|i| nl.constant((value >> i) & 1 != 0))
+        .collect()
+}
+
+/// Kogge–Stone prefix adder with carry-in; returns `width` sum bits and the
+/// carry-out.
+///
+/// Depth is `O(log2 width)` gate levels — the fast-adder abstraction for
+/// LUT fabrics.
+pub fn add_prefix(
+    nl: &mut Netlist,
+    a: &[GateId],
+    b: &[GateId],
+    cin: GateId,
+    o: Origin,
+) -> (Vec<GateId>, GateId) {
+    assert_eq!(a.len(), b.len(), "adder operand widths differ");
+    let w = a.len();
+    if w == 0 {
+        return (Vec::new(), cin);
+    }
+    // Bit-level generate/propagate.
+    let mut g: Vec<GateId> = Vec::with_capacity(w);
+    let mut p: Vec<GateId> = Vec::with_capacity(w);
+    for i in 0..w {
+        g.push(nl.and(a[i], b[i], o));
+        p.push(nl.xor(a[i], b[i], o));
+    }
+    let p_raw = p.clone();
+    // Fold carry-in into bit 0: g0' = g0 | (p0 & cin).
+    let t = nl.and(p[0], cin, o);
+    g[0] = nl.or(g[0], t, o);
+    // Kogge–Stone prefix: after the scan, g[i] = carry out of bit i.
+    let mut dist = 1;
+    while dist < w {
+        let (mut ng, mut np) = (g.clone(), p.clone());
+        for i in dist..w {
+            let t = nl.and(p[i], g[i - dist], o);
+            ng[i] = nl.or(g[i], t, o);
+            np[i] = nl.and(p[i], p[i - dist], o);
+        }
+        g = ng;
+        p = np;
+        dist *= 2;
+    }
+    // sum_i = p_raw_i ^ carry_{i-1}; carry_{-1} = cin.
+    let mut sum = Vec::with_capacity(w);
+    for i in 0..w {
+        let c_in_i = if i == 0 { cin } else { g[i - 1] };
+        sum.push(nl.xor(p_raw[i], c_in_i, o));
+    }
+    (sum, g[w - 1])
+}
+
+/// Two's-complement addition (width-preserving).
+pub fn add(nl: &mut Netlist, a: &[GateId], b: &[GateId], o: Origin) -> Vec<GateId> {
+    let zero = nl.constant(false);
+    add_prefix(nl, a, b, zero, o).0
+}
+
+/// Two's-complement subtraction `a - b` (width-preserving).
+pub fn sub(nl: &mut Netlist, a: &[GateId], b: &[GateId], o: Origin) -> Vec<GateId> {
+    let nb = word_not(nl, b, o);
+    let one = nl.constant(true);
+    add_prefix(nl, a, &nb, one, o).0
+}
+
+/// Equality comparison: single-bit result.
+pub fn eq(nl: &mut Netlist, a: &[GateId], b: &[GateId], o: Origin) -> GateId {
+    if a.is_empty() {
+        return nl.constant(true);
+    }
+    let diffs: Vec<GateId> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let x_ne_y = nl.xor(x, y, o);
+            nl.not(x_ne_y, o)
+        })
+        .collect();
+    nl.and_tree(&diffs, o)
+}
+
+/// Signed less-than `a < b`: single-bit result.
+///
+/// Computed as `sign(a - b) XOR overflow(a - b)`.
+pub fn lt_signed(nl: &mut Netlist, a: &[GateId], b: &[GateId], o: Origin) -> GateId {
+    assert!(!a.is_empty(), "signed compare needs at least one bit");
+    let w = a.len();
+    let nb = word_not(nl, b, o);
+    let one = nl.constant(true);
+    let (diff, _) = add_prefix(nl, a, &nb, one, o);
+    let a_s = a[w - 1];
+    let b_s = b[w - 1];
+    let d_s = diff[w - 1];
+    // Overflow of a - b: operands of the internal addition are a and !b, so
+    // ov = (a_s == !b_s) & (d_s != a_s) = (a_s ^ b_s) & (a_s ^ d_s).
+    let signs_differ = nl.xor(a_s, b_s, o);
+    let flipped = nl.xor(a_s, d_s, o);
+    let ov = nl.and(signs_differ, flipped, o);
+    nl.xor(d_s, ov, o)
+}
+
+/// One-hot select comparison: `sel == value` for a constant value.
+pub fn sel_equals_const(nl: &mut Netlist, sel: &[GateId], value: usize, o: Origin) -> GateId {
+    if sel.is_empty() {
+        return nl.constant(value == 0);
+    }
+    let lits: Vec<GateId> = sel
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            if (value >> i) & 1 != 0 {
+                s
+            } else {
+                nl.not(s, o)
+            }
+        })
+        .collect();
+    nl.and_tree(&lits, o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistSim;
+
+    const O: Origin = Origin::External;
+
+    /// Drives `bits` input gates with the little-endian bits of `value`.
+    fn drive(sim: &mut NetlistSim<'_>, bits: &[GateId], value: u64) {
+        for (i, &b) in bits.iter().enumerate() {
+            sim.set_input(b, (value >> i) & 1 != 0);
+        }
+    }
+
+    fn read(sim: &NetlistSim<'_>, bits: &[GateId]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((sim.peek(b) as u64) << i))
+    }
+
+    fn inputs(nl: &mut Netlist, w: usize) -> Vec<GateId> {
+        (0..w).map(|_| nl.input(O)).collect()
+    }
+
+    #[test]
+    fn adder_is_correct_exhaustively_4bit() {
+        let mut nl = Netlist::new();
+        let a = inputs(&mut nl, 4);
+        let b = inputs(&mut nl, 4);
+        let s = add(&mut nl, &a, &b, O);
+        for &g in &s {
+            nl.add_keep(g, "s");
+        }
+        let mut sim = NetlistSim::new(&nl).unwrap();
+        for va in 0..16u64 {
+            for vb in 0..16u64 {
+                drive(&mut sim, &a, va);
+                drive(&mut sim, &b, vb);
+                sim.settle();
+                assert_eq!(read(&sim, &s), (va + vb) & 0xF, "{va}+{vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_is_correct_exhaustively_4bit() {
+        let mut nl = Netlist::new();
+        let a = inputs(&mut nl, 4);
+        let b = inputs(&mut nl, 4);
+        let s = sub(&mut nl, &a, &b, O);
+        for &g in &s {
+            nl.add_keep(g, "s");
+        }
+        let mut sim = NetlistSim::new(&nl).unwrap();
+        for va in 0..16u64 {
+            for vb in 0..16u64 {
+                drive(&mut sim, &a, va);
+                drive(&mut sim, &b, vb);
+                sim.settle();
+                assert_eq!(read(&sim, &s), va.wrapping_sub(vb) & 0xF, "{va}-{vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_depth_is_logarithmic() {
+        let mut nl = Netlist::new();
+        let a = inputs(&mut nl, 16);
+        let b = inputs(&mut nl, 16);
+        let s = add(&mut nl, &a, &b, O);
+        for &g in &s {
+            nl.add_keep(g, "s");
+        }
+        let depth = nl.max_gate_depth().unwrap();
+        // Prefix structure: gp (1) + cin-fold (2) + 4 prefix levels (2 each)
+        // + final xor ≈ 12; ripple carry would be ≥ 32.
+        assert!(depth <= 14, "depth {depth} not logarithmic");
+    }
+
+    #[test]
+    fn signed_less_than_4bit() {
+        let mut nl = Netlist::new();
+        let a = inputs(&mut nl, 4);
+        let b = inputs(&mut nl, 4);
+        let lt = lt_signed(&mut nl, &a, &b, O);
+        nl.add_keep(lt, "lt");
+        let mut sim = NetlistSim::new(&nl).unwrap();
+        for va in -8i64..8 {
+            for vb in -8i64..8 {
+                drive(&mut sim, &a, (va & 0xF) as u64);
+                drive(&mut sim, &b, (vb & 0xF) as u64);
+                sim.settle();
+                assert_eq!(sim.peek(lt), va < vb, "{va} < {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_4bit() {
+        let mut nl = Netlist::new();
+        let a = inputs(&mut nl, 4);
+        let b = inputs(&mut nl, 4);
+        let e = eq(&mut nl, &a, &b, O);
+        nl.add_keep(e, "eq");
+        let mut sim = NetlistSim::new(&nl).unwrap();
+        for va in 0..16u64 {
+            for vb in 0..16u64 {
+                drive(&mut sim, &a, va);
+                drive(&mut sim, &b, vb);
+                sim.settle();
+                assert_eq!(sim.peek(e), va == vb);
+            }
+        }
+    }
+
+    #[test]
+    fn const_shifts() {
+        let mut nl = Netlist::new();
+        let a = inputs(&mut nl, 8);
+        let l = shl_const(&mut nl, &a, 3, O);
+        let r = shr_const(&mut nl, &a, 2, O);
+        for &g in l.iter().chain(&r) {
+            nl.add_keep(g, "s");
+        }
+        let mut sim = NetlistSim::new(&nl).unwrap();
+        drive(&mut sim, &a, 0b1011_0110);
+        sim.settle();
+        assert_eq!(read(&sim, &l), (0b1011_0110 << 3) & 0xFF);
+        assert_eq!(read(&sim, &r), 0b1011_0110 >> 2);
+    }
+
+    #[test]
+    fn select_const_comparator() {
+        let mut nl = Netlist::new();
+        let sel = inputs(&mut nl, 2);
+        let hits: Vec<GateId> = (0..4)
+            .map(|v| sel_equals_const(&mut nl, &sel, v, O))
+            .collect();
+        for &h in &hits {
+            nl.add_keep(h, "h");
+        }
+        let mut sim = NetlistSim::new(&nl).unwrap();
+        for v in 0..4u64 {
+            drive(&mut sim, &sel, v);
+            sim.settle();
+            for (i, &h) in hits.iter().enumerate() {
+                assert_eq!(sim.peek(h), i as u64 == v);
+            }
+        }
+    }
+
+    #[test]
+    fn const_word_bits() {
+        let mut nl = Netlist::new();
+        let w = const_word(&mut nl, 0b1010, 4);
+        let kinds: Vec<_> = w.iter().map(|&g| nl.gate(g).kind()).collect();
+        use crate::GateKind::Const;
+        assert_eq!(
+            kinds,
+            vec![Const(false), Const(true), Const(false), Const(true)]
+        );
+    }
+}

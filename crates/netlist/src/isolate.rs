@@ -1,0 +1,143 @@
+//! Isolated elaboration of a single unit.
+//!
+//! The mapping-agnostic baseline of the paper characterizes every dataflow
+//! unit *in isolation*: the unit is synthesized alone, its combinational
+//! depth measured, and that pre-characterized delay is used for buffer
+//! placement — ignoring all cross-unit optimization. This module produces
+//! the isolated netlist; the LUT mapper then measures its depth.
+
+use crate::elaborate::Elaborator;
+use crate::gate::Origin;
+use crate::netgraph::Netlist;
+use dataflow::{Graph, UnitId};
+
+/// Elaborates only `uid` from `g`, stubbing its environment:
+/// all incoming data/valid and all successor `ready` signals become
+/// primary inputs, and everything the unit drives becomes a keep.
+///
+/// The resulting netlist contains exactly the logic a standalone synthesis
+/// run of the unit would see.
+///
+/// # Example
+///
+/// ```
+/// use dataflow::{Graph, UnitKind, OpKind, PortRef};
+/// use netlist::elaborate_isolated;
+///
+/// # fn main() -> Result<(), dataflow::GraphError> {
+/// let mut g = Graph::new("t");
+/// let bb = g.add_basic_block("bb0");
+/// let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)?;
+/// let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8)?;
+/// let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 8)?;
+/// let x = g.add_unit(UnitKind::Exit, "x", bb, 8)?;
+/// g.connect(PortRef::new(a, 0), PortRef::new(add, 0))?;
+/// g.connect(PortRef::new(b, 0), PortRef::new(add, 1))?;
+/// g.connect(PortRef::new(add, 0), PortRef::new(x, 0))?;
+/// let mut nl = elaborate_isolated(&g, add);
+/// nl.optimize();
+/// assert!(nl.max_gate_depth().unwrap() > 0); // the adder's carry logic
+/// # Ok(())
+/// # }
+/// ```
+pub fn elaborate_isolated(g: &Graph, uid: UnitId) -> Netlist {
+    let mut e = Elaborator::new(g);
+    e.build_channels();
+    e.elaborate_unit(uid);
+    let unit = g.unit(uid);
+    let ext = Origin::External;
+    // Stub producers: incoming data/valid are primary inputs.
+    for (p, ch) in g.input_channels(uid).enumerate() {
+        let nets = e.channels[ch.index()].clone();
+        for d in nets.data_src {
+            let pi = e.nl.input(ext);
+            e.nl.bind_alias(d, pi);
+        }
+        let pi = e.nl.input(ext);
+        e.nl.bind_alias(nets.valid_src, pi);
+        // The unit's ready answer is an observable output.
+        e.nl
+            .add_keep(nets.ready_dst, format!("{}:ready_in{}", unit.name(), p));
+    }
+    // Stub consumers: successor ready is a primary input; the unit's
+    // data/valid outputs are observables.
+    for (p, ch) in g.output_channels(uid).enumerate() {
+        let nets = e.channels[ch.index()].clone();
+        let pi = e.nl.input(ext);
+        e.nl.bind_alias(nets.ready_dst, pi);
+        e.nl
+            .add_keep(nets.valid_dst, format!("{}:valid_out{}", unit.name(), p));
+        for (bi, d) in nets.data_dst.iter().enumerate() {
+            e.nl
+                .add_keep(*d, format!("{}:data_out{}_{}", unit.name(), p, bi));
+        }
+    }
+    e.nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::{OpKind, PortRef, UnitKind};
+
+    fn graph_with_add() -> (Graph, UnitId) {
+        let mut g = Graph::new("t");
+        let bb = g.add_basic_block("bb0");
+        let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+        let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8).unwrap();
+        let add = g
+            .add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 8)
+            .unwrap();
+        let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
+        g.connect(PortRef::new(a, 0), PortRef::new(add, 0)).unwrap();
+        g.connect(PortRef::new(b, 0), PortRef::new(add, 1)).unwrap();
+        g.connect(PortRef::new(add, 0), PortRef::new(x, 0)).unwrap();
+        g.validate().unwrap();
+        (g, add)
+    }
+
+    #[test]
+    fn isolated_adder_contains_only_adder_logic() {
+        let (g, add) = graph_with_add();
+        let mut nl = elaborate_isolated(&g, add);
+        nl.optimize();
+        // Every live logic gate must belong to the adder unit.
+        let live = nl.live_mask();
+        for (id, gate) in nl.gates() {
+            if live[id.index()] && gate.kind().is_logic() {
+                assert_eq!(gate.origin(), Origin::Unit(add), "foreign gate {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_depth_is_positive_for_adder() {
+        let (g, add) = graph_with_add();
+        let mut nl = elaborate_isolated(&g, add);
+        nl.optimize();
+        assert!(nl.max_gate_depth().unwrap() >= 3);
+    }
+
+    #[test]
+    fn isolation_is_more_conservative_than_whole_circuit_for_trivial_units() {
+        // A fork characterized alone still shows its control depth even if
+        // the surrounding circuit would have optimized it away.
+        let mut g = Graph::new("t");
+        let bb = g.add_basic_block("bb0");
+        let a = g.add_unit(UnitKind::Entry, "a", bb, 0).unwrap();
+        let f = g.add_unit(UnitKind::fork(4), "f", bb, 0).unwrap();
+        let x = g.add_unit(UnitKind::Exit, "x", bb, 0).unwrap();
+        let s1 = g.add_unit(UnitKind::Sink, "s1", bb, 0).unwrap();
+        let s2 = g.add_unit(UnitKind::Sink, "s2", bb, 0).unwrap();
+        let s3 = g.add_unit(UnitKind::Sink, "s3", bb, 0).unwrap();
+        g.connect(PortRef::new(a, 0), PortRef::new(f, 0)).unwrap();
+        g.connect(PortRef::new(f, 0), PortRef::new(x, 0)).unwrap();
+        g.connect(PortRef::new(f, 1), PortRef::new(s1, 0)).unwrap();
+        g.connect(PortRef::new(f, 2), PortRef::new(s2, 0)).unwrap();
+        g.connect(PortRef::new(f, 3), PortRef::new(s3, 0)).unwrap();
+        g.validate().unwrap();
+        let mut nl = elaborate_isolated(&g, f);
+        nl.optimize();
+        assert!(nl.max_gate_depth().unwrap() >= 2, "fork ready tree depth");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: logic optimization must preserve observable behaviour
+//! of arbitrary random netlists, cycle by cycle.
+
+use netlist::{GateId, Netlist, NetlistSim, Origin};
+use proptest::prelude::*;
+
+/// A recipe for one random gate.
+#[derive(Debug, Clone)]
+enum GateRecipe {
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Mux(usize, usize, usize),
+    Reg(usize),
+    RegEn(usize, usize),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = GateRecipe> {
+    prop_oneof![
+        any::<usize>().prop_map(GateRecipe::Not),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateRecipe::And(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateRecipe::Or(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| GateRecipe::Xor(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(s, a, b)| GateRecipe::Mux(s, a, b)),
+        any::<usize>().prop_map(GateRecipe::Reg),
+        (any::<usize>(), any::<usize>()).prop_map(|(e, d)| GateRecipe::RegEn(e, d)),
+    ]
+}
+
+/// Builds a random netlist: `n_inputs` primary inputs, `recipes` gates
+/// whose fanins are earlier gates (mod available), keeps on the last few.
+fn build(n_inputs: usize, recipes: &[GateRecipe]) -> (Netlist, Vec<GateId>) {
+    let o = Origin::External;
+    let mut nl = Netlist::new();
+    let mut pool: Vec<GateId> = (0..n_inputs).map(|_| nl.input(o)).collect();
+    let inputs = pool.clone();
+    for r in recipes {
+        let pick = |i: usize| pool[i % pool.len()];
+        let g = match *r {
+            GateRecipe::Not(a) => {
+                let a = pick(a);
+                nl.not(a, o)
+            }
+            GateRecipe::And(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                nl.and(a, b, o)
+            }
+            GateRecipe::Or(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                nl.or(a, b, o)
+            }
+            GateRecipe::Xor(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                nl.xor(a, b, o)
+            }
+            GateRecipe::Mux(s, a, b) => {
+                let (s, a, b) = (pick(s), pick(a), pick(b));
+                nl.mux(s, a, b, o)
+            }
+            GateRecipe::Reg(d) => {
+                let d = pick(d);
+                nl.reg(d, o)
+            }
+            GateRecipe::RegEn(e, d) => {
+                let (e, d) = (pick(e), pick(d));
+                nl.reg_en(e, d, o)
+            }
+        };
+        pool.push(g);
+    }
+    for (i, &g) in pool.iter().rev().take(4).enumerate() {
+        nl.add_keep(g, format!("out{i}"));
+    }
+    (nl, inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimization_preserves_behaviour(
+        n_inputs in 1usize..6,
+        recipes in prop::collection::vec(recipe_strategy(), 1..60),
+        stimulus in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let (golden, inputs) = build(n_inputs, &recipes);
+        let mut optimized = golden.clone();
+        optimized.optimize();
+
+        let mut sim_g = NetlistSim::new(&golden).expect("golden acyclic");
+        let mut sim_o = NetlistSim::new(&optimized).expect("optimized acyclic");
+        for &word in &stimulus {
+            for (bit, &inp) in inputs.iter().enumerate() {
+                let v = (word >> bit) & 1 != 0;
+                sim_g.set_input(inp, v);
+                sim_o.set_input(inp, v);
+            }
+            sim_g.step();
+            sim_o.step();
+            prop_assert_eq!(sim_g.observe(), sim_o.observe());
+        }
+    }
+
+    #[test]
+    fn optimization_never_grows_live_logic(
+        n_inputs in 1usize..6,
+        recipes in prop::collection::vec(recipe_strategy(), 1..60),
+    ) {
+        let (golden, _) = build(n_inputs, &recipes);
+        let before = golden.num_live_logic();
+        let mut optimized = golden;
+        optimized.optimize();
+        prop_assert!(optimized.num_live_logic() <= before);
+    }
+
+    #[test]
+    fn optimization_is_idempotent(
+        n_inputs in 1usize..6,
+        recipes in prop::collection::vec(recipe_strategy(), 1..60),
+    ) {
+        // A second run over an already-optimized netlist must find nothing
+        // left to do (the first run reached a fixpoint).
+        let (golden, _) = build(n_inputs, &recipes);
+        let mut optimized = golden;
+        optimized.optimize();
+        let after_first = optimized.num_live_gates();
+        let stats = optimized.optimize();
+        prop_assert_eq!(optimized.num_live_gates(), after_first);
+        prop_assert_eq!(stats.removed_gates, 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Behavioural tests of the elastic simulator: unit semantics, buffer
+//! latency/capacity effects, loop throughput, and failure modes.
+
+use dataflow::{BufferSpec, Graph, OpKind, PortRef, UnitKind};
+use sim::Simulator;
+
+fn conn(g: &mut Graph, a: (dataflow::UnitId, usize), b: (dataflow::UnitId, usize)) {
+    g.connect(PortRef::new(a.0, a.1), PortRef::new(b.0, b.1)).unwrap();
+}
+
+/// arg0 + arg1 -> exit
+fn adder_graph(w: u16) -> Graph {
+    let mut g = Graph::new("adder");
+    let bb = g.add_basic_block("bb0");
+    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, w).unwrap();
+    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, w).unwrap();
+    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, w).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, w).unwrap();
+    conn(&mut g, (a, 0), (add, 0));
+    conn(&mut g, (b, 0), (add, 1));
+    conn(&mut g, (add, 0), (x, 0));
+    g.validate().unwrap();
+    g
+}
+
+#[test]
+fn adder_computes_and_exits_in_one_cycle() {
+    let g = adder_graph(16);
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 1000);
+    sim.set_arg(1, 234);
+    let stats = sim.run(10).unwrap();
+    assert_eq!(stats.exit_value, Some(1234));
+    assert_eq!(stats.cycles, 1); // purely combinational path
+}
+
+#[test]
+fn opaque_buffer_adds_one_cycle_of_latency() {
+    let mut g = adder_graph(16);
+    let add = g.unit_by_name("add").unwrap();
+    let ch = g.output_channel(add, 0).unwrap();
+    g.set_buffer(ch, BufferSpec::OPAQUE);
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 1);
+    sim.set_arg(1, 2);
+    let stats = sim.run(10).unwrap();
+    assert_eq!(stats.exit_value, Some(3));
+    assert_eq!(stats.cycles, 2);
+}
+
+#[test]
+fn transparent_buffer_adds_no_latency() {
+    let mut g = adder_graph(16);
+    let add = g.unit_by_name("add").unwrap();
+    let ch = g.output_channel(add, 0).unwrap();
+    g.set_buffer(ch, BufferSpec::TRANSPARENT);
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 1);
+    sim.set_arg(1, 2);
+    let stats = sim.run(10).unwrap();
+    assert_eq!(stats.cycles, 1);
+}
+
+#[test]
+fn multiplier_pipeline_latency() {
+    let mut g = Graph::new("mul");
+    let bb = g.add_basic_block("bb0");
+    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 16).unwrap();
+    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 16).unwrap();
+    let mul = g.add_unit(UnitKind::Operator(OpKind::Mul), "mul", bb, 16).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 16).unwrap();
+    conn(&mut g, (a, 0), (mul, 0));
+    conn(&mut g, (b, 0), (mul, 1));
+    conn(&mut g, (mul, 0), (x, 0));
+    g.validate().unwrap();
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 7);
+    sim.set_arg(1, 6);
+    let stats = sim.run(20).unwrap();
+    assert_eq!(stats.exit_value, Some(42));
+    assert_eq!(stats.cycles, OpKind::Mul.latency() as u64 + 1);
+}
+
+#[test]
+fn branch_steers_by_condition() {
+    // arg0 -> fork -> (data, cmp > 10) -> branch -> (true: exit) (false: +100 -> exit via merge)
+    let mut g = Graph::new("branchy");
+    let bb = g.add_basic_block("bb0");
+    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 16).unwrap();
+    let f = g.add_unit(UnitKind::fork(2), "f", bb, 16).unwrap();
+    let c10 = g.add_unit(UnitKind::Argument { index: 1 }, "c10", bb, 16).unwrap();
+    let cmp = g.add_unit(UnitKind::Operator(OpKind::Gt), "cmp", bb, 16).unwrap();
+    let br = g.add_unit(UnitKind::Branch, "br", bb, 16).unwrap();
+    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 16).unwrap();
+    let c100 = g.add_unit(UnitKind::Argument { index: 2 }, "c100", bb, 16).unwrap();
+    let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 16).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 16).unwrap();
+    conn(&mut g, (a, 0), (f, 0));
+    conn(&mut g, (f, 0), (br, 0));
+    conn(&mut g, (f, 1), (cmp, 0));
+    conn(&mut g, (c10, 0), (cmp, 1));
+    conn(&mut g, (cmp, 0), (br, 1));
+    conn(&mut g, (br, 0), (m, 0));
+    conn(&mut g, (br, 1), (add, 0));
+    conn(&mut g, (c100, 0), (add, 1));
+    conn(&mut g, (add, 0), (m, 1));
+    conn(&mut g, (m, 0), (x, 0));
+    g.validate().unwrap();
+
+    for (input, expected) in [(20u64, 20u64), (5, 105)] {
+        let mut sim = Simulator::new(&g);
+        sim.set_arg(0, input);
+        sim.set_arg(1, 10);
+        sim.set_arg(2, 100);
+        let stats = sim.run(20).unwrap();
+        assert_eq!(stats.exit_value, Some(expected), "input {input}");
+    }
+}
+
+/// A Dynamatic-style counting loop (`for (i = 0; i < n; i++)`):
+/// control ring triggers per-iteration constants; data ring carries `i`.
+/// Returns `(graph, back_data_channel, forward_channel_inside_loop)`.
+fn counting_loop() -> (Graph, dataflow::ChannelId, dataflow::ChannelId) {
+    let mut g = Graph::new("count");
+    let bb0 = g.add_basic_block("entry");
+    let bb1 = g.add_basic_block("loop");
+    // Control ring.
+    let entry = g.add_unit(UnitKind::Entry, "entry", bb0, 0).unwrap();
+    let mc = g.add_unit(UnitKind::Merge { inputs: 2 }, "mc", bb1, 0).unwrap();
+    let fc = g.add_unit(UnitKind::fork(3), "fc", bb1, 0).unwrap();
+    let brc = g.add_unit(UnitKind::Branch, "brc", bb1, 0).unwrap();
+    let sc = g.add_unit(UnitKind::Sink, "sc", bb1, 0).unwrap();
+    // Per-iteration constants (triggered by the control token).
+    let cone = g.add_unit(UnitKind::Constant { value: 1 }, "cone", bb1, 16).unwrap();
+    let cn = g.add_unit(UnitKind::Constant { value: 20 }, "cn", bb1, 16).unwrap();
+    // Data ring.
+    let init = g.add_unit(UnitKind::Argument { index: 0 }, "init", bb0, 16).unwrap();
+    let md = g.add_unit(UnitKind::Merge { inputs: 2 }, "md", bb1, 16).unwrap();
+    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb1, 16).unwrap();
+    let fa = g.add_unit(UnitKind::fork(2), "fa", bb1, 16).unwrap();
+    let cmp = g.add_unit(UnitKind::Operator(OpKind::Lt), "cmp", bb1, 16).unwrap();
+    let fcond = g.add_unit(UnitKind::fork(2), "fcond", bb1, 1).unwrap();
+    let brd = g.add_unit(UnitKind::Branch, "brd", bb1, 16).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb1, 16).unwrap();
+    conn(&mut g, (entry, 0), (mc, 0));
+    conn(&mut g, (mc, 0), (fc, 0));
+    conn(&mut g, (fc, 0), (cone, 0));
+    conn(&mut g, (fc, 1), (cn, 0));
+    conn(&mut g, (fc, 2), (brc, 0));
+    conn(&mut g, (init, 0), (md, 0));
+    conn(&mut g, (md, 0), (add, 0));
+    conn(&mut g, (cone, 0), (add, 1));
+    let fwd = g.connect(PortRef::new(add, 0), PortRef::new(fa, 0)).unwrap();
+    conn(&mut g, (fa, 0), (brd, 0));
+    conn(&mut g, (fa, 1), (cmp, 0));
+    conn(&mut g, (cn, 0), (cmp, 1));
+    conn(&mut g, (cmp, 0), (fcond, 0));
+    conn(&mut g, (fcond, 0), (brd, 1));
+    conn(&mut g, (fcond, 1), (brc, 1));
+    let back_d = g.connect(PortRef::new(brd, 0), PortRef::new(md, 1)).unwrap();
+    conn(&mut g, (brd, 1), (x, 0));
+    let back_c = g.connect(PortRef::new(brc, 0), PortRef::new(mc, 1)).unwrap();
+    conn(&mut g, (brc, 1), (sc, 0));
+    g.set_buffer(back_d, BufferSpec::FULL);
+    g.set_buffer(back_c, BufferSpec::FULL);
+    g.validate().unwrap();
+    (g, back_d, fwd)
+}
+
+#[test]
+fn counting_loop_runs_to_completion() {
+    let (g, ..) = counting_loop();
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 0);
+    let stats = sim.run(500).unwrap();
+    // for (i = 0; i < 20; ++i): exit fires with the first i+1 == 20.
+    assert_eq!(stats.exit_value, Some(20));
+}
+
+#[test]
+fn redundant_buffer_on_loop_cycle_lowers_throughput() {
+    // The paper's core performance phenomenon: an extra opaque buffer on a
+    // throughput-critical cycle increases the loop initiation interval and
+    // thus total cycles.
+    let (g, _, fwd) = counting_loop();
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 0);
+    let base = sim.run(2000).unwrap().cycles;
+
+    let mut g2 = g.clone();
+    g2.set_buffer(fwd, BufferSpec::FULL);
+    let mut sim2 = Simulator::new(&g2);
+    sim2.set_arg(0, 0);
+    let slowed = sim2.run(4000).unwrap().cycles;
+    assert!(
+        slowed > base,
+        "extra cycle buffer must slow the loop: {base} -> {slowed}"
+    );
+}
+
+#[test]
+fn buffer_off_cycle_does_not_change_cycles_much() {
+    // A buffer on the exit edge (outside the loop ring) costs at most one
+    // extra cycle in total, not one per iteration.
+    let (g, ..) = counting_loop();
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 0);
+    let base = sim.run(2000).unwrap().cycles;
+
+    let mut g2 = g.clone();
+    let brd = g2.unit_by_name("brd").unwrap();
+    let exit_edge = g2.output_channel(brd, 1).unwrap();
+    g2.set_buffer(exit_edge, BufferSpec::FULL);
+    let mut sim2 = Simulator::new(&g2);
+    sim2.set_arg(0, 0);
+    let with_buf = sim2.run(2000).unwrap().cycles;
+    assert!(with_buf <= base + 1, "{base} -> {with_buf}");
+}
+
+#[test]
+fn load_store_round_trip() {
+    // store(5, 777) then (sequenced by the done token) load(5) -> exit.
+    let mut g = Graph::new("mem");
+    let bb = g.add_basic_block("bb0");
+    let mem = g.add_memory("m", 16, 16, vec![0; 16]);
+    let a0 = g.add_unit(UnitKind::Argument { index: 0 }, "a0", bb, 16).unwrap();
+    let a1 = g.add_unit(UnitKind::Argument { index: 1 }, "a1", bb, 16).unwrap();
+    let st = g.add_unit(UnitKind::Store { mem }, "st", bb, 16).unwrap();
+    let ld = g.add_unit(UnitKind::Load { mem }, "ld", bb, 16).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 16).unwrap();
+    conn(&mut g, (a0, 0), (st, 0));
+    conn(&mut g, (a1, 0), (st, 1));
+    let caddr = g.add_unit(UnitKind::Constant { value: 5 }, "caddr", bb, 16).unwrap();
+    conn(&mut g, (st, 0), (caddr, 0)); // done token triggers the load addr
+    conn(&mut g, (caddr, 0), (ld, 0));
+    conn(&mut g, (ld, 0), (x, 0));
+    g.validate().unwrap();
+
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 5);
+    sim.set_arg(1, 777);
+    let stats = sim.run(50).unwrap();
+    assert_eq!(stats.exit_value, Some(777));
+    assert_eq!(sim.memory(mem)[5], 777);
+}
+
+#[test]
+fn full_buffer_ring_sustains_full_throughput() {
+    // Token ring with one FULL buffer: sequential latency 1, one token
+    // circulating -> one transfer per cycle on the tap.
+    let mut g = Graph::new("ring");
+    let bb = g.add_basic_block("bb0");
+    let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
+    let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 0).unwrap();
+    let f = g.add_unit(UnitKind::fork(2), "f", bb, 0).unwrap();
+    let s = g.add_unit(UnitKind::Sink, "s", bb, 0).unwrap();
+    conn(&mut g, (e, 0), (m, 0));
+    conn(&mut g, (m, 0), (f, 0));
+    let back = g.connect(PortRef::new(f, 0), PortRef::new(m, 1)).unwrap();
+    let out = g.connect(PortRef::new(f, 1), PortRef::new(s, 0)).unwrap();
+    g.set_buffer(back, BufferSpec::FULL);
+    g.validate().unwrap();
+    let mut sim = Simulator::new(&g);
+    for _ in 0..100 {
+        sim.step().unwrap();
+    }
+    let t = sim.transfers(out);
+    assert!((95..=100).contains(&t), "throughput ~1, got {t}/100");
+}
+
+#[test]
+fn two_buffers_on_ring_halve_throughput() {
+    // Sequential latency 2 with a single token -> throughput 1/2.
+    let mut g = Graph::new("ring2");
+    let bb = g.add_basic_block("bb0");
+    let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
+    let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 0).unwrap();
+    let f = g.add_unit(UnitKind::fork(2), "f", bb, 0).unwrap();
+    let s = g.add_unit(UnitKind::Sink, "s", bb, 0).unwrap();
+    conn(&mut g, (e, 0), (m, 0));
+    let mid = g.connect(PortRef::new(m, 0), PortRef::new(f, 0)).unwrap();
+    let back = g.connect(PortRef::new(f, 0), PortRef::new(m, 1)).unwrap();
+    let out = g.connect(PortRef::new(f, 1), PortRef::new(s, 0)).unwrap();
+    g.set_buffer(back, BufferSpec::FULL);
+    g.set_buffer(mid, BufferSpec::FULL);
+    g.validate().unwrap();
+    let mut sim = Simulator::new(&g);
+    for _ in 0..100 {
+        sim.step().unwrap();
+    }
+    let t = sim.transfers(out);
+    assert!((45..=52).contains(&t), "throughput ~1/2, got {t}/100");
+}
+
+#[test]
+fn cmerge_prefers_back_edge_and_latches_grant() {
+    // Both cmerge inputs valid simultaneously: input 1 (the loop back edge
+    // by convention) must win, and the grant must hold until both outputs
+    // fire — even if the index consumer stalls for a while.
+    let mut g = Graph::new("cmrace");
+    let bb = g.add_basic_block("bb0");
+    let e0 = g.add_unit(UnitKind::Entry, "e0", bb, 0).unwrap();
+    let e1 = g.add_unit(UnitKind::Entry, "e1", bb, 0).unwrap();
+    let cm = g
+        .add_unit(UnitKind::ControlMerge { inputs: 2 }, "cm", bb, 0)
+        .unwrap();
+    let s0 = g.add_unit(UnitKind::Sink, "s0", bb, 0).unwrap();
+    // Delay the index path through two opaque buffers into the exit, so
+    // the data output (to the sink) fires cycles before the index is
+    // consumed.
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 1).unwrap();
+    conn(&mut g, (e0, 0), (cm, 0));
+    conn(&mut g, (e1, 0), (cm, 1));
+    conn(&mut g, (cm, 0), (s0, 0));
+    let idx_ch = g.connect(PortRef::new(cm, 1), PortRef::new(x, 0)).unwrap();
+    g.set_buffer(idx_ch, BufferSpec::FULL);
+    g.validate().unwrap();
+
+    let mut sim = Simulator::new(&g);
+    let stats = sim.run(50).unwrap();
+    // The first token processed must be input 1 (back-edge priority).
+    assert_eq!(stats.exit_value, Some(1));
+}
+
+#[test]
+fn merge_grants_highest_index_when_racing() {
+    let mut g = Graph::new("mrace");
+    let bb = g.add_basic_block("bb0");
+    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8).unwrap();
+    let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 8).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
+    conn(&mut g, (a, 0), (m, 0));
+    conn(&mut g, (b, 0), (m, 1));
+    conn(&mut g, (m, 0), (x, 0));
+    g.validate().unwrap();
+    let mut sim = Simulator::new(&g);
+    sim.set_arg(0, 11);
+    sim.set_arg(1, 22);
+    // Both argument tokens arrive at cycle 0; input 1 must win.
+    let stats = sim.run(10).unwrap();
+    assert_eq!(stats.exit_value, Some(22));
+}

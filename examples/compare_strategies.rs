@@ -1,0 +1,80 @@
+//! Head-to-head: the mapping-agnostic baseline ("Prev.") vs the iterative
+//! mapping-aware flow ("Iter.") on one kernel — a single row of Table I.
+//!
+//! ```sh
+//! cargo run --release --example compare_strategies [kernel]
+//! ```
+//!
+//! `kernel` is one of the nine Table I names (default: `gsumif`).
+
+use frequenz::core::{measure, optimize_baseline, optimize_iterative, FlowOptions};
+use frequenz::hls::kernels;
+use frequenz::sim::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gsumif".into());
+    let kernel = match name.as_str() {
+        "insertion_sort" => kernels::insertion_sort(16),
+        "stencil_2d" => kernels::stencil_2d(6),
+        "covariance" => kernels::covariance(4),
+        "gsum" => kernels::gsum(64),
+        "gsumif" => kernels::gsumif(64),
+        "gaussian" => kernels::gaussian(8),
+        "matrix" => kernels::matrix(6),
+        "mvt" => kernels::mvt(6),
+        "gemver" => kernels::gemver(6),
+        other => return Err(format!("unknown kernel {other}").into()),
+    };
+    let opts = FlowOptions::default();
+    let budget = kernel.max_cycles * 4;
+
+    println!("kernel {name}: running the mapping-agnostic baseline (Prev.)...");
+    let prev = optimize_baseline(kernel.graph(), kernel.back_edges(), &opts)?;
+    let prev_report = measure(&prev.graph, opts.k, budget)?;
+
+    println!("kernel {name}: running the mapping-aware iterative flow (Iter.)...");
+    let iter = optimize_iterative(kernel.graph(), kernel.back_edges(), &opts)?;
+    let iter_report = measure(&iter.graph, opts.k, budget)?;
+
+    // Both must still compute the right answer.
+    for (label, g) in [("prev", &prev.graph), ("iter", &iter.graph)] {
+        let mut s = Simulator::new(g);
+        let stats = s.run(budget)?;
+        if let Some(exp) = kernel.expected_exit {
+            assert_eq!(stats.exit_value, Some(exp), "{label} broke the kernel");
+        }
+        for (mem, expected) in &kernel.expected_mems {
+            assert_eq!(s.memory(*mem), expected.as_slice(), "{label} memory");
+        }
+    }
+
+    println!("\n              {:>12}  {:>12}", "Prev.", "Iter.");
+    println!("buffers       {:>12}  {:>12}", prev_report.buffers, iter_report.buffers);
+    println!("logic levels  {:>12}  {:>12}", prev_report.logic_levels, iter_report.logic_levels);
+    println!("CP (ns)       {:>12.2}  {:>12.2}", prev_report.cp_ns, iter_report.cp_ns);
+    println!("clock cycles  {:>12}  {:>12}", prev_report.cycles, iter_report.cycles);
+    println!(
+        "exec time(ns) {:>12.0}  {:>12.0}   ({:+.0}%)",
+        prev_report.exec_time_ns,
+        iter_report.exec_time_ns,
+        100.0 * (iter_report.exec_time_ns - prev_report.exec_time_ns) / prev_report.exec_time_ns
+    );
+    println!(
+        "LUTs          {:>12}  {:>12}   ({:+.0}%)",
+        prev_report.luts,
+        iter_report.luts,
+        100.0 * (iter_report.luts as f64 - prev_report.luts as f64) / prev_report.luts as f64
+    );
+    println!(
+        "FFs           {:>12}  {:>12}   ({:+.0}%)",
+        prev_report.ffs,
+        iter_report.ffs,
+        100.0 * (iter_report.ffs as f64 - prev_report.ffs as f64) / prev_report.ffs as f64
+    );
+    println!(
+        "\niterations: prev {} (single solve), iter {}",
+        prev.iterations.len(),
+        iter.iterations.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the full mapping-aware frequency-regulation suite.
+//!
+//! See [`frequenz_core`] for the paper's contribution and the sub-crates for
+//! the substrates (dataflow IR, gate netlist, LUT mapper, MILP solver,
+//! elastic simulator, mini-HLS kernels).
+pub use dataflow;
+pub use frequenz_core as core;
+pub use hls;
+pub use lutmap;
+pub use milp;
+pub use netlist;
+pub use sim;

@@ -1,0 +1,82 @@
+//! Cross-crate integration tests: the full paper flow end to end, spanning
+//! the mini-HLS frontend, logic synthesis, LUT mapping, the MILP placer,
+//! the iterative loop, the simulator, and the reporting.
+
+use frequenz::core::{
+    measure, optimize_baseline, optimize_iterative, synthesize, FlowOptions,
+};
+use frequenz::hls::kernels;
+use frequenz::sim::Simulator;
+
+#[test]
+fn iterative_flow_is_correct_and_meets_levels_on_gsum() {
+    let k = kernels::gsum(32);
+    let opts = FlowOptions::default();
+    let r = optimize_iterative(k.graph(), k.back_edges(), &opts).expect("flow");
+    assert!(r.converged, "achieved {}", r.achieved_levels);
+    assert!(r.achieved_levels <= opts.target_levels);
+
+    let mut s = Simulator::new(&r.graph);
+    let stats = s.run(k.max_cycles * 8).expect("simulates");
+    assert_eq!(stats.exit_value, k.expected_exit);
+}
+
+#[test]
+fn iterative_beats_baseline_on_buffer_count_for_gsumif() {
+    let k = kernels::gsumif(32);
+    let opts = FlowOptions::default();
+    let prev = optimize_baseline(k.graph(), k.back_edges(), &opts).expect("baseline");
+    let iter = optimize_iterative(k.graph(), k.back_edges(), &opts).expect("iterative");
+    assert!(
+        iter.buffers.len() <= prev.buffers.len(),
+        "iter {} > prev {}",
+        iter.buffers.len(),
+        prev.buffers.len()
+    );
+    // Both remain functionally correct.
+    for g in [&prev.graph, &iter.graph] {
+        let mut s = Simulator::new(g);
+        let stats = s.run(k.max_cycles * 8).expect("simulates");
+        assert_eq!(stats.exit_value, k.expected_exit);
+    }
+}
+
+#[test]
+fn reports_are_consistent_with_synthesis() {
+    let k = kernels::gsum(16);
+    let opts = FlowOptions::default();
+    let r = optimize_iterative(k.graph(), k.back_edges(), &opts).expect("flow");
+    let report = measure(&r.graph, opts.k, k.max_cycles * 8).expect("measure");
+    let synth = synthesize(&r.graph, opts.k).expect("synth");
+    assert_eq!(report.luts, synth.lut_count());
+    assert_eq!(report.ffs, synth.ff_count());
+    assert_eq!(report.logic_levels, synth.logic_levels());
+    assert!(report.cp_ns >= report.logic_levels as f64 * 0.7);
+    assert_eq!(report.buffers, r.buffers.len());
+}
+
+#[test]
+fn memory_kernel_survives_the_full_flow() {
+    let k = kernels::gaussian(5);
+    let opts = FlowOptions::default();
+    let r = optimize_iterative(k.graph(), k.back_edges(), &opts).expect("flow");
+    let mut s = Simulator::new(&r.graph);
+    s.run(k.max_cycles * 8).expect("simulates");
+    for (mem, expected) in &k.expected_mems {
+        assert_eq!(s.memory(*mem), expected.as_slice(), "memory contents");
+    }
+}
+
+#[test]
+fn buffering_more_channels_never_breaks_function() {
+    // Robustness: buffer *every* channel (legal per the dataflow
+    // invariant) and check the kernel still computes correctly.
+    let k = kernels::gsum(8);
+    let mut g = k.graph().clone();
+    for (c, _) in k.graph().channels() {
+        g.set_buffer(c, frequenz::dataflow::BufferSpec::FULL);
+    }
+    let mut s = Simulator::new(&g);
+    let stats = s.run(k.max_cycles * 16).expect("fully buffered still runs");
+    assert_eq!(stats.exit_value, k.expected_exit);
+}

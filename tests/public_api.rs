@@ -1,0 +1,61 @@
+//! The umbrella crate's public API surface: every sub-crate is reachable
+//! and the common types interoperate.
+
+use frequenz::dataflow::{Graph, PortRef, UnitKind};
+use frequenz::lutmap::{map_netlist, MapOptions};
+use frequenz::milp::{Cmp, Model, Sense};
+use frequenz::netlist::elaborate;
+
+#[test]
+fn dataflow_to_netlist_to_luts() {
+    let mut g = Graph::new("api");
+    let bb = g.add_basic_block("bb0");
+    let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 0).unwrap();
+    g.connect(PortRef::new(e, 0), PortRef::new(x, 0)).unwrap();
+    g.validate().unwrap();
+
+    let mut nl = elaborate(&g).netlist;
+    nl.optimize();
+    let luts = map_netlist(&nl, &MapOptions::default()).unwrap();
+    assert!(luts.depth() <= 2);
+}
+
+#[test]
+fn milp_is_reachable() {
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_binary("x", 2.0);
+    m.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+    let sol = m.solve().unwrap();
+    assert!(sol.is_one(x));
+}
+
+#[test]
+fn kernels_are_exported() {
+    let ks = frequenz::hls::kernels::all_kernels_small();
+    assert_eq!(ks.len(), 9);
+    let names: Vec<_> = ks.iter().map(|k| k.name).collect();
+    for expect in [
+        "insertion_sort",
+        "stencil_2d",
+        "covariance",
+        "gsum",
+        "gsumif",
+        "gaussian",
+        "matrix",
+        "mvt",
+        "gemver",
+    ] {
+        assert!(names.contains(&expect), "missing kernel {expect}");
+    }
+}
+
+#[test]
+fn send_sync_bounds_hold() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Graph>();
+    assert_send_sync::<frequenz::netlist::Netlist>();
+    assert_send_sync::<frequenz::lutmap::LutNetwork>();
+    assert_send_sync::<frequenz::milp::Model>();
+    assert_send_sync::<frequenz::core::FlowOptions>();
+}
