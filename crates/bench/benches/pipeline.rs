@@ -61,8 +61,7 @@ fn bench_full_flow(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("iterative_gsum32", |b| {
         b.iter(|| {
-            let r =
-                optimize_iterative(k.graph(), k.back_edges(), &FlowOptions::default()).unwrap();
+            let r = optimize_iterative(k.graph(), k.back_edges(), &FlowOptions::default()).unwrap();
             black_box(r.buffers.len())
         })
     });

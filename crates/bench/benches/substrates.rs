@@ -12,16 +12,12 @@ fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     for kernel in [hls::kernels::gsum(64), hls::kernels::matrix(6)] {
         let g = kernel.seeded_graph();
-        group.bench_with_input(
-            BenchmarkId::new("run", kernel.name),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let mut s = Simulator::new(g);
-                    black_box(s.run(kernel.max_cycles).expect("completes").cycles)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("run", kernel.name), &g, |b, g| {
+            b.iter(|| {
+                let mut s = Simulator::new(g);
+                black_box(s.run(kernel.max_cycles).expect("completes").cycles)
+            })
+        });
     }
     group.finish();
 }

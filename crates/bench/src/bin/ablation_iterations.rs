@@ -6,38 +6,61 @@
 //! the cap grows.
 //!
 //! ```sh
-//! cargo run -p frequenz-bench --release --bin ablation_iterations
+//! cargo run -p frequenz-bench --release --bin ablation_iterations -- [--jobs N]
 //! ```
 
-use frequenz_core::{optimize_iterative, FlowOptions};
+use frequenz_bench::{jobs_from_args, parallel_map, CompareError};
+use frequenz_core::{optimize_iterative_with_cache, FlowOptions, SynthCache};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernels = vec![
+fn main() -> Result<(), CompareError> {
+    let kernels = [
         hls::kernels::gsumif(64),
         hls::kernels::matrix(6),
         hls::kernels::mvt(6),
     ];
+    // Every (kernel, cap) cell is independent — fan the grid out, but keep
+    // one synthesis cache per kernel: the cap-c run re-synthesizes the
+    // same intermediate graphs the cap-(c−1) run already saw.
+    let caches: Vec<SynthCache> = kernels.iter().map(|_| SynthCache::new()).collect();
+    let combos: Vec<(usize, usize)> = (0..kernels.len())
+        .flat_map(|ki| (1..=6).map(move |cap| (ki, cap)))
+        .collect();
+    let cells = parallel_map(&combos, jobs_from_args(), |&(ki, cap)| {
+        let k = &kernels[ki];
+        let opts = FlowOptions {
+            max_iterations: cap,
+            ..FlowOptions::default()
+        };
+        optimize_iterative_with_cache(k.graph(), k.back_edges(), &opts, &caches[ki])
+            .map(|r| (ki, cap, r))
+    });
     println!(
         "{:<15} | {:>4} | {:>7} {:>7} {:>9}",
         "kernel", "cap", "levels", "buffers", "converged"
     );
-    for k in &kernels {
-        for cap in 1..=6 {
-            let opts = FlowOptions {
-                max_iterations: cap,
-                ..FlowOptions::default()
-            };
-            let r = optimize_iterative(k.graph(), k.back_edges(), &opts)?;
-            println!(
-                "{:<15} | {:>4} | {:>7} {:>7} {:>9}",
-                k.name,
-                cap,
-                r.achieved_levels,
-                r.buffers.len(),
-                r.converged
-            );
+    let mut last_kernel = usize::MAX;
+    for cell in cells {
+        let (ki, cap, r) = cell?;
+        if ki != last_kernel && last_kernel != usize::MAX {
+            println!();
         }
-        println!();
+        last_kernel = ki;
+        println!(
+            "{:<15} | {:>4} | {:>7} {:>7} {:>9}",
+            kernels[ki].name,
+            cap,
+            r.achieved_levels,
+            r.buffers.len(),
+            r.converged
+        );
+    }
+    for (k, cache) in kernels.iter().zip(&caches) {
+        eprintln!(
+            "[ablation_iterations] {}: cache {}/{} hits",
+            k.name,
+            cache.hits(),
+            cache.hits() + cache.misses()
+        );
     }
     Ok(())
 }

@@ -5,37 +5,52 @@
 //! budget; this sweep quantifies the sensitivity.
 //!
 //! ```sh
-//! cargo run -p frequenz-bench --release --bin ablation_lut_k
+//! cargo run -p frequenz-bench --release --bin ablation_lut_k -- [--jobs N]
 //! ```
 
-use frequenz_core::{measure, optimize_iterative, FlowOptions};
+use frequenz_bench::{jobs_from_args, parallel_map, CompareError};
+use frequenz_core::{measure_with_cache, optimize_iterative_with_cache, FlowOptions, SynthCache};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernels = vec![hls::kernels::gsum(64), hls::kernels::gsumif(64)];
+fn main() -> Result<(), CompareError> {
+    let kernels = [hls::kernels::gsum(64), hls::kernels::gsumif(64)];
+    // One cache per kernel: distinct K values are distinct cache keys, so
+    // sharing across the K sweep is safe and the measurement re-synthesis
+    // of each flow's final graph always hits.
+    let caches: Vec<SynthCache> = kernels.iter().map(|_| SynthCache::new()).collect();
+    let combos: Vec<(usize, usize)> = (0..kernels.len())
+        .flat_map(|ki| [4usize, 5, 6].into_iter().map(move |lut_k| (ki, lut_k)))
+        .collect();
+    let cells = parallel_map(&combos, jobs_from_args(), |&(ki, lut_k)| {
+        let k = &kernels[ki];
+        let opts = FlowOptions {
+            k: lut_k,
+            ..FlowOptions::default()
+        };
+        let r = optimize_iterative_with_cache(k.graph(), k.back_edges(), &opts, &caches[ki])?;
+        let m = measure_with_cache(&r.graph, lut_k, k.max_cycles * 8, &caches[ki])?;
+        Ok::<_, CompareError>((ki, lut_k, r, m))
+    });
     println!(
         "{:<10} | {:>2} | {:>6} {:>7} {:>7} {:>8} {:>9}",
         "kernel", "K", "levels", "buffers", "LUTs", "CP(ns)", "ET(ns)"
     );
-    for k in &kernels {
-        for lut_k in [4usize, 5, 6] {
-            let opts = FlowOptions {
-                k: lut_k,
-                ..FlowOptions::default()
-            };
-            let r = optimize_iterative(k.graph(), k.back_edges(), &opts)?;
-            let m = measure(&r.graph, lut_k, k.max_cycles * 8)?;
-            println!(
-                "{:<10} | {:>2} | {:>6} {:>7} {:>7} {:>8.2} {:>9.0}",
-                k.name,
-                lut_k,
-                m.logic_levels,
-                r.buffers.len(),
-                m.luts,
-                m.cp_ns,
-                m.exec_time_ns
-            );
+    let mut last_kernel = usize::MAX;
+    for cell in cells {
+        let (ki, lut_k, r, m) = cell?;
+        if ki != last_kernel && last_kernel != usize::MAX {
+            println!();
         }
-        println!();
+        last_kernel = ki;
+        println!(
+            "{:<10} | {:>2} | {:>6} {:>7} {:>7} {:>8.2} {:>9.0}",
+            kernels[ki].name,
+            lut_k,
+            m.logic_levels,
+            r.buffers.len(),
+            m.luts,
+            m.cp_ns,
+            m.exec_time_ns
+        );
     }
     Ok(())
 }

@@ -5,39 +5,51 @@
 //! optimization objective".
 //!
 //! ```sh
-//! cargo run -p frequenz-bench --release --bin ablation_objective
+//! cargo run -p frequenz-bench --release --bin ablation_objective -- [--jobs N]
 //! ```
 
-use frequenz_core::{measure, optimize_iterative, FlowOptions, Objective};
+use frequenz_bench::{jobs_from_args, parallel_map, CompareError};
+use frequenz_core::{
+    measure_with_cache, optimize_iterative_with_cache, FlowOptions, Objective, SynthCache,
+};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernels = vec![hls::kernels::gsum(64), hls::kernels::matrix(6)];
+fn main() -> Result<(), CompareError> {
+    let kernels = [hls::kernels::gsum(64), hls::kernels::matrix(6)];
+    let variants = [
+        ("Eq.3", Objective::ThroughputAndArea, true),
+        ("area-only", Objective::AreaOnly, false),
+    ];
+    let caches: Vec<SynthCache> = kernels.iter().map(|_| SynthCache::new()).collect();
+    let combos: Vec<(usize, usize)> = (0..kernels.len())
+        .flat_map(|ki| (0..variants.len()).map(move |vi| (ki, vi)))
+        .collect();
+    let cells = parallel_map(&combos, jobs_from_args(), |&(ki, vi)| {
+        let k = &kernels[ki];
+        let (_, objective, slack) = variants[vi];
+        let opts = FlowOptions {
+            objective,
+            slack_matching: slack,
+            ..FlowOptions::default()
+        };
+        let r = optimize_iterative_with_cache(k.graph(), k.back_edges(), &opts, &caches[ki])?;
+        let m = measure_with_cache(&r.graph, opts.k, k.max_cycles * 8, &caches[ki])?;
+        Ok::<_, CompareError>((ki, vi, r, m))
+    });
     println!(
         "{:<10} | {:>10} | {:>7} {:>7} {:>9} {:>9}",
         "kernel", "objective", "buffers", "LUTs", "cycles", "ET(ns)"
     );
-    for k in &kernels {
-        for (label, objective, slack) in [
-            ("Eq.3", Objective::ThroughputAndArea, true),
-            ("area-only", Objective::AreaOnly, false),
-        ] {
-            let opts = FlowOptions {
-                objective,
-                slack_matching: slack,
-                ..FlowOptions::default()
-            };
-            let r = optimize_iterative(k.graph(), k.back_edges(), &opts)?;
-            let m = measure(&r.graph, opts.k, k.max_cycles * 8)?;
-            println!(
-                "{:<10} | {:>10} | {:>7} {:>7} {:>9} {:>9.0}",
-                k.name,
-                label,
-                r.buffers.len(),
-                m.luts,
-                m.cycles,
-                m.exec_time_ns
-            );
-        }
+    for cell in cells {
+        let (ki, vi, r, m) = cell?;
+        println!(
+            "{:<10} | {:>10} | {:>7} {:>7} {:>9} {:>9.0}",
+            kernels[ki].name,
+            variants[vi].0,
+            r.buffers.len(),
+            m.luts,
+            m.cycles,
+            m.exec_time_ns
+        );
     }
     println!("\n(area-only trades cycles for fewer buffers at the same CP budget)");
     Ok(())

@@ -7,7 +7,8 @@
 //! ```
 
 use frequenz_core::{
-    optimize_baseline, optimize_iterative, synthesize, utilization, FlowOptions,
+    optimize_baseline_with_cache, optimize_iterative_with_cache, utilization, FlowOptions,
+    SynthCache,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,10 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => return Err(format!("unsupported kernel {other}").into()),
     };
     let opts = FlowOptions::default();
-    let prev = optimize_baseline(kernel.graph(), kernel.back_edges(), &opts)?;
-    let iter = optimize_iterative(kernel.graph(), kernel.back_edges(), &opts)?;
-    let sp = synthesize(&prev.graph, opts.k)?;
-    let si = synthesize(&iter.graph, opts.k)?;
+    // One cache across both flows: the breakdown's re-syntheses of the
+    // final graphs below are guaranteed hits.
+    let cache = SynthCache::new();
+    let prev = optimize_baseline_with_cache(kernel.graph(), kernel.back_edges(), &opts, &cache)?;
+    let iter = optimize_iterative_with_cache(kernel.graph(), kernel.back_edges(), &opts, &cache)?;
+    let sp = cache.synthesize(&prev.graph, opts.k)?;
+    let si = cache.synthesize(&iter.graph, opts.k)?;
     let up = utilization(kernel.graph(), &sp);
     let ui = utilization(kernel.graph(), &si);
 

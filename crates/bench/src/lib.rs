@@ -1,12 +1,22 @@
 //! Benchmark harness: the shared Prev-vs-Iter comparison runner used by
 //! the table/figure regeneration binaries (`table1`, `figure5`, the
 //! ablations) and the Criterion benches.
+//!
+//! Comparisons run **in parallel** across kernels ([`parallel_map`],
+//! `--jobs N` in every binary) with a per-kernel [`SynthCache`] shared by
+//! the baseline flow, the iterative flow and the final measurements, so
+//! structurally repeated syntheses are served from memory. Row order is
+//! deterministic — the kernel list order — regardless of the job count.
 
 use frequenz_core::{
-    measure, optimize_baseline, optimize_iterative, CircuitReport, FlowOptions, FlowResult,
+    measure_with_cache, optimize_baseline_with_cache, optimize_iterative_with_cache, CircuitReport,
+    FlowOptions, FlowResult, FlowTrace, SynthCache,
 };
 use hls::Kernel;
 use sim::Simulator;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// One row of Table I: a kernel measured under both strategies.
 #[derive(Debug, Clone)]
@@ -21,6 +31,17 @@ pub struct KernelComparison {
     pub iter_iterations: usize,
     /// Whether the mapping-aware flow met the level target.
     pub iter_converged: bool,
+    /// Phase breakdown of the baseline flow.
+    pub prev_trace: FlowTrace,
+    /// Phase breakdown of the iterative flow.
+    pub iter_trace: FlowTrace,
+    /// Synthesis-cache hits across the whole comparison (both flows and
+    /// both measurements share one cache).
+    pub cache_hits: u64,
+    /// Synthesis-cache misses across the whole comparison.
+    pub cache_misses: u64,
+    /// Wall-clock seconds for the whole comparison.
+    pub wall_s: f64,
 }
 
 impl KernelComparison {
@@ -38,10 +59,77 @@ impl KernelComparison {
     pub fn ff_ratio(&self) -> f64 {
         self.iter.ffs as f64 / self.prev.ffs as f64 - 1.0
     }
+
+    /// Cache hit rate across the comparison (0 when nothing ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
-/// Errors from a comparison run.
-pub type CompareError = Box<dyn std::error::Error>;
+/// Errors from a comparison run (`Send + Sync` so failures cross the
+/// parallel runner's thread boundary).
+pub type CompareError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Runs `f` over `items` on up to `jobs` scoped threads, returning the
+/// results **in item order**.
+///
+/// Work is claimed dynamically (an atomic cursor), so long and short items
+/// mix freely; `jobs <= 1` degenerates to a plain sequential map, and the
+/// thread count never exceeds the item count. Panics in a worker propagate
+/// when the scope joins.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot is filled"))
+        .collect()
+}
+
+/// Parses `--jobs N` (or `-j N`) from the process arguments; defaults to
+/// the machine's available parallelism.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--jobs" || a == "-j" {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+        if let Some(n) = a
+            .strip_prefix("--jobs=")
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Asserts that `result`'s circuit still computes the kernel's reference
 /// outputs (every optimization must be functionally invisible).
@@ -76,6 +164,10 @@ pub fn verify_outputs(kernel: &Kernel, result: &FlowResult) -> Result<(), Compar
 
 /// Runs both flows on `kernel` and measures them — one full Table I row.
 ///
+/// Both flows and both measurements share one fresh [`SynthCache`], so the
+/// iterative flow's internal repeats and each measurement's re-synthesis
+/// of the flow's final graph hit memory.
+///
 /// # Errors
 ///
 /// Propagates flow, measurement and verification failures.
@@ -83,14 +175,16 @@ pub fn compare_kernel(
     kernel: &Kernel,
     opts: &FlowOptions,
 ) -> Result<KernelComparison, CompareError> {
+    let start = Instant::now();
     let budget = kernel.max_cycles * 8;
-    let prev = optimize_baseline(kernel.graph(), kernel.back_edges(), opts)?;
+    let cache = SynthCache::new();
+    let prev = optimize_baseline_with_cache(kernel.graph(), kernel.back_edges(), opts, &cache)?;
     verify_outputs(kernel, &prev)?;
-    let prev_report = measure(&prev.graph, opts.k, budget)?;
+    let prev_report = measure_with_cache(&prev.graph, opts.k, budget, &cache)?;
 
-    let iter = optimize_iterative(kernel.graph(), kernel.back_edges(), opts)?;
+    let iter = optimize_iterative_with_cache(kernel.graph(), kernel.back_edges(), opts, &cache)?;
     verify_outputs(kernel, &iter)?;
-    let iter_report = measure(&iter.graph, opts.k, budget)?;
+    let iter_report = measure_with_cache(&iter.graph, opts.k, budget, &cache)?;
 
     Ok(KernelComparison {
         name: kernel.name,
@@ -98,6 +192,11 @@ pub fn compare_kernel(
         iter: iter_report,
         iter_iterations: iter.iterations.len(),
         iter_converged: iter.converged,
+        prev_trace: prev.trace,
+        iter_trace: iter.trace,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        wall_s: start.elapsed().as_secs_f64(),
     })
 }
 
@@ -106,23 +205,64 @@ pub fn evaluation_kernels() -> Vec<Kernel> {
     hls::kernels::all_kernels()
 }
 
-/// Prints a Table I-style header + rows and returns the comparisons.
+/// Runs [`compare_kernel`] over `kernels` on `jobs` threads; rows come
+/// back in kernel order.
+///
+/// # Errors
+///
+/// Propagates the first (in kernel order) failure.
+pub fn compare_kernels(
+    kernels: &[Kernel],
+    opts: &FlowOptions,
+    jobs: usize,
+) -> Result<Vec<KernelComparison>, CompareError> {
+    let results = parallel_map(kernels, jobs, |kernel| {
+        let t = Instant::now();
+        let out = compare_kernel(kernel, opts);
+        match &out {
+            Ok(c) => eprintln!(
+                "[bench] {} done in {:.1} s (cache {}/{} hits)",
+                kernel.name,
+                t.elapsed().as_secs_f64(),
+                c.cache_hits,
+                c.cache_hits + c.cache_misses
+            ),
+            Err(e) => eprintln!("[bench] {} FAILED: {e}", kernel.name),
+        }
+        out
+    });
+    results.into_iter().collect()
+}
+
+/// Prints a Table I-style header + rows and returns the comparisons
+/// (sequentially: [`run_table1_jobs`] with one job).
 ///
 /// # Errors
 ///
 /// Propagates the first kernel failure.
 pub fn run_table1(opts: &FlowOptions) -> Result<Vec<KernelComparison>, CompareError> {
-    let mut rows = Vec::new();
+    run_table1_jobs(opts, 1)
+}
+
+/// Prints a Table I-style header + rows and returns the comparisons,
+/// comparing kernels on `jobs` threads. Output rows are in kernel order no
+/// matter the job count.
+///
+/// # Errors
+///
+/// Propagates the first (in kernel order) kernel failure.
+pub fn run_table1_jobs(
+    opts: &FlowOptions,
+    jobs: usize,
+) -> Result<Vec<KernelComparison>, CompareError> {
+    let kernels = evaluation_kernels();
+    let rows = compare_kernels(&kernels, opts, jobs)?;
     println!(
         "{:<15} | {:>6} {:>6} | {:>8} {:>8} | {:>9} {:>9} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>5} {:>5} | {:>5}",
         "Benchmark", "CP(P)", "CP(I)", "Cyc(P)", "Cyc(I)", "ET(P)", "ET(I)", "ET%",
         "LUT(P)", "LUT(I)", "LUT%", "FF(P)", "FF(I)", "FF%", "LL(P)", "LL(I)", "iters"
     );
-    for kernel in evaluation_kernels() {
-        eprintln!("[table1] running {} ...", kernel.name);
-        let t = std::time::Instant::now();
-        let c = compare_kernel(&kernel, opts)?;
-        eprintln!("[table1] {} done in {:.1} s", kernel.name, t.elapsed().as_secs_f64());
+    for c in &rows {
         println!(
             "{:<15} | {:>6.2} {:>6.2} | {:>8} {:>8} | {:>9.0} {:>9.0} {:>+5.0}% | {:>6} {:>6} {:>+5.0}% | {:>6} {:>6} {:>+5.0}% | {:>5} {:>5} | {:>5}",
             c.name,
@@ -143,7 +283,73 @@ pub fn run_table1(opts: &FlowOptions) -> Result<Vec<KernelComparison>, CompareEr
             c.iter.logic_levels,
             c.iter_iterations,
         );
-        rows.push(c);
     }
     Ok(rows)
+}
+
+/// Renders the comparisons as a JSON document (hand-rolled — the build is
+/// offline, so no serde): per-kernel wall clock, cache statistics and the
+/// Table I metrics. Suitable for `BENCH_table1.json`.
+pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
+    out.push_str("  \"kernels\": [\n");
+    for (i, c) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_hit_rate\": {:.4}, \"et_prev_ns\": {:.1}, \"et_iter_ns\": {:.1}, \
+             \"luts_prev\": {}, \"luts_iter\": {}, \"ffs_prev\": {}, \"ffs_iter\": {}, \
+             \"levels_prev\": {}, \"levels_iter\": {}, \"iterations\": {}, \"converged\": {}}}{}\n",
+            c.name,
+            c.wall_s,
+            c.cache_hits,
+            c.cache_misses,
+            c.cache_hit_rate(),
+            c.prev.exec_time_ns,
+            c.iter.exec_time_ns,
+            c.prev.luts,
+            c.iter.luts,
+            c.prev.ffs,
+            c.iter.ffs,
+            c.prev.logic_levels,
+            c.iter.logic_levels,
+            c.iter_iterations,
+            c.iter_converged,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let seq = parallel_map(&items, 1, |&x| x * 3);
+        let par = parallel_map(&items, 8, |&x| x * 3);
+        assert_eq!(seq, par);
+        assert_eq!(par[10], 30);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_oversubscription() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        let one = [7u32];
+        assert_eq!(parallel_map(&one, 64, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed_enough() {
+        let rows: Vec<KernelComparison> = Vec::new();
+        let j = comparisons_to_json(&rows, 1.25, 4);
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"total_wall_s\": 1.250"));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
 }

@@ -72,7 +72,7 @@ pub fn unit_domains(kind: &UnitKind) -> Vec<Domain> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dataflow::{PortRef};
+    use dataflow::PortRef;
 
     #[test]
     fn branches_and_muxes_interact() {

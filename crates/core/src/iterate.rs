@@ -12,12 +12,14 @@ use crate::cfdfc::extract_cfdfcs;
 use crate::lutdfg::map_lut_edges;
 use crate::penalty::compute_penalties;
 use crate::place::{place_buffers, PlaceError, PlacementProblem};
-use crate::synth::synthesize;
+use crate::synth::SynthCache;
 use crate::timing::TimingGraph;
+use crate::trace::{timed, FlowTrace};
+use dataflow::collections::{HashMap, HashSet};
 use dataflow::{BufferSpec, ChannelId, Graph};
 use lutmap::MapError;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::time::Instant;
 
 /// Tuning knobs of both flows (iterative and baseline).
 #[derive(Debug, Clone)]
@@ -99,6 +101,8 @@ pub struct FlowResult {
     pub iterations: Vec<IterationRecord>,
     /// `true` if the level budget was met.
     pub converged: bool,
+    /// Where the run's wall clock went (see [`FlowTrace`]).
+    pub trace: FlowTrace,
 }
 
 /// Flow failures.
@@ -158,7 +162,32 @@ pub fn optimize_iterative(
     back_edges: &[ChannelId],
     opts: &FlowOptions,
 ) -> Result<FlowResult, FlowError> {
-    let cfdfcs = extract_cfdfcs(base, back_edges, opts.max_cfdfcs, opts.sim_budget);
+    optimize_iterative_with_cache(base, back_edges, opts, &SynthCache::new())
+}
+
+/// [`optimize_iterative`] with a caller-owned synthesis cache.
+///
+/// Sharing one cache across the iterative flow, the baseline flow and the
+/// final [`measure`](crate::measure) of the same kernel lets structurally
+/// repeated syntheses (iteration *i+1* re-synthesizing iteration *i*'s
+/// graph, slack-matching probes, the final measurement) hit memory instead
+/// of re-running elaboration + optimization + mapping.
+///
+/// # Errors
+///
+/// Same contract as [`optimize_iterative`].
+pub fn optimize_iterative_with_cache(
+    base: &Graph,
+    back_edges: &[ChannelId],
+    opts: &FlowOptions,
+    cache: &SynthCache,
+) -> Result<FlowResult, FlowError> {
+    let run_start = Instant::now();
+    let mut trace = FlowTrace::default();
+    let (hits0, misses0) = (cache.hits(), cache.misses());
+    let cfdfcs = timed(&mut trace.timing, || {
+        extract_cfdfcs(base, back_edges, opts.max_cfdfcs, opts.sim_budget)
+    });
     let mut fixed: Vec<ChannelId> = back_edges.to_vec();
     let mut iterations = Vec::new();
     let mut best: Option<(u32, Vec<ChannelId>)> = None;
@@ -168,13 +197,13 @@ pub fn optimize_iterative(
         // Synthesize the current circuit (with the fixed buffers) and
         // derive the mapping-aware timing model.
         let g_cur = apply_buffers(base, &fixed);
-        let synth = synthesize(&g_cur, opts.k)?;
-        let map = map_lut_edges(base, &synth);
-        let timing = TimingGraph::build(base, &synth, &map);
+        let synth = timed(&mut trace.synth, || cache.synthesize(&g_cur, opts.k))?;
+        let map = timed(&mut trace.map, || map_lut_edges(base, &synth));
+        let timing = timed(&mut trace.timing, || TimingGraph::build(base, &synth, &map));
         let penalties = if opts.use_penalties {
-            compute_penalties(base, &timing)
+            timed(&mut trace.timing, || compute_penalties(base, &timing))
         } else {
-            HashMap::new()
+            HashMap::default()
         };
 
         let problem = PlacementProblem {
@@ -195,11 +224,12 @@ pub fn optimize_iterative(
             max_cut_rounds: opts.max_cut_rounds,
             objective: opts.objective,
         };
-        let placement = place_buffers(&problem)?;
+        let placement = timed(&mut trace.milp, || place_buffers(&problem))?;
+        trace.cut_rounds += placement.cut_rounds;
 
         // Re-synthesize with the proposed buffers; check the real levels.
         let g_new = apply_buffers(base, &placement.buffers);
-        let synth2 = synthesize(&g_new, opts.k)?;
+        let synth2 = timed(&mut trace.synth, || cache.synthesize(&g_new, opts.k))?;
         let achieved = synth2.logic_levels();
 
         let mean_penalty = if placement.buffers.is_empty() {
@@ -213,11 +243,7 @@ pub fn optimize_iterative(
                 / placement.buffers.len() as f64
         };
 
-        if best
-            .as_ref()
-            .map(|(lv, _)| achieved < *lv)
-            .unwrap_or(true)
-        {
+        if best.as_ref().map(|(lv, _)| achieved < *lv).unwrap_or(true) {
             best = Some((achieved, placement.buffers.clone()));
         }
 
@@ -242,20 +268,29 @@ pub fn optimize_iterative(
                     sim_budget: opts.sim_budget,
                     ..crate::slack::SlackOptions::default()
                 };
-                let widened = crate::slack::slack_match(base, &best_buffers, &slack_opts);
+                let widened = timed(&mut trace.slack, || {
+                    crate::slack::slack_match_with_cache(base, &best_buffers, &slack_opts, cache)
+                });
                 if widened.len() != best_buffers.len() {
                     best_buffers = widened;
-                    if let Ok(s2) = synthesize(&apply_buffers(base, &best_buffers), opts.k) {
+                    if let Ok(s2) = timed(&mut trace.synth, || {
+                        cache.synthesize(&apply_buffers(base, &best_buffers), opts.k)
+                    }) {
                         best_levels = s2.logic_levels();
                     }
                 }
             }
+            trace.iterations = iterations.len();
+            trace.cache_hits = cache.hits() - hits0;
+            trace.cache_misses = cache.misses() - misses0;
+            trace.total = run_start.elapsed();
             return Ok(FlowResult {
                 graph: apply_buffers(base, &best_buffers),
                 buffers: best_buffers,
                 achieved_levels: best_levels,
                 iterations,
                 converged,
+                trace,
             });
         }
 
@@ -279,7 +314,9 @@ pub fn optimize_iterative(
 /// The paper's subset rule: keep the previously fixed buffers, then add —
 /// per basic block — the proposed buffer with the lowest penalty, so the
 /// retained set is sparse (affects independent logic regions) and cheap
-/// (disrupts the fewest logic optimizations).
+/// (disrupts the fewest logic optimizations). Penalty ties break on the
+/// lower [`ChannelId`], making the pick canonical regardless of the order
+/// the solver emitted the proposal in.
 fn select_sparse_subset(
     g: &Graph,
     proposed: &[ChannelId],
@@ -287,7 +324,7 @@ fn select_sparse_subset(
     penalties: &HashMap<ChannelId, f64>,
 ) -> Vec<ChannelId> {
     let fixed_set: HashSet<ChannelId> = already_fixed.iter().copied().collect();
-    let mut per_bb: HashMap<dataflow::BasicBlockId, (ChannelId, f64)> = HashMap::new();
+    let mut per_bb: HashMap<dataflow::BasicBlockId, (ChannelId, f64)> = HashMap::default();
     for &c in proposed {
         if fixed_set.contains(&c) {
             continue;
@@ -295,7 +332,7 @@ fn select_sparse_subset(
         let bb = g.unit(g.channel(c).src().unit).bb();
         let p = penalties.get(&c).copied().unwrap_or(0.0);
         match per_bb.get(&bb) {
-            Some((_, best)) if *best <= p => {}
+            Some((held, best)) if *best < p || (*best == p && *held < c) => {}
             _ => {
                 per_bb.insert(bb, (c, p));
             }
@@ -341,11 +378,11 @@ mod tests {
     fn sparse_subset_is_per_basic_block() {
         let k = kernels::matrix(4);
         let g = k.graph();
-        let penalties = HashMap::new();
+        let penalties = HashMap::default();
         let proposed: Vec<_> = g.channels().map(|(c, _)| c).take(12).collect();
         let picked = select_sparse_subset(g, &proposed, &[], &penalties);
         // At most one new pick per basic block.
-        let mut bbs = HashSet::new();
+        let mut bbs = HashSet::default();
         for c in &picked {
             let bb = g.unit(g.channel(*c).src().unit).bb();
             assert!(bbs.insert(bb), "two picks in one bb");

@@ -25,6 +25,11 @@
 //! 9. [`report`] — post-"place & route" measurement: LUTs, FFs, logic
 //!    levels, clock period (with the fanout-based routing model), cycle
 //!    counts and execution time — the columns of Table I.
+//!
+//! Cross-cutting infrastructure: [`synth::SynthCache`] memoizes synthesis
+//! runs on structural graph fingerprints (iterations, slack probes and
+//! measurements repeat graphs constantly), and [`trace::FlowTrace`]
+//! reports where each flow run's wall clock went.
 
 pub mod baseline;
 pub mod cfdfc;
@@ -37,15 +42,24 @@ pub mod report;
 pub mod slack;
 pub mod synth;
 pub mod timing;
+pub mod trace;
 
-pub use baseline::{baseline_timing_graph, characterize_units, optimize_baseline};
+pub use baseline::{
+    baseline_timing_graph, characterize_units, optimize_baseline, optimize_baseline_with_cache,
+};
 pub use cfdfc::{extract_cfdfcs, Cfdfc};
 pub use domains::{interaction_units, is_interaction_unit, Domain};
-pub use iterate::{apply_buffers, optimize_iterative, FlowError, FlowOptions, FlowResult, IterationRecord};
+pub use iterate::{
+    apply_buffers, optimize_iterative, optimize_iterative_with_cache, FlowError, FlowOptions,
+    FlowResult, IterationRecord,
+};
 pub use lutdfg::{map_lut_edges, EdgeTarget, LutDfgMap, MappedEdge};
 pub use penalty::compute_penalties;
 pub use place::{place_buffers, Objective, PlaceError, PlacementProblem, PlacementResult};
-pub use report::{clock_period_ns, measure, utilization, CircuitReport, MeasureError};
-pub use slack::{slack_match, SlackOptions};
-pub use synth::{synthesize, Synthesis};
+pub use report::{
+    clock_period_ns, measure, measure_with_cache, utilization, CircuitReport, MeasureError,
+};
+pub use slack::{slack_match, slack_match_with_cache, SlackOptions};
+pub use synth::{synthesize, SynthCache, Synthesis};
 pub use timing::{CriticalPath, TimingEdge, TimingGraph, TimingNode, TimingNodeId};
+pub use trace::FlowTrace;

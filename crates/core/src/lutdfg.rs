@@ -214,13 +214,17 @@ mod tests {
         let br = g.add_unit(UnitKind::Branch, "branch", bb, 16).unwrap();
         let x1 = g.add_unit(UnitKind::Exit, "x1", bb, 16).unwrap();
         let sk = g.add_unit(UnitKind::Sink, "sk", bb, 16).unwrap();
-        g.connect(PortRef::new(a, 0), PortRef::new(add0, 0)).unwrap();
-        g.connect(PortRef::new(b, 0), PortRef::new(add0, 1)).unwrap();
-        g.connect(PortRef::new(add0, 0), PortRef::new(f, 0)).unwrap();
+        g.connect(PortRef::new(a, 0), PortRef::new(add0, 0))
+            .unwrap();
+        g.connect(PortRef::new(b, 0), PortRef::new(add0, 1))
+            .unwrap();
+        g.connect(PortRef::new(add0, 0), PortRef::new(f, 0))
+            .unwrap();
         g.connect(PortRef::new(f, 0), PortRef::new(s, 0)).unwrap();
         g.connect(PortRef::new(s, 0), PortRef::new(add, 0)).unwrap();
         g.connect(PortRef::new(f, 1), PortRef::new(add, 1)).unwrap();
-        g.connect(PortRef::new(add, 0), PortRef::new(br, 0)).unwrap();
+        g.connect(PortRef::new(add, 0), PortRef::new(br, 0))
+            .unwrap();
         g.connect(PortRef::new(c, 0), PortRef::new(br, 1)).unwrap();
         g.connect(PortRef::new(br, 0), PortRef::new(x1, 0)).unwrap();
         g.connect(PortRef::new(br, 1), PortRef::new(sk, 0)).unwrap();

@@ -9,8 +9,8 @@
 //! (Eq. 3).
 
 use crate::timing::TimingGraph;
+use dataflow::collections::HashMap;
 use dataflow::{ChannelId, Graph};
-use std::collections::HashMap;
 
 /// Computes the per-channel penalties from a timing model.
 ///
@@ -19,7 +19,7 @@ use std::collections::HashMap;
 pub fn compute_penalties(g: &Graph, timing: &TimingGraph) -> HashMap<ChannelId, f64> {
     let unit_counts = timing.unit_node_counts();
     let fake_touch = timing.fake_nodes_touching();
-    let mut penalties = HashMap::new();
+    let mut penalties = HashMap::default();
     for (cid, ch) in g.channels() {
         let src = ch.src().unit;
         let (real, fake) = unit_counts.get(&src).copied().unwrap_or((0, 0));
@@ -70,12 +70,21 @@ mod tests {
             .add_unit(UnitKind::Operator(OpKind::Add), "add2", bb, 16)
             .unwrap();
         let x = g.add_unit(UnitKind::Exit, "exit", bb, 16).unwrap();
-        g.connect(PortRef::new(a, 0), PortRef::new(add0, 0)).unwrap();
-        g.connect(PortRef::new(b, 0), PortRef::new(add0, 1)).unwrap();
-        let ch_a = g.connect(PortRef::new(add0, 0), PortRef::new(s, 0)).unwrap();
-        let ch_b = g.connect(PortRef::new(s, 0), PortRef::new(add2, 0)).unwrap();
-        g.connect(PortRef::new(c, 0), PortRef::new(add2, 1)).unwrap();
-        let ch_c = g.connect(PortRef::new(add2, 0), PortRef::new(x, 0)).unwrap();
+        g.connect(PortRef::new(a, 0), PortRef::new(add0, 0))
+            .unwrap();
+        g.connect(PortRef::new(b, 0), PortRef::new(add0, 1))
+            .unwrap();
+        let ch_a = g
+            .connect(PortRef::new(add0, 0), PortRef::new(s, 0))
+            .unwrap();
+        let ch_b = g
+            .connect(PortRef::new(s, 0), PortRef::new(add2, 0))
+            .unwrap();
+        g.connect(PortRef::new(c, 0), PortRef::new(add2, 1))
+            .unwrap();
+        let ch_c = g
+            .connect(PortRef::new(add2, 0), PortRef::new(x, 0))
+            .unwrap();
         g.validate().unwrap();
 
         let synth = synthesize(&g, 6).unwrap();

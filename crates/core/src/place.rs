@@ -24,9 +24,10 @@
 
 use crate::cfdfc::Cfdfc;
 use crate::timing::TimingGraph;
+use dataflow::collections::{HashMap, HashSet};
 use dataflow::{enumerate_simple_cycles, ChannelId, Graph};
 use milp::{Cmp, Model, Sense, SolveError, VarId};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// What the MILP maximizes (the paper: "our iterative refinement strategy
@@ -120,7 +121,6 @@ struct Cut {
     need: u32,
 }
 
-
 /// Sliding-window covering cuts from a violating path: every contiguous
 /// stretch of more than `target` logic levels must contain at least one
 /// buffered channel. Windows with no breakable channel are recorded in
@@ -191,9 +191,9 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
     }
     // Seed the clock-period cuts from the fixed-buffers-only state: this
     // usually leaves only refinement work to the lazy rounds.
-    if let Ok(paths) =
-        p.timing
-            .critical_paths(p.target_levels, |c| fixed.contains(&c), 160)
+    if let Ok(paths) = p
+        .timing
+        .critical_paths(p.target_levels, |c| fixed.contains(&c), 160)
     {
         let mut scratch = Vec::new();
         for path in &paths {
@@ -216,8 +216,12 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
         let mut model = Model::new(Sense::Maximize);
         model.set_node_limit(10_000);
         model.set_gap(1e-4);
-        model.set_time_limit(std::time::Duration::from_millis(900));
-        let mut rvar: HashMap<ChannelId, VarId> = HashMap::new();
+        // A pivot budget rather than a wall-clock limit: truncated solves
+        // must return the same incumbent on every run (see the determinism
+        // tests). 30k pivots is roughly a second of release-mode work on
+        // the largest kernel models and plenty for the small ones.
+        model.set_work_limit(30_000);
+        let mut rvar: HashMap<ChannelId, VarId> = HashMap::default();
         for &c in &candidates {
             // The tiny deterministic epsilon breaks the symmetry of
             // covering constraints (otherwise equal-cost channels explode
@@ -225,8 +229,7 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
             // difference and never changes which solutions are optimal in
             // the original objective beyond tie-breaking.
             let eps = 1e-5 * ((c.index() % 13) as f64) / 13.0;
-            let cost =
-                p.beta * (1.0 + p.penalties.get(&c).copied().unwrap_or(0.0)) + eps;
+            let cost = p.beta * (1.0 + p.penalties.get(&c).copied().unwrap_or(0.0)) + eps;
             let lo = if fixed.contains(&c) { 1.0 } else { 0.0 };
             let v = model.add_var(format!("R_{c}"), lo, 1.0, -cost, true);
             rvar.insert(c, v);
@@ -258,19 +261,14 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
                 // w ≤ Φ ; w ≤ R ; w ≥ Φ + R − 1.
                 model.add_constraint(vec![(w, 1.0), (phi, -1.0)], Cmp::Le, 0.0);
                 model.add_constraint(vec![(w, 1.0), (r, -1.0)], Cmp::Le, 0.0);
-                model.add_constraint(
-                    vec![(w, -1.0), (phi, 1.0), (r, 1.0)],
-                    Cmp::Le,
-                    1.0,
-                );
+                model.add_constraint(vec![(w, -1.0), (phi, 1.0), (r, 1.0)], Cmp::Le, 1.0);
                 terms.push((w, 1.0));
             }
             model.add_constraint(terms, Cmp::Le, k.tokens as f64);
         }
         // Covering cuts.
         for cut in &cuts {
-            let terms: Vec<(VarId, f64)> =
-                cut.channels.iter().map(|c| (rvar[c], 1.0)).collect();
+            let terms: Vec<(VarId, f64)> = cut.channels.iter().map(|c| (rvar[c], 1.0)).collect();
             if terms.is_empty() {
                 return Err(PlaceError::UnbreakableCycle);
             }
@@ -295,8 +293,7 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
         // Lazy clock-period cuts from the timing model.
         unbreakable.clear();
         let is_broken = |c: ChannelId| placed.contains(&c) || fixed.contains(&c);
-        let new_cuts: Vec<Cut> = match p.timing.critical_paths(p.target_levels, is_broken, 48)
-        {
+        let new_cuts: Vec<Cut> = match p.timing.critical_paths(p.target_levels, is_broken, 48) {
             Ok(paths) => {
                 let mut v = Vec::new();
                 for path in &paths {

@@ -8,7 +8,7 @@
 //! paper's observation that routing makes the achieved CP deviate from
 //! the `6 × 0.7 = 4.2 ns` target.
 
-use crate::synth::{synthesize, Synthesis};
+use crate::synth::{synthesize, SynthCache, Synthesis};
 use dataflow::{Graph, LOGIC_LEVEL_DELAY_NS};
 use lutmap::{LutId, LutInput};
 use sim::{SimError, Simulator};
@@ -178,9 +178,36 @@ pub fn utilization(g: &Graph, synth: &Synthesis) -> Vec<(String, usize, usize)> 
 /// `sim_budget` cycles applies).
 pub fn measure(g: &Graph, k: usize, sim_budget: u64) -> Result<CircuitReport, MeasureError> {
     let synth = synthesize(g, k).map_err(MeasureError::Synthesis)?;
+    measure_synthesized(g, &synth, sim_budget)
+}
+
+/// [`measure`] with a caller-owned synthesis cache.
+///
+/// When the cache already saw the flow that produced `g` (the iterative
+/// flow re-synthesizes its own final answer), the measurement's synthesis
+/// is a guaranteed hit.
+///
+/// # Errors
+///
+/// Same contract as [`measure`].
+pub fn measure_with_cache(
+    g: &Graph,
+    k: usize,
+    sim_budget: u64,
+    cache: &SynthCache,
+) -> Result<CircuitReport, MeasureError> {
+    let synth = cache.synthesize(g, k).map_err(MeasureError::Synthesis)?;
+    measure_synthesized(g, &synth, sim_budget)
+}
+
+fn measure_synthesized(
+    g: &Graph,
+    synth: &Synthesis,
+    sim_budget: u64,
+) -> Result<CircuitReport, MeasureError> {
     let mut s = Simulator::new(g);
     let stats = s.run(sim_budget).map_err(MeasureError::Simulation)?;
-    let cp_ns = clock_period_ns(&synth);
+    let cp_ns = clock_period_ns(synth);
     Ok(CircuitReport {
         luts: synth.lut_count(),
         ffs: synth.ff_count(),

@@ -14,7 +14,7 @@
 //! comparison between them stays apples-to-apples.
 
 use crate::iterate::apply_buffers;
-use crate::synth::synthesize;
+use crate::synth::SynthCache;
 use dataflow::{ChannelId, Graph};
 use sim::Simulator;
 
@@ -64,10 +64,20 @@ fn profile(g: &Graph, budget: u64) -> (Option<u64>, Vec<(ChannelId, u64)>) {
 /// Returns the augmented buffer list (a superset of `buffers`). The level
 /// budget is re-checked by synthesis for every accepted buffer, so the
 /// pass can only improve cycle counts, never the clock period.
-pub fn slack_match(
+pub fn slack_match(base: &Graph, buffers: &[ChannelId], opts: &SlackOptions) -> Vec<ChannelId> {
+    slack_match_with_cache(base, buffers, opts, &SynthCache::new())
+}
+
+/// [`slack_match`] with a caller-owned synthesis cache.
+///
+/// The pass re-synthesizes every accepted candidate to re-check the level
+/// budget; probing the same buffer set twice (or re-checking the set the
+/// enclosing flow just synthesized) then hits the cache.
+pub fn slack_match_with_cache(
     base: &Graph,
     buffers: &[ChannelId],
     opts: &SlackOptions,
+    cache: &SynthCache,
 ) -> Vec<ChannelId> {
     let mut current: Vec<ChannelId> = buffers.to_vec();
     let g0 = apply_buffers(base, &current);
@@ -88,8 +98,7 @@ pub fn slack_match(
         // Candidate sets: singles first, then pairs — ring re-alignment
         // often needs capacity on two coupled channels at once (e.g. both
         // index channels of a loop header).
-        let mut candidates: Vec<Vec<ChannelId>> =
-            top.iter().map(|&c| vec![c]).collect();
+        let mut candidates: Vec<Vec<ChannelId>> = top.iter().map(|&c| vec![c]).collect();
         for i in 0..top.len() {
             for j in (i + 1)..top.len() {
                 candidates.push(vec![top[i], top[j]]);
@@ -111,7 +120,7 @@ pub fn slack_match(
                 .map(|(_, c)| cycles < *c)
                 .unwrap_or(cycles < best_cycles);
             if better {
-                let levels = match synthesize(&gt, opts.k) {
+                let levels = match cache.synthesize(&gt, opts.k) {
                     Ok(s) => s.logic_levels(),
                     Err(_) => continue,
                 };
@@ -137,6 +146,7 @@ pub fn slack_match(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synth::synthesize;
     use hls::kernels;
 
     #[test]

@@ -3,9 +3,12 @@
 //! This is the "Logic Synthesizer" box of Figure 4: the equivalent of
 //! feeding the circuit's BLIF through ABC's optimization and `if -K 6`.
 
-use dataflow::Graph;
+use dataflow::collections::HashMap;
+use dataflow::{fingerprint_graph, Fingerprint, Graph};
 use lutmap::{map_netlist, LutNetwork, MapError, MapOptions};
 use netlist::{elaborate, Netlist, OptStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The artifacts of one synthesis run.
 #[derive(Debug)]
@@ -44,12 +47,88 @@ impl Synthesis {
 pub fn synthesize(g: &Graph, k: usize) -> Result<Synthesis, MapError> {
     let mut nl = elaborate(g).netlist;
     let opt_stats = nl.optimize();
-    let luts = map_netlist(&nl, &MapOptions { k, area_recovery: true })?;
+    let luts = map_netlist(
+        &nl,
+        &MapOptions {
+            k,
+            area_recovery: true,
+        },
+    )?;
     Ok(Synthesis {
         netlist: nl,
         luts,
         opt_stats,
     })
+}
+
+/// A memoizing synthesis front end.
+///
+/// The iterative flow synthesizes structurally identical graphs over and
+/// over: iteration *i+1* starts from the buffered graph iteration *i*
+/// ended with, slack matching probes repeat candidate buffer sets, and
+/// the final measurement re-synthesizes the flow's own output. The cache
+/// keys runs on `(`[`Fingerprint`]`, K)` — the structural hash covers
+/// buffer annotations, so distinct buffer configurations never collide —
+/// and hands out [`Arc<Synthesis>`] so hits are free.
+///
+/// The cache is `&self` throughout and safe to share across threads; the
+/// lock is *not* held while a miss synthesizes, so concurrent misses on
+/// different graphs proceed in parallel (a rare duplicate miss on the
+/// same key just wastes one synthesis run).
+#[derive(Debug, Default)]
+pub struct SynthCache {
+    entries: Mutex<HashMap<(Fingerprint, usize), Arc<Synthesis>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SynthCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Synthesizes `g`, serving structurally identical repeats from memory.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`synthesize`]; errors are not cached.
+    pub fn synthesize(&self, g: &Graph, k: usize) -> Result<Arc<Synthesis>, MapError> {
+        let key = (fingerprint_graph(g), k);
+        if let Some(hit) = self.entries.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let fresh = Arc::new(synthesize(g, k)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(self
+            .entries
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(fresh)
+            .clone())
+    }
+
+    /// Requests served from memory so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ran a real synthesis so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct cached syntheses currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +154,34 @@ mod tests {
             synthesize(k.graph(), 6),
             Err(MapError::CombinationalCycle(_))
         ));
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_counts() {
+        let k = kernels::gsum(8);
+        let g = k.seeded_graph();
+        let cache = SynthCache::new();
+        let a = cache.synthesize(&g, 6).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.synthesize(&g, 6).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different K is a different key.
+        cache.synthesize(&g, 4).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_agrees_with_direct_synthesis() {
+        let k = kernels::gsum(8);
+        let g = k.seeded_graph();
+        let cache = SynthCache::new();
+        let cached = cache.synthesize(&g, 6).unwrap();
+        let direct = synthesize(&g, 6).unwrap();
+        assert_eq!(cached.logic_levels(), direct.logic_levels());
+        assert_eq!(cached.lut_count(), direct.lut_count());
+        assert_eq!(cached.ff_count(), direct.ff_count());
     }
 
     #[test]

@@ -11,9 +11,9 @@
 
 use crate::lutdfg::{EdgeTarget, LutDfgMap};
 use crate::synth::Synthesis;
+use dataflow::collections::HashMap;
 use dataflow::{ChannelId, Graph, UnitId};
 use lutmap::LutId;
-use std::collections::HashMap;
 
 /// Index of a node in a [`TimingGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -74,7 +74,7 @@ impl TimingGraph {
     /// Builds the timing model from a synthesis run and its LUT→DFG map.
     pub fn build(g: &Graph, synth: &Synthesis, map: &LutDfgMap) -> TimingGraph {
         let mut tg = TimingGraph::default();
-        let mut node_of_lut: HashMap<LutId, TimingNodeId> = HashMap::new();
+        let mut node_of_lut: HashMap<LutId, TimingNodeId> = HashMap::default();
         for (lid, lut) in synth.luts.luts() {
             let unit = match lut.origin() {
                 netlist::Origin::Unit(u) => Some(u),
@@ -245,8 +245,7 @@ impl TimingGraph {
                 break;
             }
             let mut channels = Vec::new();
-            let mut trace: Vec<(Option<ChannelId>, bool)> =
-                vec![(None, !self.nodes[end].fake)];
+            let mut trace: Vec<(Option<ChannelId>, bool)> = vec![(None, !self.nodes[end].fake)];
             let mut cur = end;
             while let Some(ei) = pred[cur] {
                 let e = &self.edges[ei];
@@ -261,9 +260,10 @@ impl TimingGraph {
             }
             channels.reverse();
             trace.reverse();
-            if seen_sets.iter().any(|s| {
-                s.len() == channels.len() && s.iter().all(|c| channels.contains(c))
-            }) {
+            if seen_sets
+                .iter()
+                .any(|s| s.len() == channels.len() && s.iter().all(|c| channels.contains(c)))
+            {
                 continue;
             }
             seen_sets.push(channels.clone());
@@ -345,7 +345,7 @@ impl TimingGraph {
 
     /// Count of (real, fake) nodes attributed to each unit.
     pub fn unit_node_counts(&self) -> HashMap<UnitId, (usize, usize)> {
-        let mut m: HashMap<UnitId, (usize, usize)> = HashMap::new();
+        let mut m: HashMap<UnitId, (usize, usize)> = HashMap::default();
         for n in &self.nodes {
             if let Some(u) = n.unit {
                 let e = m.entry(u).or_default();
@@ -362,7 +362,7 @@ impl TimingGraph {
     /// Fake nodes per unit that are incident to an edge labeled with a
     /// given channel — the `X_fake(c)` sets of Eq. 2.
     pub fn fake_nodes_touching(&self) -> HashMap<(UnitId, ChannelId), usize> {
-        let mut m: HashMap<(UnitId, ChannelId), usize> = HashMap::new();
+        let mut m: HashMap<(UnitId, ChannelId), usize> = HashMap::default();
         for (i, n) in self.nodes.iter().enumerate() {
             if !n.fake {
                 continue;

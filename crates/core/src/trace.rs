@@ -1,0 +1,143 @@
+//! Per-run flow instrumentation.
+//!
+//! Every flow run ([`optimize_iterative`](crate::optimize_iterative) and
+//! [`optimize_baseline`](crate::optimize_baseline)) records where its wall
+//! clock went — synthesis, LUT→DFG mapping, timing-model construction,
+//! MILP solving, slack matching — together with the synthesis-cache
+//! hit/miss counts and the MILP cut rounds consumed. The trace rides on
+//! [`FlowResult`](crate::FlowResult) and is printed by the bench
+//! binaries, giving performance work a baseline to regress against.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock and cache accounting for one flow run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowTrace {
+    /// Time spent synthesizing (elaborate + optimize + LUT map), cache
+    /// misses only — cache hits cost effectively nothing.
+    pub synth: Duration,
+    /// Time spent mapping LUT edges back onto the DFG.
+    pub map: Duration,
+    /// Time spent building mapping-aware (or baseline) timing models.
+    pub timing: Duration,
+    /// Time spent in the placement MILP.
+    pub milp: Duration,
+    /// Time spent in the slack-matching pass (simulation + level probes).
+    pub slack: Duration,
+    /// Whole-run wall clock.
+    pub total: Duration,
+    /// Synthesis requests served from the [`SynthCache`](crate::SynthCache).
+    pub cache_hits: u64,
+    /// Synthesis requests that ran a real synthesis.
+    pub cache_misses: u64,
+    /// Total MILP cut-generation rounds across all iterations.
+    pub cut_rounds: usize,
+    /// Figure-4 iterations executed.
+    pub iterations: usize,
+}
+
+impl FlowTrace {
+    /// Fraction of synthesis requests served from cache (0 when none ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Sums phase durations and counters of `other` into `self` (used to
+    /// aggregate the two flows of a comparison run).
+    pub fn absorb(&mut self, other: &FlowTrace) {
+        self.synth += other.synth;
+        self.map += other.map;
+        self.timing += other.timing;
+        self.milp += other.milp;
+        self.slack += other.slack;
+        self.total += other.total;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cut_rounds += other.cut_rounds;
+        self.iterations += other.iterations;
+    }
+}
+
+impl fmt::Display for FlowTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "synth {:.2}s | map {:.2}s | timing {:.2}s | milp {:.2}s | slack {:.2}s | \
+             total {:.2}s | cache {}/{} hits ({:.0}%) | {} cut rounds | {} iterations",
+            self.synth.as_secs_f64(),
+            self.map.as_secs_f64(),
+            self.timing.as_secs_f64(),
+            self.milp.as_secs_f64(),
+            self.slack.as_secs_f64(),
+            self.total.as_secs_f64(),
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+            self.cut_rounds,
+            self.iterations,
+        )
+    }
+}
+
+/// Times a closure, accumulating its wall clock into `slot`.
+pub(crate) fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *slot += start.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_and_mixes() {
+        let mut t = FlowTrace::default();
+        assert_eq!(t.cache_hit_rate(), 0.0);
+        t.cache_hits = 3;
+        t.cache_misses = 1;
+        assert!((t.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = FlowTrace {
+            cache_hits: 1,
+            cut_rounds: 2,
+            iterations: 1,
+            synth: Duration::from_millis(10),
+            ..FlowTrace::default()
+        };
+        let b = FlowTrace {
+            cache_hits: 2,
+            cache_misses: 5,
+            cut_rounds: 3,
+            iterations: 4,
+            synth: Duration::from_millis(5),
+            ..FlowTrace::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_misses, 5);
+        assert_eq!(a.cut_rounds, 5);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.synth, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn timed_accumulates_into_slot() {
+        let mut slot = Duration::ZERO;
+        let v = timed(&mut slot, || 7);
+        assert_eq!(v, 7);
+        let first = slot;
+        timed(&mut slot, || ());
+        assert!(slot >= first);
+    }
+}

@@ -1,0 +1,87 @@
+//! The flows must be bit-for-bit deterministic: the same kernel and
+//! options always yield the same buffers, the same iteration history and
+//! the same levels. Anything less makes the paper's tables irreproducible
+//! and the parallel bench runner's row-equality guarantee meaningless.
+
+use frequenz_core::{
+    optimize_baseline, optimize_iterative, optimize_iterative_with_cache, FlowOptions, FlowResult,
+    SynthCache,
+};
+
+fn assert_same_flow(a: &FlowResult, b: &FlowResult, label: &str) {
+    assert_eq!(a.buffers, b.buffers, "{label}: buffer sets differ");
+    assert_eq!(
+        a.achieved_levels, b.achieved_levels,
+        "{label}: levels differ"
+    );
+    assert_eq!(a.converged, b.converged, "{label}: convergence differs");
+    assert_eq!(
+        a.iterations.len(),
+        b.iterations.len(),
+        "{label}: iteration counts differ"
+    );
+    for (ia, ib) in a.iterations.iter().zip(&b.iterations) {
+        assert_eq!(ia.iteration, ib.iteration, "{label}: iteration index");
+        assert_eq!(ia.proposed, ib.proposed, "{label}: proposed buffers");
+        assert_eq!(
+            ia.achieved_levels, ib.achieved_levels,
+            "{label}: per-iteration levels"
+        );
+        assert_eq!(
+            ia.fixed_for_next, ib.fixed_for_next,
+            "{label}: fixed subsets"
+        );
+        assert_eq!(
+            ia.mean_penalty.to_bits(),
+            ib.mean_penalty.to_bits(),
+            "{label}: mean penalty"
+        );
+    }
+}
+
+#[test]
+fn iterative_flow_is_deterministic() {
+    let opts = FlowOptions::default();
+    for kernel in [
+        hls::kernels::gsum(16),
+        hls::kernels::gsumif(16),
+        hls::kernels::matrix(4),
+    ] {
+        let a = optimize_iterative(kernel.graph(), kernel.back_edges(), &opts).unwrap();
+        let b = optimize_iterative(kernel.graph(), kernel.back_edges(), &opts).unwrap();
+        assert_same_flow(&a, &b, kernel.name);
+    }
+}
+
+#[test]
+fn baseline_flow_is_deterministic() {
+    let opts = FlowOptions::default();
+    for kernel in [hls::kernels::gsum(16), hls::kernels::gsumif(16)] {
+        let a = optimize_baseline(kernel.graph(), kernel.back_edges(), &opts).unwrap();
+        let b = optimize_baseline(kernel.graph(), kernel.back_edges(), &opts).unwrap();
+        assert_same_flow(&a, &b, kernel.name);
+    }
+}
+
+#[test]
+fn cache_reuse_does_not_change_the_answer() {
+    // A warm cache must be an invisible optimization: running the flow
+    // twice against the same cache yields the identical result, with the
+    // second run hitting memory.
+    let kernel = hls::kernels::gsumif(16);
+    let opts = FlowOptions::default();
+    let cache = SynthCache::new();
+    let cold =
+        optimize_iterative_with_cache(kernel.graph(), kernel.back_edges(), &opts, &cache).unwrap();
+    let misses_after_cold = cache.misses();
+    let warm =
+        optimize_iterative_with_cache(kernel.graph(), kernel.back_edges(), &opts, &cache).unwrap();
+    assert_same_flow(&cold, &warm, "gsumif warm-vs-cold");
+    assert_eq!(
+        cache.misses(),
+        misses_after_cold,
+        "warm run must not synthesize anything new"
+    );
+    assert!(warm.trace.cache_hits > 0);
+    assert_eq!(warm.trace.cache_misses, 0);
+}

@@ -67,19 +67,31 @@ fn run_netlist(g: &Graph, args: &[(UnitId, u64)], max_cycles: usize) -> Option<u
 fn arith_graph(buffered: bool) -> (Graph, UnitId, UnitId, UnitId) {
     let mut g = Graph::new("xlayer");
     let bb = g.add_basic_block("bb0");
-    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 12).unwrap();
-    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 12).unwrap();
-    let c = g.add_unit(UnitKind::Argument { index: 2 }, "c", bb, 12).unwrap();
-    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 12).unwrap();
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 12)
+        .unwrap();
+    let b = g
+        .add_unit(UnitKind::Argument { index: 1 }, "b", bb, 12)
+        .unwrap();
+    let c = g
+        .add_unit(UnitKind::Argument { index: 2 }, "c", bb, 12)
+        .unwrap();
+    let add = g
+        .add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 12)
+        .unwrap();
     let shl = g
         .add_unit(UnitKind::Operator(OpKind::ShlConst(1)), "shl", bb, 12)
         .unwrap();
-    let sub = g.add_unit(UnitKind::Operator(OpKind::Sub), "sub", bb, 12).unwrap();
+    let sub = g
+        .add_unit(UnitKind::Operator(OpKind::Sub), "sub", bb, 12)
+        .unwrap();
     let x = g.add_unit(UnitKind::Exit, "x", bb, 12).unwrap();
     g.connect(PortRef::new(a, 0), PortRef::new(add, 0)).unwrap();
     g.connect(PortRef::new(b, 0), PortRef::new(add, 1)).unwrap();
-    g.connect(PortRef::new(add, 0), PortRef::new(shl, 0)).unwrap();
-    g.connect(PortRef::new(shl, 0), PortRef::new(sub, 0)).unwrap();
+    g.connect(PortRef::new(add, 0), PortRef::new(shl, 0))
+        .unwrap();
+    g.connect(PortRef::new(shl, 0), PortRef::new(sub, 0))
+        .unwrap();
     g.connect(PortRef::new(c, 0), PortRef::new(sub, 1)).unwrap();
     g.connect(PortRef::new(sub, 0), PortRef::new(x, 0)).unwrap();
     g.validate().unwrap();
@@ -101,7 +113,10 @@ fn check(a_val: u64, b_val: u64, c_val: u64, buffered: bool) {
     let expect = tok.run(1000).expect("token sim").exit_value;
     // Gate-level run.
     let got = run_netlist(&g, &[(a, a_val), (b, b_val), (c, c_val)], 1000);
-    assert_eq!(got, expect, "a={a_val} b={b_val} c={c_val} buffered={buffered}");
+    assert_eq!(
+        got, expect,
+        "a={a_val} b={b_val} c={c_val} buffered={buffered}"
+    );
 }
 
 #[test]
@@ -123,11 +138,17 @@ fn gate_level_branch_and_select() {
     // select(a < b, a, b) — the min function, exercising cmp + select.
     let mut g = Graph::new("minsel");
     let bb = g.add_basic_block("bb0");
-    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
-    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8).unwrap();
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+        .unwrap();
+    let b = g
+        .add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8)
+        .unwrap();
     let fa = g.add_unit(UnitKind::fork(2), "fa", bb, 8).unwrap();
     let fb = g.add_unit(UnitKind::fork(2), "fb", bb, 8).unwrap();
-    let lt = g.add_unit(UnitKind::Operator(OpKind::Lt), "lt", bb, 8).unwrap();
+    let lt = g
+        .add_unit(UnitKind::Operator(OpKind::Lt), "lt", bb, 8)
+        .unwrap();
     let sel = g
         .add_unit(UnitKind::Operator(OpKind::Select), "sel", bb, 8)
         .unwrap();
@@ -136,9 +157,12 @@ fn gate_level_branch_and_select() {
     g.connect(PortRef::new(b, 0), PortRef::new(fb, 0)).unwrap();
     g.connect(PortRef::new(fa, 0), PortRef::new(lt, 0)).unwrap();
     g.connect(PortRef::new(fb, 0), PortRef::new(lt, 1)).unwrap();
-    g.connect(PortRef::new(lt, 0), PortRef::new(sel, 0)).unwrap();
-    g.connect(PortRef::new(fa, 1), PortRef::new(sel, 1)).unwrap();
-    g.connect(PortRef::new(fb, 1), PortRef::new(sel, 2)).unwrap();
+    g.connect(PortRef::new(lt, 0), PortRef::new(sel, 0))
+        .unwrap();
+    g.connect(PortRef::new(fa, 1), PortRef::new(sel, 1))
+        .unwrap();
+    g.connect(PortRef::new(fb, 1), PortRef::new(sel, 2))
+        .unwrap();
     g.connect(PortRef::new(sel, 0), PortRef::new(x, 0)).unwrap();
     g.validate().unwrap();
 

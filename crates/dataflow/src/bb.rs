@@ -5,10 +5,9 @@
 //! paper (Section V) distributes retained buffers *evenly across basic
 //! blocks*, so the IR records which block each unit came from.
 
-use serde::{Deserialize, Serialize};
-
 /// A basic block of the source program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BasicBlock {
     pub(crate) name: String,
 }

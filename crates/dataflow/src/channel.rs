@@ -1,11 +1,11 @@
 //! Channels: point-to-point handshake connections between unit ports.
 
 use crate::ids::UnitId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A reference to one port of one unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PortRef {
     /// The unit owning the port.
     pub unit: UnitId,
@@ -36,7 +36,8 @@ impl fmt::Display for PortRef {
 /// *transparent* buffer (breaks the ready path, adds a slot without
 /// latency). The paper's optimizer decides opaque placement; transparent
 /// slots accompany opaque ones to restore full throughput (capacity 2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BufferSpec {
     /// Breaks data/valid; +1 cycle latency; +1 slot.
     pub opaque: bool,
@@ -106,7 +107,8 @@ impl fmt::Display for BufferSpec {
 }
 
 /// A handshake channel between a producer port and a consumer port.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Channel {
     pub(crate) src: PortRef,
     pub(crate) dst: PortRef,

@@ -1,0 +1,46 @@
+//! Hash containers with a **fixed** hasher.
+//!
+//! `std`'s default `RandomState` seeds SipHash per process, so iteration
+//! order over a `HashMap`/`HashSet` differs from one run of a binary to
+//! the next. Most of this workspace only *looks up* in hash containers,
+//! but any site that iterates one into an ordered artifact (a constraint
+//! list, a candidate vector, a tie-break) would silently make flow
+//! results process-dependent — the determinism suite runs flows twice
+//! *within* a process and cannot catch that. Using these aliases
+//! everywhere makes iteration order a pure function of the insertion
+//! sequence, so whole-pipeline determinism holds across processes and
+//! machines.
+//!
+//! `DefaultHasher::new()` is specified to use fixed keys, which is
+//! exactly the property needed (DoS resistance is irrelevant here: all
+//! keys are machine-generated ids).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::BuildHasherDefault;
+
+/// Fixed-seed `BuildHasher` shared by every container in the workspace.
+pub type DetState = BuildHasherDefault<DefaultHasher>;
+
+/// `HashMap` with process-independent iteration order.
+pub type HashMap<K, V> = std::collections::HashMap<K, V, DetState>;
+
+/// `HashSet` with process-independent iteration order.
+pub type HashSet<T> = std::collections::HashSet<T, DetState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_a_function_of_insertions() {
+        let build = |order: &[u32]| {
+            let mut m: HashMap<u32, u32> = HashMap::default();
+            for &k in order {
+                m.insert(k, k);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        let keys: Vec<u32> = (0..100).map(|i| i * 7919 % 256).collect();
+        assert_eq!(build(&keys), build(&keys));
+    }
+}

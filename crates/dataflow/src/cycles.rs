@@ -95,9 +95,7 @@ pub fn enumerate_simple_cycles(g: &Graph, max_cycles: usize) -> Vec<Vec<ChannelI
                 }
             } else if !blocked[w] {
                 stack.push((v, ch));
-                if circuit(
-                    w, start, adj, blocked, block_map, stack, cycles, max_cycles,
-                ) {
+                if circuit(w, start, adj, blocked, block_map, stack, cycles, max_cycles) {
                     found = true;
                 }
                 stack.pop();
@@ -155,9 +153,13 @@ mod tests {
         let mut g = Graph::new("two_loops");
         let bb = g.add_basic_block("bb0");
         let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
-        let m1 = g.add_unit(UnitKind::Merge { inputs: 2 }, "m1", bb, 0).unwrap();
+        let m1 = g
+            .add_unit(UnitKind::Merge { inputs: 2 }, "m1", bb, 0)
+            .unwrap();
         let f1 = g.add_unit(UnitKind::fork(2), "f1", bb, 0).unwrap();
-        let m2 = g.add_unit(UnitKind::Merge { inputs: 2 }, "m2", bb, 0).unwrap();
+        let m2 = g
+            .add_unit(UnitKind::Merge { inputs: 2 }, "m2", bb, 0)
+            .unwrap();
         let f2 = g.add_unit(UnitKind::fork(2), "f2", bb, 0).unwrap();
         let s = g.add_unit(UnitKind::Sink, "s", bb, 0).unwrap();
         g.connect(PortRef::new(e, 0), PortRef::new(m1, 0)).unwrap();

@@ -2,12 +2,11 @@
 
 use crate::bb::BasicBlock;
 use crate::channel::{BufferSpec, Channel, PortRef};
+use crate::collections::HashMap;
 use crate::error::GraphError;
 use crate::ids::{BasicBlockId, ChannelId, MemoryId, UnitId};
 use crate::memory::Memory;
 use crate::unit::{Unit, UnitKind};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// An elastic dataflow circuit: units connected by handshake channels.
 ///
@@ -18,7 +17,8 @@ use std::collections::HashMap;
 /// Buffers are *annotations on channels* ([`BufferSpec`]) rather than
 /// separate units, which matches how the paper's optimizer manipulates
 /// them: placement and removal never restructure the graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     name: String,
     units: Vec<Unit>,
@@ -43,7 +43,7 @@ impl Graph {
             memories: Vec::new(),
             input_of: Vec::new(),
             output_of: Vec::new(),
-            names: HashMap::new(),
+            names: HashMap::default(),
         }
     }
 
@@ -430,18 +430,27 @@ mod tests {
         // entry -> fork -> (shl, direct) -> add -> exit
         let mut g = Graph::new("diamond");
         let bb = g.add_basic_block("bb0");
-        let entry = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+        let entry = g
+            .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+            .unwrap();
         let fork = g.add_unit(UnitKind::fork(2), "fork", bb, 8).unwrap();
         let shl = g
             .add_unit(UnitKind::Operator(OpKind::ShlConst(1)), "shl", bb, 8)
             .unwrap();
-        let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 8).unwrap();
+        let add = g
+            .add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 8)
+            .unwrap();
         let exit = g.add_unit(UnitKind::Exit, "exit", bb, 8).unwrap();
-        g.connect(PortRef::new(entry, 0), PortRef::new(fork, 0)).unwrap();
-        g.connect(PortRef::new(fork, 0), PortRef::new(shl, 0)).unwrap();
-        g.connect(PortRef::new(shl, 0), PortRef::new(add, 0)).unwrap();
-        g.connect(PortRef::new(fork, 1), PortRef::new(add, 1)).unwrap();
-        g.connect(PortRef::new(add, 0), PortRef::new(exit, 0)).unwrap();
+        g.connect(PortRef::new(entry, 0), PortRef::new(fork, 0))
+            .unwrap();
+        g.connect(PortRef::new(fork, 0), PortRef::new(shl, 0))
+            .unwrap();
+        g.connect(PortRef::new(shl, 0), PortRef::new(add, 0))
+            .unwrap();
+        g.connect(PortRef::new(fork, 1), PortRef::new(add, 1))
+            .unwrap();
+        g.connect(PortRef::new(add, 0), PortRef::new(exit, 0))
+            .unwrap();
         (g, entry, fork, shl, add, exit)
     }
 
@@ -466,7 +475,9 @@ mod tests {
     fn rejects_width_mismatch() {
         let mut g = Graph::new("t");
         let bb = g.add_basic_block("bb0");
-        let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+        let a = g
+            .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+            .unwrap();
         let s = g.add_unit(UnitKind::Exit, "x", bb, 16).unwrap();
         let err = g
             .connect(PortRef::new(a, 0), PortRef::new(s, 0))
@@ -478,7 +489,9 @@ mod tests {
     fn rejects_double_connection() {
         let mut g = Graph::new("t");
         let bb = g.add_basic_block("bb0");
-        let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+        let a = g
+            .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+            .unwrap();
         let f = g.add_unit(UnitKind::fork(2), "f", bb, 8).unwrap();
         let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
         g.connect(PortRef::new(a, 0), PortRef::new(f, 0)).unwrap();

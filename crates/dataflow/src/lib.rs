@@ -36,12 +36,15 @@
 
 mod bb;
 mod channel;
+pub mod collections;
 mod cycles;
 mod dot;
 mod error;
+pub mod fingerprint;
 mod graph;
 mod ids;
 mod memory;
+pub mod rng;
 mod text;
 mod unit;
 
@@ -49,9 +52,11 @@ pub use bb::BasicBlock;
 pub use channel::{BufferSpec, Channel, PortRef};
 pub use cycles::enumerate_simple_cycles;
 pub use error::GraphError;
+pub use fingerprint::{fingerprint_graph, Fingerprint};
 pub use graph::Graph;
 pub use ids::{BasicBlockId, ChannelId, MemoryId, UnitId};
 pub use memory::Memory;
+pub use rng::XorShift64;
 pub use text::ParseDfgError;
 pub use unit::{OpKind, PortDir, PortSpec, Unit, UnitKind};
 

@@ -1,7 +1,5 @@
 //! Memories (arrays) accessed by load/store units.
 
-use serde::{Deserialize, Serialize};
-
 /// A word-addressed memory accessed by [`UnitKind::Load`] and
 /// [`UnitKind::Store`] units.
 ///
@@ -10,7 +8,8 @@ use serde::{Deserialize, Serialize};
 ///
 /// [`UnitKind::Load`]: crate::UnitKind::Load
 /// [`UnitKind::Store`]: crate::UnitKind::Store
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Memory {
     pub(crate) name: String,
     pub(crate) size: usize,

@@ -21,9 +21,7 @@
 //! needed (`fork2`, `join3`, `mux2`, `cmerge2`, `const[42]`, `shl[3]`,
 //! `load[m0]`, `arg[0]`).
 
-use crate::{
-    BufferSpec, Graph, GraphError, MemoryId, OpKind, PortRef, UnitId, UnitKind,
-};
+use crate::{BufferSpec, Graph, GraphError, MemoryId, OpKind, PortRef, UnitId, UnitKind};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -94,16 +92,22 @@ fn parse_kind(tok: &str, line: usize) -> Result<UnitKind, ParseDfgError> {
     if let Some((base, arg)) = bracket(tok) {
         return Ok(match base.as_str() {
             "const" => UnitKind::Constant {
-                value: arg.parse().map_err(|_| syntax(format!("bad const {arg:?}")))?,
+                value: arg
+                    .parse()
+                    .map_err(|_| syntax(format!("bad const {arg:?}")))?,
             },
             "arg" => UnitKind::Argument {
-                index: arg.parse().map_err(|_| syntax(format!("bad arg {arg:?}")))?,
+                index: arg
+                    .parse()
+                    .map_err(|_| syntax(format!("bad arg {arg:?}")))?,
             },
             "shl" => UnitKind::Operator(OpKind::ShlConst(
-                arg.parse().map_err(|_| syntax(format!("bad shift {arg:?}")))?,
+                arg.parse()
+                    .map_err(|_| syntax(format!("bad shift {arg:?}")))?,
             )),
             "shr" => UnitKind::Operator(OpKind::ShrConst(
-                arg.parse().map_err(|_| syntax(format!("bad shift {arg:?}")))?,
+                arg.parse()
+                    .map_err(|_| syntax(format!("bad shift {arg:?}")))?,
             )),
             "load" | "store" => {
                 let idx: u32 = arg
@@ -122,7 +126,10 @@ fn parse_kind(tok: &str, line: usize) -> Result<UnitKind, ParseDfgError> {
     }
     // Numeric-suffix kinds.
     for (prefix, mk) in [
-        ("lfork", &(|n| UnitKind::LazyFork { outputs: n }) as &dyn Fn(u8) -> UnitKind),
+        (
+            "lfork",
+            &(|n| UnitKind::LazyFork { outputs: n }) as &dyn Fn(u8) -> UnitKind,
+        ),
         ("fork", &|n| UnitKind::Fork { outputs: n }),
         ("join", &|n| UnitKind::Join { inputs: n }),
         ("merge", &|n| UnitKind::Merge { inputs: n }),
@@ -229,13 +236,15 @@ impl Graph {
                         .ok_or_else(|| syntax("content before `dfg` header".into()))?;
                     match directive {
                         "bb" => {
-                            let name =
-                                toks.next().ok_or_else(|| syntax("missing bb name".into()))?;
+                            let name = toks
+                                .next()
+                                .ok_or_else(|| syntax("missing bb name".into()))?;
                             g.add_basic_block(name);
                         }
                         "mem" => {
-                            let name =
-                                toks.next().ok_or_else(|| syntax("missing mem name".into()))?;
+                            let name = toks
+                                .next()
+                                .ok_or_else(|| syntax("missing mem name".into()))?;
                             let size: usize = toks
                                 .next()
                                 .and_then(|t| t.parse().ok())
@@ -260,10 +269,12 @@ impl Graph {
                             g.add_memory(name, size, width, init);
                         }
                         "unit" => {
-                            let name =
-                                toks.next().ok_or_else(|| syntax("missing unit name".into()))?;
-                            let kind_tok =
-                                toks.next().ok_or_else(|| syntax("missing unit kind".into()))?;
+                            let name = toks
+                                .next()
+                                .ok_or_else(|| syntax("missing unit name".into()))?;
+                            let kind_tok = toks
+                                .next()
+                                .ok_or_else(|| syntax("missing unit kind".into()))?;
                             let kind = parse_kind(kind_tok, lineno)?;
                             let bb_tok =
                                 toks.next().ok_or_else(|| syntax("missing bb ref".into()))?;
@@ -273,10 +284,11 @@ impl Graph {
                                 .ok_or_else(|| syntax(format!("bad bb ref {bb_tok:?}")))?;
                             let w_tok =
                                 toks.next().ok_or_else(|| syntax("missing width".into()))?;
-                            let width: u16 = w_tok
-                                .strip_prefix('w')
-                                .and_then(|t| t.parse().ok())
-                                .ok_or_else(|| syntax(format!("bad width {w_tok:?}")))?;
+                            let width: u16 =
+                                w_tok
+                                    .strip_prefix('w')
+                                    .and_then(|t| t.parse().ok())
+                                    .ok_or_else(|| syntax(format!("bad width {w_tok:?}")))?;
                             g.add_unit(kind, name, crate::BasicBlockId::from_raw(bb), width)?;
                         }
                         "chan" => {
@@ -304,9 +316,7 @@ impl Graph {
                                     Some("OB+TB") => BufferSpec::FULL,
                                     Some("OB") => BufferSpec::OPAQUE,
                                     Some("TB") => BufferSpec::TRANSPARENT,
-                                    other => {
-                                        return Err(syntax(format!("bad buffer {other:?}")))
-                                    }
+                                    other => return Err(syntax(format!("bad buffer {other:?}"))),
                                 };
                                 g.set_buffer(ch, spec);
                             }
@@ -332,20 +342,28 @@ mod tests {
         let mut g = Graph::new("sample");
         let bb = g.add_basic_block("entry");
         let mem = g.add_memory("a", 8, 16, vec![1, 2, 3]);
-        let arg = g.add_unit(UnitKind::Argument { index: 0 }, "x", bb, 16).unwrap();
+        let arg = g
+            .add_unit(UnitKind::Argument { index: 0 }, "x", bb, 16)
+            .unwrap();
         let ld = g.add_unit(UnitKind::Load { mem }, "ld", bb, 16).unwrap();
-        let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 16).unwrap();
+        let add = g
+            .add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 16)
+            .unwrap();
         let f = g.add_unit(UnitKind::fork(2), "f", bb, 16).unwrap();
         let x = g.add_unit(UnitKind::Exit, "out", bb, 16).unwrap();
         let sk = g.add_unit(UnitKind::Sink, "sk", bb, 16).unwrap();
-        g.connect(PortRef::new(arg, 0), PortRef::new(ld, 0)).unwrap();
-        g.connect(PortRef::new(ld, 0), PortRef::new(add, 0)).unwrap();
+        g.connect(PortRef::new(arg, 0), PortRef::new(ld, 0))
+            .unwrap();
+        g.connect(PortRef::new(ld, 0), PortRef::new(add, 0))
+            .unwrap();
         let ch = g.connect(PortRef::new(add, 0), PortRef::new(f, 0)).unwrap();
         g.connect(PortRef::new(f, 0), PortRef::new(x, 0)).unwrap();
         let back = g.connect(PortRef::new(f, 1), PortRef::new(sk, 0)).unwrap();
         // Need add's second input: rewire from the fork is impossible (it
         // is taken); use another argument.
-        let y = g.add_unit(UnitKind::Argument { index: 1 }, "y", bb, 16).unwrap();
+        let y = g
+            .add_unit(UnitKind::Argument { index: 1 }, "y", bb, 16)
+            .unwrap();
         g.connect(PortRef::new(y, 0), PortRef::new(add, 1)).unwrap();
         g.set_buffer(ch, BufferSpec::FULL);
         g.set_buffer(back, BufferSpec::TRANSPARENT);

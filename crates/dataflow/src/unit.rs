@@ -2,11 +2,11 @@
 
 use crate::ids::MemoryId;
 use crate::BasicBlockId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Arithmetic / logic operation performed by an [`UnitKind::Operator`] unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OpKind {
     /// Two's-complement addition.
     Add,
@@ -110,7 +110,8 @@ impl fmt::Display for OpKind {
 /// [`UnitKind::num_inputs`] and [`UnitKind::num_outputs`]).
 /// Data widths are per-unit (see [`Unit::width`]); width 0 denotes a pure
 /// control token that carries no payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum UnitKind {
     /// Eager fork: replicates each input token to all `outputs` successors,
     /// allowing successors to consume at different times.
@@ -184,7 +185,8 @@ pub enum UnitKind {
 }
 
 /// Direction of a unit port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PortDir {
     /// Token consumer side.
     Input,
@@ -193,7 +195,8 @@ pub enum PortDir {
 }
 
 /// Signature of one port of a unit: direction and bit width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PortSpec {
     /// Whether the port consumes or produces tokens.
     pub dir: PortDir,
@@ -302,7 +305,8 @@ pub(crate) fn select_width(n: usize) -> u16 {
 }
 
 /// A dataflow unit instance inside a [`Graph`](crate::Graph).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Unit {
     pub(crate) kind: UnitKind,
     pub(crate) name: String,
@@ -498,10 +502,7 @@ mod tests {
     fn display_formats() {
         assert_eq!(UnitKind::fork(2).to_string(), "fork");
         assert_eq!(UnitKind::Constant { value: 5 }.to_string(), "const(5)");
-        assert_eq!(
-            UnitKind::Operator(OpKind::ShlConst(3)).to_string(),
-            "shl3"
-        );
+        assert_eq!(UnitKind::Operator(OpKind::ShlConst(3)).to_string(), "shl3");
     }
 
     #[test]

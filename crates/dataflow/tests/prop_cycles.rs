@@ -30,9 +30,7 @@ fn ring_chain(ring_mask: &[bool]) -> (Graph, usize) {
                 .add_unit(UnitKind::Source, format!("s{i}"), bb, 0)
                 .unwrap();
             g.connect(PortRef::new(s, 0), PortRef::new(m, 1)).unwrap();
-            let snk = g
-                .add_unit(UnitKind::Sink, format!("k{i}"), bb, 0)
-                .unwrap();
+            let snk = g.add_unit(UnitKind::Sink, format!("k{i}"), bb, 0).unwrap();
             g.connect(PortRef::new(f, 0), PortRef::new(snk, 0)).unwrap();
             prev = PortRef::new(f, 1);
         }

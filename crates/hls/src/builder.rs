@@ -18,10 +18,10 @@
 //! Back edges are tracked so the buffer-placement flow can seed them with
 //! full buffers (the starting point of the paper's Figure 4).
 
+use dataflow::collections::HashMap;
 use dataflow::{
     BasicBlockId, ChannelId, Graph, GraphError, MemoryId, OpKind, PortRef, UnitId, UnitKind,
 };
-use std::collections::HashMap;
 
 /// A dataflow value handle (one token stream).
 ///
@@ -366,7 +366,7 @@ impl KernelBuilder {
         let index = self.net(PortRef::new(cmerge, 1), 1);
 
         // Data rings: mux(index; init, back).
-        let mut mux_of = HashMap::new();
+        let mut mux_of = HashMap::default();
         let mut ring = |b: &mut Self, name: &str, init: Val, width: u16| -> Val {
             let mux = b.unit(UnitKind::mux(2), "mux", width);
             b.consume(index, mux, 0);
@@ -376,7 +376,7 @@ impl KernelBuilder {
         };
         let i_cur = ring(self, "", lo, w);
         let hi_cur = ring(self, "\u{1}hi", hi, w);
-        let mut cur_vals: HashMap<String, Val> = HashMap::new();
+        let mut cur_vals: HashMap<String, Val> = HashMap::default();
         let mut invariants = Vec::new();
         for (name, init) in carried {
             cur_vals.insert(name.to_string(), ring(self, name, *init, w));
@@ -399,8 +399,8 @@ impl KernelBuilder {
         };
         let (i_body, i_exit) = steer(self, i_cur, w);
         let (hi_body, _hi_out) = steer(self, hi_cur, w);
-        let mut body_vals = HashMap::new();
-        let mut exit_vals = HashMap::new();
+        let mut body_vals = HashMap::default();
+        let mut exit_vals = HashMap::default();
         for (name, v) in &cur_vals {
             let (b_side, e_side) = steer(self, *v, w);
             body_vals.insert(name.clone(), b_side);
@@ -489,11 +489,7 @@ impl KernelBuilder {
     /// continuation condition from them, call
     /// [`KernelBuilder::while_cond`], emit the body, and close with
     /// [`KernelBuilder::while_end`].
-    pub fn while_start(
-        &mut self,
-        carried: &[(&str, Val)],
-        invariant: &[(&str, Val)],
-    ) -> WhileCtx {
+    pub fn while_start(&mut self, carried: &[(&str, Val)], invariant: &[(&str, Val)]) -> WhileCtx {
         let name = self.fresh_name("while");
         let bb = self.g.add_basic_block(name);
         let outer_bb = std::mem::replace(&mut self.bb, bb);
@@ -503,8 +499,8 @@ impl KernelBuilder {
         self.consume(outer_ctrl, cmerge, 0);
         let iter_ctrl = self.net(PortRef::new(cmerge, 0), 0);
         let index = self.net(PortRef::new(cmerge, 1), 1);
-        let mut mux_of = HashMap::new();
-        let mut header_vals = HashMap::new();
+        let mut mux_of = HashMap::default();
+        let mut header_vals = HashMap::default();
         let mut invariants = Vec::new();
         for (name, init) in carried.iter().chain(invariant) {
             let mux = self.unit(UnitKind::mux(2), "mux", w);
@@ -520,8 +516,8 @@ impl KernelBuilder {
         self.ctrl = iter_ctrl;
         WhileCtx {
             header_vals,
-            body_vals: HashMap::new(),
-            exit_vals: HashMap::new(),
+            body_vals: HashMap::default(),
+            exit_vals: HashMap::default(),
             invariants,
             mux_of,
             cmerge,

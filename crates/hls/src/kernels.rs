@@ -505,12 +505,7 @@ pub fn matrix(n: usize) -> Kernel {
     let s0 = k.constant(0);
     let klo = k.constant(0);
     let khi = k.constant(n as u64);
-    let lk = k.loop_start(
-        klo,
-        khi,
-        &[("s", s0)],
-        &[("ib", lj.var("ib")), ("j", j)],
-    );
+    let lk = k.loop_start(klo, khi, &[("s", s0)], &[("ib", lj.var("ib")), ("j", j)]);
     let kk = lk.i();
     let aaddr = k.add(lk.var("ib"), kk);
     let av = k.load(ma, aaddr);
@@ -748,4 +743,3 @@ pub fn gemver(n: usize) -> Kernel {
         max_cycles: 1024 * (n * n) as u64 + 6000,
     }
 }
-

@@ -24,7 +24,11 @@ fn check(kernel: &Kernel) {
             g.memory(*mem).name()
         );
     }
-    assert!(stats.cycles > 1, "{} must take multiple cycles", kernel.name);
+    assert!(
+        stats.cycles > 1,
+        "{} must take multiple cycles",
+        kernel.name
+    );
 }
 
 #[test]
@@ -94,8 +98,8 @@ fn all_small_kernels_build_and_validate() {
 fn kernels_round_trip_through_dfg_text() {
     for k in kernels::all_kernels_small() {
         let text = k.graph().to_dfg_text();
-        let back = dataflow::Graph::from_dfg_text(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let back =
+            dataflow::Graph::from_dfg_text(&text).unwrap_or_else(|e| panic!("{}: {e}", k.name));
         assert_eq!(back.num_units(), k.graph().num_units(), "{}", k.name);
         assert_eq!(back.num_channels(), k.graph().num_channels(), "{}", k.name);
         // The round-tripped circuit computes the same results.

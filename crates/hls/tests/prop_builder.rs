@@ -19,8 +19,8 @@ enum Op {
     Sub(usize, usize),
     Shl(usize, u8),
     Shr(usize, u8),
-    Lt(usize, usize, usize, usize),    // select(lt(a,b), c, d)
-    Ge(usize, usize, usize, usize),    // select(ge(a,b), c, d)
+    Lt(usize, usize, usize, usize), // select(lt(a,b), c, d)
+    Ge(usize, usize, usize, usize), // select(ge(a,b), c, d)
 }
 
 fn op() -> impl Strategy<Value = Op> {
@@ -29,9 +29,19 @@ fn op() -> impl Strategy<Value = Op> {
         (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Sub(a, b)),
         (any::<usize>(), 0u8..8).prop_map(|(a, k)| Op::Shl(a, k)),
         (any::<usize>(), 0u8..8).prop_map(|(a, k)| Op::Shr(a, k)),
-        (any::<usize>(), any::<usize>(), any::<usize>(), any::<usize>())
+        (
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>()
+        )
             .prop_map(|(a, b, c, d)| Op::Lt(a, b, c, d)),
-        (any::<usize>(), any::<usize>(), any::<usize>(), any::<usize>())
+        (
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>()
+        )
             .prop_map(|(a, b, c, d)| Op::Ge(a, b, c, d)),
     ]
 }

@@ -7,8 +7,8 @@
 //! and reports the first mismatch.
 
 use crate::network::{LutInput, LutNetwork};
+use dataflow::collections::HashMap;
 use netlist::{GateId, GateKind, Netlist, NetlistSim};
-use std::collections::HashMap;
 
 /// Checks that every LUT computes the same value as its root gate for the
 /// current state of `sim` (call [`NetlistSim::settle`] or
@@ -28,7 +28,7 @@ pub fn check_equivalence(
     for i in order {
         let lut = net.lut(crate::LutId::from_raw(i as u32));
         // Input values come from other LUTs or startpoints (sim values).
-        let mut env: HashMap<GateId, bool> = HashMap::new();
+        let mut env: HashMap<GateId, bool> = HashMap::default();
         for input in lut.inputs() {
             match *input {
                 LutInput::Lut(src) => {
@@ -66,9 +66,7 @@ fn eval_cone(nl: &Netlist, g: GateId, env: &mut HashMap<GateId, bool>) -> bool {
         GateKind::And => {
             eval_fanin(nl, gate.fanin()[0], env) & eval_fanin(nl, gate.fanin()[1], env)
         }
-        GateKind::Or => {
-            eval_fanin(nl, gate.fanin()[0], env) | eval_fanin(nl, gate.fanin()[1], env)
-        }
+        GateKind::Or => eval_fanin(nl, gate.fanin()[0], env) | eval_fanin(nl, gate.fanin()[1], env),
         GateKind::Xor => {
             eval_fanin(nl, gate.fanin()[0], env) ^ eval_fanin(nl, gate.fanin()[1], env)
         }

@@ -7,8 +7,8 @@
 //! max-flow ≤ K test on the fanin cone with all label-`p` nodes collapsed
 //! into the sink (Cong & Ding, 1994).
 
+use dataflow::collections::HashMap;
 use netlist::{GateId, Netlist};
-use std::collections::HashMap;
 
 /// The combinational DAG view of a netlist: live logic gates with resolved
 /// (alias-free) fanins.
@@ -25,7 +25,7 @@ impl CombView {
     pub fn build(nl: &Netlist) -> Result<Self, Vec<GateId>> {
         let order = nl.topo_logic()?;
         let mut topo = Vec::new();
-        let mut fanins = HashMap::new();
+        let mut fanins = HashMap::default();
         for id in order {
             let g = nl.gate(id);
             if !g.kind().is_logic() {
@@ -66,8 +66,8 @@ pub(crate) struct Labeling {
 /// label allows, which recovers area at identical (optimal) depth — the
 /// same refinement classic FlowMap implementations apply.
 pub(crate) fn compute_labels(view: &CombView, k: usize, max_volume: bool) -> Labeling {
-    let mut label: HashMap<GateId, u32> = HashMap::new();
-    let mut cut: HashMap<GateId, Vec<GateId>> = HashMap::new();
+    let mut label: HashMap<GateId, u32> = HashMap::default();
+    let mut cut: HashMap<GateId, Vec<GateId>> = HashMap::default();
     let mut cone_buf = ConeBuffers::default();
 
     for &t in &view.topo {
@@ -135,9 +135,9 @@ fn min_cut_with_collapsed(
 
     // 2. Local indexing. Collapsed nodes (t and label==p internals) merge
     //    into the sink.
-    let mut local: HashMap<GateId, usize> = HashMap::new();
+    let mut local: HashMap<GateId, usize> = HashMap::default();
     let mut locals: Vec<GateId> = Vec::new();
-    let mut collapsed: HashMap<GateId, bool> = HashMap::new();
+    let mut collapsed: HashMap<GateId, bool> = HashMap::default();
     for &u in &buf.cone {
         let is_collapsed = u == t || label.get(&u).copied().unwrap_or(0) == p;
         collapsed.insert(u, is_collapsed && view.is_logic(u));

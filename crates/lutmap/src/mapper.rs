@@ -3,9 +3,9 @@
 
 use crate::flowmap::{compute_labels, CombView};
 use crate::network::{Lut, LutId, LutInput, LutNetwork};
+use dataflow::collections::{HashMap, HashSet};
 use dataflow::UnitId;
 use netlist::{GateId, GateKind, Netlist, Origin};
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Options for [`map_netlist`].
@@ -72,7 +72,7 @@ pub fn map_netlist(nl: &Netlist, opts: &MapOptions) -> Result<LutNetwork, MapErr
     // robustness — any non-logic live gate (e.g. a register D pin).
     let live = nl.live_mask();
     let mut needed: Vec<GateId> = Vec::new();
-    let mut seen: HashSet<GateId> = HashSet::new();
+    let mut seen: HashSet<GateId> = HashSet::default();
     let push_root = |g: GateId, needed: &mut Vec<GateId>, seen: &mut HashSet<GateId>| {
         let g = nl.resolve(g);
         if view.is_logic(g) && seen.insert(g) {
@@ -98,7 +98,7 @@ pub fn map_netlist(nl: &Netlist, opts: &MapOptions) -> Result<LutNetwork, MapErr
 
     // Generate LUTs from the cuts, walking the needed frontier.
     let mut luts: Vec<Lut> = Vec::new();
-    let mut lut_of_gate: HashMap<GateId, LutId> = HashMap::new();
+    let mut lut_of_gate: HashMap<GateId, LutId> = HashMap::default();
     let mut frontier = needed;
     while let Some(root) = frontier.pop() {
         if lut_of_gate.contains_key(&root) {
@@ -175,7 +175,7 @@ fn compute_level(luts: &[Lut], i: usize, levels: &mut Vec<Option<u32>>) -> u32 {
 fn covered_gates(view: &CombView, root: GateId, cut: &[GateId]) -> Vec<GateId> {
     let cut_set: HashSet<GateId> = cut.iter().copied().collect();
     let mut covered = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = HashSet::default();
     let mut stack = vec![root];
     seen.insert(root);
     while let Some(u) = stack.pop() {
@@ -194,8 +194,8 @@ fn covered_gates(view: &CombView, root: GateId, cut: &[GateId]) -> Vec<GateId> {
 /// origins, which outrank external glue; ties break on gate count, then on
 /// the lowest id for determinism.
 fn majority_origin(nl: &Netlist, covered: &[GateId]) -> Origin {
-    let mut unit_counts: HashMap<UnitId, usize> = HashMap::new();
-    let mut chan_counts: HashMap<dataflow::ChannelId, usize> = HashMap::new();
+    let mut unit_counts: HashMap<UnitId, usize> = HashMap::default();
+    let mut chan_counts: HashMap<dataflow::ChannelId, usize> = HashMap::default();
     for &g in covered {
         match nl.gate(g).origin() {
             Origin::Unit(u) => *unit_counts.entry(u).or_default() += 1,
@@ -233,7 +233,7 @@ mod tests {
         let net = map_netlist(&nl, &MapOptions::default()).unwrap();
         assert_eq!(net.depth(), 2); // depth-optimal (FlowMap guarantee)
         assert!(net.num_luts() <= 3); // area is heuristic, not optimal
-        // Every LUT is K-feasible.
+                                      // Every LUT is K-feasible.
         for (_, lut) in net.luts() {
             assert!(lut.inputs().len() <= 6);
         }

@@ -1,11 +1,11 @@
 //! The mapped LUT network.
 
 use netlist::{GateId, Origin};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a LUT within a [`LutNetwork`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LutId(pub(crate) u32);
 
 impl LutId {
@@ -28,7 +28,8 @@ impl fmt::Display for LutId {
 
 /// One input of a LUT: either another LUT's output or a sequential /
 /// external startpoint (register output, primary input, constant).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LutInput {
     /// Output of another LUT.
     Lut(LutId),
@@ -37,7 +38,8 @@ pub enum LutInput {
 }
 
 /// A mapped K-input LUT.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Lut {
     pub(crate) root: GateId,
     pub(crate) inputs: Vec<LutInput>,
@@ -77,11 +79,12 @@ impl Lut {
 
 /// The result of technology mapping: a network of K-LUTs covering the
 /// combinational logic between startpoints and endpoints.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LutNetwork {
     pub(crate) luts: Vec<Lut>,
     /// For each mapped root gate, the LUT that computes it.
-    pub(crate) lut_of_gate: std::collections::HashMap<GateId, LutId>,
+    pub(crate) lut_of_gate: dataflow::collections::HashMap<GateId, LutId>,
     pub(crate) k: usize,
 }
 

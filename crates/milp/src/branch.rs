@@ -26,9 +26,9 @@ pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
 
     let mut incumbent: Option<Solution> = None;
     let mut nodes: u64 = 0;
+    let mut work: u64 = 0;
     let mut stack: Vec<BoundOverrides> = vec![BoundOverrides::default()];
     let mut hit_limit = false;
-    let deadline = model.time_limit.map(|l| std::time::Instant::now() + l);
 
     while let Some(ov) = stack.pop() {
         nodes += 1;
@@ -36,8 +36,10 @@ pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
             hit_limit = true;
             break;
         }
-        if let Some(d) = deadline {
-            if nodes.is_multiple_of(16) && std::time::Instant::now() > d {
+        // Deterministic truncation: the pivot budget depends only on the
+        // model, never on machine speed or load.
+        if let Some(limit) = model.work_limit {
+            if work > limit {
                 hit_limit = true;
                 break;
             }
@@ -45,8 +47,14 @@ pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
         let lp = match solve_lp(model, &ov) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => continue,
+            // A child's feasible region is a subset of the root's, so
+            // "unbounded" below the root (after the root solved fine) can
+            // only be tableau round-off — prune the node rather than
+            // aborting a solve the incumbent may already have finished.
+            Err(SolveError::Unbounded) if !ov.entries.is_empty() => continue,
             Err(e) => return Err(e),
         };
+        work += lp.pivots;
         // Bound pruning.
         if let Some(inc) = &incumbent {
             if !better(lp.objective, inc.objective) {
@@ -145,6 +153,16 @@ mod tests {
         let sol = m.solve().unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-6);
         assert!(sol.nodes > 1);
+    }
+
+    #[test]
+    fn unbounded_root_is_reported() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var("x", 0.0, f64::INFINITY, 1.0, false);
+        assert!(matches!(
+            m.solve(),
+            Err(crate::model::SolveError::Unbounded)
+        ));
     }
 
     #[test]

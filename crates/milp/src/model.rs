@@ -1,10 +1,10 @@
 //! Model-building API and solver entry points.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a decision variable within a [`Model`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarId(pub(crate) usize);
 
 impl VarId {
@@ -15,7 +15,8 @@ impl VarId {
 }
 
 /// Optimization direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Sense {
     /// Maximize the objective.
     Maximize,
@@ -24,7 +25,8 @@ pub enum Sense {
 }
 
 /// Constraint comparison operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Cmp {
     /// `lhs ≤ rhs`
     Le,
@@ -35,7 +37,8 @@ pub enum Cmp {
 }
 
 /// A linear constraint `Σ coeff·var (≤|≥|=) rhs`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Constraint {
     /// The linear terms (variable, coefficient).
     pub terms: Vec<(VarId, f64)>,
@@ -45,7 +48,8 @@ pub struct Constraint {
     pub rhs: f64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub(crate) struct VarDef {
     pub name: String,
     pub lo: f64,
@@ -55,7 +59,8 @@ pub(crate) struct VarDef {
 }
 
 /// Solution quality indicator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Status {
     /// Proven optimal.
     Optimal,
@@ -64,7 +69,8 @@ pub enum Status {
 }
 
 /// A solved assignment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Solution {
     /// Value per variable, indexed by [`VarId`].
     pub values: Vec<f64>,
@@ -116,14 +122,15 @@ impl fmt::Display for SolveError {
 impl std::error::Error for SolveError {}
 
 /// A mixed-integer linear program.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Model {
     pub(crate) sense: Sense,
     pub(crate) vars: Vec<VarDef>,
     pub(crate) constraints: Vec<Constraint>,
     pub(crate) node_limit: u64,
     pub(crate) gap: f64,
-    pub(crate) time_limit: Option<std::time::Duration>,
+    pub(crate) work_limit: Option<u64>,
 }
 
 impl Model {
@@ -135,7 +142,7 @@ impl Model {
             constraints: Vec::new(),
             node_limit: 200_000,
             gap: 1e-9,
-            time_limit: None,
+            work_limit: None,
         }
     }
 
@@ -191,11 +198,14 @@ impl Model {
         self.gap = gap.max(0.0);
     }
 
-    /// Caps branch-and-bound wall-clock time; on expiry the best incumbent
-    /// is returned as [`Status::Feasible`] (or [`SolveError::NodeLimit`]
-    /// when none exists).
-    pub fn set_time_limit(&mut self, limit: std::time::Duration) {
-        self.time_limit = Some(limit);
+    /// Caps branch-and-bound *work*, measured in simplex pivots summed over
+    /// all tree nodes; on exhaustion the best incumbent is returned as
+    /// [`Status::Feasible`] (or [`SolveError::NodeLimit`] when none
+    /// exists). Unlike a wall-clock limit, the cutoff point is a pure
+    /// function of the model, so truncated solves are reproducible
+    /// run-to-run and machine-to-machine.
+    pub fn set_work_limit(&mut self, pivots: u64) {
+        self.work_limit = Some(pivots);
     }
 
     /// Caps the number of branch-and-bound nodes (default 200 000). When

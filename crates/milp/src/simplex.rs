@@ -10,12 +10,14 @@ use crate::model::{Cmp, Model, Sense, SolveError};
 
 const EPS: f64 = 1e-9;
 
-/// Result of an LP solve: variable values (in the model's original space)
-/// and the objective value.
+/// Result of an LP solve: variable values (in the model's original space),
+/// the objective value, and the simplex pivots spent (the deterministic
+/// work measure behind [`Model::set_work_limit`](crate::Model::set_work_limit)).
 #[derive(Debug, Clone)]
 pub(crate) struct LpSolution {
     pub values: Vec<f64>,
     pub objective: f64,
+    pub pivots: u64,
 }
 
 /// Extra bound constraints layered on top of a model by branch & bound.
@@ -40,7 +42,10 @@ impl BoundOverrides {
 }
 
 /// Solves the LP relaxation of `model` with `overrides` applied.
-pub(crate) fn solve_lp(model: &Model, overrides: &BoundOverrides) -> Result<LpSolution, SolveError> {
+pub(crate) fn solve_lp(
+    model: &Model,
+    overrides: &BoundOverrides,
+) -> Result<LpSolution, SolveError> {
     let n = model.vars.len();
     let mut lo = vec![0.0f64; n];
     let mut hi = vec![f64::INFINITY; n];
@@ -159,12 +164,13 @@ pub(crate) fn solve_lp(model: &Model, overrides: &BoundOverrides) -> Result<LpSo
     }
 
     // Phase 1: maximize -(sum of artificials).
+    let mut pivots = 0u64;
     if !art_cols.is_empty() {
         let mut c1 = vec![0.0f64; ncols];
         for &col in &art_cols {
             c1[col] = -1.0;
         }
-        let z = run_simplex(&mut a, &mut b, &mut basis, &c1)?;
+        let z = run_simplex(&mut a, &mut b, &mut basis, &c1, &mut pivots)?;
         if z < -1e-7 {
             return Err(SolveError::Infeasible);
         }
@@ -174,6 +180,7 @@ pub(crate) fn solve_lp(model: &Model, overrides: &BoundOverrides) -> Result<LpSo
                 let pivot_col = (0..total_pre_art).find(|&j| a[i][j].abs() > EPS);
                 if let Some(j) = pivot_col {
                     pivot(&mut a, &mut b, &mut basis, i, j);
+                    pivots += 1;
                 }
                 // Rows still basic in an artificial are redundant (zero).
             }
@@ -188,7 +195,7 @@ pub(crate) fn solve_lp(model: &Model, overrides: &BoundOverrides) -> Result<LpSo
     for &col in &art_cols {
         c2[col] = -1e18;
     }
-    let z = run_simplex(&mut a, &mut b, &mut basis, &c2)?;
+    let z = run_simplex(&mut a, &mut b, &mut basis, &c2, &mut pivots)?;
 
     let mut values = vec![0.0f64; n];
     for i in 0..m {
@@ -200,7 +207,11 @@ pub(crate) fn solve_lp(model: &Model, overrides: &BoundOverrides) -> Result<LpSo
         values[v] += lo[v];
     }
     let objective = sign * (z + obj_shift);
-    Ok(LpSolution { values, objective })
+    Ok(LpSolution {
+        values,
+        objective,
+        pivots,
+    })
 }
 
 /// Runs primal simplex (maximization) on the tableau; returns the optimal
@@ -210,6 +221,7 @@ fn run_simplex(
     b: &mut [f64],
     basis: &mut [usize],
     c: &[f64],
+    pivots: &mut u64,
 ) -> Result<f64, SolveError> {
     let m = a.len();
     let ncols = c.len();
@@ -248,8 +260,7 @@ fn run_simplex(
             if a[i][j] > EPS {
                 let ratio = b[i] / a[i][j];
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                    || (ratio < best + EPS && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -260,6 +271,7 @@ fn run_simplex(
             return Err(SolveError::Unbounded);
         };
         pivot(a, b, basis, i, j);
+        *pivots += 1;
         // Update reduced costs: red -= red[j] * (pivoted row i).
         let factor = red[j];
         if factor.abs() > EPS {
@@ -333,10 +345,7 @@ mod tests {
         let mut ov = BoundOverrides::default();
         ov.entries.push((0, 5.0, 10.0));
         ov.entries.push((0, 0.0, 3.0));
-        assert_eq!(
-            solve_lp(&m, &ov).unwrap_err(),
-            SolveError::Infeasible
-        );
+        assert_eq!(solve_lp(&m, &ov).unwrap_err(), SolveError::Infeasible);
     }
 
     #[test]

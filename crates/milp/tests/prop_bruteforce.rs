@@ -18,11 +18,7 @@ fn program() -> impl Strategy<Value = BinaryProgram> {
         (
             prop::collection::vec(-5i8..6, n),
             prop::collection::vec(
-                (
-                    prop::collection::vec(-3i8..4, n),
-                    any::<bool>(),
-                    -2i8..7,
-                ),
+                (prop::collection::vec(-3i8..4, n), any::<bool>(), -2i8..7),
                 0..5,
             ),
         )
@@ -43,7 +39,12 @@ fn brute_force(p: &BinaryProgram) -> Option<f64> {
             }
         });
         if feasible {
-            let v: f64 = p.obj.iter().enumerate().map(|(i, &c)| c as f64 * x(i)).sum();
+            let v: f64 = p
+                .obj
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c as f64 * x(i))
+                .sum();
             best = Some(best.map(|b: f64| b.max(v)).unwrap_or(v));
         }
     }

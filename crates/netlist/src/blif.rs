@@ -9,7 +9,7 @@
 
 use crate::gate::{GateId, GateKind, Origin};
 use crate::netgraph::Netlist;
-use std::collections::HashMap;
+use dataflow::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
@@ -274,7 +274,7 @@ pub fn read_blif<R: BufRead>(r: R) -> Result<Netlist, BlifError> {
     // Build the netlist: declare signals, then wire.
     let mut nl = Netlist::new();
     let o = Origin::External;
-    let mut net: HashMap<String, GateId> = HashMap::new();
+    let mut net: HashMap<String, GateId> = HashMap::default();
     for name in &inputs {
         let g = nl.input(o);
         net.insert(name.clone(), g);

@@ -48,13 +48,7 @@ pub fn shl_const(nl: &mut Netlist, a: &[GateId], amount: usize, o: Origin) -> Ve
     let zero = nl.constant(false);
     let _ = o;
     (0..a.len())
-        .map(|i| {
-            if i >= amount {
-                a[i - amount]
-            } else {
-                zero
-            }
-        })
+        .map(|i| if i >= amount { a[i - amount] } else { zero })
         .collect()
 }
 

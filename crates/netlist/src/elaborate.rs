@@ -105,8 +105,7 @@ impl<'g> Elaborator<'g> {
             let src_o = Origin::Unit(ch.src().unit);
             let dst_o = Origin::Unit(ch.dst().unit);
             let buf_o = Origin::Channel(cid);
-            let data_src: Vec<GateId> =
-                (0..w).map(|_| self.nl.forward_alias(src_o)).collect();
+            let data_src: Vec<GateId> = (0..w).map(|_| self.nl.forward_alias(src_o)).collect();
             let valid_src = self.nl.forward_alias(src_o);
             let ready_dst = self.nl.forward_alias(dst_o);
 
@@ -139,7 +138,8 @@ impl<'g> Elaborator<'g> {
                 self.nl.gate_mut(vld).fanin = vec![vld_next];
                 // Stage inputs d1/v1 come from the TEHB below (or directly
                 // from src if there is no TEHB).
-                let tehb_in = self.tehb_stage(&data_src, valid_src, ready1, spec.transparent, buf_o);
+                let tehb_in =
+                    self.tehb_stage(&data_src, valid_src, ready1, spec.transparent, buf_o);
                 for (alias, real) in d1.iter().zip(&tehb_in.0) {
                     self.nl.bind_alias(*alias, *real);
                 }
@@ -239,8 +239,7 @@ impl<'g> Elaborator<'g> {
                 let fired_next = self.nl.or(fired, transfer, o);
                 self.nl.gate_mut(fired).fanin = vec![fired_next];
                 if !data_out.is_empty() {
-                    let bits: Vec<GateId> =
-                        (0..data_out.len()).map(|_| self.nl.input(o)).collect();
+                    let bits: Vec<GateId> = (0..data_out.len()).map(|_| self.nl.input(o)).collect();
                     self.bind_data(&data_out, &bits);
                 }
             }
@@ -248,9 +247,11 @@ impl<'g> Elaborator<'g> {
                 let (data_in, valid_in, ready) = self.input_nets(uid, 0);
                 let one = self.nl.constant(true);
                 self.nl.bind_alias(ready, one);
-                self.nl.add_keep(valid_in, format!("{}:exit_valid", unit.name()));
+                self.nl
+                    .add_keep(valid_in, format!("{}:exit_valid", unit.name()));
                 for (i, &d) in data_in.iter().enumerate() {
-                    self.nl.add_keep(d, format!("{}:exit_data{}", unit.name(), i));
+                    self.nl
+                        .add_keep(d, format!("{}:exit_data{}", unit.name(), i));
                 }
             }
             UnitKind::Sink => {
@@ -677,7 +678,9 @@ mod tests {
     fn figure2_graph() -> Graph {
         let mut g = Graph::new("fig2");
         let bb = g.add_basic_block("bb0");
-        let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+        let a = g
+            .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+            .unwrap();
         let f = g.add_unit(UnitKind::fork(2), "fork", bb, 8).unwrap();
         let s = g
             .add_unit(UnitKind::Operator(OpKind::ShlConst(1)), "shl", bb, 8)
@@ -713,9 +716,7 @@ mod tests {
             nl.optimize();
             nl.num_live_regs()
         };
-        let ch = g
-            .output_channel(g.unit_by_name("shl").unwrap(), 0)
-            .unwrap();
+        let ch = g.output_channel(g.unit_by_name("shl").unwrap(), 0).unwrap();
         g.set_buffer(ch, BufferSpec::FULL);
         let e = elaborate(&g);
         let mut nl = e.netlist;

@@ -1,11 +1,11 @@
 //! Gate primitives and provenance.
 
 use dataflow::{ChannelId, UnitId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a gate within a [`Netlist`](crate::Netlist).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GateId(pub(crate) u32);
 
 impl GateId {
@@ -31,7 +31,8 @@ impl fmt::Display for GateId {
 /// The elaborator only emits these; richer operators (adders, muxe trees,
 /// comparators) are decomposed into them so the optimizer and the LUT
 /// mapper see a homogeneous network, like a BLIF read into ABC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GateKind {
     /// Constant 0/1.
     Const(bool),
@@ -104,7 +105,8 @@ impl GateKind {
 
 /// Where a gate came from: the provenance the LUT mapper propagates so the
 /// paper's LUT→DFG mapping can recover unit boundaries after synthesis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Origin {
     /// Logic belonging to a dataflow unit.
     Unit(UnitId),
@@ -125,7 +127,8 @@ impl fmt::Display for Origin {
 }
 
 /// One gate of a netlist.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gate {
     pub(crate) kind: GateKind,
     pub(crate) fanin: Vec<GateId>,

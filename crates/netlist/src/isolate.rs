@@ -56,8 +56,7 @@ pub fn elaborate_isolated(g: &Graph, uid: UnitId) -> Netlist {
         let pi = e.nl.input(ext);
         e.nl.bind_alias(nets.valid_src, pi);
         // The unit's ready answer is an observable output.
-        e.nl
-            .add_keep(nets.ready_dst, format!("{}:ready_in{}", unit.name(), p));
+        e.nl.add_keep(nets.ready_dst, format!("{}:ready_in{}", unit.name(), p));
     }
     // Stub consumers: successor ready is a primary input; the unit's
     // data/valid outputs are observables.
@@ -65,11 +64,9 @@ pub fn elaborate_isolated(g: &Graph, uid: UnitId) -> Netlist {
         let nets = e.channels[ch.index()].clone();
         let pi = e.nl.input(ext);
         e.nl.bind_alias(nets.ready_dst, pi);
-        e.nl
-            .add_keep(nets.valid_dst, format!("{}:valid_out{}", unit.name(), p));
+        e.nl.add_keep(nets.valid_dst, format!("{}:valid_out{}", unit.name(), p));
         for (bi, d) in nets.data_dst.iter().enumerate() {
-            e.nl
-                .add_keep(*d, format!("{}:data_out{}_{}", unit.name(), p, bi));
+            e.nl.add_keep(*d, format!("{}:data_out{}_{}", unit.name(), p, bi));
         }
     }
     e.nl
@@ -83,8 +80,12 @@ mod tests {
     fn graph_with_add() -> (Graph, UnitId) {
         let mut g = Graph::new("t");
         let bb = g.add_basic_block("bb0");
-        let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
-        let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8).unwrap();
+        let a = g
+            .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+            .unwrap();
+        let b = g
+            .add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8)
+            .unwrap();
         let add = g
             .add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 8)
             .unwrap();

@@ -1,8 +1,7 @@
 //! The netlist container: gate storage, helpers, liveness and depth queries.
 
 use crate::gate::{Gate, GateId, GateKind, Origin};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use dataflow::collections::HashMap;
 
 /// A gate-level netlist with provenance.
 ///
@@ -11,7 +10,8 @@ use std::collections::HashMap;
 /// stable across optimization. *Keeps* are the observability roots
 /// (side-effecting nets such as store commits and the exit handshake):
 /// everything not transitively feeding a keep or a live register is dead.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Netlist {
     gates: Vec<Gate>,
     keeps: Vec<(GateId, String)>,
@@ -150,13 +150,7 @@ impl Netlist {
         self.tree(GateKind::Or, inputs, false, origin)
     }
 
-    fn tree(
-        &mut self,
-        kind: GateKind,
-        inputs: &[GateId],
-        neutral: bool,
-        origin: Origin,
-    ) -> GateId {
+    fn tree(&mut self, kind: GateKind, inputs: &[GateId], neutral: bool, origin: Origin) -> GateId {
         match inputs.len() {
             0 => self.constant(neutral),
             1 => inputs[0],

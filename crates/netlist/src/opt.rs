@@ -12,10 +12,10 @@
 
 use crate::gate::{GateId, GateKind};
 use crate::netgraph::{strash_key, Netlist, StrashMap};
-use serde::{Deserialize, Serialize};
 
 /// Statistics reported by [`Netlist::optimize`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OptStats {
     /// Number of full rewrite passes executed.
     pub passes: u32,
@@ -115,7 +115,7 @@ impl Netlist {
 
     fn optimize_pass(&mut self, repl: &mut Repl, rewrites: &mut u64) -> bool {
         let mut changed = false;
-        let mut strash: StrashMap = StrashMap::new();
+        let mut strash: StrashMap = StrashMap::default();
         for i in 0..self.num_gates() {
             let id = GateId::from_raw(i as u32);
             if repl.find(id) != id {
@@ -360,7 +360,10 @@ mod tests {
         let r = nl.reg(m, O);
         nl.add_keep(r, "out");
         nl.optimize();
-        assert_eq!(nl.gate(nl.gate(r).fanin()[0]).kind(), GateKind::Const(false));
+        assert_eq!(
+            nl.gate(nl.gate(r).fanin()[0]).kind(),
+            GateKind::Const(false)
+        );
     }
 
     #[test]

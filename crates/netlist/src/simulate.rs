@@ -112,10 +112,9 @@ impl<'a> NetlistSim<'a> {
             }
             match g.kind() {
                 GateKind::Reg => next.push((id, self.value[g.fanin()[0].index()])),
-                GateKind::RegEn
-                    if self.value[g.fanin()[0].index()] => {
-                        next.push((id, self.value[g.fanin()[1].index()]));
-                    }
+                GateKind::RegEn if self.value[g.fanin()[0].index()] => {
+                    next.push((id, self.value[g.fanin()[1].index()]));
+                }
                 _ => {}
             }
         }

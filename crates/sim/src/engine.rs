@@ -42,7 +42,10 @@ impl fmt::Display for SimError {
                 write!(f, "no completion within {max_cycles} cycles")
             }
             SimError::AddrOutOfBounds { unit, addr, size } => {
-                write!(f, "unit {unit} accessed address {addr} of a {size}-word memory")
+                write!(
+                    f,
+                    "unit {unit} accessed address {addr} of a {size}-word memory"
+                )
             }
         }
     }
@@ -97,7 +100,10 @@ enum UnitState {
     /// Pipelined operator: per-stage (valid, value).
     Pipe(Vec<(bool, u64)>),
     /// Load/store port: output-register stage (valid, value).
-    MemPort { v: bool, data: u64 },
+    MemPort {
+        v: bool,
+        data: u64,
+    },
 }
 
 /// Combinational signal values of one channel.
@@ -150,9 +156,7 @@ impl<'g> Simulator<'g> {
             .units()
             .map(|(_, u)| match u.kind() {
                 UnitKind::Entry | UnitKind::Argument { .. } => UnitState::Fired(false),
-                UnitKind::Fork { outputs } => {
-                    UnitState::ForkDone(vec![false; *outputs as usize])
-                }
+                UnitKind::Fork { outputs } => UnitState::ForkDone(vec![false; *outputs as usize]),
                 UnitKind::ControlMerge { .. } => UnitState::CmergeState {
                     dones: [false; 2],
                     grant: None,
@@ -347,7 +351,11 @@ impl<'g> Simulator<'g> {
         if spec.transparent {
             n.ready_src = !st.tehb_full;
             v1 = s.valid_src || st.tehb_full;
-            d1 = if st.tehb_full { st.tehb_saved } else { s.data_src };
+            d1 = if st.tehb_full {
+                st.tehb_saved
+            } else {
+                s.data_src
+            };
         } else {
             v1 = s.valid_src;
             d1 = s.data_src;
@@ -394,7 +402,11 @@ impl<'g> Simulator<'g> {
         if spec.transparent {
             (
                 s.valid_src || st.tehb_full,
-                if st.tehb_full { st.tehb_saved } else { s.data_src },
+                if st.tehb_full {
+                    st.tehb_saved
+                } else {
+                    s.data_src
+                },
             )
         } else {
             (s.valid_src, s.data_src)
@@ -602,7 +614,9 @@ impl<'g> Simulator<'g> {
                 _ => unreachable!(),
             };
             let grant = latched.map(|g| g as usize).or(comb_grant);
-            let any = grant.map(|g| valids[g] || latched.is_some()).unwrap_or(false);
+            let any = grant
+                .map(|g| valids[g] || latched.is_some())
+                .unwrap_or(false);
             let dout = grant.map(|i| self.idata(uid, i)).unwrap_or(0);
             let r0 = self.oready(uid, 0);
             let r1 = self.oready(uid, 1);
@@ -666,7 +680,11 @@ impl<'g> Simulator<'g> {
     fn apply_op(&self, uid: UnitId, op: OpKind, w: u16) -> u64 {
         let m = mask(w);
         let a = self.idata(uid, 0);
-        let b = if op.arity() >= 2 { self.idata(uid, 1) } else { 0 };
+        let b = if op.arity() >= 2 {
+            self.idata(uid, 1)
+        } else {
+            0
+        };
         let sa = to_signed(a, w);
         let sb = to_signed(b, w);
         match op {
@@ -794,7 +812,9 @@ impl<'g> Simulator<'g> {
                     };
                     let comb_grant = valids.iter().rposition(|&v| v);
                     let grant = latched.map(|g| g as usize).or(comb_grant);
-                    let any = grant.map(|g| valids[g] || latched.is_some()).unwrap_or(false);
+                    let any = grant
+                        .map(|g| valids[g] || latched.is_some())
+                        .unwrap_or(false);
                     let mut all = true;
                     for (i, &done) in dones.iter().enumerate() {
                         all &= done || self.oready(uid, i);
@@ -861,7 +881,10 @@ impl<'g> Simulator<'g> {
                             } else {
                                 0
                             };
-                            let new = UnitState::MemPort { v: vin, data: value };
+                            let new = UnitState::MemPort {
+                                v: vin,
+                                data: value,
+                            };
                             if self.unit[uid.index()] != new {
                                 progressed = true;
                             }

@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn idents_are_unique_and_printable() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = dataflow::collections::HashSet::default();
         for c in 0..500u32 {
             for kind in 0..3u8 {
                 let id = ident(ChannelId::from_raw(c), kind);

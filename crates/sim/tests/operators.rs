@@ -14,13 +14,17 @@ fn signed(v: u64) -> i64 {
 fn eval_binary(op: OpKind, a: u64, b: u64) -> u64 {
     let mut g = Graph::new("op");
     let bb = g.add_basic_block("bb0");
-    let ua = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 16).unwrap();
+    let ua = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 16)
+        .unwrap();
     let u = g.add_unit(UnitKind::Operator(op), "op", bb, 16).unwrap();
     let w_out = g.unit(u).output_spec(0).width;
     let x = g.add_unit(UnitKind::Exit, "x", bb, w_out).unwrap();
     g.connect(PortRef::new(ua, 0), PortRef::new(u, 0)).unwrap();
     if op.arity() >= 2 {
-        let ub = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 16).unwrap();
+        let ub = g
+            .add_unit(UnitKind::Argument { index: 1 }, "b", bb, 16)
+            .unwrap();
         g.connect(PortRef::new(ub, 0), PortRef::new(u, 1)).unwrap();
     }
     g.connect(PortRef::new(u, 0), PortRef::new(x, 0)).unwrap();
@@ -33,7 +37,12 @@ fn eval_binary(op: OpKind, a: u64, b: u64) -> u64 {
 
 #[test]
 fn arithmetic_operators() {
-    let cases = [(5u64, 3u64), (0xFFFF, 1), (0x8000, 0x8000), (123, 45678 & MASK)];
+    let cases = [
+        (5u64, 3u64),
+        (0xFFFF, 1),
+        (0x8000, 0x8000),
+        (123, 45678 & MASK),
+    ];
     for (a, b) in cases {
         assert_eq!(eval_binary(OpKind::Add, a, b), a.wrapping_add(b) & MASK);
         assert_eq!(eval_binary(OpKind::Sub, a, b), a.wrapping_sub(b) & MASK);
@@ -69,12 +78,36 @@ fn comparison_operators_signed() {
     ];
     for (a, b) in cases {
         let (sa, sb) = (signed(a), signed(b));
-        assert_eq!(eval_binary(OpKind::Eq, a, b), (sa == sb) as u64, "{a} eq {b}");
-        assert_eq!(eval_binary(OpKind::Ne, a, b), (sa != sb) as u64, "{a} ne {b}");
-        assert_eq!(eval_binary(OpKind::Lt, a, b), (sa < sb) as u64, "{a} lt {b}");
-        assert_eq!(eval_binary(OpKind::Le, a, b), (sa <= sb) as u64, "{a} le {b}");
-        assert_eq!(eval_binary(OpKind::Gt, a, b), (sa > sb) as u64, "{a} gt {b}");
-        assert_eq!(eval_binary(OpKind::Ge, a, b), (sa >= sb) as u64, "{a} ge {b}");
+        assert_eq!(
+            eval_binary(OpKind::Eq, a, b),
+            (sa == sb) as u64,
+            "{a} eq {b}"
+        );
+        assert_eq!(
+            eval_binary(OpKind::Ne, a, b),
+            (sa != sb) as u64,
+            "{a} ne {b}"
+        );
+        assert_eq!(
+            eval_binary(OpKind::Lt, a, b),
+            (sa < sb) as u64,
+            "{a} lt {b}"
+        );
+        assert_eq!(
+            eval_binary(OpKind::Le, a, b),
+            (sa <= sb) as u64,
+            "{a} le {b}"
+        );
+        assert_eq!(
+            eval_binary(OpKind::Gt, a, b),
+            (sa > sb) as u64,
+            "{a} gt {b}"
+        );
+        assert_eq!(
+            eval_binary(OpKind::Ge, a, b),
+            (sa >= sb) as u64,
+            "{a} ge {b}"
+        );
     }
 }
 
@@ -84,16 +117,25 @@ fn select_operator() {
     for (c, expect) in [(1u64, 0xAAAAu64 & MASK), (0, 0x5555)] {
         let mut g = Graph::new("sel");
         let bb = g.add_basic_block("bb0");
-        let uc = g.add_unit(UnitKind::Argument { index: 0 }, "c", bb, 1).unwrap();
-        let ua = g.add_unit(UnitKind::Argument { index: 1 }, "a", bb, 16).unwrap();
-        let ub = g.add_unit(UnitKind::Argument { index: 2 }, "b", bb, 16).unwrap();
+        let uc = g
+            .add_unit(UnitKind::Argument { index: 0 }, "c", bb, 1)
+            .unwrap();
+        let ua = g
+            .add_unit(UnitKind::Argument { index: 1 }, "a", bb, 16)
+            .unwrap();
+        let ub = g
+            .add_unit(UnitKind::Argument { index: 2 }, "b", bb, 16)
+            .unwrap();
         let sel = g
             .add_unit(UnitKind::Operator(OpKind::Select), "s", bb, 16)
             .unwrap();
         let x = g.add_unit(UnitKind::Exit, "x", bb, 16).unwrap();
-        g.connect(PortRef::new(uc, 0), PortRef::new(sel, 0)).unwrap();
-        g.connect(PortRef::new(ua, 0), PortRef::new(sel, 1)).unwrap();
-        g.connect(PortRef::new(ub, 0), PortRef::new(sel, 2)).unwrap();
+        g.connect(PortRef::new(uc, 0), PortRef::new(sel, 0))
+            .unwrap();
+        g.connect(PortRef::new(ua, 0), PortRef::new(sel, 1))
+            .unwrap();
+        g.connect(PortRef::new(ub, 0), PortRef::new(sel, 2))
+            .unwrap();
         g.connect(PortRef::new(sel, 0), PortRef::new(x, 0)).unwrap();
         g.validate().unwrap();
         let mut s = Simulator::new(&g);
@@ -108,7 +150,9 @@ fn select_operator() {
 fn lazy_fork_delivers_when_all_consumers_ready() {
     let mut g = Graph::new("lf");
     let bb = g.add_basic_block("bb0");
-    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+        .unwrap();
     let lf = g
         .add_unit(UnitKind::LazyFork { outputs: 2 }, "lf", bb, 8)
         .unwrap();
@@ -130,23 +174,26 @@ fn lazy_fork_into_join_is_a_known_combinational_deadlock() {
     // *eager* forks. The simulator must detect it rather than hang.
     let mut g = Graph::new("lfjoin");
     let bb = g.add_basic_block("bb0");
-    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+        .unwrap();
     let lf = g
         .add_unit(UnitKind::LazyFork { outputs: 2 }, "lf", bb, 8)
         .unwrap();
-    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 8).unwrap();
+    let add = g
+        .add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 8)
+        .unwrap();
     let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
     g.connect(PortRef::new(a, 0), PortRef::new(lf, 0)).unwrap();
-    g.connect(PortRef::new(lf, 0), PortRef::new(add, 0)).unwrap();
-    g.connect(PortRef::new(lf, 1), PortRef::new(add, 1)).unwrap();
+    g.connect(PortRef::new(lf, 0), PortRef::new(add, 0))
+        .unwrap();
+    g.connect(PortRef::new(lf, 1), PortRef::new(add, 1))
+        .unwrap();
     g.connect(PortRef::new(add, 0), PortRef::new(x, 0)).unwrap();
     g.validate().unwrap();
     let mut s = Simulator::new(&g);
     s.set_arg(0, 21);
-    assert!(matches!(
-        s.run(100),
-        Err(sim::SimError::Deadlock { .. })
-    ));
+    assert!(matches!(s.run(100), Err(sim::SimError::Deadlock { .. })));
 }
 
 #[test]
@@ -163,7 +210,9 @@ fn timeout_is_reported() {
     // every cycle... instead invert: entry -> j.0 only once, and j.1 from
     // source: j fires once and exits. For a real timeout, starve j.0 with
     // a branch that never takes the true side.
-    let nv = g.add_unit(UnitKind::Argument { index: 0 }, "nv", bb, 1).unwrap();
+    let nv = g
+        .add_unit(UnitKind::Argument { index: 0 }, "nv", bb, 1)
+        .unwrap();
     let br = g.add_unit(UnitKind::Branch, "br", bb, 0).unwrap();
     let sk = g.add_unit(UnitKind::Sink, "sk", bb, 0).unwrap();
     g.connect(PortRef::new(e, 0), PortRef::new(br, 0)).unwrap();

@@ -5,16 +5,23 @@ use dataflow::{BufferSpec, Graph, OpKind, PortRef, UnitKind};
 use sim::Simulator;
 
 fn conn(g: &mut Graph, a: (dataflow::UnitId, usize), b: (dataflow::UnitId, usize)) {
-    g.connect(PortRef::new(a.0, a.1), PortRef::new(b.0, b.1)).unwrap();
+    g.connect(PortRef::new(a.0, a.1), PortRef::new(b.0, b.1))
+        .unwrap();
 }
 
 /// arg0 + arg1 -> exit
 fn adder_graph(w: u16) -> Graph {
     let mut g = Graph::new("adder");
     let bb = g.add_basic_block("bb0");
-    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, w).unwrap();
-    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, w).unwrap();
-    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, w).unwrap();
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, w)
+        .unwrap();
+    let b = g
+        .add_unit(UnitKind::Argument { index: 1 }, "b", bb, w)
+        .unwrap();
+    let add = g
+        .add_unit(UnitKind::Operator(OpKind::Add), "add", bb, w)
+        .unwrap();
     let x = g.add_unit(UnitKind::Exit, "x", bb, w).unwrap();
     conn(&mut g, (a, 0), (add, 0));
     conn(&mut g, (b, 0), (add, 1));
@@ -65,9 +72,15 @@ fn transparent_buffer_adds_no_latency() {
 fn multiplier_pipeline_latency() {
     let mut g = Graph::new("mul");
     let bb = g.add_basic_block("bb0");
-    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 16).unwrap();
-    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 16).unwrap();
-    let mul = g.add_unit(UnitKind::Operator(OpKind::Mul), "mul", bb, 16).unwrap();
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 16)
+        .unwrap();
+    let b = g
+        .add_unit(UnitKind::Argument { index: 1 }, "b", bb, 16)
+        .unwrap();
+    let mul = g
+        .add_unit(UnitKind::Operator(OpKind::Mul), "mul", bb, 16)
+        .unwrap();
     let x = g.add_unit(UnitKind::Exit, "x", bb, 16).unwrap();
     conn(&mut g, (a, 0), (mul, 0));
     conn(&mut g, (b, 0), (mul, 1));
@@ -86,14 +99,26 @@ fn branch_steers_by_condition() {
     // arg0 -> fork -> (data, cmp > 10) -> branch -> (true: exit) (false: +100 -> exit via merge)
     let mut g = Graph::new("branchy");
     let bb = g.add_basic_block("bb0");
-    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 16).unwrap();
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 16)
+        .unwrap();
     let f = g.add_unit(UnitKind::fork(2), "f", bb, 16).unwrap();
-    let c10 = g.add_unit(UnitKind::Argument { index: 1 }, "c10", bb, 16).unwrap();
-    let cmp = g.add_unit(UnitKind::Operator(OpKind::Gt), "cmp", bb, 16).unwrap();
+    let c10 = g
+        .add_unit(UnitKind::Argument { index: 1 }, "c10", bb, 16)
+        .unwrap();
+    let cmp = g
+        .add_unit(UnitKind::Operator(OpKind::Gt), "cmp", bb, 16)
+        .unwrap();
     let br = g.add_unit(UnitKind::Branch, "br", bb, 16).unwrap();
-    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 16).unwrap();
-    let c100 = g.add_unit(UnitKind::Argument { index: 2 }, "c100", bb, 16).unwrap();
-    let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 16).unwrap();
+    let add = g
+        .add_unit(UnitKind::Operator(OpKind::Add), "add", bb, 16)
+        .unwrap();
+    let c100 = g
+        .add_unit(UnitKind::Argument { index: 2 }, "c100", bb, 16)
+        .unwrap();
+    let m = g
+        .add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 16)
+        .unwrap();
     let x = g.add_unit(UnitKind::Exit, "x", bb, 16).unwrap();
     conn(&mut g, (a, 0), (f, 0));
     conn(&mut g, (f, 0), (br, 0));
@@ -126,19 +151,33 @@ fn counting_loop() -> (Graph, dataflow::ChannelId, dataflow::ChannelId) {
     let bb1 = g.add_basic_block("loop");
     // Control ring.
     let entry = g.add_unit(UnitKind::Entry, "entry", bb0, 0).unwrap();
-    let mc = g.add_unit(UnitKind::Merge { inputs: 2 }, "mc", bb1, 0).unwrap();
+    let mc = g
+        .add_unit(UnitKind::Merge { inputs: 2 }, "mc", bb1, 0)
+        .unwrap();
     let fc = g.add_unit(UnitKind::fork(3), "fc", bb1, 0).unwrap();
     let brc = g.add_unit(UnitKind::Branch, "brc", bb1, 0).unwrap();
     let sc = g.add_unit(UnitKind::Sink, "sc", bb1, 0).unwrap();
     // Per-iteration constants (triggered by the control token).
-    let cone = g.add_unit(UnitKind::Constant { value: 1 }, "cone", bb1, 16).unwrap();
-    let cn = g.add_unit(UnitKind::Constant { value: 20 }, "cn", bb1, 16).unwrap();
+    let cone = g
+        .add_unit(UnitKind::Constant { value: 1 }, "cone", bb1, 16)
+        .unwrap();
+    let cn = g
+        .add_unit(UnitKind::Constant { value: 20 }, "cn", bb1, 16)
+        .unwrap();
     // Data ring.
-    let init = g.add_unit(UnitKind::Argument { index: 0 }, "init", bb0, 16).unwrap();
-    let md = g.add_unit(UnitKind::Merge { inputs: 2 }, "md", bb1, 16).unwrap();
-    let add = g.add_unit(UnitKind::Operator(OpKind::Add), "add", bb1, 16).unwrap();
+    let init = g
+        .add_unit(UnitKind::Argument { index: 0 }, "init", bb0, 16)
+        .unwrap();
+    let md = g
+        .add_unit(UnitKind::Merge { inputs: 2 }, "md", bb1, 16)
+        .unwrap();
+    let add = g
+        .add_unit(UnitKind::Operator(OpKind::Add), "add", bb1, 16)
+        .unwrap();
     let fa = g.add_unit(UnitKind::fork(2), "fa", bb1, 16).unwrap();
-    let cmp = g.add_unit(UnitKind::Operator(OpKind::Lt), "cmp", bb1, 16).unwrap();
+    let cmp = g
+        .add_unit(UnitKind::Operator(OpKind::Lt), "cmp", bb1, 16)
+        .unwrap();
     let fcond = g.add_unit(UnitKind::fork(2), "fcond", bb1, 1).unwrap();
     let brd = g.add_unit(UnitKind::Branch, "brd", bb1, 16).unwrap();
     let x = g.add_unit(UnitKind::Exit, "x", bb1, 16).unwrap();
@@ -150,16 +189,22 @@ fn counting_loop() -> (Graph, dataflow::ChannelId, dataflow::ChannelId) {
     conn(&mut g, (init, 0), (md, 0));
     conn(&mut g, (md, 0), (add, 0));
     conn(&mut g, (cone, 0), (add, 1));
-    let fwd = g.connect(PortRef::new(add, 0), PortRef::new(fa, 0)).unwrap();
+    let fwd = g
+        .connect(PortRef::new(add, 0), PortRef::new(fa, 0))
+        .unwrap();
     conn(&mut g, (fa, 0), (brd, 0));
     conn(&mut g, (fa, 1), (cmp, 0));
     conn(&mut g, (cn, 0), (cmp, 1));
     conn(&mut g, (cmp, 0), (fcond, 0));
     conn(&mut g, (fcond, 0), (brd, 1));
     conn(&mut g, (fcond, 1), (brc, 1));
-    let back_d = g.connect(PortRef::new(brd, 0), PortRef::new(md, 1)).unwrap();
+    let back_d = g
+        .connect(PortRef::new(brd, 0), PortRef::new(md, 1))
+        .unwrap();
     conn(&mut g, (brd, 1), (x, 0));
-    let back_c = g.connect(PortRef::new(brc, 0), PortRef::new(mc, 1)).unwrap();
+    let back_c = g
+        .connect(PortRef::new(brc, 0), PortRef::new(mc, 1))
+        .unwrap();
     conn(&mut g, (brc, 1), (sc, 0));
     g.set_buffer(back_d, BufferSpec::FULL);
     g.set_buffer(back_c, BufferSpec::FULL);
@@ -223,14 +268,20 @@ fn load_store_round_trip() {
     let mut g = Graph::new("mem");
     let bb = g.add_basic_block("bb0");
     let mem = g.add_memory("m", 16, 16, vec![0; 16]);
-    let a0 = g.add_unit(UnitKind::Argument { index: 0 }, "a0", bb, 16).unwrap();
-    let a1 = g.add_unit(UnitKind::Argument { index: 1 }, "a1", bb, 16).unwrap();
+    let a0 = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a0", bb, 16)
+        .unwrap();
+    let a1 = g
+        .add_unit(UnitKind::Argument { index: 1 }, "a1", bb, 16)
+        .unwrap();
     let st = g.add_unit(UnitKind::Store { mem }, "st", bb, 16).unwrap();
     let ld = g.add_unit(UnitKind::Load { mem }, "ld", bb, 16).unwrap();
     let x = g.add_unit(UnitKind::Exit, "x", bb, 16).unwrap();
     conn(&mut g, (a0, 0), (st, 0));
     conn(&mut g, (a1, 0), (st, 1));
-    let caddr = g.add_unit(UnitKind::Constant { value: 5 }, "caddr", bb, 16).unwrap();
+    let caddr = g
+        .add_unit(UnitKind::Constant { value: 5 }, "caddr", bb, 16)
+        .unwrap();
     conn(&mut g, (st, 0), (caddr, 0)); // done token triggers the load addr
     conn(&mut g, (caddr, 0), (ld, 0));
     conn(&mut g, (ld, 0), (x, 0));
@@ -251,7 +302,9 @@ fn full_buffer_ring_sustains_full_throughput() {
     let mut g = Graph::new("ring");
     let bb = g.add_basic_block("bb0");
     let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
-    let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 0).unwrap();
+    let m = g
+        .add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 0)
+        .unwrap();
     let f = g.add_unit(UnitKind::fork(2), "f", bb, 0).unwrap();
     let s = g.add_unit(UnitKind::Sink, "s", bb, 0).unwrap();
     conn(&mut g, (e, 0), (m, 0));
@@ -274,7 +327,9 @@ fn two_buffers_on_ring_halve_throughput() {
     let mut g = Graph::new("ring2");
     let bb = g.add_basic_block("bb0");
     let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
-    let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 0).unwrap();
+    let m = g
+        .add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 0)
+        .unwrap();
     let f = g.add_unit(UnitKind::fork(2), "f", bb, 0).unwrap();
     let s = g.add_unit(UnitKind::Sink, "s", bb, 0).unwrap();
     conn(&mut g, (e, 0), (m, 0));
@@ -326,9 +381,15 @@ fn cmerge_prefers_back_edge_and_latches_grant() {
 fn merge_grants_highest_index_when_racing() {
     let mut g = Graph::new("mrace");
     let bb = g.add_basic_block("bb0");
-    let a = g.add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8).unwrap();
-    let b = g.add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8).unwrap();
-    let m = g.add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 8).unwrap();
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+        .unwrap();
+    let b = g
+        .add_unit(UnitKind::Argument { index: 1 }, "b", bb, 8)
+        .unwrap();
+    let m = g
+        .add_unit(UnitKind::Merge { inputs: 2 }, "m", bb, 8)
+        .unwrap();
     let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
     conn(&mut g, (a, 0), (m, 0));
     conn(&mut g, (b, 0), (m, 1));

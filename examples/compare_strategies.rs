@@ -49,10 +49,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n              {:>12}  {:>12}", "Prev.", "Iter.");
-    println!("buffers       {:>12}  {:>12}", prev_report.buffers, iter_report.buffers);
-    println!("logic levels  {:>12}  {:>12}", prev_report.logic_levels, iter_report.logic_levels);
-    println!("CP (ns)       {:>12.2}  {:>12.2}", prev_report.cp_ns, iter_report.cp_ns);
-    println!("clock cycles  {:>12}  {:>12}", prev_report.cycles, iter_report.cycles);
+    println!(
+        "buffers       {:>12}  {:>12}",
+        prev_report.buffers, iter_report.buffers
+    );
+    println!(
+        "logic levels  {:>12}  {:>12}",
+        prev_report.logic_levels, iter_report.logic_levels
+    );
+    println!(
+        "CP (ns)       {:>12.2}  {:>12.2}",
+        prev_report.cp_ns, iter_report.cp_ns
+    );
+    println!(
+        "clock cycles  {:>12}  {:>12}",
+        prev_report.cycles, iter_report.cycles
+    );
     println!(
         "exec time(ns) {:>12.0}  {:>12.0}   ({:+.0}%)",
         prev_report.exec_time_ns,

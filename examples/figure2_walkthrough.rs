@@ -88,9 +88,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timing.num_nodes(),
         timing.nodes().filter(|(_, n)| n.fake).count()
     );
-    println!("penalty(a = add0->shl)  = {:.2}   (paper: 0)", penalties[&ch_a]);
-    println!("penalty(b = shl->add2)  = {:.2}   (paper: 1)", penalties[&ch_b]);
-    println!("penalty(c = add2->exit) = {:.2}   (paper: 0)", penalties[&ch_c]);
+    println!(
+        "penalty(a = add0->shl)  = {:.2}   (paper: 0)",
+        penalties[&ch_a]
+    );
+    println!(
+        "penalty(b = shl->add2)  = {:.2}   (paper: 1)",
+        penalties[&ch_b]
+    );
+    println!(
+        "penalty(c = add2->exit) = {:.2}   (paper: 0)",
+        penalties[&ch_c]
+    );
     assert!(penalties[&ch_b] > 0.99);
     assert!(penalties[&ch_a] < 0.5 && penalties[&ch_c] < 0.5);
     println!("=> a buffer would be placed on a or c, never on b (Eq. 3)");

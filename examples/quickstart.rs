@@ -24,8 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let done = k.loop_end(lp, &[("s", s1)]);
     let built = k.finish_with_value(done.var("s"))?;
 
-    println!("kernel: {} units, {} channels, {} loop back edges",
-        built.graph.num_units(), built.graph.num_channels(), built.back_edges.len());
+    println!(
+        "kernel: {} units, {} channels, {} loop back edges",
+        built.graph.num_units(),
+        built.graph.num_channels(),
+        built.back_edges.len()
+    );
 
     // Run the paper's iterative mapping-aware flow (Figure 4).
     let opts = FlowOptions::default();

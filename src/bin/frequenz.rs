@@ -158,7 +158,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     for (mem, expected) in &kernel.expected_mems {
         if sim.memory(*mem) != expected.as_slice() {
-            eprintln!("FAIL: memory {} deviates from reference", graph.memory(*mem).name());
+            eprintln!(
+                "FAIL: memory {} deviates from reference",
+                graph.memory(*mem).name()
+            );
             return ExitCode::FAILURE;
         }
     }

@@ -2,9 +2,7 @@
 //! the mini-HLS frontend, logic synthesis, LUT mapping, the MILP placer,
 //! the iterative loop, the simulator, and the reporting.
 
-use frequenz::core::{
-    measure, optimize_baseline, optimize_iterative, synthesize, FlowOptions,
-};
+use frequenz::core::{measure, optimize_baseline, optimize_iterative, synthesize, FlowOptions};
 use frequenz::hls::kernels;
 use frequenz::sim::Simulator;
 

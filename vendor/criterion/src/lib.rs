@@ -1,0 +1,170 @@
+//! Offline stub of [`criterion`](https://docs.rs/criterion).
+//!
+//! Provides just enough API for the workspace's benches to compile and
+//! run without network access: each benchmark is timed with a short
+//! warm-up followed by a fixed number of samples, and the mean wall-clock
+//! time is printed. There are no statistics, plots, or baselines — swap
+//! the workspace dependency back to crates-io for the real harness.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// Identifier of a parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter label.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]),
+/// mirroring the real crate's `IntoBenchmarkId` bound.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<40} {:>12.3} µs/iter",
+        b.mean.as_secs_f64() * 1e6
+    );
+}
+
+/// The bench registry handed to every target function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name.into_name()),
+            self.samples,
+            f,
+        );
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.name), self.samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,68 @@
+//! Offline stub of [`proptest`](https://docs.rs/proptest).
+//!
+//! The workspace builds with no network access, so the real proptest
+//! cannot be resolved from crates-io. This stub implements the subset of
+//! the API the workspace's property tests use, as a *deterministic*
+//! harness: every test function derives its RNG seed from its module path
+//! and name, so failures reproduce exactly across runs and machines.
+//!
+//! Deliberate departures from real proptest:
+//!
+//! - **No shrinking** — a failing case reports the generated inputs
+//!   verbatim (they are printed with `Debug`), not a minimized one.
+//! - **No persistence** — `proptest-regressions` files are ignored.
+//! - **No `Arbitrary` derive** — only the primitive impls below.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirror of the `prop` module alias of the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Deterministic xorshift64* generator used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary string (FNV-1a), typically
+    /// the test's `module_path!()::name`.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h | 1, // xorshift state must be non-zero
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}

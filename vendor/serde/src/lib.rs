@@ -1,0 +1,21 @@
+//! Offline stub of the [`serde`](https://serde.rs) facade.
+//!
+//! The workspace builds in an environment with no access to crates-io, so
+//! the real `serde` cannot be resolved. Library crates gate their derives
+//! behind a default-off `serde` cargo feature; when that feature is
+//! enabled this stub supplies the trait *names* (and no-op derives via the
+//! sibling `serde_derive` stub) so the annotated types still compile. No
+//! actual serialization is performed — to get real serde, point the
+//! workspace `serde` dependency back at the registry.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// The real trait is `Deserialize<'de>`; the stub drops the lifetime since
+/// no deserializer ever runs.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,56 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Emits empty impls of the stub marker traits in the sibling `serde`
+//! stub. Only non-generic `struct`/`enum` items are supported — every
+//! serde-derived type in this workspace is non-generic, and the stub
+//! raises a compile error (rather than silently mis-expanding) if that
+//! ever stops being true.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following the `struct`/`enum`
+/// keyword. Returns `None` for generic items (a `<` follows the name).
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(id) = &tok {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    _ => return None,
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        return None;
+                    }
+                }
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+fn impl_marker(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => "compile_error!(\"the offline serde_derive stub supports only non-generic structs and enums\");"
+            .parse()
+            .expect("error macro parses"),
+    }
+}
+
+/// Stub `#[derive(Serialize)]`: an empty marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "serde::Serialize")
+}
+
+/// Stub `#[derive(Deserialize)]`: an empty marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "serde::Deserialize")
+}
