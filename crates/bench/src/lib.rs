@@ -284,6 +284,37 @@ pub fn run_table1_jobs(
             c.iter_iterations,
         );
     }
+    // Incremental re-synthesis breakdown of the iterative flow: how much
+    // FlowMap work was reused across iterations, and what it bought.
+    println!();
+    println!(
+        "{:<15} | {:>8} {:>8} {:>6} | {:>5} {:>5} | {:>9} | {:>8} {:>8}",
+        "Benchmark",
+        "lbl(re)",
+        "lbl(new)",
+        "re%",
+        "incrS",
+        "fullS",
+        "dirtyBBs",
+        "tFull(s)",
+        "tIncr(s)"
+    );
+    for c in &rows {
+        let t = &c.iter_trace;
+        println!(
+            "{:<15} | {:>8} {:>8} {:>5.0}% | {:>5} {:>5} | {:>4}/{:<4} | {:>8.2} {:>8.2}",
+            c.name,
+            t.labels_reused,
+            t.labels_computed,
+            100.0 * t.label_reuse_rate(),
+            t.incr_synths,
+            t.full_synths,
+            t.dirty_bbs,
+            t.dirty_bbs + t.clean_bbs,
+            t.synth_full.as_secs_f64(),
+            t.synth_incremental.as_secs_f64(),
+        );
+    }
     Ok(rows)
 }
 
@@ -296,11 +327,15 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
     out.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
     out.push_str("  \"kernels\": [\n");
     for (i, c) in rows.iter().enumerate() {
+        let t = &c.iter_trace;
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"cache_hit_rate\": {:.4}, \"et_prev_ns\": {:.1}, \"et_iter_ns\": {:.1}, \
              \"luts_prev\": {}, \"luts_iter\": {}, \"ffs_prev\": {}, \"ffs_iter\": {}, \
-             \"levels_prev\": {}, \"levels_iter\": {}, \"iterations\": {}, \"converged\": {}}}{}\n",
+             \"levels_prev\": {}, \"levels_iter\": {}, \"iterations\": {}, \"converged\": {}, \
+             \"labels_reused\": {}, \"labels_computed\": {}, \"label_reuse_rate\": {:.4}, \
+             \"incr_synths\": {}, \"full_synths\": {}, \"dirty_bbs\": {}, \"clean_bbs\": {}, \
+             \"synth_full_s\": {:.3}, \"synth_incr_s\": {:.3}}}{}\n",
             c.name,
             c.wall_s,
             c.cache_hits,
@@ -316,6 +351,15 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
             c.iter.logic_levels,
             c.iter_iterations,
             c.iter_converged,
+            t.labels_reused,
+            t.labels_computed,
+            t.label_reuse_rate(),
+            t.incr_synths,
+            t.full_synths,
+            t.dirty_bbs,
+            t.clean_bbs,
+            t.synth_full.as_secs_f64(),
+            t.synth_incremental.as_secs_f64(),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -351,5 +395,47 @@ mod tests {
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"total_wall_s\": 1.250"));
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_rows_carry_incremental_synthesis_fields() {
+        let report = frequenz_core::CircuitReport {
+            luts: 10,
+            ffs: 20,
+            logic_levels: 6,
+            cp_ns: 4.2,
+            cycles: 100,
+            exec_time_ns: 420.0,
+            buffers: 3,
+        };
+        let iter_trace = FlowTrace {
+            labels_reused: 40,
+            labels_computed: 10,
+            incr_synths: 2,
+            full_synths: 1,
+            dirty_bbs: 3,
+            clean_bbs: 9,
+            ..FlowTrace::default()
+        };
+        let row = KernelComparison {
+            name: "probe",
+            prev: report.clone(),
+            iter: report,
+            iter_iterations: 2,
+            iter_converged: true,
+            prev_trace: FlowTrace::default(),
+            iter_trace,
+            cache_hits: 5,
+            cache_misses: 4,
+            wall_s: 0.5,
+        };
+        let j = comparisons_to_json(&[row], 0.5, 1);
+        assert!(j.contains("\"labels_reused\": 40"));
+        assert!(j.contains("\"label_reuse_rate\": 0.8000"));
+        assert!(j.contains("\"incr_synths\": 2"));
+        assert!(j.contains("\"full_synths\": 1"));
+        assert!(j.contains("\"dirty_bbs\": 3"));
+        assert!(j.contains("\"clean_bbs\": 9"));
+        assert!(j.contains("\"synth_full_s\": 0.000"));
     }
 }

@@ -130,6 +130,7 @@ pub fn optimize_baseline_with_cache(
     opts: &FlowOptions,
     cache: &SynthCache,
 ) -> Result<FlowResult, FlowError> {
+    opts.validate()?;
     let run_start = Instant::now();
     let mut trace = FlowTrace::default();
     let (hits0, misses0) = (cache.hits(), cache.misses());

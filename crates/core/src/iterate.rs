@@ -9,16 +9,17 @@
 //! within a couple of iterations in practice (Section VI-A observes < 3).
 
 use crate::cfdfc::extract_cfdfcs;
-use crate::lutdfg::map_lut_edges;
+use crate::lutdfg::{map_lut_edges_cached, ClassifyCache, LutDfgMap};
 use crate::penalty::compute_penalties;
 use crate::place::{place_buffers, PlaceError, PlacementProblem};
-use crate::synth::SynthCache;
+use crate::synth::{SynthCache, SynthHandle, Synthesis};
 use crate::timing::TimingGraph;
 use crate::trace::{timed, FlowTrace};
 use dataflow::collections::{HashMap, HashSet};
-use dataflow::{BufferSpec, ChannelId, Graph};
+use dataflow::{count_dirty_bbs, fingerprint_bbs, BufferSpec, ChannelId, Graph};
 use lutmap::MapError;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Tuning knobs of both flows (iterative and baseline).
@@ -73,8 +74,60 @@ impl Default for FlowOptions {
     }
 }
 
+impl FlowOptions {
+    /// Rejects option combinations the flows cannot run with.
+    ///
+    /// Both [`optimize_iterative`] and
+    /// [`optimize_baseline`](crate::optimize_baseline) call this up front,
+    /// so impossible configurations fail with a typed
+    /// [`FlowError::InvalidOptions`] instead of panicking (or silently
+    /// under-budgeting) deep inside the loop.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidOptions`] describing the offending field:
+    /// `k < 3` (below the widest primitive gate), `max_iterations == 0`
+    /// (the Figure-4 loop must run at least once),
+    /// `buffer_margin >= target_levels` (the margin consumes the whole
+    /// level budget — the internal MILP target would underflow), or a
+    /// non-finite / negative `alpha` or `beta`.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        if self.k < 3 {
+            return Err(FlowError::InvalidOptions(format!(
+                "k = {} is below the minimum of 3 (the widest primitive gate)",
+                self.k
+            )));
+        }
+        if self.max_iterations == 0 {
+            return Err(FlowError::InvalidOptions(
+                "max_iterations = 0: the flow must run at least one iteration".into(),
+            ));
+        }
+        if self.buffer_margin >= self.target_levels {
+            return Err(FlowError::InvalidOptions(format!(
+                "buffer_margin {} consumes the whole target of {} levels; \
+                 no budget is left for datapath logic",
+                self.buffer_margin, self.target_levels
+            )));
+        }
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return Err(FlowError::InvalidOptions(format!(
+                "alpha must be finite and non-negative, got {}",
+                self.alpha
+            )));
+        }
+        if !self.beta.is_finite() || self.beta < 0.0 {
+            return Err(FlowError::InvalidOptions(format!(
+                "beta must be finite and non-negative, got {}",
+                self.beta
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// What happened in one Figure-4 iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationRecord {
     /// 1-based iteration number.
     pub iteration: usize,
@@ -113,6 +166,8 @@ pub enum FlowError {
     Synthesis(MapError),
     /// Buffer placement failed.
     Placement(PlaceError),
+    /// The [`FlowOptions`] are unusable (see [`FlowOptions::validate`]).
+    InvalidOptions(String),
 }
 
 impl fmt::Display for FlowError {
@@ -120,6 +175,7 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
             FlowError::Placement(e) => write!(f, "placement failed: {e}"),
+            FlowError::InvalidOptions(msg) => write!(f, "invalid flow options: {msg}"),
         }
     }
 }
@@ -182,6 +238,7 @@ pub fn optimize_iterative_with_cache(
     opts: &FlowOptions,
     cache: &SynthCache,
 ) -> Result<FlowResult, FlowError> {
+    opts.validate()?;
     let run_start = Instant::now();
     let mut trace = FlowTrace::default();
     let (hits0, misses0) = (cache.hits(), cache.misses());
@@ -192,23 +249,58 @@ pub fn optimize_iterative_with_cache(
     let mut iterations = Vec::new();
     let mut best: Option<(u32, Vec<ChannelId>)> = None;
 
+    // Incremental-re-synthesis state: the previous iteration's synthesis
+    // handle serves as the basis for the next one (FlowMap labels of
+    // structurally unchanged cones are reused), the classify memo carries
+    // LUT-edge classifications across iterations (they depend only on the
+    // base topology), and the previous timing model is reused wholesale
+    // when the fixed-buffer set did not change the synthesis.
+    let mut prev_handle: Option<SynthHandle> = None;
+    let mut prev_model: Option<(Arc<Synthesis>, LutDfgMap, TimingGraph)> = None;
+    let mut prev_bbs: Option<Vec<(dataflow::BasicBlockId, dataflow::Fingerprint)>> = None;
+    let mut classify_cache = ClassifyCache::default();
+
     let mut extra_margin = 0u32;
     for iteration in 1..=opts.max_iterations {
         // Synthesize the current circuit (with the fixed buffers) and
         // derive the mapping-aware timing model.
         let g_cur = apply_buffers(base, &fixed);
-        let synth = timed(&mut trace.synth, || cache.synthesize(&g_cur, opts.k))?;
-        let map = timed(&mut trace.map, || map_lut_edges(base, &synth));
-        let timing = timed(&mut trace.timing, || TimingGraph::build(base, &synth, &map));
+
+        // Dirty-BB accounting: which basic blocks changed structurally
+        // since the graph the previous iteration synthesized?
+        let cur_bbs = fingerprint_bbs(&g_cur);
+        let dirty = match &prev_bbs {
+            Some(prev) => count_dirty_bbs(prev, &cur_bbs),
+            None => cur_bbs.len(),
+        };
+        trace.dirty_bb_history.push(dirty);
+        trace.dirty_bbs += dirty as u64;
+        trace.clean_bbs += cur_bbs.len().saturating_sub(dirty) as u64;
+        prev_bbs = Some(cur_bbs);
+
+        let cur_handle = synth_step(&mut trace, cache, &g_cur, opts.k, prev_handle.as_ref())?;
+        let synth = cur_handle.synthesis().clone();
+        let (map, timing) = match &prev_model {
+            Some((ps, pm, pt)) if Arc::ptr_eq(ps, &synth) => (pm.clone(), pt.clone()),
+            _ => {
+                let m = timed(&mut trace.map, || {
+                    map_lut_edges_cached(base, &synth, &mut classify_cache)
+                });
+                let t = timed(&mut trace.timing, || TimingGraph::build(base, &synth, &m));
+                (m, t)
+            }
+        };
+        prev_model = Some((synth.clone(), map, timing));
+        let timing = &prev_model.as_ref().expect("just set").2;
         let penalties = if opts.use_penalties {
-            timed(&mut trace.timing, || compute_penalties(base, &timing))
+            timed(&mut trace.timing, || compute_penalties(base, timing))
         } else {
             HashMap::default()
         };
 
         let problem = PlacementProblem {
             graph: base,
-            timing: &timing,
+            timing,
             penalties: &penalties,
             cfdfcs: &cfdfcs,
             // Adaptive margin: every missed iteration tightens the
@@ -228,9 +320,11 @@ pub fn optimize_iterative_with_cache(
         trace.cut_rounds += placement.cut_rounds;
 
         // Re-synthesize with the proposed buffers; check the real levels.
+        // The circuit just synthesized is the natural basis: the proposal
+        // extends the fixed set, so most basic blocks are untouched.
         let g_new = apply_buffers(base, &placement.buffers);
-        let synth2 = timed(&mut trace.synth, || cache.synthesize(&g_new, opts.k))?;
-        let achieved = synth2.logic_levels();
+        let new_handle = synth_step(&mut trace, cache, &g_new, opts.k, Some(&cur_handle))?;
+        let achieved = new_handle.synthesis().logic_levels();
 
         let mean_penalty = if placement.buffers.is_empty() {
             0.0
@@ -273,10 +367,14 @@ pub fn optimize_iterative_with_cache(
                 });
                 if widened.len() != best_buffers.len() {
                     best_buffers = widened;
-                    if let Ok(s2) = timed(&mut trace.synth, || {
-                        cache.synthesize(&apply_buffers(base, &best_buffers), opts.k)
-                    }) {
-                        best_levels = s2.logic_levels();
+                    if let Ok(s2) = synth_step(
+                        &mut trace,
+                        cache,
+                        &apply_buffers(base, &best_buffers),
+                        opts.k,
+                        Some(&cur_handle),
+                    ) {
+                        best_levels = s2.synthesis().logic_levels();
                     }
                 }
             }
@@ -307,8 +405,38 @@ pub fn optimize_iterative_with_cache(
             mean_penalty,
         });
         fixed = new_fixed;
+        prev_handle = Some(cur_handle);
     }
     unreachable!("loop returns on the last iteration");
+}
+
+/// Runs one cached synthesis, splitting its wall clock and label counters
+/// into the incremental/full lanes of the trace.
+fn synth_step(
+    trace: &mut FlowTrace,
+    cache: &SynthCache,
+    g: &Graph,
+    k: usize,
+    basis: Option<&SynthHandle>,
+) -> Result<SynthHandle, MapError> {
+    let start = Instant::now();
+    let out = cache.synthesize_with_basis(g, k, basis);
+    let dt = start.elapsed();
+    trace.synth += dt;
+    if let Ok((_, delta)) = &out {
+        if !delta.cache_hit {
+            if delta.incremental {
+                trace.synth_incremental += dt;
+                trace.incr_synths += 1;
+            } else {
+                trace.synth_full += dt;
+                trace.full_synths += 1;
+            }
+        }
+        trace.labels_reused += delta.labels_reused as u64;
+        trace.labels_computed += delta.labels_computed as u64;
+    }
+    out.map(|(h, _)| h)
 }
 
 /// The paper's subset rule: keep the previously fixed buffers, then add —
@@ -387,6 +515,62 @@ mod tests {
             let bb = g.unit(g.channel(*c).src().unit).bb();
             assert!(bbs.insert(bb), "two picks in one bb");
         }
+    }
+
+    #[test]
+    fn invalid_options_are_rejected_up_front() {
+        let k = kernels::gsum(8);
+        let reject = |opts: FlowOptions| {
+            let err = optimize_iterative(k.graph(), k.back_edges(), &opts).unwrap_err();
+            assert!(
+                matches!(err, FlowError::InvalidOptions(_)),
+                "expected InvalidOptions, got {err}"
+            );
+            let err = crate::optimize_baseline(k.graph(), k.back_edges(), &opts).unwrap_err();
+            assert!(matches!(err, FlowError::InvalidOptions(_)));
+        };
+        // The level budget must not underflow: a margin that consumes the
+        // whole target used to slip through to the MILP silently.
+        reject(FlowOptions {
+            target_levels: 2,
+            buffer_margin: 2,
+            ..FlowOptions::default()
+        });
+        // Zero iterations used to hit the `unreachable!` at the loop end.
+        reject(FlowOptions {
+            max_iterations: 0,
+            ..FlowOptions::default()
+        });
+        reject(FlowOptions {
+            k: 2,
+            ..FlowOptions::default()
+        });
+        reject(FlowOptions {
+            alpha: f64::NAN,
+            ..FlowOptions::default()
+        });
+        reject(FlowOptions {
+            beta: -1.0,
+            ..FlowOptions::default()
+        });
+        assert!(FlowOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn iterative_flow_reports_incremental_reuse() {
+        let k = kernels::gsumif(16);
+        let r = optimize_iterative(k.graph(), k.back_edges(), &FlowOptions::default()).unwrap();
+        let t = &r.trace;
+        assert_eq!(t.dirty_bb_history.len(), t.iterations);
+        assert!(t.dirty_bbs > 0, "iteration 1 must count all BBs dirty");
+        if t.iterations > 1 {
+            assert!(
+                t.incr_synths > 0,
+                "multi-iteration runs must synthesize incrementally"
+            );
+            assert!(t.labels_reused > 0, "no FlowMap labels were reused");
+        }
+        assert!(t.synth_full + t.synth_incremental <= t.synth);
     }
 
     #[test]

@@ -53,13 +53,15 @@ pub use iterate::{
     apply_buffers, optimize_iterative, optimize_iterative_with_cache, FlowError, FlowOptions,
     FlowResult, IterationRecord,
 };
-pub use lutdfg::{map_lut_edges, EdgeTarget, LutDfgMap, MappedEdge};
+pub use lutdfg::{
+    map_lut_edges, map_lut_edges_cached, ClassifyCache, EdgeTarget, LutDfgMap, MappedEdge,
+};
 pub use penalty::compute_penalties;
 pub use place::{place_buffers, Objective, PlaceError, PlacementProblem, PlacementResult};
 pub use report::{
     clock_period_ns, measure, measure_with_cache, utilization, CircuitReport, MeasureError,
 };
 pub use slack::{slack_match, slack_match_with_cache, SlackOptions};
-pub use synth::{synthesize, SynthCache, Synthesis};
+pub use synth::{synthesize, SynthCache, SynthDelta, SynthHandle, Synthesis};
 pub use timing::{CriticalPath, TimingEdge, TimingGraph, TimingNode, TimingNodeId};
 pub use trace::FlowTrace;

@@ -142,13 +142,37 @@ fn domain_meet(g: &Graph, a: UnitId, b: UnitId) -> Option<(UnitId, Vec<ChannelId
     Some((meet, channels))
 }
 
+/// A memo of [`EdgeTarget`] classifications keyed by the LUT endpoints'
+/// provenance.
+///
+/// [`classify`] is a pure function of the *base* graph topology and the two
+/// origins — buffer annotations change neither the unit set nor the
+/// channel set — so a cache built against one buffer configuration is
+/// valid for every other configuration of the same base graph. The
+/// iterative flow classifies the same origin pairs on every iteration;
+/// with the memo, each pair's BFS runs once per flow instead of once per
+/// iteration.
+pub type ClassifyCache = dataflow::collections::HashMap<(Origin, Origin), EdgeTarget>;
+
 /// Classifies every LUT edge of `synth` against the DFG `g`.
 pub fn map_lut_edges(g: &Graph, synth: &Synthesis) -> LutDfgMap {
+    let mut cache = ClassifyCache::default();
+    map_lut_edges_cached(g, synth, &mut cache)
+}
+
+/// [`map_lut_edges`] with a classification memo shared across calls.
+///
+/// All calls sharing one `cache` must pass graphs with the same base
+/// topology (same units and channels; buffer annotations may differ).
+pub fn map_lut_edges_cached(g: &Graph, synth: &Synthesis, cache: &mut ClassifyCache) -> LutDfgMap {
     let mut edges = Vec::new();
     for (src, dst) in synth.luts.lut_edges() {
         let so = synth.luts.lut(src).origin();
         let do_ = synth.luts.lut(dst).origin();
-        let target = classify(g, so, do_);
+        let target = cache
+            .entry((so, do_))
+            .or_insert_with(|| classify(g, so, do_))
+            .clone();
         edges.push(MappedEdge { src, dst, target });
     }
     LutDfgMap { edges }
@@ -290,6 +314,25 @@ mod tests {
                 assert!(!channels.is_empty());
             }
             other => panic!("expected domain meet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_cache_is_transparent() {
+        let (g, ..) = figure2();
+        let synth = synthesize(&g, 6).unwrap();
+        let plain = map_lut_edges(&g, &synth);
+        let mut cache = ClassifyCache::default();
+        let first = map_lut_edges_cached(&g, &synth, &mut cache);
+        assert!(!cache.is_empty());
+        let second = map_lut_edges_cached(&g, &synth, &mut cache);
+        for reference in [&first, &second] {
+            assert_eq!(plain.edges.len(), reference.edges.len());
+            for (a, b) in plain.edges.iter().zip(reference.edges.iter()) {
+                assert_eq!(a.src, b.src);
+                assert_eq!(a.dst, b.dst);
+                assert_eq!(a.target, b.target);
+            }
         }
     }
 

@@ -5,8 +5,8 @@
 
 use dataflow::collections::HashMap;
 use dataflow::{fingerprint_graph, Fingerprint, Graph};
-use lutmap::{map_netlist, LutNetwork, MapError, MapOptions};
-use netlist::{elaborate, Netlist, OptStats};
+use lutmap::{map_netlist, map_netlist_with_seed, LutNetwork, MapError, MapOptions, MapSeed};
+use netlist::{elaborate, match_netlists, Netlist, OptStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -61,6 +61,86 @@ pub fn synthesize(g: &Graph, k: usize) -> Result<Synthesis, MapError> {
     })
 }
 
+/// One cached synthesis plus the by-products incremental re-synthesis
+/// needs: the FlowMap labels/cuts ([`MapSeed`]) and the K it ran with.
+#[derive(Debug)]
+struct SynthEntry {
+    synthesis: Arc<Synthesis>,
+    seed: MapSeed,
+    k: usize,
+}
+
+/// A shareable handle to one cached synthesis.
+///
+/// Beyond the [`Synthesis`] itself, the handle retains the run's FlowMap
+/// labels, so it can serve as the *basis* of a later
+/// [`SynthCache::synthesize_with_basis`] call: gates the new netlist
+/// shares with this one skip the per-gate max-flow labeling.
+#[derive(Debug, Clone)]
+pub struct SynthHandle(Arc<SynthEntry>);
+
+impl SynthHandle {
+    /// The synthesis artifacts this handle refers to.
+    pub fn synthesis(&self) -> &Arc<Synthesis> {
+        &self.0.synthesis
+    }
+}
+
+/// What one [`SynthCache::synthesize_with_basis`] call actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthDelta {
+    /// Served from the cache — nothing was recomputed.
+    pub cache_hit: bool,
+    /// A basis was used: labels were reused across netlists.
+    pub incremental: bool,
+    /// FlowMap labels copied from the basis through the matching.
+    pub labels_reused: usize,
+    /// FlowMap labels computed by the max-flow test from scratch.
+    pub labels_computed: usize,
+    /// Live logic gates matched against the basis netlist.
+    pub matched_gates: usize,
+    /// Live logic gates with no basis counterpart.
+    pub unmatched_gates: usize,
+}
+
+fn synthesize_entry(
+    g: &Graph,
+    k: usize,
+    basis: Option<&SynthEntry>,
+) -> Result<(SynthEntry, SynthDelta), MapError> {
+    let mut nl = elaborate(g).netlist;
+    let opt_stats = nl.optimize();
+    let opts = MapOptions {
+        k,
+        area_recovery: true,
+    };
+    let mut delta = SynthDelta::default();
+    let (luts, seed, stats) = match basis {
+        Some(b) => {
+            let m = match_netlists(&b.synthesis.netlist, &nl);
+            delta.incremental = true;
+            delta.matched_gates = m.matched_logic;
+            delta.unmatched_gates = m.unmatched_logic;
+            map_netlist_with_seed(&nl, &opts, Some((&b.seed, &m)))?
+        }
+        None => map_netlist_with_seed(&nl, &opts, None)?,
+    };
+    delta.labels_reused = stats.labels_reused;
+    delta.labels_computed = stats.labels_computed;
+    Ok((
+        SynthEntry {
+            synthesis: Arc::new(Synthesis {
+                netlist: nl,
+                luts,
+                opt_stats,
+            }),
+            seed,
+            k,
+        },
+        delta,
+    ))
+}
+
 /// A memoizing synthesis front end.
 ///
 /// The iterative flow synthesizes structurally identical graphs over and
@@ -75,17 +155,44 @@ pub fn synthesize(g: &Graph, k: usize) -> Result<Synthesis, MapError> {
 /// lock is *not* held while a miss synthesizes, so concurrent misses on
 /// different graphs proceed in parallel (a rare duplicate miss on the
 /// same key just wastes one synthesis run).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SynthCache {
-    entries: Mutex<HashMap<(Fingerprint, usize), Arc<Synthesis>>>,
+    entries: Mutex<HashMap<(Fingerprint, usize), Arc<SynthEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    incremental: bool,
+}
+
+impl Default for SynthCache {
+    fn default() -> Self {
+        SynthCache {
+            entries: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            incremental: true,
+        }
+    }
 }
 
 impl SynthCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with incremental re-synthesis enabled.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a cache that ignores every basis and always synthesizes in
+    /// full. The equivalence tests pit this against [`SynthCache::new`] to
+    /// check that incremental reuse is bit-identical to full re-synthesis.
+    pub fn forced_full() -> Self {
+        SynthCache {
+            incremental: false,
+            ..Self::default()
+        }
+    }
+
+    /// Whether [`SynthCache::synthesize_with_basis`] honours its basis.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
     }
 
     /// Synthesizes `g`, serving structurally identical repeats from memory.
@@ -94,20 +201,50 @@ impl SynthCache {
     ///
     /// Same contract as [`synthesize`]; errors are not cached.
     pub fn synthesize(&self, g: &Graph, k: usize) -> Result<Arc<Synthesis>, MapError> {
+        self.synthesize_with_basis(g, k, None)
+            .map(|(h, _)| h.0.synthesis.clone())
+    }
+
+    /// Like [`SynthCache::synthesize`], but on a miss reuses per-gate
+    /// FlowMap labels from `basis` wherever the new optimized netlist is
+    /// structurally identical to the basis netlist. The result is
+    /// bit-identical to a full synthesis; only the work differs. A basis
+    /// computed with a different K is ignored (labels depend on K), as is
+    /// every basis when the cache was built with
+    /// [`SynthCache::forced_full`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`synthesize`]; errors are not cached.
+    pub fn synthesize_with_basis(
+        &self,
+        g: &Graph,
+        k: usize,
+        basis: Option<&SynthHandle>,
+    ) -> Result<(SynthHandle, SynthDelta), MapError> {
         let key = (fingerprint_graph(g), k);
         if let Some(hit) = self.entries.lock().unwrap().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+            return Ok((
+                SynthHandle(hit),
+                SynthDelta {
+                    cache_hit: true,
+                    ..SynthDelta::default()
+                },
+            ));
         }
-        let fresh = Arc::new(synthesize(g, k)?);
+        let basis = basis.filter(|b| self.incremental && b.0.k == k);
+        let (entry, delta) = synthesize_entry(g, k, basis.map(|b| &*b.0))?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(self
+        let entry = Arc::new(entry);
+        let shared = self
             .entries
             .lock()
             .unwrap()
             .entry(key)
-            .or_insert(fresh)
-            .clone())
+            .or_insert(entry)
+            .clone();
+        Ok((SynthHandle(shared), delta))
     }
 
     /// Requests served from memory so far.
@@ -182,6 +319,56 @@ mod tests {
         assert_eq!(cached.logic_levels(), direct.logic_levels());
         assert_eq!(cached.lut_count(), direct.lut_count());
         assert_eq!(cached.ff_count(), direct.ff_count());
+    }
+
+    #[test]
+    fn basis_reuse_is_bit_identical_to_full_synthesis() {
+        use dataflow::BufferSpec;
+        let kern = kernels::gsum(8);
+        let g = kern.seeded_graph();
+        // A second configuration: one more buffered channel.
+        let mut g2 = g.clone();
+        let extra = g2
+            .channels()
+            .find(|(_, c)| !c.buffer().opaque)
+            .map(|(id, _)| id)
+            .unwrap();
+        g2.set_buffer(extra, BufferSpec::FULL);
+
+        let cache = SynthCache::new();
+        let (base, d0) = cache.synthesize_with_basis(&g, 6, None).unwrap();
+        assert!(!d0.cache_hit && !d0.incremental);
+        assert!(d0.labels_reused == 0 && d0.labels_computed > 0);
+        let (incr, d1) = cache.synthesize_with_basis(&g2, 6, Some(&base)).unwrap();
+        assert!(d1.incremental, "basis must be honoured");
+        assert!(d1.labels_reused > 0, "overlapping cones must be reused");
+        assert!(d1.matched_gates > 0);
+
+        let full = SynthCache::forced_full();
+        let (fref, d2) = full.synthesize_with_basis(&g2, 6, Some(&base)).unwrap();
+        assert!(!d2.incremental, "forced-full must ignore the basis");
+        let (a, b) = (incr.synthesis(), fref.synthesis());
+        assert_eq!(a.logic_levels(), b.logic_levels());
+        assert_eq!(a.lut_count(), b.lut_count());
+        assert_eq!(a.ff_count(), b.ff_count());
+        for ((_, la), (_, lb)) in a.luts.luts().zip(b.luts.luts()) {
+            assert_eq!(la.root(), lb.root());
+            assert_eq!(la.inputs(), lb.inputs());
+            assert_eq!(la.gates(), lb.gates());
+            assert_eq!(la.origin(), lb.origin());
+            assert_eq!(la.level(), lb.level());
+        }
+    }
+
+    #[test]
+    fn basis_with_different_k_is_ignored() {
+        let kern = kernels::gsum(8);
+        let g = kern.seeded_graph();
+        let cache = SynthCache::new();
+        let (base, _) = cache.synthesize_with_basis(&g, 6, None).unwrap();
+        let (_, d) = cache.synthesize_with_basis(&g, 4, Some(&base)).unwrap();
+        assert!(!d.incremental, "K mismatch must fall back to full");
+        assert_eq!(d.labels_reused, 0);
     }
 
     #[test]

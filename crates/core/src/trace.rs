@@ -35,6 +35,25 @@ pub struct FlowTrace {
     pub cut_rounds: usize,
     /// Figure-4 iterations executed.
     pub iterations: usize,
+    /// Portion of `synth` spent in full (basis-less) synthesis runs.
+    pub synth_full: Duration,
+    /// Portion of `synth` spent in incremental (basis-seeded) runs.
+    pub synth_incremental: Duration,
+    /// Cache misses that ran incrementally against a basis.
+    pub incr_synths: u64,
+    /// Cache misses that synthesized from scratch.
+    pub full_synths: u64,
+    /// FlowMap labels copied from a basis instead of recomputed.
+    pub labels_reused: u64,
+    /// FlowMap labels computed by the max-flow test.
+    pub labels_computed: u64,
+    /// Basic blocks whose structure changed since the previous iteration
+    /// (summed over iterations; the first iteration counts all blocks).
+    pub dirty_bbs: u64,
+    /// Basic blocks untouched since the previous iteration (summed).
+    pub clean_bbs: u64,
+    /// Dirty-BB count of each iteration, in order.
+    pub dirty_bb_history: Vec<usize>,
 }
 
 impl FlowTrace {
@@ -45,6 +64,16 @@ impl FlowTrace {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of FlowMap labels served from a basis (0 when none ran).
+    pub fn label_reuse_rate(&self) -> f64 {
+        let total = self.labels_reused + self.labels_computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.labels_reused as f64 / total as f64
         }
     }
 
@@ -61,6 +90,16 @@ impl FlowTrace {
         self.cache_misses += other.cache_misses;
         self.cut_rounds += other.cut_rounds;
         self.iterations += other.iterations;
+        self.synth_full += other.synth_full;
+        self.synth_incremental += other.synth_incremental;
+        self.incr_synths += other.incr_synths;
+        self.full_synths += other.full_synths;
+        self.labels_reused += other.labels_reused;
+        self.labels_computed += other.labels_computed;
+        self.dirty_bbs += other.dirty_bbs;
+        self.clean_bbs += other.clean_bbs;
+        self.dirty_bb_history
+            .extend(other.dirty_bb_history.iter().copied());
     }
 }
 
@@ -68,9 +107,13 @@ impl fmt::Display for FlowTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "synth {:.2}s | map {:.2}s | timing {:.2}s | milp {:.2}s | slack {:.2}s | \
-             total {:.2}s | cache {}/{} hits ({:.0}%) | {} cut rounds | {} iterations",
+            "synth {:.2}s (full {:.2}s + incr {:.2}s) | map {:.2}s | timing {:.2}s | \
+             milp {:.2}s | slack {:.2}s | total {:.2}s | cache {}/{} hits ({:.0}%) | \
+             {} incr / {} full synths | labels {}/{} reused ({:.0}%) | \
+             dirty BBs {}/{} | {} cut rounds | {} iterations",
             self.synth.as_secs_f64(),
+            self.synth_full.as_secs_f64(),
+            self.synth_incremental.as_secs_f64(),
             self.map.as_secs_f64(),
             self.timing.as_secs_f64(),
             self.milp.as_secs_f64(),
@@ -79,6 +122,13 @@ impl fmt::Display for FlowTrace {
             self.cache_hits,
             self.cache_hits + self.cache_misses,
             100.0 * self.cache_hit_rate(),
+            self.incr_synths,
+            self.full_synths,
+            self.labels_reused,
+            self.labels_reused + self.labels_computed,
+            100.0 * self.label_reuse_rate(),
+            self.dirty_bbs,
+            self.dirty_bbs + self.clean_bbs,
             self.cut_rounds,
             self.iterations,
         )
@@ -121,6 +171,13 @@ mod tests {
             cut_rounds: 3,
             iterations: 4,
             synth: Duration::from_millis(5),
+            synth_incremental: Duration::from_millis(2),
+            incr_synths: 2,
+            labels_reused: 10,
+            labels_computed: 30,
+            dirty_bbs: 4,
+            clean_bbs: 6,
+            dirty_bb_history: vec![3, 1],
             ..FlowTrace::default()
         };
         a.absorb(&b);
@@ -129,6 +186,21 @@ mod tests {
         assert_eq!(a.cut_rounds, 5);
         assert_eq!(a.iterations, 5);
         assert_eq!(a.synth, Duration::from_millis(15));
+        assert_eq!(a.synth_incremental, Duration::from_millis(2));
+        assert_eq!(a.incr_synths, 2);
+        assert_eq!(a.labels_reused, 10);
+        assert_eq!(a.dirty_bbs, 4);
+        assert_eq!(a.clean_bbs, 6);
+        assert_eq!(a.dirty_bb_history, vec![3, 1]);
+    }
+
+    #[test]
+    fn label_reuse_rate_handles_zero_and_mixes() {
+        let mut t = FlowTrace::default();
+        assert_eq!(t.label_reuse_rate(), 0.0);
+        t.labels_reused = 30;
+        t.labels_computed = 10;
+        assert!((t.label_reuse_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! into the sink (Cong & Ding, 1994).
 
 use dataflow::collections::HashMap;
-use netlist::{GateId, Netlist};
+use netlist::{GateId, Netlist, NetlistMatching};
 
 /// The combinational DAG view of a netlist: live logic gates with resolved
 /// (alias-free) fanins.
@@ -51,11 +51,29 @@ impl CombView {
 #[derive(Debug)]
 pub(crate) struct Labeling {
     /// `label[gate]` for logic gates; startpoints are absent (label 0).
-    /// Retained for diagnostics and the labeling tests.
-    #[allow(dead_code)]
     pub label: HashMap<GateId, u32>,
     /// The chosen K-feasible cut per logic gate.
     pub cut: HashMap<GateId, Vec<GateId>>,
+}
+
+/// Labeling reuse statistics of one [`compute_labels_seeded`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// Labels (and cuts) copied from the seed through the matching.
+    pub labels_reused: usize,
+    /// Labels computed by the max-flow test from scratch.
+    pub labels_computed: usize,
+}
+
+/// A previous run's labels and cuts, expressed in *that run's* gate ids.
+///
+/// Captured by [`map_netlist_with_seed`](crate::map_netlist_with_seed) and
+/// consumed by a later run together with a
+/// [`NetlistMatching`] that translates between the two id spaces.
+#[derive(Debug)]
+pub struct MapSeed {
+    pub(crate) label: HashMap<GateId, u32>,
+    pub(crate) cut: HashMap<GateId, Vec<GateId>>,
 }
 
 /// Computes FlowMap labels and cuts for every logic gate.
@@ -65,12 +83,62 @@ pub(crate) struct Labeling {
 /// source-side cut: the mapped LUTs then swallow as many gates as the
 /// label allows, which recovers area at identical (optimal) depth — the
 /// same refinement classic FlowMap implementations apply.
+#[cfg(test)]
 pub(crate) fn compute_labels(view: &CombView, k: usize, max_volume: bool) -> Labeling {
+    compute_labels_seeded(view, k, max_volume, None).0
+}
+
+/// [`compute_labels`] with optional reuse of a previous run's results.
+///
+/// For every gate the matching pairs with a seed gate, the seed's label
+/// and cut are copied (cut gate ids translated through the matching)
+/// instead of re-running the max-flow test. This is **exact**, not
+/// heuristic: a matched gate's entire fanin cone is matched
+/// order-isomorphically (see [`netlist::match_netlists`]), labels and min
+/// cuts are deterministic pure functions of the cone structure walked in
+/// fanin order, so the copied values are bit-identical to what the fresh
+/// computation would produce — including every label the fresh run would
+/// have read from the shared `label` map while processing *unmatched*
+/// gates downstream.
+pub(crate) fn compute_labels_seeded(
+    view: &CombView,
+    k: usize,
+    max_volume: bool,
+    seed: Option<(&MapSeed, &NetlistMatching)>,
+) -> (Labeling, MapStats) {
     let mut label: HashMap<GateId, u32> = HashMap::default();
     let mut cut: HashMap<GateId, Vec<GateId>> = HashMap::default();
     let mut cone_buf = ConeBuffers::default();
+    let mut stats = MapStats::default();
 
-    for &t in &view.topo {
+    'gates: for &t in &view.topo {
+        if let Some((seed, m)) = seed {
+            if let Some(p) = m.cur_to_prev.get(&t) {
+                if let (Some(&pl), Some(pc)) = (seed.label.get(p), seed.cut.get(p)) {
+                    let mut translated = Vec::with_capacity(pc.len());
+                    for g in pc {
+                        match m.prev_to_cur.get(g) {
+                            Some(&c) => translated.push(c),
+                            // A cut gate outside the matching cannot occur
+                            // for a matched root (the whole cone matches);
+                            // fall through to a fresh computation anyway.
+                            None => {
+                                debug_assert!(false, "matched root with unmatched cut gate");
+                                translated.clear();
+                                break;
+                            }
+                        }
+                    }
+                    if !translated.is_empty() {
+                        label.insert(t, pl);
+                        cut.insert(t, translated);
+                        stats.labels_reused += 1;
+                        continue 'gates;
+                    }
+                }
+            }
+        }
+        stats.labels_computed += 1;
         let fanins = &view.fanins[&t];
         let p = fanins
             .iter()
@@ -95,7 +163,7 @@ pub(crate) fn compute_labels(view: &CombView, k: usize, max_volume: bool) -> Lab
             }
         }
     }
-    Labeling { label, cut }
+    (Labeling { label, cut }, stats)
 }
 
 #[derive(Default)]

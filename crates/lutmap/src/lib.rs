@@ -34,5 +34,6 @@ mod mapper;
 mod network;
 
 pub use eval::check_equivalence;
-pub use mapper::{map_netlist, MapError, MapOptions};
+pub use flowmap::{MapSeed, MapStats};
+pub use mapper::{map_netlist, map_netlist_with_seed, MapError, MapOptions};
 pub use network::{Lut, LutId, LutInput, LutNetwork};

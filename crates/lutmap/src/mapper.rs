@@ -1,11 +1,11 @@
 //! Phase 2 of FlowMap: LUT generation from the labeled cuts, plus the
 //! public mapping entry point.
 
-use crate::flowmap::{compute_labels, CombView};
+use crate::flowmap::{compute_labels_seeded, CombView, MapSeed, MapStats};
 use crate::network::{Lut, LutId, LutInput, LutNetwork};
 use dataflow::collections::{HashMap, HashSet};
 use dataflow::UnitId;
-use netlist::{GateId, GateKind, Netlist, Origin};
+use netlist::{GateId, GateKind, Netlist, NetlistMatching, Origin};
 use std::fmt;
 
 /// Options for [`map_netlist`].
@@ -62,11 +62,33 @@ impl std::error::Error for MapError {}
 /// Returns [`MapError::CombinationalCycle`] if the live logic is cyclic and
 /// [`MapError::KTooSmall`] for `k < 3`.
 pub fn map_netlist(nl: &Netlist, opts: &MapOptions) -> Result<LutNetwork, MapError> {
+    map_netlist_with_seed(nl, opts, None).map(|(net, _, _)| net)
+}
+
+/// [`map_netlist`] with optional reuse of a previous mapping's labels.
+///
+/// When `seed` is given, FlowMap labels and cuts are copied from the seed
+/// for every gate the [`NetlistMatching`] pairs, skipping the per-gate
+/// max-flow computation; unmatched gates are labeled from scratch. The
+/// resulting [`LutNetwork`] is **bit-identical** to what an unseeded run
+/// produces (see [`netlist::match_netlists`] for why), only faster.
+///
+/// Also returns the run's own labels as a [`MapSeed`] for the next
+/// iteration, and the reuse counters.
+///
+/// # Errors
+///
+/// Same as [`map_netlist`].
+pub fn map_netlist_with_seed(
+    nl: &Netlist,
+    opts: &MapOptions,
+    seed: Option<(&MapSeed, &NetlistMatching)>,
+) -> Result<(LutNetwork, MapSeed, MapStats), MapError> {
     if opts.k < 3 {
         return Err(MapError::KTooSmall(opts.k));
     }
     let view = CombView::build(nl).map_err(MapError::CombinationalCycle)?;
-    let labeling = compute_labels(&view, opts.k, opts.area_recovery);
+    let (labeling, stats) = compute_labels_seeded(&view, opts.k, opts.area_recovery, seed);
 
     // Mapping roots: logic gates observed by registers, keeps, or — for
     // robustness — any non-logic live gate (e.g. a register D pin).
@@ -144,11 +166,18 @@ pub fn map_netlist(nl: &Netlist, opts: &MapOptions) -> Result<LutNetwork, MapErr
         lut.level = levels[i].expect("level computed");
     }
 
-    Ok(LutNetwork {
-        luts,
-        lut_of_gate,
-        k: opts.k,
-    })
+    Ok((
+        LutNetwork {
+            luts,
+            lut_of_gate,
+            k: opts.k,
+        },
+        MapSeed {
+            label: labeling.label,
+            cut: labeling.cut,
+        },
+        stats,
+    ))
 }
 
 fn compute_level(luts: &[Lut], i: usize, levels: &mut Vec<Option<u32>>) -> u32 {
@@ -340,6 +369,50 @@ mod tests {
         assert!(!edges.is_empty());
         for (src, dst) in edges {
             assert!(net.lut(src).level() < net.lut(dst).level());
+        }
+    }
+
+    #[test]
+    fn seeded_mapping_is_bit_identical_and_reuses_labels() {
+        // Two structurally overlapping netlists: `cur` adds a register
+        // stage on one branch (shifting all gate ids) but leaves a large
+        // AND-tree cone untouched.
+        let build = |extra: bool| {
+            let mut nl = Netlist::new();
+            if extra {
+                let d = nl.input(Origin::Channel(dataflow::ChannelId::from_raw(5)));
+                let r = nl.reg(d, Origin::Channel(dataflow::ChannelId::from_raw(5)));
+                nl.add_keep(r, "buf");
+            }
+            let inputs: Vec<GateId> = (0..10).map(|_| nl.input(O)).collect();
+            let tree = nl.and_tree(&inputs, O);
+            let extra_or = nl.or(tree, inputs[0], O);
+            nl.add_keep(extra_or, "out");
+            nl.optimize();
+            nl
+        };
+        let prev = build(false);
+        let cur = build(true);
+        let opts = MapOptions::default();
+        let (_, prev_seed, _) = map_netlist_with_seed(&prev, &opts, None).unwrap();
+        let matching = netlist::match_netlists(&prev, &cur);
+        let (fresh, _, fresh_stats) = map_netlist_with_seed(&cur, &opts, None).unwrap();
+        let (seeded, _, seeded_stats) =
+            map_netlist_with_seed(&cur, &opts, Some((&prev_seed, &matching))).unwrap();
+        assert!(seeded_stats.labels_reused > 0, "no labels reused");
+        assert_eq!(
+            seeded_stats.labels_reused + seeded_stats.labels_computed,
+            fresh_stats.labels_computed
+        );
+        // Bit-identical cover.
+        assert_eq!(fresh.num_luts(), seeded.num_luts());
+        assert_eq!(fresh.depth(), seeded.depth());
+        for ((_, a), (_, b)) in fresh.luts().zip(seeded.luts()) {
+            assert_eq!(a.root(), b.root());
+            assert_eq!(a.inputs(), b.inputs());
+            assert_eq!(a.gates(), b.gates());
+            assert_eq!(a.origin(), b.origin());
+            assert_eq!(a.level(), b.level());
         }
     }
 

@@ -55,8 +55,13 @@ pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
             Err(e) => return Err(e),
         };
         work += lp.pivots;
-        // Bound pruning.
-        if let Some(inc) = &incumbent {
+        if lp.truncated {
+            // The LP valve fired: `lp.objective` understates the node's
+            // true bound, so pruning with it could discard the optimum.
+            // Record the truncation and fall through without pruning.
+            hit_limit = true;
+        } else if let Some(inc) = &incumbent {
+            // Bound pruning (sound only against a proven LP bound).
             if !better(lp.objective, inc.objective) {
                 continue;
             }
@@ -88,6 +93,7 @@ pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
                     objective: lp.objective,
                     status: Status::Optimal,
                     nodes,
+                    truncated: false,
                 };
                 let replace = incumbent
                     .as_ref()
@@ -120,6 +126,7 @@ pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
         Some(mut sol) => {
             if hit_limit {
                 sol.status = Status::Feasible;
+                sol.truncated = true;
             }
             sol.nodes = nodes;
             Ok(sol)
@@ -163,6 +170,33 @@ mod tests {
             m.solve(),
             Err(crate::model::SolveError::Unbounded)
         ));
+    }
+
+    #[test]
+    fn node_limit_with_incumbent_is_flagged_truncated() {
+        // Root LP is fractional (x = y = 0.75); the first child yields an
+        // integral incumbent, then the node limit fires before the proof of
+        // optimality completes — the incumbent must come back marked.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.5);
+        m.set_node_limit(2);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, Status::Feasible);
+        assert!(sol.truncated);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completed_search_is_not_truncated() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Le, 3.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(!sol.truncated);
     }
 
     #[test]

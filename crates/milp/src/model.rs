@@ -80,6 +80,10 @@ pub struct Solution {
     pub status: Status,
     /// Branch-and-bound nodes explored.
     pub nodes: u64,
+    /// A node, work, or simplex-iteration budget fired before the search
+    /// (or an LP phase) finished: the solution is feasible but `objective`
+    /// may be short of the true optimum.
+    pub truncated: bool,
 }
 
 impl Solution {
@@ -250,6 +254,7 @@ impl Model {
             objective: lp.objective,
             status: Status::Feasible,
             nodes: 1,
+            truncated: lp.truncated,
         })
     }
 

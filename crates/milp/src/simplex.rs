@@ -4,11 +4,24 @@
 //! variables shifted to `x' = x − lo ≥ 0`; finite upper bounds become
 //! explicit rows. Phase 1 minimizes the sum of artificial variables to find
 //! a basic feasible solution; phase 2 optimizes the real objective.
-//! Bland's rule guarantees termination.
+//!
+//! Pricing is Dantzig's rule (most positive reduced cost) for speed; after
+//! [`DEGENERATE_STREAK`] consecutive degenerate pivots it falls back to
+//! Bland's rule — which provably cannot cycle — until the objective
+//! strictly improves again. The hard iteration valve no longer masquerades
+//! as a node-limit failure: phase-2 truncation returns the current (primal
+//! feasible) basis with `truncated = true`.
 
 use crate::model::{Cmp, Model, Sense, SolveError};
 
 const EPS: f64 = 1e-9;
+
+/// Consecutive degenerate (zero-improvement) pivots tolerated under
+/// Dantzig pricing before switching to Bland's anti-cycling rule.
+const DEGENERATE_STREAK: u32 = 50;
+
+/// Hard iteration valve per simplex phase.
+const MAX_SIMPLEX_ITERS: u64 = 2_000_000;
 
 /// Result of an LP solve: variable values (in the model's original space),
 /// the objective value, and the simplex pivots spent (the deterministic
@@ -18,6 +31,10 @@ pub(crate) struct LpSolution {
     pub values: Vec<f64>,
     pub objective: f64,
     pub pivots: u64,
+    /// The phase-2 iteration valve fired: `values` is a primal-feasible
+    /// basic solution but `objective` may be below the true LP optimum, so
+    /// it must not be used as a dual bound.
+    pub truncated: bool,
 }
 
 /// Extra bound constraints layered on top of a model by branch & bound.
@@ -45,6 +62,15 @@ impl BoundOverrides {
 pub(crate) fn solve_lp(
     model: &Model,
     overrides: &BoundOverrides,
+) -> Result<LpSolution, SolveError> {
+    solve_lp_with_limit(model, overrides, MAX_SIMPLEX_ITERS)
+}
+
+/// [`solve_lp`] with an explicit per-phase iteration valve (test hook).
+pub(crate) fn solve_lp_with_limit(
+    model: &Model,
+    overrides: &BoundOverrides,
+    max_iters: u64,
 ) -> Result<LpSolution, SolveError> {
     let n = model.vars.len();
     let mut lo = vec![0.0f64; n];
@@ -170,7 +196,12 @@ pub(crate) fn solve_lp(
         for &col in &art_cols {
             c1[col] = -1.0;
         }
-        let z = run_simplex(&mut a, &mut b, &mut basis, &c1, &mut pivots)?;
+        let (z, truncated) = run_simplex(&mut a, &mut b, &mut basis, &c1, &mut pivots, max_iters)?;
+        if truncated {
+            // An unfinished phase 1 cannot certify feasibility; there is
+            // no usable incumbent to hand back.
+            return Err(SolveError::NodeLimit);
+        }
         if z < -1e-7 {
             return Err(SolveError::Infeasible);
         }
@@ -195,7 +226,7 @@ pub(crate) fn solve_lp(
     for &col in &art_cols {
         c2[col] = -1e18;
     }
-    let z = run_simplex(&mut a, &mut b, &mut basis, &c2, &mut pivots)?;
+    let (z, truncated) = run_simplex(&mut a, &mut b, &mut basis, &c2, &mut pivots, max_iters)?;
 
     let mut values = vec![0.0f64; n];
     for i in 0..m {
@@ -211,18 +242,21 @@ pub(crate) fn solve_lp(
         values,
         objective,
         pivots,
+        truncated,
     })
 }
 
-/// Runs primal simplex (maximization) on the tableau; returns the optimal
-/// objective value in the shifted space.
+/// Runs primal simplex (maximization) on the tableau; returns the objective
+/// value in the shifted space and whether the iteration valve fired before
+/// optimality (`true` means the basis is feasible but possibly suboptimal).
 fn run_simplex(
     a: &mut [Vec<f64>],
     b: &mut [f64],
     basis: &mut [usize],
     c: &[f64],
     pivots: &mut u64,
-) -> Result<f64, SolveError> {
+    max_iters: u64,
+) -> Result<(f64, bool), SolveError> {
     let m = a.len();
     let ncols = c.len();
     // Maintain the reduced-cost row explicitly: red[j] = c_j − c_B B⁻¹ A_j.
@@ -240,20 +274,36 @@ fn run_simplex(
             r
         })
         .collect();
+    let objective = |basis: &[usize], b: &[f64]| (0..m).map(|i| c[basis[i]] * b[i]).sum::<f64>();
     let mut iterations = 0u64;
+    // Dantzig pricing cycles on degenerate vertices (Beale's example); after
+    // DEGENERATE_STREAK consecutive zero-improvement pivots switch to
+    // Bland's rule, which cannot cycle, until the objective strictly moves.
+    let mut degenerate_streak = 0u32;
     loop {
         iterations += 1;
-        if iterations > 2_000_000 {
-            // Bland's rule precludes cycling; this is a hard safety valve.
-            return Err(SolveError::NodeLimit);
+        if iterations > max_iters {
+            return Ok((objective(basis, b), true));
         }
-        // Bland: first improving column.
-        let Some(j) = (0..ncols).find(|&j| red[j] > 1e-7) else {
-            // Optimal: objective = sum over basis of c_b * b_i.
-            let z = (0..m).map(|i| c[basis[i]] * b[i]).sum();
-            return Ok(z);
+        let j = if degenerate_streak >= DEGENERATE_STREAK {
+            // Bland: first improving column.
+            (0..ncols).find(|&j| red[j] > 1e-7)
+        } else {
+            // Dantzig: most positive reduced cost, lowest index on ties.
+            let mut best_j = None;
+            let mut best_r = 1e-7;
+            for (j, &r) in red.iter().enumerate() {
+                if r > best_r {
+                    best_r = r;
+                    best_j = Some(j);
+                }
+            }
+            best_j
         };
-        // Ratio test (Bland: smallest basis index tie-break).
+        let Some(j) = j else {
+            return Ok((objective(basis, b), false));
+        };
+        // Ratio test (smallest basis index tie-break, as in Bland's rule).
         let mut leave: Option<usize> = None;
         let mut best = f64::INFINITY;
         for i in 0..m {
@@ -270,6 +320,11 @@ fn run_simplex(
         let Some(i) = leave else {
             return Err(SolveError::Unbounded);
         };
+        if best <= EPS {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
         pivot(a, b, basis, i, j);
         *pivots += 1;
         // Update reduced costs: red -= red[j] * (pivoted row i).
@@ -391,6 +446,56 @@ mod tests {
         let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
         // Zero objective: any feasible x; must respect lo shift correctly.
         assert!((1.5..=7.0 + 1e-9).contains(&lp.values[0]));
+    }
+
+    #[test]
+    fn beale_cycling_example_reaches_optimum() {
+        // Beale's classic LP makes Dantzig pricing cycle forever without an
+        // anti-cycling guard. The degenerate-streak fallback to Bland must
+        // carry it to the true optimum z = 0.05 (a = 1/25, c = 1).
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, f64::INFINITY, 0.75, false);
+        let b = m.add_var("b", 0.0, f64::INFINITY, -150.0, false);
+        let c = m.add_var("c", 0.0, f64::INFINITY, 0.02, false);
+        let d = m.add_var("d", 0.0, f64::INFINITY, -6.0, false);
+        m.add_constraint(
+            vec![(a, 0.25), (b, -60.0), (c, -0.04), (d, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint(
+            vec![(a, 0.5), (b, -90.0), (c, -0.02), (d, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint(vec![(c, 1.0)], Cmp::Le, 1.0);
+        let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!(!lp.truncated);
+        assert!(
+            (lp.objective - 0.05).abs() < 1e-6,
+            "objective {} != 0.05",
+            lp.objective
+        );
+    }
+
+    #[test]
+    fn iteration_valve_reports_truncation_honestly() {
+        // A tiny valve stops phase 2 mid-flight: the result must be flagged
+        // truncated and still be a feasible point, never a silent "optimum".
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 4.0, 1.0, false);
+        let y = m.add_var("y", 0.0, 4.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 6.0);
+        let lp = solve_lp_with_limit(&m, &BoundOverrides::default(), 1).unwrap();
+        assert!(lp.truncated);
+        // Still primal feasible w.r.t. the single row and the bounds.
+        assert!(lp.values[0] + lp.values[1] <= 6.0 + 1e-9);
+        assert!((0.0..=4.0 + 1e-9).contains(&lp.values[0]));
+        assert!((0.0..=4.0 + 1e-9).contains(&lp.values[1]));
+        // With a generous valve the same model reaches the optimum 6.
+        let full = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!(!full.truncated);
+        assert!((full.objective - 6.0).abs() < 1e-6);
     }
 
     #[test]

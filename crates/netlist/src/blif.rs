@@ -35,6 +35,16 @@ pub enum BlifError {
         /// Number of inputs found.
         inputs: usize,
     },
+    /// A signal is driven by more than one definition (two `.names`
+    /// outputs, two `.latch` outputs, or a definition colliding with an
+    /// `.inputs` declaration). The reader used to panic (or silently keep
+    /// the last definition) on such files.
+    Redefined {
+        /// 1-based line number of the offending (later) definition.
+        line: usize,
+        /// The multiply-driven signal.
+        signal: String,
+    },
 }
 
 impl fmt::Display for BlifError {
@@ -47,6 +57,9 @@ impl fmt::Display for BlifError {
             BlifError::UndefinedSignal(s) => write!(f, "undefined signal {s:?}"),
             BlifError::TooManyInputs { line, inputs } => {
                 write!(f, "line {line}: .names with {inputs} inputs (max 8)")
+            }
+            BlifError::Redefined { line, signal } => {
+                write!(f, "line {line}: signal {signal:?} is already driven")
             }
         }
     }
@@ -143,6 +156,7 @@ struct Cover {
     inputs: Vec<String>,
     output: String,
     rows: Vec<(Vec<u8>, bool)>, // pattern per input: 0, 1, 2 (= '-')
+    line: usize,                // the .names line, for error reporting
 }
 
 /// Reads a BLIF model back into a [`Netlist`].
@@ -155,10 +169,10 @@ struct Cover {
 ///
 /// [`BlifError`] on malformed input.
 pub fn read_blif<R: BufRead>(r: R) -> Result<Netlist, BlifError> {
-    let mut inputs: Vec<String> = Vec::new();
+    let mut inputs: Vec<(String, usize)> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut covers: Vec<Cover> = Vec::new();
-    let mut latches: Vec<(String, String)> = Vec::new(); // (d, q)
+    let mut latches: Vec<(String, String, usize)> = Vec::new(); // (d, q, line)
 
     // Tokenize with continuation handling.
     let mut lines: Vec<(usize, String)> = Vec::new();
@@ -186,7 +200,7 @@ pub fn read_blif<R: BufRead>(r: R) -> Result<Netlist, BlifError> {
         match toks.next() {
             Some(".model") | Some(".end") => idx += 1,
             Some(".inputs") => {
-                inputs.extend(toks.map(str::to_string));
+                inputs.extend(toks.map(|t| (t.to_string(), *lineno)));
                 idx += 1;
             }
             Some(".outputs") => {
@@ -201,7 +215,7 @@ pub fn read_blif<R: BufRead>(r: R) -> Result<Netlist, BlifError> {
                         message: ".latch needs input and output".into(),
                     });
                 }
-                latches.push((args[0].to_string(), args[1].to_string()));
+                latches.push((args[0].to_string(), args[1].to_string(), *lineno));
                 idx += 1;
             }
             Some(".names") => {
@@ -259,6 +273,7 @@ pub fn read_blif<R: BufRead>(r: R) -> Result<Netlist, BlifError> {
                     inputs: ins.to_vec(),
                     output: out[0].clone(),
                     rows,
+                    line: *lineno,
                 });
             }
             Some(other) => {
@@ -271,24 +286,46 @@ pub fn read_blif<R: BufRead>(r: R) -> Result<Netlist, BlifError> {
         }
     }
 
-    // Build the netlist: declare signals, then wire.
+    // Build the netlist: declare signals, then wire. Every signal may have
+    // exactly one driver — a second definition (or one that collides with
+    // an `.inputs` declaration) is rejected with its line number instead
+    // of tripping the netlist builder's internal assertions.
     let mut nl = Netlist::new();
     let o = Origin::External;
     let mut net: HashMap<String, GateId> = HashMap::default();
-    for name in &inputs {
+    let mut driven: HashMap<String, usize> = HashMap::default();
+    for (name, line) in &inputs {
+        if driven.insert(name.clone(), *line).is_some() {
+            return Err(BlifError::Redefined {
+                line: *line,
+                signal: name.clone(),
+            });
+        }
         let g = nl.input(o);
         net.insert(name.clone(), g);
     }
     // Latch outputs exist before their D cones (forward references).
-    for (_, q) in &latches {
+    for (_, q, line) in &latches {
+        if driven.insert(q.clone(), *line).is_some() {
+            return Err(BlifError::Redefined {
+                line: *line,
+                signal: q.clone(),
+            });
+        }
         let zero = nl.constant(false);
         let g = nl.reg(zero, o);
         net.insert(q.clone(), g);
     }
     // Cover outputs become forward aliases so arbitrary order works.
     for c in &covers {
-        net.entry(c.output.clone())
-            .or_insert_with(|| nl.forward_alias(o));
+        if driven.insert(c.output.clone(), c.line).is_some() {
+            return Err(BlifError::Redefined {
+                line: c.line,
+                signal: c.output.clone(),
+            });
+        }
+        let alias = nl.forward_alias(o);
+        net.insert(c.output.clone(), alias);
     }
     let lookup = |net: &HashMap<String, GateId>, name: &str| -> Result<GateId, BlifError> {
         net.get(name)
@@ -324,7 +361,7 @@ pub fn read_blif<R: BufRead>(r: R) -> Result<Netlist, BlifError> {
         let alias = net[&c.output];
         nl.bind_alias(alias, value);
     }
-    for (d, q) in &latches {
+    for (d, q, _) in &latches {
         let dg = lookup(&net, d)?;
         let qg = net[q];
         nl.rebind_reg(qg, dg);
@@ -423,6 +460,90 @@ mod tests {
         assert!(matches!(
             read_blif(io::BufReader::new(src.as_bytes())),
             Err(BlifError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cover_redefining_an_input() {
+        // Used to panic in bind_alias ("target must be an alias").
+        let src = ".model x\n.inputs a b\n.outputs a\n.names b a\n1 1\n.end\n";
+        match read_blif(io::BufReader::new(src.as_bytes())) {
+            Err(BlifError::Redefined { line, signal }) => {
+                assert_eq!(line, 4);
+                assert_eq!(signal, "a");
+            }
+            other => panic!("expected Redefined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_cover_outputs() {
+        // Used to silently discard the first cover's logic.
+        let src = "\
+.model x
+.inputs a b
+.outputs y
+.names a y
+1 1
+.names b y
+1 1
+.end
+";
+        match read_blif(io::BufReader::new(src.as_bytes())) {
+            Err(BlifError::Redefined { line, signal }) => {
+                assert_eq!(line, 6);
+                assert_eq!(signal, "y");
+            }
+            other => panic!("expected Redefined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_latch_redefining_an_input() {
+        // Used to panic in rebind_reg ("target must be a register").
+        let src = ".model x\n.inputs a\n.outputs a\n.latch a a re clk 0\n.end\n";
+        match read_blif(io::BufReader::new(src.as_bytes())) {
+            Err(BlifError::Redefined { line, signal }) => {
+                assert_eq!(line, 4);
+                assert_eq!(signal, "a");
+            }
+            other => panic!("expected Redefined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_latch_outputs() {
+        let src = "\
+.model x
+.inputs a b
+.outputs q
+.latch a q re clk 0
+.latch b q re clk 0
+.end
+";
+        match read_blif(io::BufReader::new(src.as_bytes())) {
+            Err(BlifError::Redefined { line, signal }) => {
+                assert_eq!(line, 5);
+                assert_eq!(signal, "q");
+            }
+            other => panic!("expected Redefined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_cover_redefining_a_latch_output() {
+        let src = "\
+.model x
+.inputs a
+.outputs q
+.latch a q re clk 0
+.names a q
+1 1
+.end
+";
+        assert!(matches!(
+            read_blif(io::BufReader::new(src.as_bytes())),
+            Err(BlifError::Redefined { line: 5, .. })
         ));
     }
 

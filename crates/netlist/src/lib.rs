@@ -39,6 +39,7 @@ pub mod datapath;
 mod elaborate;
 mod gate;
 mod isolate;
+mod matching;
 mod netgraph;
 mod opt;
 mod simulate;
@@ -47,6 +48,7 @@ pub use blif::{read_blif, write_blif, BlifError};
 pub use elaborate::{elaborate, ChannelNets, Elaboration};
 pub use gate::{Gate, GateId, GateKind, Origin};
 pub use isolate::elaborate_isolated;
+pub use matching::{match_netlists, NetlistMatching};
 pub use netgraph::Netlist;
 pub use opt::OptStats;
 pub use simulate::NetlistSim;

@@ -1,0 +1,155 @@
+//! Incremental re-synthesis must be invisible: the basis-seeded flow
+//! (default [`SynthCache`]) and the forced-full flow
+//! ([`SynthCache::forced_full`]) must produce bit-identical [`FlowResult`]s
+//! — same buffers, same achieved levels, same per-iteration history — on
+//! every circuit. Label reuse is a pure time optimization, never a
+//! quality/accuracy trade.
+
+use frequenz::core::{optimize_iterative_with_cache, FlowOptions, FlowResult, SynthCache};
+use frequenz::dataflow::{ChannelId, Graph, OpKind, PortRef, UnitKind};
+use frequenz::hls::kernels;
+use proptest::prelude::*;
+
+/// Reduced options: enough iterations for the basis path to engage, small
+/// enough budgets to keep the double-solve (incremental + full) fast. A
+/// single CFDFC keeps the MILP small — throughput modelling is irrelevant
+/// to synthesis equivalence, and the placer dominates the wall clock
+/// otherwise.
+fn test_opts() -> FlowOptions {
+    FlowOptions {
+        max_iterations: 3,
+        sim_budget: 10_000,
+        max_cfdfcs: 1,
+        max_cut_rounds: 4,
+        slack_matching: false,
+        ..FlowOptions::default()
+    }
+}
+
+fn run_both(g: &Graph, back_edges: &[ChannelId], opts: &FlowOptions) -> (FlowResult, FlowResult) {
+    let incr = optimize_iterative_with_cache(g, back_edges, opts, &SynthCache::new())
+        .expect("incremental flow");
+    let full = optimize_iterative_with_cache(g, back_edges, opts, &SynthCache::forced_full())
+        .expect("full flow");
+    (incr, full)
+}
+
+/// Builds an acyclic operator chain from `ops`, alternating between two
+/// basic blocks so the per-BB fingerprints see cross-BB channels too.
+/// Each opcode byte picks the operator; a fresh argument feeds the second
+/// input so every stage contributes real logic.
+fn op_chain(ops: &[u8]) -> Graph {
+    let mut g = Graph::new("prop");
+    let bbs = [g.add_basic_block("bb0"), g.add_basic_block("bb1")];
+    let a0 = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a0", bbs[0], 8)
+        .unwrap();
+    let mut prev = PortRef::new(a0, 0);
+    let mut prev_width = 8u16;
+    for (i, &op) in ops.iter().enumerate() {
+        let bb = bbs[i % 2];
+        let kind = match op % 7 {
+            0 => OpKind::Add,
+            1 => OpKind::Sub,
+            2 => OpKind::And,
+            3 => OpKind::Or,
+            4 => OpKind::Xor,
+            5 => OpKind::Eq,
+            _ => OpKind::Lt,
+        };
+        // Comparisons narrow the value to 1 bit; widen it back with a
+        // second argument through the next binary operator.
+        let width = prev_width;
+        let out_width = match kind {
+            OpKind::Eq | OpKind::Lt => 1,
+            _ => width,
+        };
+        let arg = g
+            .add_unit(
+                UnitKind::Argument {
+                    index: (i + 1) as u8,
+                },
+                format!("a{}", i + 1),
+                bb,
+                width,
+            )
+            .unwrap();
+        let u = g
+            .add_unit(UnitKind::Operator(kind), format!("op{i}"), bb, width)
+            .unwrap();
+        g.connect(prev, PortRef::new(u, 0)).unwrap();
+        g.connect(PortRef::new(arg, 0), PortRef::new(u, 1)).unwrap();
+        prev = PortRef::new(u, 0);
+        prev_width = out_width;
+    }
+    let sink = g
+        .add_unit(UnitKind::Sink, "snk", bbs[ops.len() % 2], prev_width)
+        .unwrap();
+    g.connect(prev, PortRef::new(sink, 0)).unwrap();
+    g.validate().unwrap();
+    g
+}
+
+fn assert_results_identical(kernel: &str, incr: &FlowResult, full: &FlowResult) {
+    assert_eq!(
+        incr.buffers, full.buffers,
+        "{kernel}: buffer placement diverged"
+    );
+    assert_eq!(
+        incr.achieved_levels, full.achieved_levels,
+        "{kernel}: achieved levels diverged"
+    );
+    assert_eq!(incr.converged, full.converged, "{kernel}: convergence flag");
+    assert_eq!(
+        incr.iterations, full.iterations,
+        "{kernel}: iteration history diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random acyclic DFGs: the incremental flow must match the forced-full
+    /// flow field for field.
+    #[test]
+    fn incremental_equals_full_on_random_dfgs(ops in prop::collection::vec(any::<u8>(), 1..10)) {
+        let g = op_chain(&ops);
+        let opts = test_opts();
+        let (incr, full) = run_both(&g, &[], &opts);
+        prop_assert_eq!(&incr.buffers, &full.buffers);
+        prop_assert_eq!(incr.achieved_levels, full.achieved_levels);
+        prop_assert_eq!(incr.converged, full.converged);
+        prop_assert_eq!(&incr.iterations, &full.iterations);
+    }
+}
+
+/// All nine Table-I kernels (reduced sizes): exact equality of the flow
+/// outcome, while the incremental run demonstrably reused labels.
+#[test]
+fn incremental_equals_full_on_all_kernels() {
+    let kernels = kernels::all_kernels_small();
+    let handles: Vec<_> = kernels
+        .into_iter()
+        .map(|k| {
+            std::thread::spawn(move || {
+                let opts = test_opts();
+                let (incr, full) = run_both(k.graph(), k.back_edges(), &opts);
+                (k.name, incr, full)
+            })
+        })
+        .collect();
+    let mut any_reuse = false;
+    for h in handles {
+        let (name, incr, full) = h.join().expect("kernel thread");
+        assert_results_identical(name, &incr, &full);
+        assert_eq!(
+            full.trace.labels_reused, 0,
+            "{name}: forced-full flow must never reuse labels"
+        );
+        any_reuse |= incr.trace.labels_reused > 0;
+    }
+    assert!(
+        any_reuse,
+        "no kernel reused any FlowMap labels — the incremental path is dead"
+    );
+}
