@@ -1,0 +1,74 @@
+//! Criterion micro-benches for the MILP solver engines: the sparse
+//! revised simplex vs the legacy dense tableau on a real (small) kernel
+//! placement model, plus the jobs scaling of the parallel branch-and-bound
+//! wave search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frequenz_core::{
+    build_placement_model, compute_penalties, extract_cfdfcs, map_lut_edges, synthesize,
+    FlowOptions, PlacementProblem, TimingGraph,
+};
+use milp::{Engine, Model};
+use std::hint::black_box;
+
+/// Canonicalized seed placement model for `kernel`.
+fn placement_model(kernel: &hls::Kernel) -> Model {
+    let opts = FlowOptions::default();
+    let g = kernel.seeded_graph();
+    let synth = synthesize(&g, opts.k).expect("synthesizes");
+    let map = map_lut_edges(&g, &synth);
+    let timing = TimingGraph::build(&g, &synth, &map);
+    let penalties = compute_penalties(&g, &timing);
+    let cfdfcs = extract_cfdfcs(
+        kernel.graph(),
+        kernel.back_edges(),
+        opts.max_cfdfcs,
+        opts.sim_budget,
+    );
+    let problem = PlacementProblem {
+        graph: kernel.graph(),
+        timing: &timing,
+        penalties: &penalties,
+        cfdfcs: &cfdfcs,
+        target_levels: opts.target_levels,
+        fixed: kernel.back_edges(),
+        alpha: opts.alpha,
+        beta: opts.beta,
+        max_cut_rounds: opts.max_cut_rounds,
+        objective: opts.objective,
+    };
+    let mut model = build_placement_model(&problem).expect("builds");
+    model.canonicalize();
+    model
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_engines");
+    group.sample_size(10);
+    let mut model = placement_model(&hls::kernels::gsum(16));
+    for engine in [Engine::DenseTableau, Engine::SparseRevised] {
+        model.set_engine(engine);
+        model.set_jobs(1);
+        group.bench_function(BenchmarkId::new("solve", format!("{engine:?}")), |b| {
+            b.iter(|| black_box(model.solve().expect("solves").nodes))
+        });
+    }
+    group.finish();
+}
+
+fn bench_jobs_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_jobs");
+    group.sample_size(10);
+    let mut model = placement_model(&hls::kernels::gsumif(16));
+    model.set_engine(Engine::SparseRevised);
+    for jobs in [1usize, 2, 4] {
+        model.set_jobs(jobs);
+        group.bench_function(BenchmarkId::new("solve", jobs), |b| {
+            b.iter(|| black_box(model.solve().expect("solves").nodes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_jobs_scaling);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! Benchmarks the MILP solver engines on the nine kernels' *real*
+//! buffer-placement models (the Eq. 3 seed model of the first cut round),
+//! comparing the sparse revised simplex against the legacy dense tableau
+//! and checking that branch-and-bound is bit-identical across job counts.
+//!
+//! ```sh
+//! cargo run -p frequenz-bench --release --bin bench_milp -- \
+//!     [--repeats N] [--out FILE]
+//! ```
+//!
+//! Writes `BENCH_milp.json` (per-kernel model sizes, engine wall clocks,
+//! speedups, pivot/refactorization/node counters, and the jobs-sweep
+//! identity verdict) and prints a table. Each engine solves every model
+//! `--repeats` times (default 3) and the minimum wall clock is reported.
+
+use frequenz_bench::CompareError;
+use frequenz_core::{
+    build_placement_model, compute_penalties, extract_cfdfcs, map_lut_edges, synthesize,
+    FlowOptions, PlacementProblem, TimingGraph,
+};
+use milp::{Engine, Model, Solution};
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    vars: usize,
+    rows_before: usize,
+    rows_after: usize,
+    dense_s: f64,
+    sparse_s: f64,
+    dense: Solution,
+    sparse: Solution,
+    jobs_identical: bool,
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Builds the canonicalized seed placement model for one kernel.
+fn placement_model(kernel: &hls::Kernel, opts: &FlowOptions) -> Result<Model, CompareError> {
+    let g = kernel.seeded_graph();
+    let synth = synthesize(&g, opts.k)?;
+    let map = map_lut_edges(&g, &synth);
+    let timing = TimingGraph::build(&g, &synth, &map);
+    let penalties = compute_penalties(&g, &timing);
+    let cfdfcs = extract_cfdfcs(
+        kernel.graph(),
+        kernel.back_edges(),
+        opts.max_cfdfcs,
+        opts.sim_budget,
+    );
+    let problem = PlacementProblem {
+        graph: kernel.graph(),
+        timing: &timing,
+        penalties: &penalties,
+        cfdfcs: &cfdfcs,
+        target_levels: opts.target_levels,
+        fixed: kernel.back_edges(),
+        alpha: opts.alpha,
+        beta: opts.beta,
+        max_cut_rounds: opts.max_cut_rounds,
+        objective: opts.objective,
+    };
+    Ok(build_placement_model(&problem)?)
+}
+
+/// Solves `model` `repeats` times and returns (min wall seconds, solution).
+fn time_solve(model: &Model, repeats: usize) -> Result<(f64, Solution), CompareError> {
+    let mut best = f64::INFINITY;
+    let mut sol = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let s = model.solve()?;
+        best = best.min(t.elapsed().as_secs_f64());
+        sol = Some(s);
+    }
+    Ok((best, sol.expect("at least one repeat ran")))
+}
+
+fn bits(s: &Solution) -> (u64, u64, u64, Vec<u64>) {
+    (
+        s.nodes,
+        s.pivots,
+        s.objective.to_bits(),
+        s.values.iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+fn main() -> Result<(), CompareError> {
+    let repeats: usize = arg_value("--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_milp.json".into());
+    let opts = FlowOptions::default();
+    let kernels = hls::kernels::all_kernels();
+    println!(
+        "MILP engine benchmark — {} kernels, {repeats} repeats per engine (min reported)",
+        kernels.len()
+    );
+    println!(
+        "{:<15} | {:>5} {:>5} {:>5} | {:>9} {:>9} {:>7} | {:>8} {:>8} {:>8} {:>6}",
+        "Benchmark",
+        "vars",
+        "rows",
+        "canon",
+        "dense(s)",
+        "sparse(s)",
+        "speedup",
+        "dPivots",
+        "sPivots",
+        "refactor",
+        "nodes"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for kernel in &kernels {
+        let mut model = placement_model(kernel, &opts)?;
+        let rows_before = model.num_constraints();
+        let reduction = model.canonicalize();
+        let rows_after = rows_before - reduction.dropped();
+
+        model.set_engine(Engine::DenseTableau);
+        model.set_jobs(1);
+        let (dense_s, dense) = time_solve(&model, repeats)?;
+
+        model.set_engine(Engine::SparseRevised);
+        let (sparse_s, sparse) = time_solve(&model, repeats)?;
+
+        // Deterministic parallel search: the wave composition is fixed, so
+        // every counter and every solution bit must survive a jobs sweep.
+        let reference = bits(&sparse);
+        let mut jobs_identical = true;
+        for jobs in [2usize, 8] {
+            model.set_jobs(jobs);
+            let s = model.solve()?;
+            if bits(&s) != reference {
+                jobs_identical = false;
+                eprintln!("[bench_milp] {}: jobs={jobs} diverged!", kernel.name);
+            }
+        }
+        model.set_jobs(1);
+
+        let agree =
+            (dense.objective - sparse.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs());
+        if !agree && !dense.truncated && !sparse.truncated {
+            return Err(format!(
+                "{}: engines disagree (dense {} vs sparse {})",
+                kernel.name, dense.objective, sparse.objective
+            )
+            .into());
+        }
+
+        println!(
+            "{:<15} | {:>5} {:>5} {:>5} | {:>9.4} {:>9.4} {:>6.2}x | {:>8} {:>8} {:>8} {:>6}",
+            kernel.name,
+            model.num_vars(),
+            rows_before,
+            rows_after,
+            dense_s,
+            sparse_s,
+            dense_s / sparse_s.max(1e-12),
+            dense.pivots,
+            sparse.pivots,
+            sparse.refactors,
+            sparse.nodes,
+        );
+        rows.push(Row {
+            name: kernel.name,
+            vars: model.num_vars(),
+            rows_before,
+            rows_after,
+            dense_s,
+            sparse_s,
+            dense,
+            sparse,
+            jobs_identical,
+        });
+    }
+
+    // The headline number: the speedup on the largest model (vars × rows).
+    let largest = rows
+        .iter()
+        .max_by_key(|r| r.vars * r.rows_after)
+        .expect("at least one kernel");
+    let speedup = largest.dense_s / largest.sparse_s.max(1e-12);
+    println!(
+        "\nlargest model: {} ({} vars × {} rows) — sparse is {:.2}x faster than dense",
+        largest.name, largest.vars, largest.rows_after, speedup
+    );
+    let all_identical = rows.iter().all(|r| r.jobs_identical);
+    println!(
+        "jobs sweep (1/2/8): {}",
+        if all_identical {
+            "bit-identical on every kernel"
+        } else {
+            "DIVERGED — see stderr"
+        }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str("  \"jobs_swept\": [1, 2, 8],\n");
+    json.push_str(&format!("  \"largest_kernel\": \"{}\",\n", largest.name));
+    json.push_str(&format!("  \"largest_kernel_speedup\": {speedup:.3},\n"));
+    json.push_str(&format!("  \"jobs_bit_identical\": {all_identical},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"vars\": {}, \"rows\": {}, \"rows_canonicalized\": {}, \
+             \"dense_s\": {:.6}, \"sparse_s\": {:.6}, \"speedup\": {:.3}, \
+             \"dense_pivots\": {}, \"sparse_pivots\": {}, \"sparse_refactors\": {}, \
+             \"nodes\": {}, \"objective\": {:.6}, \"dense_truncated\": {}, \
+             \"sparse_truncated\": {}, \"jobs_bit_identical\": {}}}{}\n",
+            r.name,
+            r.vars,
+            r.rows_before,
+            r.rows_after,
+            r.dense_s,
+            r.sparse_s,
+            r.dense_s / r.sparse_s.max(1e-12),
+            r.dense.pivots,
+            r.sparse.pivots,
+            r.sparse.refactors,
+            r.sparse.nodes,
+            r.sparse.objective,
+            r.dense.truncated,
+            r.sparse.truncated,
+            r.jobs_identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json)?;
+    eprintln!("[bench_milp] wrote {out}");
+    Ok(())
+}

@@ -315,6 +315,26 @@ pub fn run_table1_jobs(
             t.synth_incremental.as_secs_f64(),
         );
     }
+    // MILP solver breakdown of the iterative flow: sparse revised simplex
+    // work (pivots, refactorizations), branch-and-bound nodes, and rows
+    // removed by model canonicalization.
+    println!();
+    println!(
+        "{:<15} | {:>8} {:>9} {:>6} {:>8} | {:>8}",
+        "Benchmark", "milp(s)", "pivots", "nodes", "refactor", "rowsDrop"
+    );
+    for c in &rows {
+        let t = &c.iter_trace;
+        println!(
+            "{:<15} | {:>8.2} {:>9} {:>6} {:>8} | {:>8}",
+            c.name,
+            t.milp.as_secs_f64(),
+            t.milp_pivots,
+            t.milp_nodes,
+            t.milp_refactors,
+            t.milp_rows_dropped,
+        );
+    }
     Ok(rows)
 }
 
@@ -335,7 +355,9 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
              \"levels_prev\": {}, \"levels_iter\": {}, \"iterations\": {}, \"converged\": {}, \
              \"labels_reused\": {}, \"labels_computed\": {}, \"label_reuse_rate\": {:.4}, \
              \"incr_synths\": {}, \"full_synths\": {}, \"dirty_bbs\": {}, \"clean_bbs\": {}, \
-             \"synth_full_s\": {:.3}, \"synth_incr_s\": {:.3}}}{}\n",
+             \"synth_full_s\": {:.3}, \"synth_incr_s\": {:.3}, \
+             \"milp_s\": {:.3}, \"milp_pivots\": {}, \"milp_nodes\": {}, \
+             \"milp_refactors\": {}, \"milp_rows_dropped\": {}}}{}\n",
             c.name,
             c.wall_s,
             c.cache_hits,
@@ -360,6 +382,11 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
             t.clean_bbs,
             t.synth_full.as_secs_f64(),
             t.synth_incremental.as_secs_f64(),
+            t.milp.as_secs_f64(),
+            t.milp_pivots,
+            t.milp_nodes,
+            t.milp_refactors,
+            t.milp_rows_dropped,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -415,6 +442,10 @@ mod tests {
             full_synths: 1,
             dirty_bbs: 3,
             clean_bbs: 9,
+            milp_pivots: 123,
+            milp_nodes: 7,
+            milp_refactors: 2,
+            milp_rows_dropped: 15,
             ..FlowTrace::default()
         };
         let row = KernelComparison {
@@ -437,5 +468,9 @@ mod tests {
         assert!(j.contains("\"dirty_bbs\": 3"));
         assert!(j.contains("\"clean_bbs\": 9"));
         assert!(j.contains("\"synth_full_s\": 0.000"));
+        assert!(j.contains("\"milp_pivots\": 123"));
+        assert!(j.contains("\"milp_nodes\": 7"));
+        assert!(j.contains("\"milp_refactors\": 2"));
+        assert!(j.contains("\"milp_rows_dropped\": 15"));
     }
 }

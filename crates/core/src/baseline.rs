@@ -161,6 +161,10 @@ pub fn optimize_baseline_with_cache(
     };
     let placement = timed(&mut trace.milp, || place_buffers(&problem))?;
     trace.cut_rounds += placement.cut_rounds;
+    trace.milp_pivots += placement.milp_pivots;
+    trace.milp_refactors += placement.milp_refactors;
+    trace.milp_nodes += placement.milp_nodes;
+    trace.milp_rows_dropped += placement.milp_rows_dropped;
     let mut buffers = placement.buffers.clone();
     if opts.slack_matching {
         let achieved0 = timed(&mut trace.synth, || {

@@ -318,6 +318,10 @@ pub fn optimize_iterative_with_cache(
         };
         let placement = timed(&mut trace.milp, || place_buffers(&problem))?;
         trace.cut_rounds += placement.cut_rounds;
+        trace.milp_pivots += placement.milp_pivots;
+        trace.milp_refactors += placement.milp_refactors;
+        trace.milp_nodes += placement.milp_nodes;
+        trace.milp_rows_dropped += placement.milp_rows_dropped;
 
         // Re-synthesize with the proposed buffers; check the real levels.
         // The circuit just synthesized is the natural basis: the proposal

@@ -57,7 +57,9 @@ pub use lutdfg::{
     map_lut_edges, map_lut_edges_cached, ClassifyCache, EdgeTarget, LutDfgMap, MappedEdge,
 };
 pub use penalty::compute_penalties;
-pub use place::{place_buffers, Objective, PlaceError, PlacementProblem, PlacementResult};
+pub use place::{
+    build_placement_model, place_buffers, Objective, PlaceError, PlacementProblem, PlacementResult,
+};
 pub use report::{
     clock_period_ns, measure, measure_with_cache, utilization, CircuitReport, MeasureError,
 };

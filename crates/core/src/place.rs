@@ -83,6 +83,16 @@ pub struct PlacementResult {
     pub unbreakable_levels: Vec<u32>,
     /// Final objective value.
     pub objective: f64,
+    /// Simplex pivots across all MILP solves (including cut rounds and the
+    /// LP-rounding fallback) — the deterministic work actually spent.
+    pub milp_pivots: u64,
+    /// Basis refactorizations across all MILP solves (sparse engine).
+    pub milp_refactors: u64,
+    /// Branch-and-bound nodes across all MILP solves.
+    pub milp_nodes: u64,
+    /// Constraint rows removed by [`milp::Model::canonicalize`] across all
+    /// cut rounds (duplicate, bound-implied, and empty rows).
+    pub milp_rows_dropped: u64,
 }
 
 /// Placement failures.
@@ -168,20 +178,13 @@ fn window_cuts(
     out
 }
 
-/// Solves the buffer-placement problem.
-///
-/// # Errors
-///
-/// [`PlaceError::Solve`] if the MILP is infeasible or unbounded (indicates
-/// inconsistent fixed buffers) and [`PlaceError::UnbreakableCycle`] if a
-/// ring cannot be made sequential.
-pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceError> {
-    // Seed correctness cuts from a bounded cycle sample; deeply nested
-    // loops have combinatorially many simple cycles, and the lazy timing
-    // analysis adds a covering cut for any cycle the sample missed.
+/// Seed constraint set: correctness cuts from a bounded cycle sample plus
+/// clock-period cuts from the fixed-buffers-only timing state.
+fn seed_cuts(p: &PlacementProblem<'_>, fixed: &HashSet<ChannelId>) -> BTreeSet<Cut> {
+    // Deeply nested loops have combinatorially many simple cycles, and the
+    // lazy timing analysis adds a covering cut for any cycle the sample
+    // missed.
     let cycles = enumerate_simple_cycles(p.graph, 96);
-    let fixed: HashSet<ChannelId> = p.fixed.iter().copied().collect();
-
     let mut cuts: BTreeSet<Cut> = BTreeSet::new();
     for cy in &cycles {
         cuts.insert(Cut {
@@ -200,81 +203,160 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
             cuts.extend(window_cuts(path, p.target_levels, &mut scratch));
         }
     }
+    cuts
+}
+
+/// A placement MILP instance with the variable maps needed to read it back.
+struct BuiltModel {
+    model: Model,
+    rvar: HashMap<ChannelId, VarId>,
+    phis: Vec<VarId>,
+    candidates: BTreeSet<ChannelId>,
+}
+
+/// Builds the MILP for one cut round.
+fn build_model(
+    p: &PlacementProblem<'_>,
+    fixed: &HashSet<ChannelId>,
+    cuts: &BTreeSet<Cut>,
+) -> Result<BuiltModel, PlaceError> {
+    // Candidate variables: channels referenced by any constraint.
+    let mut candidates: BTreeSet<ChannelId> = fixed.iter().copied().collect();
+    for cut in cuts {
+        candidates.extend(cut.channels.iter().copied());
+    }
+    for k in p.cfdfcs {
+        candidates.extend(k.channels.iter().copied());
+    }
+
+    let mut model = Model::new(Sense::Maximize);
+    model.set_node_limit(10_000);
+    model.set_gap(1e-4);
+    // A pivot budget rather than a wall-clock limit: truncated solves
+    // must return the same incumbent on every run (see the determinism
+    // tests). 30k pivots is roughly a second of release-mode work on
+    // the largest kernel models and plenty for the small ones.
+    model.set_work_limit(30_000);
+    // Node LPs in parallel: branch-and-bound results are bit-identical at
+    // any thread count, so this is purely a throughput knob (capped — the
+    // bench runner may already be running kernels in parallel).
+    model.set_jobs(milp_jobs());
+    let mut rvar: HashMap<ChannelId, VarId> = HashMap::default();
+    for &c in &candidates {
+        // The tiny deterministic epsilon breaks the symmetry of
+        // covering constraints (otherwise equal-cost channels explode
+        // the branch-and-bound tree); it is far below any real cost
+        // difference and never changes which solutions are optimal in
+        // the original objective beyond tie-breaking.
+        let eps = 1e-5 * ((c.index() % 13) as f64) / 13.0;
+        let cost = p.beta * (1.0 + p.penalties.get(&c).copied().unwrap_or(0.0)) + eps;
+        let lo = if fixed.contains(&c) { 1.0 } else { 0.0 };
+        let v = model.add_var(format!("R_{c}"), lo, 1.0, -cost, true);
+        rvar.insert(c, v);
+    }
+    // Throughput variables with McCormick linearization (omitted
+    // entirely in area-only mode).
+    let max_freq = p
+        .cfdfcs
+        .iter()
+        .map(|k| k.frequency)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let mut phis = Vec::new();
+    let cfdfcs_used: &[Cfdfc] = if p.objective == Objective::AreaOnly {
+        &[]
+    } else {
+        p.cfdfcs
+    };
+    for (ki, k) in cfdfcs_used.iter().enumerate() {
+        let weight = p.alpha * (k.frequency as f64 / max_freq);
+        let phi = model.add_var(format!("phi_{ki}"), 0.0, 1.0, weight, false);
+        phis.push(phi);
+        // L·Φ + Σ w ≤ T.
+        let mut terms = vec![(phi, k.latency as f64)];
+        for &c in &k.channels {
+            let r = rvar[&c];
+            let w = model.add_var(format!("w_{ki}_{c}"), 0.0, 1.0, 0.0, false);
+            // w ≤ Φ ; w ≤ R ; w ≥ Φ + R − 1.
+            model.add_constraint(vec![(w, 1.0), (phi, -1.0)], Cmp::Le, 0.0);
+            model.add_constraint(vec![(w, 1.0), (r, -1.0)], Cmp::Le, 0.0);
+            model.add_constraint(vec![(w, -1.0), (phi, 1.0), (r, 1.0)], Cmp::Le, 1.0);
+            terms.push((w, 1.0));
+        }
+        model.add_constraint(terms, Cmp::Le, k.tokens as f64);
+    }
+    // Covering cuts.
+    for cut in cuts {
+        let terms: Vec<(VarId, f64)> = cut.channels.iter().map(|c| (rvar[c], 1.0)).collect();
+        if terms.is_empty() {
+            return Err(PlaceError::UnbreakableCycle);
+        }
+        let need = (cut.need as usize).min(terms.len()) as f64;
+        model.add_constraint(terms, Cmp::Ge, need);
+    }
+    Ok(BuiltModel {
+        model,
+        rvar,
+        phis,
+        candidates,
+    })
+}
+
+/// Worker threads for branch-and-bound node LPs. Capped low: the bench
+/// runner parallelizes across kernels already, and determinism means this
+/// can never change a result — only how fast it arrives.
+fn milp_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// Builds the seed placement MILP — the model the first cut round solves
+/// (correctness cuts + fixed-state clock-period cuts), *without*
+/// canonicalization or the lazy cut loop. Public for the solver benchmark
+/// (`bench_milp`) and the engine-equivalence tests, which need the real
+/// Eq. 3 models rather than synthetic LPs.
+///
+/// # Errors
+///
+/// [`PlaceError::UnbreakableCycle`] if a seed cut has no breakable channel.
+pub fn build_placement_model(p: &PlacementProblem<'_>) -> Result<Model, PlaceError> {
+    let fixed: HashSet<ChannelId> = p.fixed.iter().copied().collect();
+    let cuts = seed_cuts(p, &fixed);
+    Ok(build_model(p, &fixed, &cuts)?.model)
+}
+
+/// Solves the buffer-placement problem.
+///
+/// # Errors
+///
+/// [`PlaceError::Solve`] if the MILP is infeasible or unbounded (indicates
+/// inconsistent fixed buffers) and [`PlaceError::UnbreakableCycle`] if a
+/// ring cannot be made sequential.
+pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceError> {
+    let fixed: HashSet<ChannelId> = p.fixed.iter().copied().collect();
+    let mut cuts = seed_cuts(p, &fixed);
 
     let mut rounds = 0usize;
     let mut unbreakable: Vec<u32> = Vec::new();
+    let mut milp_pivots = 0u64;
+    let mut milp_refactors = 0u64;
+    let mut milp_nodes = 0u64;
+    let mut milp_rows_dropped = 0u64;
     loop {
-        // Candidate variables: channels referenced by any constraint.
-        let mut candidates: BTreeSet<ChannelId> = fixed.iter().copied().collect();
-        for cut in &cuts {
-            candidates.extend(cut.channels.iter().copied());
-        }
-        for k in p.cfdfcs {
-            candidates.extend(k.channels.iter().copied());
-        }
-
-        let mut model = Model::new(Sense::Maximize);
-        model.set_node_limit(10_000);
-        model.set_gap(1e-4);
-        // A pivot budget rather than a wall-clock limit: truncated solves
-        // must return the same incumbent on every run (see the determinism
-        // tests). 30k pivots is roughly a second of release-mode work on
-        // the largest kernel models and plenty for the small ones.
-        model.set_work_limit(30_000);
-        let mut rvar: HashMap<ChannelId, VarId> = HashMap::default();
-        for &c in &candidates {
-            // The tiny deterministic epsilon breaks the symmetry of
-            // covering constraints (otherwise equal-cost channels explode
-            // the branch-and-bound tree); it is far below any real cost
-            // difference and never changes which solutions are optimal in
-            // the original objective beyond tie-breaking.
-            let eps = 1e-5 * ((c.index() % 13) as f64) / 13.0;
-            let cost = p.beta * (1.0 + p.penalties.get(&c).copied().unwrap_or(0.0)) + eps;
-            let lo = if fixed.contains(&c) { 1.0 } else { 0.0 };
-            let v = model.add_var(format!("R_{c}"), lo, 1.0, -cost, true);
-            rvar.insert(c, v);
-        }
-        // Throughput variables with McCormick linearization (omitted
-        // entirely in area-only mode).
-        let max_freq = p
-            .cfdfcs
-            .iter()
-            .map(|k| k.frequency)
-            .max()
-            .unwrap_or(1)
-            .max(1) as f64;
-        let mut phis = Vec::new();
-        let cfdfcs_used: &[Cfdfc] = if p.objective == Objective::AreaOnly {
-            &[]
-        } else {
-            p.cfdfcs
-        };
-        for (ki, k) in cfdfcs_used.iter().enumerate() {
-            let weight = p.alpha * (k.frequency as f64 / max_freq);
-            let phi = model.add_var(format!("phi_{ki}"), 0.0, 1.0, weight, false);
-            phis.push(phi);
-            // L·Φ + Σ w ≤ T.
-            let mut terms = vec![(phi, k.latency as f64)];
-            for &c in &k.channels {
-                let r = rvar[&c];
-                let w = model.add_var(format!("w_{ki}_{c}"), 0.0, 1.0, 0.0, false);
-                // w ≤ Φ ; w ≤ R ; w ≥ Φ + R − 1.
-                model.add_constraint(vec![(w, 1.0), (phi, -1.0)], Cmp::Le, 0.0);
-                model.add_constraint(vec![(w, 1.0), (r, -1.0)], Cmp::Le, 0.0);
-                model.add_constraint(vec![(w, -1.0), (phi, 1.0), (r, 1.0)], Cmp::Le, 1.0);
-                terms.push((w, 1.0));
-            }
-            model.add_constraint(terms, Cmp::Le, k.tokens as f64);
-        }
-        // Covering cuts.
-        for cut in &cuts {
-            let terms: Vec<(VarId, f64)> = cut.channels.iter().map(|c| (rvar[c], 1.0)).collect();
-            if terms.is_empty() {
-                return Err(PlaceError::UnbreakableCycle);
-            }
-            let need = (cut.need as usize).min(terms.len()) as f64;
-            model.add_constraint(terms, Cmp::Ge, need);
-        }
+        let BuiltModel {
+            mut model,
+            rvar,
+            phis,
+            candidates,
+        } = build_model(p, &fixed, &cuts)?;
+        // Presolve: cut rounds re-derive overlapping covering cuts and
+        // fixed channels (lo = 1) satisfy covering rows outright, so the
+        // model shrinks measurably before the solver sees it.
+        let reduction = model.canonicalize();
+        milp_rows_dropped += reduction.dropped() as u64;
 
         // Exact solve with a bounded tree; on exhaustion fall back to
         // rounding the LP relaxation up (covering constraints are
@@ -284,6 +366,9 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
             Err(SolveError::NodeLimit) => model.solve_relaxation()?,
             Err(e) => return Err(e.into()),
         };
+        milp_pivots += sol.pivots;
+        milp_refactors += sol.refactors;
+        milp_nodes += sol.nodes;
         let placed: HashSet<ChannelId> = candidates
             .iter()
             .copied()
@@ -331,6 +416,10 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
                 cut_rounds: rounds,
                 unbreakable_levels: unbreakable,
                 objective: sol.objective,
+                milp_pivots,
+                milp_refactors,
+                milp_nodes,
+                milp_rows_dropped,
             });
         }
         cuts.extend(new_cuts);
@@ -454,6 +543,50 @@ mod tests {
         let both = solve(Objective::ThroughputAndArea);
         let area = solve(Objective::AreaOnly);
         assert!(area <= both, "area-only {area} > combined {both}");
+    }
+
+    #[test]
+    fn placement_models_shrink_under_canonicalization() {
+        // The real Eq. 3 model carries covering rows already satisfied by
+        // the fixed back-edge buffers (lo = 1), so canonicalization must
+        // remove rows — the presolve is not a no-op on our own models.
+        let k = kernels::gsum(16);
+        let g = k.seeded_graph();
+        let synth = synthesize(&g, 6).unwrap();
+        let map = map_lut_edges(&g, &synth);
+        let timing = TimingGraph::build(&g, &synth, &map);
+        let penalties = compute_penalties(&g, &timing);
+        let cfdfcs = crate::cfdfc::extract_cfdfcs(k.graph(), k.back_edges(), 8, 100_000);
+        let problem = PlacementProblem {
+            graph: k.graph(),
+            timing: &timing,
+            penalties: &penalties,
+            cfdfcs: &cfdfcs,
+            target_levels: 6,
+            fixed: k.back_edges(),
+            alpha: 1.0,
+            beta: 0.01,
+            max_cut_rounds: 16,
+            objective: Default::default(),
+        };
+        let mut model = build_placement_model(&problem).unwrap();
+        let before = model.num_constraints();
+        let red = model.canonicalize();
+        assert_eq!(red.original, before);
+        assert!(
+            red.dropped() > 0,
+            "expected the gsum placement model to shrink, got {red:?}"
+        );
+        assert!(red.remaining < before);
+        // And the reduced model must still solve.
+        assert!(model.solve().is_ok());
+    }
+
+    #[test]
+    fn placement_reports_milp_counters() {
+        let (_, r) = solve_kernel("gsum", 6);
+        assert!(r.milp_pivots > 0, "no pivots recorded");
+        assert!(r.milp_nodes > 0, "no nodes recorded");
     }
 
     #[test]

@@ -33,6 +33,15 @@ pub struct FlowTrace {
     pub cache_misses: u64,
     /// Total MILP cut-generation rounds across all iterations.
     pub cut_rounds: usize,
+    /// Simplex pivots spent by the placement MILPs (all iterations and cut
+    /// rounds) — the deterministic work measure behind the pivot budget.
+    pub milp_pivots: u64,
+    /// Basis refactorizations performed by the sparse revised simplex.
+    pub milp_refactors: u64,
+    /// Branch-and-bound nodes explored by the placement MILPs.
+    pub milp_nodes: u64,
+    /// Constraint rows removed by model canonicalization before solving.
+    pub milp_rows_dropped: u64,
     /// Figure-4 iterations executed.
     pub iterations: usize,
     /// Portion of `synth` spent in full (basis-less) synthesis runs.
@@ -89,6 +98,10 @@ impl FlowTrace {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cut_rounds += other.cut_rounds;
+        self.milp_pivots += other.milp_pivots;
+        self.milp_refactors += other.milp_refactors;
+        self.milp_nodes += other.milp_nodes;
+        self.milp_rows_dropped += other.milp_rows_dropped;
         self.iterations += other.iterations;
         self.synth_full += other.synth_full;
         self.synth_incremental += other.synth_incremental;
@@ -108,7 +121,8 @@ impl fmt::Display for FlowTrace {
         write!(
             f,
             "synth {:.2}s (full {:.2}s + incr {:.2}s) | map {:.2}s | timing {:.2}s | \
-             milp {:.2}s | slack {:.2}s | total {:.2}s | cache {}/{} hits ({:.0}%) | \
+             milp {:.2}s ({} pivots, {} nodes, {} refactors, {} rows dropped) | \
+             slack {:.2}s | total {:.2}s | cache {}/{} hits ({:.0}%) | \
              {} incr / {} full synths | labels {}/{} reused ({:.0}%) | \
              dirty BBs {}/{} | {} cut rounds | {} iterations",
             self.synth.as_secs_f64(),
@@ -117,6 +131,10 @@ impl fmt::Display for FlowTrace {
             self.map.as_secs_f64(),
             self.timing.as_secs_f64(),
             self.milp.as_secs_f64(),
+            self.milp_pivots,
+            self.milp_nodes,
+            self.milp_refactors,
+            self.milp_rows_dropped,
             self.slack.as_secs_f64(),
             self.total.as_secs_f64(),
             self.cache_hits,
@@ -169,6 +187,10 @@ mod tests {
             cache_hits: 2,
             cache_misses: 5,
             cut_rounds: 3,
+            milp_pivots: 100,
+            milp_refactors: 2,
+            milp_nodes: 9,
+            milp_rows_dropped: 11,
             iterations: 4,
             synth: Duration::from_millis(5),
             synth_incremental: Duration::from_millis(2),
@@ -184,6 +206,10 @@ mod tests {
         assert_eq!(a.cache_hits, 3);
         assert_eq!(a.cache_misses, 5);
         assert_eq!(a.cut_rounds, 5);
+        assert_eq!(a.milp_pivots, 100);
+        assert_eq!(a.milp_refactors, 2);
+        assert_eq!(a.milp_nodes, 9);
+        assert_eq!(a.milp_rows_dropped, 11);
         assert_eq!(a.iterations, 5);
         assert_eq!(a.synth, Duration::from_millis(15));
         assert_eq!(a.synth_incremental, Duration::from_millis(2));

@@ -1,4 +1,5 @@
-//! Branch & bound over the integer variables.
+//! Deterministic, optionally parallel branch & bound over the integer
+//! variables.
 //!
 //! Depth-first search with best-incumbent pruning: each node solves the LP
 //! relaxation with tightened bounds, branches on the most fractional
@@ -6,11 +7,90 @@
 //! incumbent. Problems from the buffer placer are mostly covering /
 //! throughput structures whose relaxations are near-integral, so the tree
 //! stays small.
+//!
+//! # Parallelism without nondeterminism
+//!
+//! The search runs in *waves*: up to [`PARALLEL_BATCH`] nodes are popped
+//! from the DFS stack, their LP relaxations solved concurrently on a
+//! `std::thread::scope` worker pool ([`Model::set_jobs`]), and the results
+//! then processed **sequentially in pop order** — incumbent updates,
+//! pruning decisions, node/work-limit checks, and child pushes all happen
+//! on one thread in a fixed order. The wave size is a constant, never a
+//! function of the thread count, and each LP solve is a pure function of
+//! `(model, bounds, warm basis)`; threads only change *when* results are
+//! computed, not *which* results. The returned solution, objective, node
+//! count, and pivot count are therefore bit-identical for any `jobs`.
+//!
+//! If a budget fires mid-wave, the remaining already-solved results of
+//! that wave are discarded — deterministic, at the cost of a little
+//! speculative LP work next to the cutoff point.
+//!
+//! # Warm starts
+//!
+//! With the sparse engine, every child node inherits its parent's final
+//! basis. The child adopts it only if the system shape matches and the
+//! basis is still primal feasible under the child's bounds (both checks
+//! are pure functions of the model), in which case phase 1 is skipped
+//! entirely; otherwise the child cold-starts.
 
-use crate::model::{Model, Sense, Solution, SolveError, Status};
-use crate::simplex::{solve_lp, BoundOverrides};
+use crate::model::{Engine, Model, Sense, Solution, SolveError, Status};
+use crate::simplex::{solve_lp_warm, BoundOverrides, LpSolution, WarmBasis, MAX_SIMPLEX_ITERS};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 const INT_TOL: f64 = 1e-6;
+
+/// Nodes popped (and LP-solved) per wave. A constant — independent of
+/// [`Model::set_jobs`] — so the explored tree never depends on the thread
+/// count.
+const PARALLEL_BATCH: usize = 8;
+
+/// A subproblem awaiting its LP solve.
+struct Node {
+    ov: BoundOverrides,
+    /// Final basis of the parent node's LP (sparse engine only).
+    warm: Option<WarmBasis>,
+}
+
+fn solve_node(model: &Model, node: &Node) -> Result<LpSolution, SolveError> {
+    match model.engine {
+        Engine::SparseRevised => {
+            solve_lp_warm(model, &node.ov, MAX_SIMPLEX_ITERS, node.warm.as_ref())
+        }
+        Engine::DenseTableau => crate::dense::solve_lp_dense(model, &node.ov),
+    }
+}
+
+/// Solves one wave of node LPs, in `wave` order, on up to `jobs` threads.
+fn solve_wave(model: &Model, wave: &[Node], jobs: usize) -> Vec<Result<LpSolution, SolveError>> {
+    let jobs = jobs.clamp(1, wave.len().max(1));
+    if jobs <= 1 || wave.len() <= 1 {
+        return wave.iter().map(|n| solve_node(model, n)).collect();
+    }
+    let slots: Vec<Mutex<Option<Result<LpSolution, SolveError>>>> =
+        wave.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= wave.len() {
+                    break;
+                }
+                let r = solve_node(model, &wave[i]);
+                *slots[i].lock().expect("wave slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("wave slot poisoned")
+                .expect("wave slot unfilled")
+        })
+        .collect()
+}
 
 pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
     let maximize = model.sense == Sense::Maximize;
@@ -27,96 +107,122 @@ pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
     let mut incumbent: Option<Solution> = None;
     let mut nodes: u64 = 0;
     let mut work: u64 = 0;
-    let mut stack: Vec<BoundOverrides> = vec![BoundOverrides::default()];
+    let mut refactors: u64 = 0;
+    let mut stack: Vec<Node> = vec![Node {
+        ov: BoundOverrides::default(),
+        warm: None,
+    }];
     let mut hit_limit = false;
 
-    while let Some(ov) = stack.pop() {
-        nodes += 1;
-        if nodes > model.node_limit {
-            hit_limit = true;
-            break;
-        }
-        // Deterministic truncation: the pivot budget depends only on the
-        // model, never on machine speed or load.
-        if let Some(limit) = model.work_limit {
-            if work > limit {
+    'search: while !stack.is_empty() {
+        // Pop a wave (in stack order) and solve its LPs; `jobs` only sets
+        // how many threads chew through the wave.
+        let take = stack.len().min(PARALLEL_BATCH);
+        let wave: Vec<Node> = (0..take)
+            .map(|_| stack.pop().expect("non-empty stack"))
+            .collect();
+        let results = solve_wave(model, &wave, model.jobs);
+
+        // Process results sequentially, in pop order.
+        for (node, result) in wave.into_iter().zip(results) {
+            nodes += 1;
+            if nodes > model.node_limit {
                 hit_limit = true;
-                break;
+                break 'search;
             }
-        }
-        let lp = match solve_lp(model, &ov) {
-            Ok(s) => s,
-            Err(SolveError::Infeasible) => continue,
-            // A child's feasible region is a subset of the root's, so
-            // "unbounded" below the root (after the root solved fine) can
-            // only be tableau round-off — prune the node rather than
-            // aborting a solve the incumbent may already have finished.
-            Err(SolveError::Unbounded) if !ov.entries.is_empty() => continue,
-            Err(e) => return Err(e),
-        };
-        work += lp.pivots;
-        if lp.truncated {
-            // The LP valve fired: `lp.objective` understates the node's
-            // true bound, so pruning with it could discard the optimum.
-            // Record the truncation and fall through without pruning.
-            hit_limit = true;
-        } else if let Some(inc) = &incumbent {
-            // Bound pruning (sound only against a proven LP bound).
-            if !better(lp.objective, inc.objective) {
-                continue;
-            }
-        }
-        // Find the most fractional integer variable.
-        let mut branch_var: Option<(usize, f64)> = None;
-        let mut best_frac = INT_TOL;
-        for (v, def) in model.vars.iter().enumerate() {
-            if def.integer {
-                let x = lp.values[v];
-                let frac = (x - x.round()).abs();
-                if frac > best_frac {
-                    best_frac = frac;
-                    branch_var = Some((v, x));
+            // Deterministic truncation: the pivot budget depends only on
+            // the model, never on machine speed or load.
+            if let Some(limit) = model.work_limit {
+                if work > limit {
+                    hit_limit = true;
+                    break 'search;
                 }
             }
-        }
-        match branch_var {
-            None => {
-                // Integral: candidate incumbent (snap near-integers).
-                let mut values = lp.values.clone();
-                for (v, def) in model.vars.iter().enumerate() {
-                    if def.integer {
-                        values[v] = values[v].round();
+            let lp = match result {
+                Ok(s) => s,
+                Err(SolveError::Infeasible) => continue,
+                // A child's feasible region is a subset of the root's, so
+                // "unbounded" below the root (after the root solved fine)
+                // can only be round-off — prune the node rather than
+                // aborting a solve the incumbent may already have finished.
+                Err(SolveError::Unbounded) if !node.ov.entries.is_empty() => continue,
+                Err(e) => return Err(e),
+            };
+            work += lp.pivots;
+            refactors += lp.refactors;
+            if lp.truncated {
+                // The LP valve fired: `lp.objective` understates the node's
+                // true bound, so pruning with it could discard the optimum.
+                // Record the truncation and fall through without pruning.
+                hit_limit = true;
+            } else if let Some(inc) = &incumbent {
+                // Bound pruning (sound only against a proven LP bound).
+                if !better(lp.objective, inc.objective) {
+                    continue;
+                }
+            }
+            // Find the most fractional integer variable.
+            let mut branch_var: Option<(usize, f64)> = None;
+            let mut best_frac = INT_TOL;
+            for (v, def) in model.vars.iter().enumerate() {
+                if def.integer {
+                    let x = lp.values[v];
+                    let frac = (x - x.round()).abs();
+                    if frac > best_frac {
+                        best_frac = frac;
+                        branch_var = Some((v, x));
                     }
                 }
-                let candidate = Solution {
-                    values,
-                    objective: lp.objective,
-                    status: Status::Optimal,
-                    nodes,
-                    truncated: false,
-                };
-                let replace = incumbent
-                    .as_ref()
-                    .map(|inc| better(candidate.objective, inc.objective))
-                    .unwrap_or(true);
-                if replace {
-                    incumbent = Some(candidate);
-                }
             }
-            Some((v, x)) => {
-                let floor = x.floor();
-                // Explore the "round toward LP value" side last so the DFS
-                // pops it first.
-                let mut down = ov.clone();
-                down.entries.push((v, f64::NEG_INFINITY, floor));
-                let mut up = ov;
-                up.entries.push((v, floor + 1.0, f64::INFINITY));
-                if x - floor > 0.5 {
-                    stack.push(down);
-                    stack.push(up);
-                } else {
-                    stack.push(up);
-                    stack.push(down);
+            match branch_var {
+                None => {
+                    // Integral: candidate incumbent (snap near-integers).
+                    let mut values = lp.values.clone();
+                    for (v, def) in model.vars.iter().enumerate() {
+                        if def.integer {
+                            values[v] = values[v].round();
+                        }
+                    }
+                    let candidate = Solution {
+                        values,
+                        objective: lp.objective,
+                        status: Status::Optimal,
+                        nodes,
+                        pivots: work,
+                        refactors,
+                        truncated: false,
+                    };
+                    let replace = incumbent
+                        .as_ref()
+                        .map(|inc| better(candidate.objective, inc.objective))
+                        .unwrap_or(true);
+                    if replace {
+                        incumbent = Some(candidate);
+                    }
+                }
+                Some((v, x)) => {
+                    let floor = x.floor();
+                    // Explore the "round toward LP value" side last so the
+                    // DFS pops it first. Children inherit this node's basis.
+                    let mut down = node.ov.clone();
+                    down.entries.push((v, f64::NEG_INFINITY, floor));
+                    let mut up = node.ov;
+                    up.entries.push((v, floor + 1.0, f64::INFINITY));
+                    let down = Node {
+                        ov: down,
+                        warm: lp.basis.clone(),
+                    };
+                    let up = Node {
+                        ov: up,
+                        warm: lp.basis.clone(),
+                    };
+                    if x - floor > 0.5 {
+                        stack.push(down);
+                        stack.push(up);
+                    } else {
+                        stack.push(up);
+                        stack.push(down);
+                    }
                 }
             }
         }
@@ -129,6 +235,8 @@ pub(crate) fn branch_and_bound(model: &Model) -> Result<Solution, SolveError> {
                 sol.truncated = true;
             }
             sol.nodes = nodes;
+            sol.pivots = work;
+            sol.refactors = refactors;
             Ok(sol)
         }
         None if hit_limit => Err(SolveError::NodeLimit),
@@ -174,9 +282,9 @@ mod tests {
 
     #[test]
     fn node_limit_with_incumbent_is_flagged_truncated() {
-        // Root LP is fractional (x = y = 0.75); the first child yields an
-        // integral incumbent, then the node limit fires before the proof of
-        // optimality completes — the incumbent must come back marked.
+        // The root LP is fractional; a child yields an integral incumbent,
+        // then the node limit fires before the proof of optimality
+        // completes — the incumbent must come back marked.
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_binary("x", 1.0);
         let y = m.add_binary("y", 1.0);
@@ -225,13 +333,51 @@ mod tests {
 
     #[test]
     fn minimization_milp() {
-        // min 3x + 2y st x + y >= 1.5, binaries: optimum = 2 picks... x=0,y=1 infeasible (1 < 1.5)
-        // so x=1,y=1 cost 5; or x=1,y=0 -> 1 < 1.5 infeasible. Answer 5.
+        // min 3x + 2y st x + y >= 1.5, binaries: x=1,y=1 is the only
+        // feasible completion -> cost 5.
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_binary("x", 3.0);
         let y = m.add_binary("y", 2.0);
         m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.5);
         let sol = m.solve().unwrap();
         assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn job_count_does_not_change_the_result() {
+        // A deliberately branchy MILP: every counter of the search must be
+        // bit-identical at 1, 2, and 8 worker threads.
+        let build = || {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = (0..14)
+                .map(|i| m.add_binary(format!("b{i}"), 1.0 + (i as f64) * 0.37))
+                .collect();
+            for w in vars.windows(3) {
+                m.add_constraint(vec![(w[0], 2.0), (w[1], 3.0), (w[2], 2.0)], Cmp::Le, 4.0);
+            }
+            m.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Le, 6.5);
+            m
+        };
+        let mut reference = build();
+        reference.set_jobs(1);
+        let base = reference.solve().unwrap();
+        for jobs in [2, 8] {
+            let mut m = build();
+            m.set_jobs(jobs);
+            let sol = m.solve().unwrap();
+            assert_eq!(sol.nodes, base.nodes, "jobs={jobs}");
+            assert_eq!(sol.pivots, base.pivots, "jobs={jobs}");
+            assert_eq!(
+                sol.objective.to_bits(),
+                base.objective.to_bits(),
+                "jobs={jobs}"
+            );
+            let same_values = sol
+                .values
+                .iter()
+                .zip(&base.values)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_values, "jobs={jobs}");
+        }
     }
 }

@@ -1,0 +1,308 @@
+//! Legacy dense two-phase tableau simplex.
+//!
+//! The original LP engine, kept selectable via
+//! [`Engine::DenseTableau`](crate::Engine) as the measured baseline for
+//! the sparse revised engine in [`crate::simplex`] and as the oracle for
+//! the equivalence test suite (`tests/milp_equivalence.rs`). Every pivot
+//! rewrites the full `m × ncols` tableau, so it scales poorly on the
+//! buffer-placement models, but its small, transparent implementation is
+//! easy to trust.
+//!
+//! Row construction is shared with the sparse engine through
+//! [`prepare`](crate::simplex::prepare), so both engines solve literally
+//! the same shifted system. Pricing is Dantzig's rule with the same
+//! Bland anti-cycling fallback and per-phase iteration valve.
+
+use crate::model::{Cmp, Model, SolveError};
+use crate::simplex::{prepare, BoundOverrides, LpSolution, EPS, MAX_SIMPLEX_ITERS};
+
+/// Consecutive degenerate (zero-improvement) pivots tolerated under
+/// Dantzig pricing before switching to Bland's anti-cycling rule.
+const DEGENERATE_STREAK: u32 = 50;
+
+/// Solves the LP relaxation of `model` with `overrides` applied.
+pub(crate) fn solve_lp_dense(
+    model: &Model,
+    overrides: &BoundOverrides,
+) -> Result<LpSolution, SolveError> {
+    solve_lp_dense_with_limit(model, overrides, MAX_SIMPLEX_ITERS)
+}
+
+/// [`solve_lp_dense`] with an explicit per-phase iteration valve.
+pub(crate) fn solve_lp_dense_with_limit(
+    model: &Model,
+    overrides: &BoundOverrides,
+    max_iters: u64,
+) -> Result<LpSolution, SolveError> {
+    let prep = prepare(model, overrides)?;
+    let n = prep.n;
+
+    // Build the tableau: columns = n structural + slacks + artificials.
+    let m = prep.rows.len();
+    let mut num_slack = 0usize;
+    for r in &prep.rows {
+        if r.op != Cmp::Eq {
+            num_slack += 1;
+        }
+    }
+    let total_pre_art = n + num_slack;
+
+    // First normalize rhs >= 0 (flip rows with negative rhs).
+    // a: m x (total columns incl. artificials), built incrementally.
+    let mut a = vec![vec![0.0f64; total_pre_art]; m];
+    let mut b = vec![0.0f64; m];
+    let mut slack_idx = 0usize;
+    let mut slack_col_of_row: Vec<Option<usize>> = vec![None; m];
+    for (i, r) in prep.rows.iter().enumerate() {
+        let flip = r.rhs < 0.0;
+        let s = if flip { -1.0 } else { 1.0 };
+        for &(v, coef) in &r.coeffs {
+            a[i][v] += s * coef;
+        }
+        b[i] = s * r.rhs;
+        match r.op {
+            Cmp::Le => {
+                let col = n + slack_idx;
+                a[i][col] = s; // slack (+1) flips with the row
+                slack_col_of_row[i] = Some(col);
+                slack_idx += 1;
+            }
+            Cmp::Ge => {
+                let col = n + slack_idx;
+                a[i][col] = -s; // surplus
+                slack_col_of_row[i] = Some(col);
+                slack_idx += 1;
+            }
+            Cmp::Eq => {}
+        }
+    }
+
+    // Choose initial basis: slack column if it has +1 in the row, otherwise
+    // an artificial variable.
+    let mut basis: Vec<usize> = vec![usize::MAX; m];
+    let mut art_cols: Vec<usize> = Vec::new();
+    let mut ncols = total_pre_art;
+    for i in 0..m {
+        match slack_col_of_row[i] {
+            Some(col) if a[i][col] > 0.5 => basis[i] = col,
+            _ => {
+                for row in a.iter_mut() {
+                    row.push(0.0);
+                }
+                a[i][ncols] = 1.0;
+                basis[i] = ncols;
+                art_cols.push(ncols);
+                ncols += 1;
+            }
+        }
+    }
+
+    // Phase 1: maximize -(sum of artificials).
+    let mut pivots = 0u64;
+    if !art_cols.is_empty() {
+        let mut c1 = vec![0.0f64; ncols];
+        for &col in &art_cols {
+            c1[col] = -1.0;
+        }
+        let (z, truncated) = run_simplex(&mut a, &mut b, &mut basis, &c1, &mut pivots, max_iters)?;
+        if truncated {
+            // An unfinished phase 1 cannot certify feasibility; there is
+            // no usable incumbent to hand back.
+            return Err(SolveError::NodeLimit);
+        }
+        if z < -1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Pivot any artificial variables out of the basis if possible.
+        for i in 0..m {
+            if art_cols.contains(&basis[i]) {
+                let pivot_col = (0..total_pre_art).find(|&j| a[i][j].abs() > EPS);
+                if let Some(j) = pivot_col {
+                    pivot(&mut a, &mut b, &mut basis, i, j);
+                    pivots += 1;
+                }
+                // Rows still basic in an artificial are redundant (zero).
+            }
+        }
+    }
+
+    // Phase 2: real objective; artificial columns fixed at zero by
+    // zeroing their coefficients and never letting them enter (their
+    // objective coefficient is hugely negative).
+    let mut c2 = vec![0.0f64; ncols];
+    c2[..n].copy_from_slice(&prep.obj[..n]);
+    for &col in &art_cols {
+        c2[col] = -1e18;
+    }
+    let (z, truncated) = run_simplex(&mut a, &mut b, &mut basis, &c2, &mut pivots, max_iters)?;
+
+    let mut values = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            values[basis[i]] = b[i];
+        }
+    }
+    for (v, l) in values.iter_mut().zip(&prep.lo) {
+        *v += l;
+    }
+    let objective = prep.sign * (z + prep.obj_shift);
+    Ok(LpSolution {
+        values,
+        objective,
+        pivots,
+        refactors: 0,
+        truncated,
+        basis: None,
+    })
+}
+
+/// Runs primal simplex (maximization) on the tableau; returns the objective
+/// value in the shifted space and whether the iteration valve fired before
+/// optimality (`true` means the basis is feasible but possibly suboptimal).
+fn run_simplex(
+    a: &mut [Vec<f64>],
+    b: &mut [f64],
+    basis: &mut [usize],
+    c: &[f64],
+    pivots: &mut u64,
+    max_iters: u64,
+) -> Result<(f64, bool), SolveError> {
+    let m = a.len();
+    let ncols = c.len();
+    // Maintain the reduced-cost row explicitly: red[j] = c_j − c_B B⁻¹ A_j.
+    // The tableau is kept in canonical form, so the initial row is computed
+    // once and updated with every pivot (O(n) per iteration).
+    let mut red: Vec<f64> = (0..ncols)
+        .map(|j| {
+            let mut r = c[j];
+            for i in 0..m {
+                let cb = c[basis[i]];
+                if cb != 0.0 {
+                    r -= cb * a[i][j];
+                }
+            }
+            r
+        })
+        .collect();
+    let objective = |basis: &[usize], b: &[f64]| (0..m).map(|i| c[basis[i]] * b[i]).sum::<f64>();
+    let mut iterations = 0u64;
+    // Dantzig pricing cycles on degenerate vertices (Beale's example); after
+    // DEGENERATE_STREAK consecutive zero-improvement pivots switch to
+    // Bland's rule, which cannot cycle, until the objective strictly moves.
+    let mut degenerate_streak = 0u32;
+    loop {
+        iterations += 1;
+        if iterations > max_iters {
+            return Ok((objective(basis, b), true));
+        }
+        let j = if degenerate_streak >= DEGENERATE_STREAK {
+            // Bland: first improving column.
+            (0..ncols).find(|&j| red[j] > 1e-7)
+        } else {
+            // Dantzig: most positive reduced cost, lowest index on ties.
+            let mut best_j = None;
+            let mut best_r = 1e-7;
+            for (j, &r) in red.iter().enumerate() {
+                if r > best_r {
+                    best_r = r;
+                    best_j = Some(j);
+                }
+            }
+            best_j
+        };
+        let Some(j) = j else {
+            return Ok((objective(basis, b), false));
+        };
+        // Ratio test (smallest basis index tie-break, as in Bland's rule).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if a[i][j] > EPS {
+                let ratio = b[i] / a[i][j];
+                if ratio < best - EPS
+                    || (ratio < best + EPS && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+        if best <= EPS {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
+        pivot(a, b, basis, i, j);
+        *pivots += 1;
+        // Update reduced costs: red -= red[j] * (pivoted row i).
+        let factor = red[j];
+        if factor.abs() > EPS {
+            for (r, s) in red.iter_mut().zip(a[i].iter()) {
+                *r -= factor * s;
+            }
+        }
+        red[j] = 0.0;
+    }
+}
+
+fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
+    let m = a.len();
+    let piv = a[row][col];
+    debug_assert!(piv.abs() > EPS, "zero pivot");
+    let inv = 1.0 / piv;
+    for x in a[row].iter_mut() {
+        *x *= inv;
+    }
+    b[row] *= inv;
+    for i in 0..m {
+        if i != row {
+            let factor = a[i][col];
+            if factor.abs() > EPS {
+                let (src, dst) = if i < row {
+                    let (lo_part, hi_part) = a.split_at_mut(row);
+                    (&hi_part[0], &mut lo_part[i])
+                } else {
+                    let (lo_part, hi_part) = a.split_at_mut(i);
+                    (&lo_part[row], &mut hi_part[0])
+                };
+                for (d, s) in dst.iter_mut().zip(src.iter()) {
+                    *d -= factor * s;
+                }
+                b[i] -= factor * b[row];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn dense_baseline_still_solves() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(vec![(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+        let lp = solve_lp_dense(&m, &BoundOverrides::default()).unwrap();
+        assert!((lp.objective - 12.0).abs() < 1e-6);
+        assert!(!lp.truncated);
+    }
+
+    #[test]
+    fn dense_truncation_is_honest() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 4.0, 1.0, false);
+        let y = m.add_var("y", 0.0, 4.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 6.0);
+        let lp = solve_lp_dense_with_limit(&m, &BoundOverrides::default(), 1).unwrap();
+        assert!(lp.truncated);
+        assert!(lp.values[0] + lp.values[1] <= 6.0 + 1e-9);
+    }
+}

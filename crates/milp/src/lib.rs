@@ -2,15 +2,59 @@
 //!
 //! This crate replaces Gurobi in the paper's flow. It provides:
 //!
-//! * a dense two-phase primal simplex LP solver with Bland's anti-cycling
-//!   rule,
-//! * branch & bound over integer/binary variables with incumbent pruning,
+//! * a **sparse revised** two-phase primal simplex (the default
+//!   [`Engine::SparseRevised`]) and the legacy dense tableau
+//!   ([`Engine::DenseTableau`]) it superseded, both with Dantzig pricing
+//!   and a Bland anti-cycling fallback,
+//! * deterministic, optionally parallel branch & bound over
+//!   integer/binary variables with incumbent pruning and warm-started
+//!   node bases ([`Model::set_jobs`]),
+//! * constraint-row canonicalization ([`Model::canonicalize`]),
 //! * a lazy-cut loop ([`Model::solve_with_cuts`]) used by the buffer
 //!   placer to add critical-path covering constraints on demand.
 //!
-//! The buffer-placement MILPs of the evaluation have a few hundred binary
-//! variables and a few hundred rows — comfortably within reach of a dense
-//! tableau.
+//! # The sparse revised simplex
+//!
+//! The buffer-placement MILPs have a few hundred variables and rows, but
+//! each row carries only a handful of nonzeros (a throughput constraint
+//! couples one channel to two node retiming values; a covering cut sums a
+//! few binaries). The dense tableau paid O(rows × columns) per pivot to
+//! rewrite an almost-entirely-zero matrix; the revised engine instead
+//! keeps:
+//!
+//! * the constraint matrix in **CSC** (compressed sparse column) form,
+//!   built once per solve and never modified;
+//! * the basis inverse as a **product-form eta file**: each pivot appends
+//!   one sparse eta vector, and `B⁻¹v` / `vᵀB⁻¹` (FTRAN / BTRAN) apply
+//!   the file in O(total eta nonzeros);
+//! * a **refactorization** policy: every 64 pivots (and on warm starts)
+//!   the file is rebuilt from the current basis columns by greedy
+//!   partial-pivoting re-inversion, bounding file length and
+//!   floating-point drift.
+//!
+//! Per iteration the engine BTRANs the basic costs, prices every nonbasic
+//! column with one sparse dot product (Dantzig: most positive reduced
+//! cost, lowest index on ties; Bland's first-improving rule after 50
+//! consecutive degenerate pivots), FTRANs the entering column, and runs
+//! the usual ratio test. Simplex *pivots* remain the deterministic work
+//! currency behind [`Model::set_work_limit`]: the pivot sequence is a
+//! pure function of the model, so truncated solves reproduce bit-for-bit
+//! across machines, thread counts, and engine-internal timing.
+//!
+//! # Deterministic parallel branch & bound
+//!
+//! [`Model::solve`] explores the tree in fixed-size waves of at most 8
+//! nodes: a wave is popped from the DFS stack, its LP relaxations are
+//! solved concurrently on up to [`Model::set_jobs`] scoped threads, and
+//! the results are then folded back **sequentially in pop order** —
+//! pruning, incumbent updates, budget checks, and child pushes all run on
+//! one thread in a fixed order. Because the wave size never depends on
+//! the thread count and each LP solve is a pure function of
+//! `(model, bounds, warm basis)`, the returned solution, objective, node
+//! count, and pivot count are bit-identical for any `jobs` value; threads
+//! only decide how fast the same tree is walked. Each child node reuses
+//! its parent's final basis when it is still primal feasible under the
+//! child's bounds, skipping phase 1 entirely.
 //!
 //! # Example
 //!
@@ -32,7 +76,10 @@
 //! ```
 
 mod branch;
+mod dense;
 mod model;
 mod simplex;
 
-pub use model::{Cmp, Constraint, Model, Sense, Solution, SolveError, Status, VarId};
+pub use model::{
+    Cmp, Constraint, Engine, Model, RowReduction, Sense, Solution, SolveError, Status, VarId,
+};

@@ -1,5 +1,6 @@
 //! Model-building API and solver entry points.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a decision variable within a [`Model`].
@@ -34,6 +35,21 @@ pub enum Cmp {
     Ge,
     /// `lhs = rhs`
     Eq,
+}
+
+/// LP engine backing [`Model::solve`] and [`Model::solve_relaxation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Engine {
+    /// Legacy dense two-phase tableau ([`crate::dense`]): every pivot
+    /// rewrites the full tableau. Kept as the measured baseline and the
+    /// oracle for the equivalence tests.
+    DenseTableau,
+    /// Sparse revised simplex ([`crate::simplex`]): CSC matrix,
+    /// product-form eta-file basis inverse with periodic refactorization,
+    /// warm-started branch-and-bound nodes. The default.
+    #[default]
+    SparseRevised,
 }
 
 /// A linear constraint `Σ coeff·var (≤|≥|=) rhs`.
@@ -80,6 +96,12 @@ pub struct Solution {
     pub status: Status,
     /// Branch-and-bound nodes explored.
     pub nodes: u64,
+    /// Simplex pivots spent across all explored nodes — the deterministic
+    /// work measure behind [`Model::set_work_limit`].
+    pub pivots: u64,
+    /// Basis refactorizations performed across all explored nodes
+    /// ([`Engine::SparseRevised`] only; always 0 for the dense tableau).
+    pub refactors: u64,
     /// A node, work, or simplex-iteration budget fired before the search
     /// (or an LP phase) finished: the solution is feasible but `objective`
     /// may be short of the true optimum.
@@ -125,6 +147,31 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// What [`Model::canonicalize`] removed, row by row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RowReduction {
+    /// Constraint rows before canonicalization.
+    pub original: usize,
+    /// Trivially-satisfied rows with no (surviving) terms.
+    pub zero: usize,
+    /// Rows implied by the variable bounds alone (activity bound already
+    /// meets the rhs).
+    pub redundant: usize,
+    /// Rows with the same terms and operator as an earlier row (the
+    /// survivor keeps the tightest rhs).
+    pub duplicate: usize,
+    /// Constraint rows after canonicalization.
+    pub remaining: usize,
+}
+
+impl RowReduction {
+    /// Total rows removed.
+    pub fn dropped(&self) -> usize {
+        self.zero + self.redundant + self.duplicate
+    }
+}
+
 /// A mixed-integer linear program.
 #[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -135,6 +182,8 @@ pub struct Model {
     pub(crate) node_limit: u64,
     pub(crate) gap: f64,
     pub(crate) work_limit: Option<u64>,
+    pub(crate) engine: Engine,
+    pub(crate) jobs: usize,
 }
 
 impl Model {
@@ -147,6 +196,8 @@ impl Model {
             node_limit: 200_000,
             gap: 1e-9,
             work_limit: None,
+            engine: Engine::default(),
+            jobs: 1,
         }
     }
 
@@ -219,6 +270,166 @@ impl Model {
         self.node_limit = limit;
     }
 
+    /// Selects the LP engine (default [`Engine::SparseRevised`]).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// Worker threads for branch-and-bound node LPs (default 1). The
+    /// search explores fixed-size node waves whose composition never
+    /// depends on `jobs`, so the solution, objective, node count, and
+    /// pivot count are bit-identical at any thread count — `jobs` is a
+    /// pure throughput knob.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// Canonicalizes the constraint rows in place and reports what was
+    /// removed:
+    ///
+    /// * duplicate terms within a row are merged (and zero coefficients
+    ///   dropped), terms sorted by variable;
+    /// * rows left with no terms are dropped when trivially satisfied
+    ///   (a violated empty row is kept so the solver reports
+    ///   infeasibility);
+    /// * rows already implied by the variable bounds are dropped — sound
+    ///   under branch-and-bound, which only ever *tightens* bounds;
+    /// * rows with identical terms and operator collapse to one row with
+    ///   the tightest rhs (`≤` keeps the min, `≥` the max; `=` rows only
+    ///   collapse when the rhs matches exactly).
+    ///
+    /// The buffer placer's covering-cut models shrink measurably: repeated
+    /// cut rounds re-derive overlapping cuts, and channels fixed at 1 make
+    /// whole covering rows redundant.
+    pub fn canonicalize(&mut self) -> RowReduction {
+        const TOL: f64 = 1e-9;
+        let mut red = RowReduction {
+            original: self.constraints.len(),
+            ..RowReduction::default()
+        };
+        // Key: (sorted term list with bit-exact coefficients, operator).
+        let mut seen: BTreeMap<(Vec<(usize, u64)>, u8), usize> = BTreeMap::new();
+        let mut kept: Vec<Constraint> = Vec::with_capacity(self.constraints.len());
+        'rows: for c in self.constraints.drain(..) {
+            // Merge duplicate terms, drop zeros, sort by variable index.
+            let mut merged: BTreeMap<usize, f64> = BTreeMap::new();
+            for &(v, a) in &c.terms {
+                *merged.entry(v.index()).or_insert(0.0) += a;
+            }
+            merged.retain(|_, a| *a != 0.0);
+            let terms: Vec<(VarId, f64)> = merged.iter().map(|(&v, &a)| (VarId(v), a)).collect();
+
+            if terms.is_empty() {
+                let satisfied = match c.op {
+                    Cmp::Le => 0.0 <= c.rhs + TOL,
+                    Cmp::Ge => 0.0 >= c.rhs - TOL,
+                    Cmp::Eq => c.rhs.abs() <= TOL,
+                };
+                if satisfied {
+                    red.zero += 1;
+                    continue 'rows;
+                }
+                // Violated: keep so the solver reports infeasibility.
+                kept.push(Constraint {
+                    terms,
+                    op: c.op,
+                    rhs: c.rhs,
+                });
+                continue 'rows;
+            }
+
+            // Activity-bound redundancy from the variable box alone.
+            // Branching only tightens bounds, so a row redundant now stays
+            // redundant at every node.
+            match c.op {
+                Cmp::Ge => {
+                    let min_activity: f64 = terms
+                        .iter()
+                        .map(|&(v, a)| {
+                            let d = &self.vars[v.index()];
+                            if a > 0.0 {
+                                a * d.lo
+                            } else {
+                                a * d.hi
+                            }
+                        })
+                        .sum();
+                    if min_activity.is_finite() && min_activity >= c.rhs - TOL {
+                        red.redundant += 1;
+                        continue 'rows;
+                    }
+                }
+                Cmp::Le => {
+                    let max_activity: f64 = terms
+                        .iter()
+                        .map(|&(v, a)| {
+                            let d = &self.vars[v.index()];
+                            if a > 0.0 {
+                                a * d.hi
+                            } else {
+                                a * d.lo
+                            }
+                        })
+                        .sum();
+                    if max_activity.is_finite() && max_activity <= c.rhs + TOL {
+                        red.redundant += 1;
+                        continue 'rows;
+                    }
+                }
+                Cmp::Eq => {}
+            }
+
+            // Exact duplicates (same terms, same operator): keep one row
+            // with the tightest rhs.
+            let key = (
+                terms
+                    .iter()
+                    .map(|&(v, a)| (v.index(), a.to_bits()))
+                    .collect::<Vec<_>>(),
+                c.op as u8,
+            );
+            match seen.get(&key) {
+                Some(&at) => {
+                    let prev = &mut kept[at];
+                    match c.op {
+                        Cmp::Le => {
+                            prev.rhs = prev.rhs.min(c.rhs);
+                            red.duplicate += 1;
+                        }
+                        Cmp::Ge => {
+                            prev.rhs = prev.rhs.max(c.rhs);
+                            red.duplicate += 1;
+                        }
+                        Cmp::Eq => {
+                            if prev.rhs == c.rhs {
+                                red.duplicate += 1;
+                            } else {
+                                // Conflicting equalities: keep both; the
+                                // solver will report infeasibility.
+                                kept.push(Constraint {
+                                    terms,
+                                    op: c.op,
+                                    rhs: c.rhs,
+                                });
+                            }
+                        }
+                    }
+                }
+                None => {
+                    seen.insert(key, kept.len());
+                    kept.push(Constraint {
+                        terms,
+                        op: c.op,
+                        rhs: c.rhs,
+                    });
+                }
+            }
+        }
+        red.remaining = kept.len();
+        self.constraints = kept;
+        red
+    }
+
     /// Solves the model.
     ///
     /// # Errors
@@ -248,12 +459,18 @@ impl Model {
                 return Err(SolveError::BadBounds(v.name.clone()));
             }
         }
-        let lp = crate::simplex::solve_lp(self, &crate::simplex::BoundOverrides::default())?;
+        let ov = crate::simplex::BoundOverrides::default();
+        let lp = match self.engine {
+            Engine::SparseRevised => crate::simplex::solve_lp(self, &ov)?,
+            Engine::DenseTableau => crate::dense::solve_lp_dense(self, &ov)?,
+        };
         Ok(Solution {
             values: lp.values,
             objective: lp.objective,
             status: Status::Feasible,
             nodes: 1,
+            pivots: lp.pivots,
+            refactors: lp.refactors,
             truncated: lp.truncated,
         })
     }
@@ -412,5 +629,103 @@ mod tests {
         m.add_constraint(vec![(x, 1.0)], Cmp::Ge, -5.0);
         let sol = m.solve().unwrap();
         assert!((sol.value(x) + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn both_engines_solve_the_knapsack() {
+        for engine in [Engine::DenseTableau, Engine::SparseRevised] {
+            let mut m = Model::new(Sense::Maximize);
+            let items: Vec<VarId> = [3.0, 4.0, 5.0, 6.0]
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| m.add_binary(format!("i{i}"), v))
+                .collect();
+            let weights = [2.0, 3.0, 4.0, 5.0];
+            m.add_constraint(
+                items.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
+                Cmp::Le,
+                5.0,
+            );
+            m.set_engine(engine);
+            let sol = m.solve().unwrap();
+            assert!((sol.objective - 7.0).abs() < 1e-6, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_merges_duplicate_terms() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0, false);
+        // x + x <= 4 must behave as 2x <= 4 after canonicalization.
+        m.add_constraint(vec![(x, 1.0), (x, 1.0)], Cmp::Le, 4.0);
+        let red = m.canonicalize();
+        assert_eq!(red.remaining, 1);
+        assert_eq!(m.constraints[0].terms, vec![(x, 2.0)]);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn canonicalize_drops_zero_and_duplicate_rows() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0, false);
+        m.add_constraint(vec![], Cmp::Le, 5.0); // 0 <= 5: trivially true
+        m.add_constraint(vec![(x, 1.0), (x, -1.0)], Cmp::Ge, -1.0); // cancels to 0 >= -1
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 7.0);
+        m.add_constraint(vec![(y, 1.0), (x, 1.0)], Cmp::Le, 4.0); // same terms, tighter
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 9.0); // same terms, looser
+        let red = m.canonicalize();
+        assert_eq!(red.original, 5);
+        assert_eq!(red.zero, 2);
+        assert_eq!(red.duplicate, 2);
+        assert_eq!(red.remaining, 1);
+        // The survivor keeps the tightest rhs.
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn canonicalize_drops_bound_implied_rows() {
+        let mut m = Model::new(Sense::Minimize);
+        // Mirrors the placer's fixed buffers: lo = 1 makes covering rows
+        // x + y >= 1 redundant.
+        let x = m.add_var("x", 1.0, 1.0, 1.0, true);
+        let y = m.add_var("y", 0.0, 1.0, 1.0, true);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        m.add_constraint(vec![(y, 1.0)], Cmp::Ge, 1.0); // not redundant
+        let red = m.canonicalize();
+        assert_eq!(red.redundant, 1);
+        assert_eq!(red.remaining, 1);
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn canonicalize_keeps_violated_empty_rows() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0), (x, -1.0)], Cmp::Ge, 3.0); // 0 >= 3: false
+        let red = m.canonicalize();
+        assert_eq!(red.zero, 0);
+        assert_eq!(red.remaining, 1);
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn canonicalized_solution_matches_uncanonicalized() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", 3.0);
+        let y = m.add_binary("y", 2.0);
+        let z = m.add_var("z", 0.0, 2.0, 1.0, false);
+        m.add_constraint(vec![(x, 2.0), (y, 1.0), (z, 1.0)], Cmp::Le, 3.0);
+        m.add_constraint(vec![(x, 2.0), (y, 1.0), (z, 1.0)], Cmp::Le, 3.0);
+        m.add_constraint(vec![(z, 1.0)], Cmp::Le, 5.0); // implied by z <= 2
+        let plain = m.solve().unwrap();
+        let mut canon = m.clone();
+        let red = canon.canonicalize();
+        assert!(red.dropped() > 0);
+        let sol = canon.solve().unwrap();
+        assert!((sol.objective - plain.objective).abs() < 1e-6);
     }
 }

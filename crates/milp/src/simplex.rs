@@ -1,27 +1,53 @@
-//! Dense two-phase primal simplex.
+//! Sparse revised two-phase primal simplex.
 //!
+//! The default LP engine ([`Engine::SparseRevised`](crate::Engine)).
 //! Operates on the LP relaxation of a [`Model`](crate::Model) with
 //! variables shifted to `x' = x − lo ≥ 0`; finite upper bounds become
 //! explicit rows. Phase 1 minimizes the sum of artificial variables to find
 //! a basic feasible solution; phase 2 optimizes the real objective.
 //!
-//! Pricing is Dantzig's rule (most positive reduced cost) for speed; after
-//! [`DEGENERATE_STREAK`] consecutive degenerate pivots it falls back to
-//! Bland's rule — which provably cannot cycle — until the objective
-//! strictly improves again. The hard iteration valve no longer masquerades
-//! as a node-limit failure: phase-2 truncation returns the current (primal
-//! feasible) basis with `truncated = true`.
+//! Unlike the legacy dense tableau (kept in [`crate::dense`] as the
+//! measured baseline and equivalence oracle), this engine never
+//! materializes `B⁻¹A`:
+//!
+//! * the constraint matrix is stored once in **compressed sparse column**
+//!   (CSC) form — buffer-placement rows have a handful of nonzeros each;
+//! * the basis inverse is a **product-form eta file**: each pivot appends
+//!   one eta vector, and `B⁻¹x` (FTRAN) / `yᵀB⁻¹` (BTRAN) are applied
+//!   eta-by-eta in `O(eta nonzeros)`;
+//! * every [`REFACTOR_INTERVAL`] pivots the eta file is rebuilt from the
+//!   current basis (**refactorization**), bounding both its length and the
+//!   accumulated floating-point drift;
+//! * a solve can be **warm-started** from a parent basis (branch & bound
+//!   hands each child the basis of the node that spawned it): if the basis
+//!   is still primal feasible under the child's bounds, phase 1 is skipped
+//!   entirely.
+//!
+//! Pricing policy is unchanged from the dense engine: Dantzig's rule (most
+//! positive reduced cost, lowest index on ties) with a fall-back to Bland's
+//! provably non-cycling rule after [`DEGENERATE_STREAK`] consecutive
+//! degenerate pivots. Reduced costs are recomputed exactly every iteration
+//! (one BTRAN + one sparse pass over the columns), so the pivot sequence
+//! matches the dense engine's wherever floating-point round-off agrees;
+//! where it does not, the result is still a deterministic pure function of
+//! the model, which is all the pivot work budget
+//! ([`Model::set_work_limit`](crate::Model::set_work_limit)) requires.
 
 use crate::model::{Cmp, Model, Sense, SolveError};
 
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 
 /// Consecutive degenerate (zero-improvement) pivots tolerated under
 /// Dantzig pricing before switching to Bland's anti-cycling rule.
 const DEGENERATE_STREAK: u32 = 50;
 
 /// Hard iteration valve per simplex phase.
-const MAX_SIMPLEX_ITERS: u64 = 2_000_000;
+pub(crate) const MAX_SIMPLEX_ITERS: u64 = 2_000_000;
+
+/// Eta-file length that triggers a refactorization: the product form is
+/// collapsed by re-inverting the current basis from the original CSC
+/// columns. Keeps FTRAN/BTRAN cost bounded and washes out round-off.
+const REFACTOR_INTERVAL: usize = 64;
 
 /// Result of an LP solve: variable values (in the model's original space),
 /// the objective value, and the simplex pivots spent (the deterministic
@@ -31,10 +57,29 @@ pub(crate) struct LpSolution {
     pub values: Vec<f64>,
     pub objective: f64,
     pub pivots: u64,
+    /// Basis re-inversions performed (sparse engine only; dense is 0).
+    pub refactors: u64,
     /// The phase-2 iteration valve fired: `values` is a primal-feasible
     /// basic solution but `objective` may be below the true LP optimum, so
     /// it must not be used as a dual bound.
     pub truncated: bool,
+    /// Final basis, for warm-starting child nodes (sparse engine only).
+    pub basis: Option<WarmBasis>,
+}
+
+/// A basis snapshot handed from a branch-and-bound node to its children.
+///
+/// Valid for a child only if the child's system has the same shape
+/// (`rows` × `cols` before artificials) and every basic column is a real
+/// (structural or slack) column; otherwise the child cold-starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WarmBasis {
+    /// Row count of the system the basis was taken from.
+    pub rows: usize,
+    /// Column count before artificials (structural + slack).
+    pub cols: usize,
+    /// Basic column per basis position.
+    pub basis: Vec<usize>,
 }
 
 /// Extra bound constraints layered on top of a model by branch & bound.
@@ -58,20 +103,27 @@ impl BoundOverrides {
     }
 }
 
-/// Solves the LP relaxation of `model` with `overrides` applied.
-pub(crate) fn solve_lp(
-    model: &Model,
-    overrides: &BoundOverrides,
-) -> Result<LpSolution, SolveError> {
-    solve_lp_with_limit(model, overrides, MAX_SIMPLEX_ITERS)
+/// One row of the shifted system (shared by both engines).
+pub(crate) struct PreparedRow {
+    pub coeffs: Vec<(usize, f64)>,
+    pub op: Cmp,
+    pub rhs: f64,
 }
 
-/// [`solve_lp`] with an explicit per-phase iteration valve (test hook).
-pub(crate) fn solve_lp_with_limit(
-    model: &Model,
-    overrides: &BoundOverrides,
-    max_iters: u64,
-) -> Result<LpSolution, SolveError> {
+/// The LP relaxation in shifted form: `x' = x − lo ≥ 0`, finite upper
+/// bounds as explicit `≤` rows, objective sign-normalized to maximize.
+pub(crate) struct Prepared {
+    pub n: usize,
+    pub lo: Vec<f64>,
+    pub rows: Vec<PreparedRow>,
+    pub obj: Vec<f64>,
+    pub obj_shift: f64,
+    pub sign: f64,
+}
+
+/// Builds the shifted row system both engines solve. Kept in one place so
+/// the dense baseline and the sparse engine agree row-for-row.
+pub(crate) fn prepare(model: &Model, overrides: &BoundOverrides) -> Result<Prepared, SolveError> {
     let n = model.vars.len();
     let mut lo = vec![0.0f64; n];
     let mut hi = vec![f64::INFINITY; n];
@@ -86,18 +138,13 @@ pub(crate) fn solve_lp_with_limit(
 
     // Rows: model constraints (rhs adjusted by lower-bound shift) plus one
     // row per finite upper bound.
-    struct Row {
-        coeffs: Vec<(usize, f64)>,
-        op: Cmp,
-        rhs: f64,
-    }
-    let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len());
+    let mut rows: Vec<PreparedRow> = Vec::with_capacity(model.constraints.len());
     for c in &model.constraints {
         let mut shift = 0.0;
         for &(v, a) in &c.terms {
             shift += a * lo[v.index()];
         }
-        rows.push(Row {
+        rows.push(PreparedRow {
             coeffs: c.terms.iter().map(|&(v, a)| (v.index(), a)).collect(),
             op: c.op,
             rhs: c.rhs - shift,
@@ -105,7 +152,7 @@ pub(crate) fn solve_lp_with_limit(
     }
     for v in 0..n {
         if hi[v].is_finite() {
-            rows.push(Row {
+            rows.push(PreparedRow {
                 coeffs: vec![(v, 1.0)],
                 op: Cmp::Le,
                 rhs: hi[v] - lo[v],
@@ -126,251 +173,606 @@ pub(crate) fn solve_lp_with_limit(
         .map(|(i, v)| sign * v.obj * lo[i])
         .sum();
 
-    // Build the tableau: columns = n structural + slacks + artificials.
-    let m = rows.len();
-    let mut num_slack = 0usize;
-    for r in &rows {
-        if r.op != Cmp::Eq {
-            num_slack += 1;
-        }
-    }
-    let total_pre_art = n + num_slack;
-
-    // First normalize rhs >= 0 (flip rows with negative rhs).
-    // a: m x (total columns incl. artificials), built incrementally.
-    let mut a = vec![vec![0.0f64; total_pre_art]; m];
-    let mut b = vec![0.0f64; m];
-    let mut slack_idx = 0usize;
-    let mut slack_col_of_row: Vec<Option<usize>> = vec![None; m];
-    for (i, r) in rows.iter().enumerate() {
-        let mut flip = false;
-        if r.rhs < 0.0 {
-            flip = true;
-        }
-        let s = if flip { -1.0 } else { 1.0 };
-        for &(v, coef) in &r.coeffs {
-            a[i][v] += s * coef;
-        }
-        b[i] = s * r.rhs;
-        match r.op {
-            Cmp::Le => {
-                let col = n + slack_idx;
-                a[i][col] = s; // slack (+1) flips with the row
-                slack_col_of_row[i] = Some(col);
-                slack_idx += 1;
-            }
-            Cmp::Ge => {
-                let col = n + slack_idx;
-                a[i][col] = -s; // surplus
-                slack_col_of_row[i] = Some(col);
-                slack_idx += 1;
-            }
-            Cmp::Eq => {}
-        }
-    }
-
-    // Choose initial basis: slack column if it has +1 in the row, otherwise
-    // an artificial variable.
-    let mut basis: Vec<usize> = vec![usize::MAX; m];
-    let mut art_cols: Vec<usize> = Vec::new();
-    let mut ncols = total_pre_art;
-    for i in 0..m {
-        match slack_col_of_row[i] {
-            Some(col) if a[i][col] > 0.5 => basis[i] = col,
-            _ => {
-                for row in a.iter_mut() {
-                    row.push(0.0);
-                }
-                a[i][ncols] = 1.0;
-                basis[i] = ncols;
-                art_cols.push(ncols);
-                ncols += 1;
-            }
-        }
-    }
-
-    // Phase 1: maximize -(sum of artificials).
-    let mut pivots = 0u64;
-    if !art_cols.is_empty() {
-        let mut c1 = vec![0.0f64; ncols];
-        for &col in &art_cols {
-            c1[col] = -1.0;
-        }
-        let (z, truncated) = run_simplex(&mut a, &mut b, &mut basis, &c1, &mut pivots, max_iters)?;
-        if truncated {
-            // An unfinished phase 1 cannot certify feasibility; there is
-            // no usable incumbent to hand back.
-            return Err(SolveError::NodeLimit);
-        }
-        if z < -1e-7 {
-            return Err(SolveError::Infeasible);
-        }
-        // Pivot any artificial variables out of the basis if possible.
-        for i in 0..m {
-            if art_cols.contains(&basis[i]) {
-                let pivot_col = (0..total_pre_art).find(|&j| a[i][j].abs() > EPS);
-                if let Some(j) = pivot_col {
-                    pivot(&mut a, &mut b, &mut basis, i, j);
-                    pivots += 1;
-                }
-                // Rows still basic in an artificial are redundant (zero).
-            }
-        }
-    }
-
-    // Phase 2: real objective; artificial columns fixed at zero by
-    // zeroing their coefficients and never letting them enter (their
-    // objective coefficient is hugely negative).
-    let mut c2 = vec![0.0f64; ncols];
-    c2[..n].copy_from_slice(&obj[..n]);
-    for &col in &art_cols {
-        c2[col] = -1e18;
-    }
-    let (z, truncated) = run_simplex(&mut a, &mut b, &mut basis, &c2, &mut pivots, max_iters)?;
-
-    let mut values = vec![0.0f64; n];
-    for i in 0..m {
-        if basis[i] < n {
-            values[basis[i]] = b[i];
-        }
-    }
-    for v in 0..n {
-        values[v] += lo[v];
-    }
-    let objective = sign * (z + obj_shift);
-    Ok(LpSolution {
-        values,
-        objective,
-        pivots,
-        truncated,
+    Ok(Prepared {
+        n,
+        lo,
+        rows,
+        obj,
+        obj_shift,
+        sign,
     })
 }
 
-/// Runs primal simplex (maximization) on the tableau; returns the objective
-/// value in the shifted space and whether the iteration valve fired before
-/// optimality (`true` means the basis is feasible but possibly suboptimal).
-fn run_simplex(
-    a: &mut [Vec<f64>],
-    b: &mut [f64],
-    basis: &mut [usize],
-    c: &[f64],
-    pivots: &mut u64,
-    max_iters: u64,
-) -> Result<(f64, bool), SolveError> {
-    let m = a.len();
-    let ncols = c.len();
-    // Maintain the reduced-cost row explicitly: red[j] = c_j − c_B B⁻¹ A_j.
-    // The tableau is kept in canonical form, so the initial row is computed
-    // once and updated with every pivot (O(n) per iteration).
-    let mut red: Vec<f64> = (0..ncols)
-        .map(|j| {
-            let mut r = c[j];
-            for i in 0..m {
-                let cb = c[basis[i]];
-                if cb != 0.0 {
-                    r -= cb * a[i][j];
-                }
-            }
-            r
-        })
-        .collect();
-    let objective = |basis: &[usize], b: &[f64]| (0..m).map(|i| c[basis[i]] * b[i]).sum::<f64>();
-    let mut iterations = 0u64;
-    // Dantzig pricing cycles on degenerate vertices (Beale's example); after
-    // DEGENERATE_STREAK consecutive zero-improvement pivots switch to
-    // Bland's rule, which cannot cycle, until the objective strictly moves.
-    let mut degenerate_streak = 0u32;
-    loop {
-        iterations += 1;
-        if iterations > max_iters {
-            return Ok((objective(basis, b), true));
+// ---------------------------------------------------------------------------
+// Compressed sparse column storage
+// ---------------------------------------------------------------------------
+
+/// The augmented constraint matrix `[A | S | I_art]` in CSC form.
+struct Csc {
+    m: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl Csc {
+    fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (s, e) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        self.row_idx[s..e]
+            .iter()
+            .copied()
+            .zip(self.val[s..e].iter().copied())
+    }
+
+    /// Sparse dot of column `j` with a dense vector.
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let (s, e) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        let mut acc = 0.0;
+        for (ri, v) in self.row_idx[s..e].iter().zip(&self.val[s..e]) {
+            acc += v * y[*ri];
         }
-        let j = if degenerate_streak >= DEGENERATE_STREAK {
-            // Bland: first improving column.
-            (0..ncols).find(|&j| red[j] > 1e-7)
-        } else {
-            // Dantzig: most positive reduced cost, lowest index on ties.
-            let mut best_j = None;
-            let mut best_r = 1e-7;
-            for (j, &r) in red.iter().enumerate() {
-                if r > best_r {
-                    best_r = r;
-                    best_j = Some(j);
-                }
-            }
-            best_j
-        };
-        let Some(j) = j else {
-            return Ok((objective(basis, b), false));
-        };
-        // Ratio test (smallest basis index tie-break, as in Bland's rule).
-        let mut leave: Option<usize> = None;
-        let mut best = f64::INFINITY;
-        for i in 0..m {
-            if a[i][j] > EPS {
-                let ratio = b[i] / a[i][j];
-                if ratio < best - EPS
-                    || (ratio < best + EPS && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
-                {
-                    best = ratio;
-                    leave = Some(i);
-                }
-            }
+        acc
+    }
+
+    /// Scatters column `j` into a dense scratch vector (assumed zeroed).
+    fn scatter(&self, j: usize, out: &mut [f64]) {
+        for (i, v) in self.col(j) {
+            out[i] = v;
         }
-        let Some(i) = leave else {
-            return Err(SolveError::Unbounded);
-        };
-        if best <= EPS {
-            degenerate_streak += 1;
-        } else {
-            degenerate_streak = 0;
-        }
-        pivot(a, b, basis, i, j);
-        *pivots += 1;
-        // Update reduced costs: red -= red[j] * (pivoted row i).
-        let factor = red[j];
-        if factor.abs() > EPS {
-            for (r, s) in red.iter_mut().zip(a[i].iter()) {
-                *r -= factor * s;
-            }
-        }
-        red[j] = 0.0;
+    }
+
+    /// Number of stored entries in column `j`.
+    fn col_len(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
     }
 }
 
-fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
-    let m = a.len();
-    let piv = a[row][col];
-    debug_assert!(piv.abs() > EPS, "zero pivot");
-    let inv = 1.0 / piv;
-    for x in a[row].iter_mut() {
-        *x *= inv;
+// ---------------------------------------------------------------------------
+// Product-form eta file
+// ---------------------------------------------------------------------------
+
+/// One elementary transformation `E`: identity except column `r`, which
+/// holds the FTRAN'd entering column `w` (pivot element `w_r` separated).
+struct Eta {
+    r: usize,
+    pivot: f64,
+    /// `(i, w_i)` for `i ≠ r`, `w_i ≠ 0`.
+    nz: Vec<(usize, f64)>,
+}
+
+/// Entries below this magnitude are dropped from eta vectors: cascading
+/// FTRANs breed tiny fill that costs time without carrying information.
+/// Refactorization re-derives the representation from `A` every
+/// [`REFACTOR_INTERVAL`] pivots, bounding the accumulated truncation.
+const ETA_DROP_TOL: f64 = 1e-12;
+
+fn make_eta(r: usize, w: &[f64]) -> Eta {
+    Eta {
+        r,
+        pivot: w[r],
+        nz: w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v.abs() > ETA_DROP_TOL)
+            .map(|(i, &v)| (i, v))
+            .collect(),
     }
-    b[row] *= inv;
-    for i in 0..m {
-        if i != row {
-            let factor = a[i][col];
-            if factor.abs() > EPS {
-                let (src, dst) = if i < row {
-                    let (lo_part, hi_part) = a.split_at_mut(row);
-                    (&hi_part[0], &mut lo_part[i])
-                } else {
-                    let (lo_part, hi_part) = a.split_at_mut(i);
-                    (&lo_part[row], &mut hi_part[0])
-                };
-                for (d, s) in dst.iter_mut().zip(src.iter()) {
-                    *d -= factor * s;
+}
+
+/// FTRAN: `x ← B⁻¹x`, applying the eta file left to right.
+fn ftran(etas: &[Eta], x: &mut [f64]) {
+    for e in etas {
+        let xr = x[e.r];
+        if xr == 0.0 {
+            continue;
+        }
+        let t = xr / e.pivot;
+        x[e.r] = t;
+        for &(i, w) in &e.nz {
+            x[i] -= w * t;
+        }
+    }
+}
+
+/// BTRAN: `y ← (B⁻¹)ᵀy`, applying the eta file right to left, transposed.
+fn btran(etas: &[Eta], y: &mut [f64]) {
+    for e in etas.iter().rev() {
+        let mut v = y[e.r];
+        for &(i, w) in &e.nz {
+            v -= w * y[i];
+        }
+        y[e.r] = v / e.pivot;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The revised simplex core
+// ---------------------------------------------------------------------------
+
+struct Rsm<'a> {
+    a: &'a Csc,
+    /// Right-hand side (after row flips).
+    b0: Vec<f64>,
+    /// Columns before artificials (structural + slack).
+    n_real: usize,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    etas: Vec<Eta>,
+    /// Length of the eta-file prefix holding the last refactorization's
+    /// *factor* etas (one per basis column); only the update etas appended
+    /// after it count toward [`REFACTOR_INTERVAL`].
+    factor_len: usize,
+    /// Current basic values `B⁻¹b`, indexed by basis position.
+    xb: Vec<f64>,
+    pivots: u64,
+    refactors: u64,
+}
+
+impl<'a> Rsm<'a> {
+    fn new(a: &'a Csc, b0: Vec<f64>, n_real: usize, basis: Vec<usize>) -> Self {
+        let mut in_basis = vec![false; a.ncols()];
+        for &c in &basis {
+            in_basis[c] = true;
+        }
+        let xb = b0.clone();
+        Rsm {
+            a,
+            b0,
+            n_real,
+            basis,
+            in_basis,
+            etas: Vec::new(),
+            factor_len: 0,
+            xb,
+            pivots: 0,
+            refactors: 0,
+        }
+    }
+
+    fn m(&self) -> usize {
+        self.b0.len()
+    }
+
+    fn objective(&self, c: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .map(|(&col, &x)| c[col] * x)
+            .sum()
+    }
+
+    /// Rebuilds the eta file from the current basis columns (greedy
+    /// partial-pivoting re-inversion). Basis positions may be relabeled;
+    /// `xb` is recomputed from the fresh representation. Returns `false`
+    /// (leaving the old file untouched) if the basis is numerically
+    /// singular.
+    fn refactor(&mut self) -> bool {
+        let m = self.m();
+        let mut fresh: Vec<Eta> = Vec::with_capacity(m);
+        let mut pivoted = vec![false; m];
+        let mut new_basis = vec![usize::MAX; m];
+        let mut w = vec![0.0f64; m];
+        // Eliminate sparse columns first (slacks and artificials are unit
+        // columns and cause zero fill-in); ties break on the column index,
+        // keeping the order — and hence the eta file — deterministic. This
+        // static Markowitz-style ordering keeps the factor etas near the
+        // sparsity of A instead of densifying the whole file.
+        let mut order: Vec<usize> = self.basis.clone();
+        order.sort_by_key(|&col| (self.a.col_len(col), col));
+        // Track which scratch entries each column touches so the reset,
+        // pivot search, and eta construction all cost O(fill), not O(m):
+        // with mostly-singleton basis columns the whole rebuild stays near
+        // the sparsity of A.
+        let mut touched: Vec<usize> = Vec::with_capacity(64);
+        for col in order {
+            for (i, v) in self.a.col(col) {
+                if w[i] == 0.0 {
+                    touched.push(i);
                 }
-                b[i] -= factor * b[row];
+                w[i] = v;
+            }
+            for e in &fresh {
+                let xr = w[e.r];
+                if xr == 0.0 {
+                    continue;
+                }
+                let t = xr / e.pivot;
+                w[e.r] = t;
+                for &(i, wv) in &e.nz {
+                    if w[i] == 0.0 {
+                        touched.push(i);
+                    }
+                    w[i] -= wv * t;
+                }
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            // Unpivoted row with the largest magnitude (lowest index tie).
+            let mut best: Option<usize> = None;
+            let mut best_abs = EPS;
+            for &i in &touched {
+                if !pivoted[i] && w[i].abs() > best_abs {
+                    best_abs = w[i].abs();
+                    best = Some(i);
+                }
+            }
+            let Some(r) = best else {
+                for &i in &touched {
+                    w[i] = 0.0;
+                }
+                return false;
+            };
+            pivoted[r] = true;
+            new_basis[r] = col;
+            fresh.push(Eta {
+                r,
+                pivot: w[r],
+                nz: touched
+                    .iter()
+                    .filter(|&&i| i != r && w[i].abs() > ETA_DROP_TOL)
+                    .map(|&i| (i, w[i]))
+                    .collect(),
+            });
+            for &i in &touched {
+                w[i] = 0.0;
+            }
+            touched.clear();
+        }
+        self.basis = new_basis;
+        self.factor_len = fresh.len();
+        self.etas = fresh;
+        self.refactors += 1;
+        self.xb.copy_from_slice(&self.b0);
+        ftran(&self.etas, &mut self.xb);
+        true
+    }
+
+    /// Applies one pivot: entering column `q` (with FTRAN'd column `w`)
+    /// replaces the variable basic at position `r`.
+    fn pivot(&mut self, r: usize, q: usize, w: &[f64]) {
+        let t = self.xb[r] / w[r];
+        for (i, (x, &wi)) in self.xb.iter_mut().zip(w).enumerate() {
+            if i != r {
+                *x -= wi * t;
+            }
+        }
+        self.xb[r] = t;
+        self.in_basis[self.basis[r]] = false;
+        self.in_basis[q] = true;
+        self.basis[r] = q;
+        self.etas.push(make_eta(r, w));
+        self.pivots += 1;
+        if self.etas.len() - self.factor_len >= REFACTOR_INTERVAL {
+            // A singular refactorization (numerically degenerate basis)
+            // keeps the longer but still-valid eta file.
+            self.refactor();
+        }
+    }
+
+    /// Runs primal simplex (maximization) pricing columns `< price_cols`;
+    /// returns the objective and whether the iteration valve fired before
+    /// optimality.
+    fn optimize(
+        &mut self,
+        c: &[f64],
+        price_cols: usize,
+        max_iters: u64,
+    ) -> Result<(f64, bool), SolveError> {
+        let m = self.m();
+        let mut y = vec![0.0f64; m];
+        let mut w = vec![0.0f64; m];
+        let mut iterations = 0u64;
+        // Dantzig pricing cycles on degenerate vertices (Beale's example);
+        // after DEGENERATE_STREAK consecutive zero-improvement pivots
+        // switch to Bland's rule, which cannot cycle, until the objective
+        // strictly moves.
+        let mut degenerate_streak = 0u32;
+        loop {
+            iterations += 1;
+            if iterations > max_iters {
+                return Ok((self.objective(c), true));
+            }
+            // BTRAN: y = c_B B⁻¹, then reduced costs via one sparse pass.
+            y.iter_mut().for_each(|v| *v = 0.0);
+            for (pos, &col) in self.basis.iter().enumerate() {
+                if c[col] != 0.0 {
+                    y[pos] = c[col];
+                }
+            }
+            btran(&self.etas, &mut y);
+            let entering = if degenerate_streak >= DEGENERATE_STREAK {
+                // Bland: first improving column.
+                (0..price_cols).find(|&j| !self.in_basis[j] && c[j] - self.a.col_dot(j, &y) > 1e-7)
+            } else {
+                // Dantzig: most positive reduced cost, lowest index on ties.
+                let mut best_j = None;
+                let mut best_r = 1e-7;
+                for (j, &cj) in c.iter().enumerate().take(price_cols) {
+                    if self.in_basis[j] {
+                        continue;
+                    }
+                    let r = cj - self.a.col_dot(j, &y);
+                    if r > best_r {
+                        best_r = r;
+                        best_j = Some(j);
+                    }
+                }
+                best_j
+            };
+            let Some(q) = entering else {
+                return Ok((self.objective(c), false));
+            };
+            // FTRAN the entering column, then the ratio test (smallest
+            // basis index tie-break, as in Bland's rule).
+            w.iter_mut().for_each(|v| *v = 0.0);
+            self.a.scatter(q, &mut w);
+            ftran(&self.etas, &mut w);
+            let mut leave: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi > EPS {
+                    let ratio = self.xb[i] / wi;
+                    if ratio < best - EPS
+                        || (ratio < best + EPS
+                            && leave
+                                .map(|l| self.basis[i] < self.basis[l])
+                                .unwrap_or(false))
+                    {
+                        best = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                return Err(SolveError::Unbounded);
+            };
+            if best <= EPS {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+            self.pivot(r, q, &w);
+        }
+    }
+
+    /// Drives artificial variables out of the basis after phase 1 using the
+    /// sparse row structure: for each position still basic in an
+    /// artificial, the tableau row `eᵢᵀB⁻¹A` is formed with one BTRAN and
+    /// priced against the real columns only; the first nonzero becomes the
+    /// pivot. These pivots are counted in the deterministic budget exactly
+    /// like ordinary ones (they are bounded by the row count, so no
+    /// iteration valve applies). Positions with an all-zero row are
+    /// redundant constraints and keep their artificial basic at zero.
+    fn purge_artificials(&mut self) {
+        let m = self.m();
+        let mut v = vec![0.0f64; m];
+        let mut w = vec![0.0f64; m];
+        for pos in 0..m {
+            if self.basis[pos] < self.n_real {
+                continue;
+            }
+            v.iter_mut().for_each(|x| *x = 0.0);
+            v[pos] = 1.0;
+            btran(&self.etas, &mut v);
+            let entering =
+                (0..self.n_real).find(|&j| !self.in_basis[j] && self.a.col_dot(j, &v).abs() > EPS);
+            if let Some(j) = entering {
+                w.iter_mut().for_each(|x| *x = 0.0);
+                self.a.scatter(j, &mut w);
+                ftran(&self.etas, &mut w);
+                // The artificial sits at (numerically) zero, so this pivot
+                // cannot lose feasibility regardless of the pivot sign.
+                self.pivot(pos, j, &w);
             }
         }
     }
-    basis[row] = col;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Solves the LP relaxation of `model` with `overrides` applied.
+pub(crate) fn solve_lp(
+    model: &Model,
+    overrides: &BoundOverrides,
+) -> Result<LpSolution, SolveError> {
+    solve_lp_warm(model, overrides, MAX_SIMPLEX_ITERS, None)
+}
+
+/// [`solve_lp`] with an explicit per-phase iteration valve (test hook).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn solve_lp_with_limit(
+    model: &Model,
+    overrides: &BoundOverrides,
+    max_iters: u64,
+) -> Result<LpSolution, SolveError> {
+    solve_lp_warm(model, overrides, max_iters, None)
+}
+
+/// [`solve_lp`] with an optional warm-start basis from a parent node.
+pub(crate) fn solve_lp_warm(
+    model: &Model,
+    overrides: &BoundOverrides,
+    max_iters: u64,
+    warm: Option<&WarmBasis>,
+) -> Result<LpSolution, SolveError> {
+    let prep = prepare(model, overrides)?;
+    let n = prep.n;
+    let m = prep.rows.len();
+
+    // Row flips (rhs ≥ 0 normalization) and slack column layout.
+    let mut b = vec![0.0f64; m];
+    let mut flip = vec![false; m];
+    let mut slack_col_of_row: Vec<Option<usize>> = vec![None; m];
+    let mut num_slack = 0usize;
+    for (i, r) in prep.rows.iter().enumerate() {
+        flip[i] = r.rhs < 0.0;
+        let s = if flip[i] { -1.0 } else { 1.0 };
+        b[i] = s * r.rhs;
+        if r.op != Cmp::Eq {
+            slack_col_of_row[i] = Some(n + num_slack);
+            num_slack += 1;
+        }
+    }
+    let n_real = n + num_slack;
+
+    // Initial basis: slack column if it has +1 in the row, else artificial.
+    let mut basis: Vec<usize> = vec![usize::MAX; m];
+    let mut art_of_row: Vec<Option<usize>> = vec![None; m];
+    let mut n_art = 0usize;
+    for (i, r) in prep.rows.iter().enumerate() {
+        let s = if flip[i] { -1.0 } else { 1.0 };
+        let slack_sign = match r.op {
+            Cmp::Le => s,
+            Cmp::Ge => -s,
+            Cmp::Eq => 0.0,
+        };
+        if slack_sign > 0.5 {
+            basis[i] = slack_col_of_row[i].expect("non-Eq row has a slack");
+        } else {
+            art_of_row[i] = Some(n_real + n_art);
+            basis[i] = n_real + n_art;
+            n_art += 1;
+        }
+    }
+
+    // CSC assembly: structural columns (duplicate terms merged, exactly as
+    // the dense tableau's `+=` accumulation), slack columns, artificials.
+    let ncols = n_real + n_art;
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+    for (i, r) in prep.rows.iter().enumerate() {
+        let s = if flip[i] { -1.0 } else { 1.0 };
+        for &(v, coef) in &r.coeffs {
+            cols[v].push((i, s * coef));
+        }
+        match r.op {
+            Cmp::Le => cols[slack_col_of_row[i].expect("slack")].push((i, s)),
+            Cmp::Ge => cols[slack_col_of_row[i].expect("slack")].push((i, -s)),
+            Cmp::Eq => {}
+        }
+        if let Some(a) = art_of_row[i] {
+            cols[a].push((i, 1.0));
+        }
+    }
+    let mut col_ptr = Vec::with_capacity(ncols + 1);
+    let mut row_idx = Vec::new();
+    let mut val = Vec::new();
+    col_ptr.push(0usize);
+    for col in &mut cols {
+        // Merge duplicate (row, coef) entries from repeated terms.
+        col.sort_by_key(|&(i, _)| i);
+        let mut k = 0usize;
+        while k < col.len() {
+            let (i, mut acc) = col[k];
+            let mut j = k + 1;
+            while j < col.len() && col[j].0 == i {
+                acc += col[j].1;
+                j += 1;
+            }
+            if acc != 0.0 {
+                row_idx.push(i);
+                val.push(acc);
+            }
+            k = j;
+        }
+        col_ptr.push(row_idx.len());
+    }
+    let a = Csc {
+        m,
+        col_ptr,
+        row_idx,
+        val,
+    };
+    debug_assert_eq!(a.m, m);
+
+    // Warm start: adopt the parent basis when the system shape matches and
+    // the basis stays primal feasible under the new bounds — phase 1 (and
+    // the artificial machinery) is skipped entirely. All checks are pure
+    // functions of the model, so the decision is deterministic.
+    let mut rsm: Option<Rsm> = None;
+    if let Some(wb) = warm {
+        if wb.rows == m && wb.cols == n_real && wb.basis.iter().all(|&c| c < n_real) {
+            let mut cand = Rsm::new(&a, b.clone(), n_real, wb.basis.clone());
+            if cand.refactor() && cand.xb.iter().all(|&x| x >= -1e-7) {
+                cand.refactors = 0; // setup, not a mid-solve refactorization
+                for x in cand.xb.iter_mut() {
+                    if *x < 0.0 {
+                        *x = 0.0;
+                    }
+                }
+                rsm = Some(cand);
+            }
+        }
+    }
+
+    let mut pivots_offset = 0u64;
+    let mut rsm = match rsm {
+        Some(r) => r,
+        None => {
+            let mut r = Rsm::new(&a, b, n_real, basis);
+            // Phase 1: maximize -(sum of artificials).
+            if n_art > 0 {
+                let mut c1 = vec![0.0f64; ncols];
+                for art in art_of_row.iter().flatten() {
+                    c1[*art] = -1.0;
+                }
+                let (z, truncated) = r.optimize(&c1, ncols, max_iters)?;
+                if truncated {
+                    // An unfinished phase 1 cannot certify feasibility;
+                    // there is no usable incumbent to hand back.
+                    return Err(SolveError::NodeLimit);
+                }
+                if z < -1e-7 {
+                    return Err(SolveError::Infeasible);
+                }
+                r.purge_artificials();
+            }
+            pivots_offset = 0;
+            r
+        }
+    };
+    let _ = pivots_offset;
+
+    // Phase 2: the real objective. Artificial columns are simply excluded
+    // from pricing (the dense engine equivalently pins them with a −1e18
+    // cost); any artificial still basic from a redundant row stays at zero.
+    let mut c2 = vec![0.0f64; ncols];
+    c2[..n].copy_from_slice(&prep.obj[..n]);
+    let (z, truncated) = rsm.optimize(&c2, n_real, max_iters)?;
+
+    let mut values = vec![0.0f64; n];
+    for (pos, &col) in rsm.basis.iter().enumerate() {
+        if col < n {
+            values[col] = rsm.xb[pos];
+        }
+    }
+    for (v, l) in values.iter_mut().zip(&prep.lo) {
+        *v += l;
+    }
+    let objective = prep.sign * (z + prep.obj_shift);
+    Ok(LpSolution {
+        values,
+        objective,
+        pivots: rsm.pivots,
+        refactors: rsm.refactors,
+        truncated,
+        basis: Some(WarmBasis {
+            rows: m,
+            cols: n_real,
+            basis: rsm.basis,
+        }),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dense::solve_lp_dense;
     use crate::model::{Model, Sense};
 
     #[test]
@@ -510,5 +912,93 @@ mod tests {
         m.add_constraint(vec![(x, 2.0), (y, 1.0)], Cmp::Le, 2.0);
         let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
         assert!((lp.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_from_own_optimal_basis_skips_phase_one() {
+        // Re-solving from the optimal basis must land on the same optimum
+        // with zero pivots (the basis is already dual feasible).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(vec![(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+        let cold = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!(cold.pivots > 0);
+        let warm = solve_lp_warm(
+            &m,
+            &BoundOverrides::default(),
+            MAX_SIMPLEX_ITERS,
+            cold.basis.as_ref(),
+        )
+        .unwrap();
+        assert_eq!(warm.pivots, 0);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_with_tightened_bound_stays_correct() {
+        // Branch-and-bound's use case: the child tightens one bound; the
+        // parent basis must either carry over or be rejected — never give a
+        // wrong optimum.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 5.0, 2.0, true);
+        let y = m.add_var("y", 0.0, 5.0, 1.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 7.5);
+        let root = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        let mut down = BoundOverrides::default();
+        down.entries.push((0, f64::NEG_INFINITY, 3.0));
+        let warm = solve_lp_warm(&m, &down, MAX_SIMPLEX_ITERS, root.basis.as_ref()).unwrap();
+        let cold = solve_lp(&m, &down).unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn refactorization_fires_on_long_solves() {
+        // A model needing > REFACTOR_INTERVAL pivots must reinvert at least
+        // once and still reach the exact optimum.
+        let n = 140;
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| {
+                m.add_var(
+                    format!("x{i}"),
+                    0.0,
+                    f64::INFINITY,
+                    1.0 + (i % 7) as f64,
+                    false,
+                )
+            })
+            .collect();
+        for (i, &v) in vars.iter().enumerate() {
+            m.add_constraint(vec![(v, 1.0)], Cmp::Le, 1.0 + (i % 3) as f64);
+        }
+        let lp = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        assert!(lp.refactors >= 1, "expected a refactorization");
+        let dense = solve_lp_dense(&m, &BoundOverrides::default()).unwrap();
+        assert!(
+            (lp.objective - dense.objective).abs() < 1e-6,
+            "sparse {} vs dense {}",
+            lp.objective,
+            dense.objective
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_on_the_doc_example() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0, false);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(vec![(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+        let s = solve_lp(&m, &BoundOverrides::default()).unwrap();
+        let d = solve_lp_dense(&m, &BoundOverrides::default()).unwrap();
+        assert!((s.objective - d.objective).abs() < 1e-9);
+        assert_eq!(s.truncated, d.truncated);
     }
 }

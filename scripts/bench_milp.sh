@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Benchmarks the MILP solver engines (sparse revised simplex vs the legacy
+# dense tableau) on the nine kernels' real buffer-placement models and
+# leaves BENCH_milp.json behind (per-kernel model sizes, wall clocks,
+# speedups, pivot/refactorization/node counters, and the jobs-sweep
+# bit-identity verdict). Usage:
+#
+#   ./scripts/bench_milp.sh [--repeats N] [--out FILE]
+#
+# Defaults: 3 repeats per engine (min reported), BENCH_milp.json in the
+# repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+repeats=""
+out="BENCH_milp.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --repeats) repeats="$2"; shift 2 ;;
+    --out)     out="$2";     shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+args=(--out "$out")
+if [[ -n "$repeats" ]]; then
+  args+=(--repeats "$repeats")
+fi
+
+cargo run -p frequenz-bench --release --bin bench_milp -- "${args[@]}"
+echo "wrote $out" >&2
+
+# Surface the headline numbers recorded in the JSON.
+speedup=$(grep -o '"largest_kernel_speedup": [0-9.]*' "$out" | awk '{print $2}')
+identical=$(grep -o '"jobs_bit_identical": \(true\|false\)' "$out" | head -1 | awk '{print $2}')
+echo "largest-kernel speedup: ${speedup}x, jobs sweep bit-identical: ${identical}" >&2

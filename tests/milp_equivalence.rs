@@ -1,0 +1,229 @@
+//! Engine-equivalence suite for the MILP solver: the sparse revised
+//! simplex ([`milp::Engine::SparseRevised`]) must agree with the legacy
+//! dense tableau ([`milp::Engine::DenseTableau`]) — same objective (within
+//! tolerance), same feasibility verdict, same `truncated` flag — on
+//! random LPs, random MILPs, and the nine kernels' *real* buffer-placement
+//! models. The deterministic parallel branch-and-bound must additionally
+//! be bit-identical across job counts.
+
+use frequenz_core::{
+    build_placement_model, compute_penalties, extract_cfdfcs, map_lut_edges, synthesize,
+    FlowOptions, PlacementProblem, TimingGraph,
+};
+use milp::{Cmp, Engine, Model, Sense, Solution, SolveError};
+use proptest::prelude::*;
+
+/// A random mixed program: bounded continuous and binary variables with
+/// small integer data, a handful of ≤/≥/= rows.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    vars: Vec<(i8 /* hi */, i8 /* obj */, bool /* integer */)>,
+    rows: Vec<(Vec<i8>, u8 /* 0 ≤, 1 ≥, 2 = */, i8)>,
+}
+
+fn random_program() -> impl Strategy<Value = RandomProgram> {
+    (2usize..7).prop_flat_map(|n| {
+        (
+            prop::collection::vec((1i8..6, -5i8..6, any::<bool>()), n),
+            prop::collection::vec((prop::collection::vec(-3i8..4, n), 0u8..3, -4i8..9), 1..6),
+        )
+            .prop_map(|(vars, rows)| RandomProgram { vars, rows })
+    })
+}
+
+fn to_model(p: &RandomProgram, relax: bool) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let ids: Vec<_> = p
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, &(hi, obj, integer))| {
+            m.add_var(
+                format!("x{i}"),
+                0.0,
+                hi as f64,
+                obj as f64,
+                integer && !relax,
+            )
+        })
+        .collect();
+    for (coef, op, rhs) in &p.rows {
+        let terms: Vec<_> = ids
+            .iter()
+            .zip(coef)
+            .filter(|(_, &c)| c != 0)
+            .map(|(&v, &c)| (v, c as f64))
+            .collect();
+        if terms.is_empty() {
+            continue;
+        }
+        let op = match op {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        m.add_constraint(terms, op, *rhs as f64);
+    }
+    m
+}
+
+/// Solves `m` under both engines and checks the verdicts match.
+fn assert_engines_agree(
+    m: &mut Model,
+    relaxation: bool,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    m.set_engine(Engine::DenseTableau);
+    let dense = if relaxation {
+        m.solve_relaxation()
+    } else {
+        m.solve()
+    };
+    m.set_engine(Engine::SparseRevised);
+    let sparse = if relaxation {
+        m.solve_relaxation()
+    } else {
+        m.solve()
+    };
+    match (&dense, &sparse) {
+        (Ok(d), Ok(s)) => {
+            prop_assert!(
+                (d.objective - s.objective).abs() <= 1e-6 * (1.0 + d.objective.abs()),
+                "objectives diverge: dense {} vs sparse {}",
+                d.objective,
+                s.objective
+            );
+            prop_assert_eq!(d.status, s.status, "status diverges");
+            prop_assert_eq!(d.truncated, s.truncated, "truncated flag diverges");
+        }
+        (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+        (Err(SolveError::Unbounded), Err(SolveError::Unbounded)) => {}
+        (d, s) => prop_assert!(false, "verdicts diverge: dense {d:?} vs sparse {s:?}"),
+    }
+    Ok(())
+}
+
+fn solution_bits(s: &Solution) -> (u64, u64, u64, Vec<u64>) {
+    (
+        s.nodes,
+        s.pivots,
+        s.objective.to_bits(),
+        s.values.iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+/// Asserts the sparse branch-and-bound is bit-identical at 1/2/8 jobs.
+fn assert_jobs_invariant(m: &mut Model) -> Result<(), proptest::test_runner::TestCaseError> {
+    m.set_engine(Engine::SparseRevised);
+    m.set_jobs(1);
+    let reference = m.solve().map(|s| solution_bits(&s));
+    for jobs in [2usize, 8] {
+        m.set_jobs(jobs);
+        let got = m.solve().map(|s| solution_bits(&s));
+        match (&reference, &got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "jobs={} diverged", jobs),
+            (Err(a), Err(b)) => prop_assert_eq!(
+                std::mem::discriminant(a),
+                std::mem::discriminant(b),
+                "jobs={} error diverged",
+                jobs
+            ),
+            (a, b) => prop_assert!(false, "jobs={jobs}: {a:?} vs {b:?}"),
+        }
+    }
+    m.set_jobs(1);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engines_agree_on_random_lps(p in random_program()) {
+        let mut m = to_model(&p, true);
+        assert_engines_agree(&mut m, true)?;
+    }
+
+    #[test]
+    fn engines_agree_on_random_milps(p in random_program()) {
+        let mut m = to_model(&p, false);
+        assert_engines_agree(&mut m, false)?;
+    }
+
+    #[test]
+    fn parallel_bnb_is_bit_identical_on_random_milps(p in random_program()) {
+        let mut m = to_model(&p, false);
+        assert_jobs_invariant(&mut m)?;
+    }
+}
+
+/// Builds the canonicalized seed placement model (the Eq. 3 model of the
+/// first cut round) for one kernel.
+fn kernel_placement_model(kernel: &hls::Kernel, opts: &FlowOptions) -> Model {
+    let g = kernel.seeded_graph();
+    let synth = synthesize(&g, opts.k).expect("kernel synthesizes");
+    let map = map_lut_edges(&g, &synth);
+    let timing = TimingGraph::build(&g, &synth, &map);
+    let penalties = compute_penalties(&g, &timing);
+    let cfdfcs = extract_cfdfcs(
+        kernel.graph(),
+        kernel.back_edges(),
+        opts.max_cfdfcs,
+        opts.sim_budget,
+    );
+    let problem = PlacementProblem {
+        graph: kernel.graph(),
+        timing: &timing,
+        penalties: &penalties,
+        cfdfcs: &cfdfcs,
+        target_levels: opts.target_levels,
+        fixed: kernel.back_edges(),
+        alpha: opts.alpha,
+        beta: opts.beta,
+        max_cut_rounds: opts.max_cut_rounds,
+        objective: opts.objective,
+    };
+    let mut model = build_placement_model(&problem).expect("model builds");
+    model.canonicalize();
+    model
+}
+
+/// Dense and sparse agree — and the jobs sweep is bit-identical — on every
+/// evaluation kernel's real placement model.
+#[test]
+fn engines_agree_on_all_kernel_placement_models() {
+    let opts = FlowOptions::default();
+    for kernel in hls::kernels::all_kernels() {
+        let mut model = kernel_placement_model(&kernel, &opts);
+
+        model.set_engine(Engine::DenseTableau);
+        model.set_jobs(1);
+        let dense = model.solve().expect("dense solves the placement model");
+        model.set_engine(Engine::SparseRevised);
+        let sparse = model.solve().expect("sparse solves the placement model");
+
+        // Pivot budgets fire at engine-specific points, so objectives are
+        // only comparable when neither search was truncated.
+        if !dense.truncated && !sparse.truncated {
+            assert!(
+                (dense.objective - sparse.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()),
+                "{}: dense {} vs sparse {}",
+                kernel.name,
+                dense.objective,
+                sparse.objective
+            );
+            assert_eq!(dense.status, sparse.status, "{}: status", kernel.name);
+        }
+
+        let reference = solution_bits(&sparse);
+        for jobs in [2usize, 8] {
+            model.set_jobs(jobs);
+            let s = model.solve().expect("sparse re-solves");
+            assert_eq!(
+                solution_bits(&s),
+                reference,
+                "{}: jobs={jobs} diverged",
+                kernel.name
+            );
+        }
+    }
+}
