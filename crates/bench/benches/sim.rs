@@ -1,0 +1,52 @@
+//! Criterion micro-benches for the simulation engines: the event-driven
+//! scheduler vs the full-sweep oracle on seeded kernels, plus the jobs
+//! scaling of the parallel slack-matching pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frequenz_core::{slack_match_with_cache, SlackOptions, SynthCache};
+use sim::{SimEngine, Simulator};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engines");
+    group.sample_size(10);
+    for kernel in [hls::kernels::gsum(64), hls::kernels::matrix(6)] {
+        let g = kernel.seeded_graph();
+        let budget = kernel.max_cycles * 4;
+        for engine in [SimEngine::FullSweep, SimEngine::EventDriven] {
+            group.bench_function(BenchmarkId::new(format!("{engine:?}"), kernel.name), |b| {
+                b.iter(|| {
+                    let mut s = Simulator::with_engine(&g, engine);
+                    black_box(s.run(budget).expect("completes").cycles)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_slack_jobs_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slack_jobs");
+    group.sample_size(10);
+    let kernel = hls::kernels::gsumif(16);
+    let seed: Vec<_> = kernel.back_edges().to_vec();
+    for jobs in [1usize, 2, 4] {
+        let opts = SlackOptions {
+            sim_budget: kernel.max_cycles * 4,
+            jobs,
+            ..SlackOptions::default()
+        };
+        // Fresh cache per iteration: otherwise the second iteration's
+        // level checks all hit and the timing measures nothing.
+        group.bench_function(BenchmarkId::new("slack_match", jobs), |b| {
+            b.iter(|| {
+                let cache = SynthCache::new();
+                black_box(slack_match_with_cache(kernel.graph(), &seed, &opts, &cache).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_slack_jobs_scaling);
+criterion_main!(benches);

@@ -1,0 +1,278 @@
+//! Benchmarks the simulation engines on the nine kernels' seeded graphs,
+//! comparing the event-driven scheduler against the full-sweep oracle
+//! (bit-identity checked), and sweeps the parallel slack-matching pass
+//! across job counts (buffer-set identity checked).
+//!
+//! ```sh
+//! cargo run -p frequenz-bench --release --bin bench_sim -- \
+//!     [--repeats N] [--out FILE]
+//! ```
+//!
+//! Writes `BENCH_sim.json` (per-kernel simulated cycles/second for both
+//! engines, speedups, slack-trial counts, and the identity verdicts) and
+//! prints a table. Each engine runs every kernel `--repeats` times
+//! (default 3) and the minimum wall clock is reported.
+
+use frequenz_bench::CompareError;
+use frequenz_core::{slack_match_traced, FlowTrace, SlackOptions, SynthCache};
+use sim::{RunStats, SimEngine, SimError, Simulator};
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    cycles: u64,
+    event_s: f64,
+    sweep_s: f64,
+    engines_identical: bool,
+    slack_trials: u64,
+    slack_pruned: u64,
+    slack_buffers: usize,
+    slack_jobs_identical: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.sweep_s / self.event_s.max(1e-12)
+    }
+
+    fn event_cps(&self) -> f64 {
+        self.cycles as f64 / self.event_s.max(1e-12)
+    }
+
+    fn sweep_cps(&self) -> f64 {
+        self.cycles as f64 / self.sweep_s.max(1e-12)
+    }
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Everything externally observable about one run, for the identity check.
+type Fingerprint = (
+    Result<RunStats, SimError>,
+    u64,
+    Vec<u64>,
+    Vec<u64>,
+    Vec<Vec<u64>>,
+);
+
+fn fingerprint(g: &dataflow::Graph, engine: SimEngine, budget: u64) -> Fingerprint {
+    let mut s = Simulator::with_engine(g, engine);
+    let res = s.run(budget);
+    (
+        res,
+        s.cycle(),
+        g.channels().map(|(c, _)| s.transfers(c)).collect(),
+        g.channels().map(|(c, _)| s.stalls(c)).collect(),
+        g.memories().map(|(m, _)| s.memory(m).to_vec()).collect(),
+    )
+}
+
+/// Runs the kernel `repeats` times under `engine`, returning the minimum
+/// wall clock and the completed cycle count.
+fn time_engine(
+    g: &dataflow::Graph,
+    engine: SimEngine,
+    budget: u64,
+    repeats: usize,
+) -> Result<(f64, u64), CompareError> {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..repeats.max(1) {
+        let mut s = Simulator::with_engine(g, engine);
+        let t = Instant::now();
+        let stats = s.run(budget)?;
+        best = best.min(t.elapsed().as_secs_f64());
+        cycles = stats.cycles;
+    }
+    Ok((best, cycles))
+}
+
+fn main() -> Result<(), CompareError> {
+    let repeats: usize = arg_value("--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_sim.json".into());
+    let kernels = hls::kernels::all_kernels();
+    println!(
+        "sim engine benchmark — {} kernels, {repeats} repeats per engine (min reported)",
+        kernels.len()
+    );
+    println!(
+        "{:<15} | {:>8} | {:>9} {:>9} {:>7} | {:>10} {:>10} | {:>6} {:>6} {:>5} | {:>5}",
+        "Benchmark",
+        "cycles",
+        "sweep(s)",
+        "event(s)",
+        "speedup",
+        "sweep c/s",
+        "event c/s",
+        "trials",
+        "pruned",
+        "bufs",
+        "ident"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for kernel in &kernels {
+        let g = kernel.seeded_graph();
+        let budget = kernel.max_cycles * 4;
+
+        // Bit-identity first: cycles, exit, counters, memories, errors.
+        let event_fp = fingerprint(&g, SimEngine::EventDriven, budget);
+        let sweep_fp = fingerprint(&g, SimEngine::FullSweep, budget);
+        let engines_identical = event_fp == sweep_fp;
+        if !engines_identical {
+            eprintln!("[bench_sim] {}: engines diverged!", kernel.name);
+        }
+
+        let (sweep_s, cycles) = time_engine(&g, SimEngine::FullSweep, budget, repeats)?;
+        let (event_s, event_cycles) = time_engine(&g, SimEngine::EventDriven, budget, repeats)?;
+        assert_eq!(cycles, event_cycles, "{}: cycle counts differ", kernel.name);
+
+        // Slack-matching jobs sweep on the same kernel: the pass must pick
+        // the same buffers (and run the same number of trials) at any job
+        // count. One shared synthesis cache keeps the sweep cheap — the
+        // probes are identical across job counts by construction.
+        let cache = SynthCache::new();
+        let seed: Vec<_> = kernel.back_edges().to_vec();
+        let mut reference: Option<(Vec<_>, u64, u64)> = None;
+        let mut slack_jobs_identical = true;
+        for jobs in [1usize, 2, 8] {
+            let opts = SlackOptions {
+                sim_budget: budget,
+                jobs,
+                ..SlackOptions::default()
+            };
+            let mut trace = FlowTrace::default();
+            let buffers = slack_match_traced(kernel.graph(), &seed, &opts, &cache, &mut trace);
+            let got = (buffers, trace.slack_trials, trace.slack_trials_pruned);
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => {
+                    if *r != got {
+                        slack_jobs_identical = false;
+                        eprintln!("[bench_sim] {}: slack jobs={jobs} diverged!", kernel.name);
+                    }
+                }
+            }
+        }
+        let (buffers, trials, pruned) = reference.expect("jobs sweep ran");
+
+        let row = Row {
+            name: kernel.name,
+            cycles,
+            event_s,
+            sweep_s,
+            engines_identical,
+            slack_trials: trials,
+            slack_pruned: pruned,
+            slack_buffers: buffers.len(),
+            slack_jobs_identical,
+        };
+        println!(
+            "{:<15} | {:>8} | {:>9.4} {:>9.4} {:>6.2}x | {:>10.0} {:>10.0} | {:>6} {:>6} {:>5} | {:>5}",
+            row.name,
+            row.cycles,
+            row.sweep_s,
+            row.event_s,
+            row.speedup(),
+            row.sweep_cps(),
+            row.event_cps(),
+            row.slack_trials,
+            row.slack_pruned,
+            row.slack_buffers,
+            row.engines_identical && row.slack_jobs_identical,
+        );
+        rows.push(row);
+    }
+
+    // Headline numbers: the paper-scale kernel (gemver) and the slowest
+    // simulation overall.
+    let gemver = rows.iter().find(|r| r.name == "gemver");
+    let largest = rows
+        .iter()
+        .max_by(|a, b| a.sweep_s.total_cmp(&b.sweep_s))
+        .expect("at least one kernel");
+    if let Some(g) = gemver {
+        println!(
+            "\ngemver: event engine is {:.2}x faster than the full sweep ({:.0} vs {:.0} cycles/s)",
+            g.speedup(),
+            g.event_cps(),
+            g.sweep_cps()
+        );
+    }
+    println!(
+        "slowest sweep: {} — event engine {:.2}x faster",
+        largest.name,
+        largest.speedup()
+    );
+    let all_engines = rows.iter().all(|r| r.engines_identical);
+    let all_jobs = rows.iter().all(|r| r.slack_jobs_identical);
+    println!(
+        "engine identity: {}; slack jobs sweep (1/2/8): {}",
+        if all_engines {
+            "bit-identical on every kernel"
+        } else {
+            "DIVERGED — see stderr"
+        },
+        if all_jobs {
+            "identical buffer sets"
+        } else {
+            "DIVERGED — see stderr"
+        }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str("  \"jobs_swept\": [1, 2, 8],\n");
+    if let Some(g) = gemver {
+        json.push_str(&format!("  \"gemver_speedup\": {:.3},\n", g.speedup()));
+    }
+    json.push_str(&format!("  \"largest_kernel\": \"{}\",\n", largest.name));
+    json.push_str(&format!(
+        "  \"largest_kernel_speedup\": {:.3},\n",
+        largest.speedup()
+    ));
+    json.push_str(&format!("  \"engines_bit_identical\": {all_engines},\n"));
+    json.push_str(&format!("  \"jobs_bit_identical\": {all_jobs},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"sweep_s\": {:.6}, \"event_s\": {:.6}, \
+             \"speedup\": {:.3}, \"sweep_cycles_per_s\": {:.0}, \"event_cycles_per_s\": {:.0}, \
+             \"engines_bit_identical\": {}, \"slack_trials\": {}, \"slack_trials_pruned\": {}, \
+             \"slack_buffers\": {}, \"slack_jobs_identical\": {}}}{}\n",
+            r.name,
+            r.cycles,
+            r.sweep_s,
+            r.event_s,
+            r.speedup(),
+            r.sweep_cps(),
+            r.event_cps(),
+            r.engines_identical,
+            r.slack_trials,
+            r.slack_pruned,
+            r.slack_buffers,
+            r.slack_jobs_identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json)?;
+    eprintln!("[bench_sim] wrote {out}");
+    if !all_engines || !all_jobs {
+        return Err("identity check failed — see stderr".into());
+    }
+    Ok(())
+}

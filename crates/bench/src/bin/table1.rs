@@ -105,6 +105,20 @@ fn main() -> Result<(), frequenz_bench::CompareError> {
         );
     }
 
+    // The baseline flow plus the out-of-flow verification/measurement sims
+    // account for the rest of each kernel's comparison wall clock.
+    println!("\nper-kernel flow instrumentation (Prev.):");
+    for r in &rows {
+        println!(
+            "  {:<15} meas sim {:>5.2} s ({} runs, {} cycles) | {}",
+            r.name,
+            r.meas_sim.time.as_secs_f64(),
+            r.meas_sim.runs,
+            r.meas_sim.cycles,
+            r.prev_trace,
+        );
+    }
+
     // Figure 5 companion series (Iter normalized to Prev).
     println!("\nFigure 5 series (name, ET ratio, LUT ratio, FF ratio):");
     for r in &rows {

@@ -9,8 +9,8 @@
 //! deterministic — the kernel list order — regardless of the job count.
 
 use frequenz_core::{
-    measure_with_cache, optimize_baseline_with_cache, optimize_iterative_with_cache, CircuitReport,
-    FlowOptions, FlowResult, FlowTrace, SynthCache,
+    measure_traced, optimize_baseline_with_cache, optimize_iterative_with_cache, CircuitReport,
+    FlowOptions, FlowResult, FlowTrace, SimStats, SynthCache,
 };
 use hls::Kernel;
 use sim::Simulator;
@@ -40,6 +40,10 @@ pub struct KernelComparison {
     pub cache_hits: u64,
     /// Synthesis-cache misses across the whole comparison.
     pub cache_misses: u64,
+    /// Simulation time outside the flows: the two verification runs and
+    /// the two Table I measurements (the flows' own simulation time lives
+    /// in their traces' `sim` lanes).
+    pub meas_sim: SimStats,
     /// Wall-clock seconds for the whole comparison.
     pub wall_s: f64,
 }
@@ -138,8 +142,25 @@ pub fn jobs_from_args() -> usize {
 ///
 /// Returns a description of the first mismatch.
 pub fn verify_outputs(kernel: &Kernel, result: &FlowResult) -> Result<(), CompareError> {
+    verify_outputs_traced(kernel, result, &mut SimStats::default())
+}
+
+/// [`verify_outputs`] with instrumentation: the verification run's wall
+/// clock and executed cycles are tallied into `sim`.
+///
+/// # Errors
+///
+/// Same contract as [`verify_outputs`].
+pub fn verify_outputs_traced(
+    kernel: &Kernel,
+    result: &FlowResult,
+    sim: &mut SimStats,
+) -> Result<(), CompareError> {
     let mut s = Simulator::new(&result.graph);
-    let stats = s.run(kernel.max_cycles * 8)?;
+    let t = Instant::now();
+    let res = s.run(kernel.max_cycles * 8);
+    sim.tally(t.elapsed(), s.cycle());
+    let stats = res?;
     if let Some(exp) = kernel.expected_exit {
         if stats.exit_value != Some(exp) {
             return Err(format!(
@@ -178,13 +199,14 @@ pub fn compare_kernel(
     let start = Instant::now();
     let budget = kernel.max_cycles * 8;
     let cache = SynthCache::new();
+    let mut meas_sim = SimStats::default();
     let prev = optimize_baseline_with_cache(kernel.graph(), kernel.back_edges(), opts, &cache)?;
-    verify_outputs(kernel, &prev)?;
-    let prev_report = measure_with_cache(&prev.graph, opts.k, budget, &cache)?;
+    verify_outputs_traced(kernel, &prev, &mut meas_sim)?;
+    let prev_report = measure_traced(&prev.graph, opts.k, budget, &cache, &mut meas_sim)?;
 
     let iter = optimize_iterative_with_cache(kernel.graph(), kernel.back_edges(), opts, &cache)?;
-    verify_outputs(kernel, &iter)?;
-    let iter_report = measure_with_cache(&iter.graph, opts.k, budget, &cache)?;
+    verify_outputs_traced(kernel, &iter, &mut meas_sim)?;
+    let iter_report = measure_traced(&iter.graph, opts.k, budget, &cache, &mut meas_sim)?;
 
     Ok(KernelComparison {
         name: kernel.name,
@@ -196,6 +218,7 @@ pub fn compare_kernel(
         iter_trace: iter.trace,
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
+        meas_sim,
         wall_s: start.elapsed().as_secs_f64(),
     })
 }
@@ -335,6 +358,38 @@ pub fn run_table1_jobs(
             t.milp_rows_dropped,
         );
     }
+    // Simulation breakdown: where the cycle-level runs happen (both flows'
+    // profiling + slack trials, plus the out-of-flow verification and
+    // measurement runs) — the lane that closes the wall-vs-total gap.
+    println!();
+    println!(
+        "{:<15} | {:>8} {:>6} {:>10} | {:>8} {:>6} {:>6} | {:>8} {:>10}",
+        "Benchmark",
+        "sim(s)",
+        "runs",
+        "cycles",
+        "slack(s)",
+        "trials",
+        "pruned",
+        "meas(s)",
+        "measCyc"
+    );
+    for c in &rows {
+        let p = &c.prev_trace;
+        let t = &c.iter_trace;
+        println!(
+            "{:<15} | {:>8.2} {:>6} {:>10} | {:>8.2} {:>6} {:>6} | {:>8.2} {:>10}",
+            c.name,
+            (p.sim + t.sim).as_secs_f64(),
+            p.sim_runs + t.sim_runs,
+            p.sim_cycles + t.sim_cycles,
+            (p.slack + t.slack).as_secs_f64(),
+            p.slack_trials + t.slack_trials,
+            p.slack_trials_pruned + t.slack_trials_pruned,
+            c.meas_sim.time.as_secs_f64(),
+            c.meas_sim.cycles,
+        );
+    }
     Ok(rows)
 }
 
@@ -357,7 +412,10 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
              \"incr_synths\": {}, \"full_synths\": {}, \"dirty_bbs\": {}, \"clean_bbs\": {}, \
              \"synth_full_s\": {:.3}, \"synth_incr_s\": {:.3}, \
              \"milp_s\": {:.3}, \"milp_pivots\": {}, \"milp_nodes\": {}, \
-             \"milp_refactors\": {}, \"milp_rows_dropped\": {}}}{}\n",
+             \"milp_refactors\": {}, \"milp_rows_dropped\": {}, \
+             \"sim_s\": {:.3}, \"sim_runs\": {}, \"sim_cycles\": {}, \
+             \"slack_trials\": {}, \"slack_trials_pruned\": {}, \
+             \"meas_sim_s\": {:.3}, \"meas_sim_runs\": {}, \"meas_sim_cycles\": {}}}{}\n",
             c.name,
             c.wall_s,
             c.cache_hits,
@@ -387,6 +445,14 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
             t.milp_nodes,
             t.milp_refactors,
             t.milp_rows_dropped,
+            (c.prev_trace.sim + t.sim).as_secs_f64(),
+            c.prev_trace.sim_runs + t.sim_runs,
+            c.prev_trace.sim_cycles + t.sim_cycles,
+            c.prev_trace.slack_trials + t.slack_trials,
+            c.prev_trace.slack_trials_pruned + t.slack_trials_pruned,
+            c.meas_sim.time.as_secs_f64(),
+            c.meas_sim.runs,
+            c.meas_sim.cycles,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -446,6 +512,10 @@ mod tests {
             milp_nodes: 7,
             milp_refactors: 2,
             milp_rows_dropped: 15,
+            sim_runs: 11,
+            sim_cycles: 4242,
+            slack_trials: 30,
+            slack_trials_pruned: 4,
             ..FlowTrace::default()
         };
         let row = KernelComparison {
@@ -458,6 +528,11 @@ mod tests {
             iter_trace,
             cache_hits: 5,
             cache_misses: 4,
+            meas_sim: SimStats {
+                time: std::time::Duration::from_millis(12),
+                runs: 4,
+                cycles: 999,
+            },
             wall_s: 0.5,
         };
         let j = comparisons_to_json(&[row], 0.5, 1);
@@ -472,5 +547,12 @@ mod tests {
         assert!(j.contains("\"milp_nodes\": 7"));
         assert!(j.contains("\"milp_refactors\": 2"));
         assert!(j.contains("\"milp_rows_dropped\": 15"));
+        assert!(j.contains("\"sim_runs\": 11"));
+        assert!(j.contains("\"sim_cycles\": 4242"));
+        assert!(j.contains("\"slack_trials\": 30"));
+        assert!(j.contains("\"slack_trials_pruned\": 4"));
+        assert!(j.contains("\"meas_sim_s\": 0.012"));
+        assert!(j.contains("\"meas_sim_runs\": 4"));
+        assert!(j.contains("\"meas_sim_cycles\": 999"));
     }
 }

@@ -8,12 +8,12 @@
 //! real mapping never needed. A single MILP run (Eq. 1 — no penalties)
 //! then regulates the estimated critical path.
 
-use crate::cfdfc::extract_cfdfcs;
+use crate::cfdfc::extract_cfdfcs_traced;
 use crate::iterate::{apply_buffers, FlowError, FlowOptions, FlowResult, IterationRecord};
 use crate::place::{place_buffers, PlacementProblem};
 use crate::synth::SynthCache;
 use crate::timing::{TimingGraph, TimingNode, TimingNodeId};
-use crate::trace::{timed, FlowTrace};
+use crate::trace::{timed, FlowTrace, SimStats};
 use dataflow::collections::HashMap;
 use dataflow::{ChannelId, Graph, UnitId};
 use lutmap::{map_netlist, MapOptions};
@@ -141,9 +141,17 @@ pub fn optimize_baseline_with_cache(
         baseline_timing_graph(base, &unit_levels)
     });
     let penalties = HashMap::default(); // Eq. 1: no mapping awareness
+    let mut cfdfc_sim = SimStats::default();
     let cfdfcs = timed(&mut trace.timing, || {
-        extract_cfdfcs(base, back_edges, opts.max_cfdfcs, opts.sim_budget)
+        extract_cfdfcs_traced(
+            base,
+            back_edges,
+            opts.max_cfdfcs,
+            opts.sim_budget,
+            &mut cfdfc_sim,
+        )
     });
+    trace.record_sim(cfdfc_sim);
     let problem = PlacementProblem {
         graph: base,
         timing: &timing,
@@ -177,9 +185,7 @@ pub fn optimize_baseline_with_cache(
             sim_budget: opts.sim_budget,
             ..crate::slack::SlackOptions::default()
         };
-        buffers = timed(&mut trace.slack, || {
-            crate::slack::slack_match_with_cache(base, &buffers, &slack_opts, cache)
-        });
+        buffers = crate::slack::slack_match_traced(base, &buffers, &slack_opts, cache, &mut trace);
     }
     let graph = apply_buffers(base, &buffers);
     let achieved = timed(&mut trace.synth, || cache.synthesize(&graph, opts.k))?.logic_levels();

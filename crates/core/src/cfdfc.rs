@@ -6,8 +6,10 @@
 //! back edges) is simulated once and each simple cycle is weighted by the
 //! number of tokens observed on its least-active channel.
 
+use crate::trace::SimStats;
 use dataflow::{enumerate_simple_cycles, BufferSpec, ChannelId, Graph};
 use sim::Simulator;
+use std::time::Instant;
 
 /// One choice-free dataflow circuit: a simple cycle with profiling data.
 #[derive(Debug, Clone)]
@@ -35,13 +37,27 @@ pub fn extract_cfdfcs(
     max: usize,
     sim_budget: u64,
 ) -> Vec<Cfdfc> {
+    extract_cfdfcs_traced(base, back_edges, max, sim_budget, &mut SimStats::default())
+}
+
+/// [`extract_cfdfcs`] with instrumentation: the profiling run's wall
+/// clock and executed cycles are tallied into `sim`.
+pub fn extract_cfdfcs_traced(
+    base: &Graph,
+    back_edges: &[ChannelId],
+    max: usize,
+    sim_budget: u64,
+    sim: &mut SimStats,
+) -> Vec<Cfdfc> {
     let cycles = enumerate_simple_cycles(base, 4096);
     let mut seeded = base.clone();
     for &ch in back_edges {
         seeded.set_buffer(ch, BufferSpec::FULL);
     }
     let mut simulator = Simulator::new(&seeded);
+    let t = Instant::now();
     let profiled = simulator.run(sim_budget).is_ok();
+    sim.tally(t.elapsed(), simulator.cycle());
 
     let mut cfdfcs: Vec<Cfdfc> = cycles
         .into_iter()

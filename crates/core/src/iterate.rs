@@ -8,13 +8,13 @@
 //! refreshed mapping; convergence is not guaranteed in theory but occurs
 //! within a couple of iterations in practice (Section VI-A observes < 3).
 
-use crate::cfdfc::extract_cfdfcs;
+use crate::cfdfc::extract_cfdfcs_traced;
 use crate::lutdfg::{map_lut_edges_cached, ClassifyCache, LutDfgMap};
 use crate::penalty::compute_penalties;
 use crate::place::{place_buffers, PlaceError, PlacementProblem};
 use crate::synth::{SynthCache, SynthHandle, Synthesis};
 use crate::timing::TimingGraph;
-use crate::trace::{timed, FlowTrace};
+use crate::trace::{timed, FlowTrace, SimStats};
 use dataflow::collections::{HashMap, HashSet};
 use dataflow::{count_dirty_bbs, fingerprint_bbs, BufferSpec, ChannelId, Graph};
 use lutmap::MapError;
@@ -242,9 +242,17 @@ pub fn optimize_iterative_with_cache(
     let run_start = Instant::now();
     let mut trace = FlowTrace::default();
     let (hits0, misses0) = (cache.hits(), cache.misses());
+    let mut cfdfc_sim = SimStats::default();
     let cfdfcs = timed(&mut trace.timing, || {
-        extract_cfdfcs(base, back_edges, opts.max_cfdfcs, opts.sim_budget)
+        extract_cfdfcs_traced(
+            base,
+            back_edges,
+            opts.max_cfdfcs,
+            opts.sim_budget,
+            &mut cfdfc_sim,
+        )
     });
+    trace.record_sim(cfdfc_sim);
     let mut fixed: Vec<ChannelId> = back_edges.to_vec();
     let mut iterations = Vec::new();
     let mut best: Option<(u32, Vec<ChannelId>)> = None;
@@ -366,9 +374,13 @@ pub fn optimize_iterative_with_cache(
                     sim_budget: opts.sim_budget,
                     ..crate::slack::SlackOptions::default()
                 };
-                let widened = timed(&mut trace.slack, || {
-                    crate::slack::slack_match_with_cache(base, &best_buffers, &slack_opts, cache)
-                });
+                let widened = crate::slack::slack_match_traced(
+                    base,
+                    &best_buffers,
+                    &slack_opts,
+                    cache,
+                    &mut trace,
+                );
                 if widened.len() != best_buffers.len() {
                     best_buffers = widened;
                     if let Ok(s2) = synth_step(

@@ -47,7 +47,7 @@ pub mod trace;
 pub use baseline::{
     baseline_timing_graph, characterize_units, optimize_baseline, optimize_baseline_with_cache,
 };
-pub use cfdfc::{extract_cfdfcs, Cfdfc};
+pub use cfdfc::{extract_cfdfcs, extract_cfdfcs_traced, Cfdfc};
 pub use domains::{interaction_units, is_interaction_unit, Domain};
 pub use iterate::{
     apply_buffers, optimize_iterative, optimize_iterative_with_cache, FlowError, FlowOptions,
@@ -61,9 +61,10 @@ pub use place::{
     build_placement_model, place_buffers, Objective, PlaceError, PlacementProblem, PlacementResult,
 };
 pub use report::{
-    clock_period_ns, measure, measure_with_cache, utilization, CircuitReport, MeasureError,
+    clock_period_ns, measure, measure_traced, measure_with_cache, utilization, CircuitReport,
+    MeasureError,
 };
-pub use slack::{slack_match, slack_match_with_cache, SlackOptions};
+pub use slack::{slack_match, slack_match_traced, slack_match_with_cache, SlackOptions};
 pub use synth::{synthesize, SynthCache, SynthDelta, SynthHandle, Synthesis};
 pub use timing::{CriticalPath, TimingEdge, TimingGraph, TimingNode, TimingNodeId};
-pub use trace::FlowTrace;
+pub use trace::{FlowTrace, SimStats};

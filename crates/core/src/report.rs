@@ -9,10 +9,12 @@
 //! the `6 × 0.7 = 4.2 ns` target.
 
 use crate::synth::{synthesize, SynthCache, Synthesis};
+use crate::trace::SimStats;
 use dataflow::{Graph, LOGIC_LEVEL_DELAY_NS};
 use lutmap::{LutId, LutInput};
 use sim::{SimError, Simulator};
 use std::fmt;
+use std::time::Instant;
 
 /// Routing-model constants (calibrated once; see DESIGN.md).
 const ROUTE_BASE_NS: f64 = 0.06;
@@ -178,7 +180,7 @@ pub fn utilization(g: &Graph, synth: &Synthesis) -> Vec<(String, usize, usize)> 
 /// `sim_budget` cycles applies).
 pub fn measure(g: &Graph, k: usize, sim_budget: u64) -> Result<CircuitReport, MeasureError> {
     let synth = synthesize(g, k).map_err(MeasureError::Synthesis)?;
-    measure_synthesized(g, &synth, sim_budget)
+    measure_synthesized(g, &synth, sim_budget, &mut SimStats::default())
 }
 
 /// [`measure`] with a caller-owned synthesis cache.
@@ -196,17 +198,38 @@ pub fn measure_with_cache(
     sim_budget: u64,
     cache: &SynthCache,
 ) -> Result<CircuitReport, MeasureError> {
+    measure_traced(g, k, sim_budget, cache, &mut SimStats::default())
+}
+
+/// [`measure_with_cache`] with instrumentation: the functional
+/// simulation's wall clock and executed cycles are tallied into `sim`
+/// (also on failure — a deadlocked run still burns real time).
+///
+/// # Errors
+///
+/// Same contract as [`measure`].
+pub fn measure_traced(
+    g: &Graph,
+    k: usize,
+    sim_budget: u64,
+    cache: &SynthCache,
+    sim: &mut SimStats,
+) -> Result<CircuitReport, MeasureError> {
     let synth = cache.synthesize(g, k).map_err(MeasureError::Synthesis)?;
-    measure_synthesized(g, &synth, sim_budget)
+    measure_synthesized(g, &synth, sim_budget, sim)
 }
 
 fn measure_synthesized(
     g: &Graph,
     synth: &Synthesis,
     sim_budget: u64,
+    sim: &mut SimStats,
 ) -> Result<CircuitReport, MeasureError> {
     let mut s = Simulator::new(g);
-    let stats = s.run(sim_budget).map_err(MeasureError::Simulation)?;
+    let t = Instant::now();
+    let res = s.run(sim_budget);
+    sim.tally(t.elapsed(), s.cycle());
+    let stats = res.map_err(MeasureError::Simulation)?;
     let cp_ns = clock_period_ns(synth);
     Ok(CircuitReport {
         luts: synth.lut_count(),

@@ -10,13 +10,27 @@
 //! back-pressured channel and keep the change if it reduces total cycles
 //! without violating the logic-level budget.
 //!
+//! Each round's trial simulations are independent, so they are evaluated
+//! concurrently on a scoped thread pool ([`SlackOptions::jobs`]) and the
+//! accept/reject decisions are replayed sequentially in fixed candidate
+//! order — the outcome is bit-identical at any job count, the same
+//! discipline as the placement MILP's fixed-wave branch-and-bound. Every
+//! trial is additionally capped at the round-start incumbent cycle count:
+//! a trial that reaches the incumbent can only be rejected, so aborting it
+//! there (reported as a pruned trial, distinct from a genuine deadlock)
+//! preserves behavior while skipping the useless tail of the simulation.
+//!
 //! Both strategies (mapping-aware and baseline) run the same pass, so the
 //! comparison between them stays apples-to-apples.
 
 use crate::iterate::apply_buffers;
 use crate::synth::SynthCache;
+use crate::trace::{FlowTrace, SimStats};
 use dataflow::{ChannelId, Graph};
-use sim::Simulator;
+use sim::{SimError, Simulator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Options for [`slack_match`].
 #[derive(Debug, Clone)]
@@ -31,6 +45,10 @@ pub struct SlackOptions {
     pub k: usize,
     /// Logic-level budget that must not be exceeded.
     pub target_levels: u32,
+    /// Trial simulations evaluated concurrently per round. Results are
+    /// applied in fixed candidate order, so any job count produces the
+    /// same buffer set — this is purely a throughput knob.
+    pub jobs: usize,
 }
 
 impl Default for SlackOptions {
@@ -41,13 +59,28 @@ impl Default for SlackOptions {
             sim_budget: 2_000_000,
             k: 6,
             target_levels: 6,
+            jobs: slack_jobs(),
         }
     }
 }
 
-/// Runs one simulation; returns completion cycles (`None` on failure) and
-/// the per-channel stall counts.
-fn profile(g: &Graph, budget: u64) -> (Option<u64>, Vec<(ChannelId, u64)>) {
+/// Worker threads for trial simulations. Capped low: the bench runner
+/// parallelizes across kernels already, and determinism means this can
+/// never change a result — only how fast it arrives.
+fn slack_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// Runs one simulation; returns completion cycles (`None` on failure),
+/// the per-channel stall counts, and the cycles actually executed.
+///
+/// Stalls are ranked by count descending with ties broken by ascending
+/// [`ChannelId`] — an explicit total order, so the candidate ranking never
+/// depends on sort-implementation details.
+fn profile(g: &Graph, budget: u64) -> (Option<u64>, Vec<(ChannelId, u64)>, u64) {
     let mut s = Simulator::new(g);
     let cycles = s.run(budget).ok().map(|r| r.cycles);
     let mut stalls: Vec<(ChannelId, u64)> = g
@@ -55,8 +88,70 @@ fn profile(g: &Graph, budget: u64) -> (Option<u64>, Vec<(ChannelId, u64)>) {
         .map(|(c, _)| (c, s.stalls(c)))
         .filter(|(_, n)| *n > 0)
         .collect();
-    stalls.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
-    (cycles, stalls)
+    stalls.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+    let spent = s.cycle();
+    (cycles, stalls, spent)
+}
+
+/// Outcome of one trial simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrialOutcome {
+    /// Completed below the cap: a real cycle count to compare.
+    Completed(u64),
+    /// Hit the cycle cap. Distinct from [`TrialOutcome::Failed`]: the
+    /// trial spent its full budget without finishing — under the incumbent
+    /// bound this means "pruned, cannot beat the best", not "broken".
+    TimedOut,
+    /// Deadlock, missing fixpoint, or a memory fault: unusable candidate.
+    Failed,
+}
+
+/// Simulates `g` for at most `cap` cycles; returns the outcome and the
+/// cycles actually executed (the budget spent).
+fn run_trial(g: &Graph, cap: u64) -> (TrialOutcome, u64) {
+    let mut s = Simulator::new(g);
+    match s.run(cap) {
+        Ok(r) => (TrialOutcome::Completed(r.cycles), r.cycles),
+        Err(SimError::Timeout { max_cycles }) => (TrialOutcome::TimedOut, max_cycles),
+        Err(_) => (TrialOutcome::Failed, s.cycle()),
+    }
+}
+
+/// Runs `f` over `0..n` on up to `jobs` scoped worker threads, returning
+/// the results in index order. Work is handed out through an atomic
+/// cursor, so *scheduling* is nondeterministic but the result vector (and
+/// everything downstream of it) is not.
+fn parallel_trials<R, F>(n: usize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(n);
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("trial slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("trial slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
 }
 
 /// Greedily adds capacity buffers where backpressure concentrates.
@@ -79,16 +174,39 @@ pub fn slack_match_with_cache(
     opts: &SlackOptions,
     cache: &SynthCache,
 ) -> Vec<ChannelId> {
+    slack_match_traced(base, buffers, opts, cache, &mut FlowTrace::default())
+}
+
+/// [`slack_match_with_cache`] with instrumentation: accumulates the pass
+/// wall clock into `trace.slack`, the simulator sub-lane into `trace.sim`
+/// (runs/cycles included), and the trial/pruned counters.
+pub fn slack_match_traced(
+    base: &Graph,
+    buffers: &[ChannelId],
+    opts: &SlackOptions,
+    cache: &SynthCache,
+    trace: &mut FlowTrace,
+) -> Vec<ChannelId> {
+    let pass = Instant::now();
+    let mut sim = SimStats::default();
+
     let mut current: Vec<ChannelId> = buffers.to_vec();
     let g0 = apply_buffers(base, &current);
-    let (Some(mut best_cycles), _) = profile(&g0, opts.sim_budget) else {
+    let t = Instant::now();
+    let (first, _, spent) = profile(&g0, opts.sim_budget);
+    sim.tally(t.elapsed(), spent);
+    let Some(mut best_cycles) = first else {
+        trace.slack += pass.elapsed();
+        trace.record_sim(sim);
         return current;
     };
 
     let mut added = 0usize;
     while added < opts.max_added {
         let g = apply_buffers(base, &current);
-        let (_, stalls) = profile(&g, opts.sim_budget);
+        let t = Instant::now();
+        let (_, stalls, spent) = profile(&g, opts.sim_budget);
+        sim.tally(t.elapsed(), spent);
         let top: Vec<ChannelId> = stalls
             .iter()
             .filter(|(c, _)| !current.contains(c))
@@ -104,22 +222,46 @@ pub fn slack_match_with_cache(
                 candidates.push(vec![top[i], top[j]]);
             }
         }
-        let mut accepted: Option<(Vec<ChannelId>, u64)> = None;
-        for cand in candidates {
-            if added + cand.len() > opts.max_added {
-                continue;
-            }
+        candidates.retain(|cand| added + cand.len() <= opts.max_added);
+
+        // Simulate every candidate concurrently, capped at the round-start
+        // incumbent: a trial reaching `best_cycles` can only be rejected,
+        // so cutting it off there is behavior-preserving. The cap is fixed
+        // *before* the round (unlike a live shared incumbent, which would
+        // let thread scheduling decide how far each trial runs and break
+        // the jobs-count invariance of the synthesis-cache contents).
+        let cap = opts.sim_budget.min(best_cycles);
+        let t = Instant::now();
+        let outcomes = parallel_trials(candidates.len(), opts.jobs, |i| {
             let mut trial = current.clone();
-            trial.extend(cand.iter().copied());
-            let gt = apply_buffers(base, &trial);
-            let (Some(cycles), _) = profile(&gt, opts.sim_budget) else {
-                continue;
+            trial.extend(candidates[i].iter().copied());
+            run_trial(&apply_buffers(base, &trial), cap)
+        });
+        sim.time += t.elapsed();
+        sim.runs += outcomes.len() as u64;
+        trace.slack_trials += outcomes.len() as u64;
+
+        // Replay acceptance sequentially in candidate order — identical
+        // results at any job count.
+        let mut accepted: Option<(Vec<ChannelId>, u64)> = None;
+        for (cand, (outcome, spent)) in candidates.into_iter().zip(outcomes) {
+            sim.cycles += spent;
+            let cycles = match outcome {
+                TrialOutcome::Completed(c) => c,
+                TrialOutcome::TimedOut => {
+                    trace.slack_trials_pruned += 1;
+                    continue;
+                }
+                TrialOutcome::Failed => continue,
             };
             let better = accepted
                 .as_ref()
                 .map(|(_, c)| cycles < *c)
                 .unwrap_or(cycles < best_cycles);
             if better {
+                let mut trial = current.clone();
+                trial.extend(cand.iter().copied());
+                let gt = apply_buffers(base, &trial);
                 let levels = match cache.synthesize(&gt, opts.k) {
                     Ok(s) => s.logic_levels(),
                     Err(_) => continue,
@@ -140,6 +282,8 @@ pub fn slack_match_with_cache(
     }
     current.sort();
     current.dedup();
+    trace.slack += pass.elapsed();
+    trace.record_sim(sim);
     current
 }
 
@@ -154,7 +298,7 @@ mod tests {
         let k = kernels::gsum(32);
         let seed: Vec<ChannelId> = k.back_edges().to_vec();
         let g0 = apply_buffers(k.graph(), &seed);
-        let (before, _) = profile(&g0, k.max_cycles * 4);
+        let (before, _, _) = profile(&g0, k.max_cycles * 4);
         let opts = SlackOptions {
             sim_budget: k.max_cycles * 4,
             target_levels: 16, // generous: this test is about cycles
@@ -162,7 +306,7 @@ mod tests {
         };
         let matched = slack_match(k.graph(), &seed, &opts);
         let g1 = apply_buffers(k.graph(), &matched);
-        let (after, _) = profile(&g1, k.max_cycles * 4);
+        let (after, _, _) = profile(&g1, k.max_cycles * 4);
         assert!(after.unwrap() <= before.unwrap());
         // The result still computes the right value.
         let mut s = Simulator::new(&g1);
@@ -190,12 +334,42 @@ mod tests {
     fn stall_profile_identifies_hotspots() {
         let k = kernels::matrix(4);
         let g = k.seeded_graph();
-        let (cycles, stalls) = profile(&g, k.max_cycles * 4);
+        let (cycles, stalls, _) = profile(&g, k.max_cycles * 4);
         assert!(cycles.is_some());
         assert!(!stalls.is_empty(), "a seeded matmul must stall somewhere");
-        // Sorted descending.
+        // Sorted descending, ties broken by ascending channel id.
         for w in stalls.windows(2) {
             assert!(w[0].1 >= w[1].1);
+            if w[0].1 == w[1].1 {
+                assert!(w[0].0 < w[1].0, "tie not broken by channel id");
+            }
         }
+    }
+
+    #[test]
+    fn traced_pass_accounts_trials_and_sim_lane() {
+        let k = kernels::gsum(24);
+        let seed: Vec<ChannelId> = k.back_edges().to_vec();
+        let opts = SlackOptions {
+            sim_budget: k.max_cycles * 4,
+            target_levels: 16,
+            max_added: 4,
+            ..SlackOptions::default()
+        };
+        let mut trace = FlowTrace::default();
+        let matched = slack_match_traced(k.graph(), &seed, &opts, &SynthCache::new(), &mut trace);
+        assert_eq!(matched, slack_match(k.graph(), &seed, &opts));
+        assert!(trace.sim_runs > 0, "profiles and trials must be counted");
+        assert!(trace.sim_cycles > 0);
+        assert!(trace.slack >= trace.sim, "sim is a sub-lane of slack here");
+        assert!(trace.slack_trials >= trace.slack_trials_pruned);
+    }
+
+    #[test]
+    fn parallel_trials_preserves_index_order() {
+        let out = parallel_trials(17, 8, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        let empty = parallel_trials(0, 4, |i| i);
+        assert!(empty.is_empty());
     }
 }

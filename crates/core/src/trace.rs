@@ -63,6 +63,43 @@ pub struct FlowTrace {
     pub clean_bbs: u64,
     /// Dirty-BB count of each iteration, in order.
     pub dirty_bb_history: Vec<usize>,
+    /// Wall clock inside cycle-accurate simulator runs — CFDFC profiling
+    /// and slack-matching trials. A *cross-cutting* lane: it overlaps
+    /// `timing` and `slack` (like `synth_full`/`synth_incremental` overlap
+    /// `synth`) rather than adding a disjoint phase.
+    pub sim: Duration,
+    /// Simulator runs started (completed, timed out, or failed).
+    pub sim_runs: u64,
+    /// Clock cycles executed across all simulator runs.
+    pub sim_cycles: u64,
+    /// Slack-matching trial simulations evaluated.
+    pub slack_trials: u64,
+    /// Slack trials aborted by the incumbent-bound early exit (they spent
+    /// their full cycle cap without beating the round's best).
+    pub slack_trials_pruned: u64,
+}
+
+/// Wall clock and work counters of a batch of simulator runs, tallied by
+/// the functions that own the runs and merged into a [`FlowTrace`] via
+/// [`FlowTrace::record_sim`] (the borrow-friendly way to time a sub-lane
+/// inside a phase that is itself timed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Wall clock inside the runs.
+    pub time: Duration,
+    /// Runs started.
+    pub runs: u64,
+    /// Cycles executed.
+    pub cycles: u64,
+}
+
+impl SimStats {
+    /// Tallies one finished run.
+    pub fn tally(&mut self, time: Duration, cycles: u64) {
+        self.time += time;
+        self.runs += 1;
+        self.cycles += cycles;
+    }
 }
 
 impl FlowTrace {
@@ -84,6 +121,13 @@ impl FlowTrace {
         } else {
             self.labels_reused as f64 / total as f64
         }
+    }
+
+    /// Merges a batch of simulator-run stats into the `sim` lane.
+    pub fn record_sim(&mut self, stats: SimStats) {
+        self.sim += stats.time;
+        self.sim_runs += stats.runs;
+        self.sim_cycles += stats.cycles;
     }
 
     /// Sums phase durations and counters of `other` into `self` (used to
@@ -113,6 +157,11 @@ impl FlowTrace {
         self.clean_bbs += other.clean_bbs;
         self.dirty_bb_history
             .extend(other.dirty_bb_history.iter().copied());
+        self.sim += other.sim;
+        self.sim_runs += other.sim_runs;
+        self.sim_cycles += other.sim_cycles;
+        self.slack_trials += other.slack_trials;
+        self.slack_trials_pruned += other.slack_trials_pruned;
     }
 }
 
@@ -122,7 +171,9 @@ impl fmt::Display for FlowTrace {
             f,
             "synth {:.2}s (full {:.2}s + incr {:.2}s) | map {:.2}s | timing {:.2}s | \
              milp {:.2}s ({} pivots, {} nodes, {} refactors, {} rows dropped) | \
-             slack {:.2}s | total {:.2}s | cache {}/{} hits ({:.0}%) | \
+             slack {:.2}s ({} trials, {} pruned) | \
+             sim {:.2}s ({} runs, {} cycles) | \
+             total {:.2}s | cache {}/{} hits ({:.0}%) | \
              {} incr / {} full synths | labels {}/{} reused ({:.0}%) | \
              dirty BBs {}/{} | {} cut rounds | {} iterations",
             self.synth.as_secs_f64(),
@@ -136,6 +187,11 @@ impl fmt::Display for FlowTrace {
             self.milp_refactors,
             self.milp_rows_dropped,
             self.slack.as_secs_f64(),
+            self.slack_trials,
+            self.slack_trials_pruned,
+            self.sim.as_secs_f64(),
+            self.sim_runs,
+            self.sim_cycles,
             self.total.as_secs_f64(),
             self.cache_hits,
             self.cache_hits + self.cache_misses,
@@ -200,6 +256,11 @@ mod tests {
             dirty_bbs: 4,
             clean_bbs: 6,
             dirty_bb_history: vec![3, 1],
+            sim: Duration::from_millis(7),
+            sim_runs: 3,
+            sim_cycles: 900,
+            slack_trials: 12,
+            slack_trials_pruned: 5,
             ..FlowTrace::default()
         };
         a.absorb(&b);
@@ -218,6 +279,27 @@ mod tests {
         assert_eq!(a.dirty_bbs, 4);
         assert_eq!(a.clean_bbs, 6);
         assert_eq!(a.dirty_bb_history, vec![3, 1]);
+        assert_eq!(a.sim, Duration::from_millis(7));
+        assert_eq!(a.sim_runs, 3);
+        assert_eq!(a.sim_cycles, 900);
+        assert_eq!(a.slack_trials, 12);
+        assert_eq!(a.slack_trials_pruned, 5);
+    }
+
+    #[test]
+    fn record_sim_merges_the_sim_lane() {
+        let mut t = FlowTrace::default();
+        let mut s = SimStats::default();
+        s.tally(Duration::from_millis(4), 100);
+        s.tally(Duration::from_millis(6), 50);
+        t.record_sim(s);
+        t.record_sim(s);
+        assert_eq!(t.sim, Duration::from_millis(20));
+        assert_eq!(t.sim_runs, 4);
+        assert_eq!(t.sim_cycles, 300);
+        // The instrumentation line surfaces the new lane.
+        let line = t.to_string();
+        assert!(line.contains("sim 0.02s (4 runs, 300 cycles)"), "{line}");
     }
 
     #[test]

@@ -235,57 +235,142 @@ impl Csc {
 // Product-form eta file
 // ---------------------------------------------------------------------------
 
-/// One elementary transformation `E`: identity except column `r`, which
-/// holds the FTRAN'd entering column `w` (pivot element `w_r` separated).
-struct Eta {
-    r: usize,
-    pivot: f64,
-    /// `(i, w_i)` for `i ≠ r`, `w_i ≠ 0`.
-    nz: Vec<(usize, f64)>,
-}
-
 /// Entries below this magnitude are dropped from eta vectors: cascading
 /// FTRANs breed tiny fill that costs time without carrying information.
 /// Refactorization re-derives the representation from `A` every
 /// [`REFACTOR_INTERVAL`] pivots, bounding the accumulated truncation.
 const ETA_DROP_TOL: f64 = 1e-12;
 
-fn make_eta(r: usize, w: &[f64]) -> Eta {
-    Eta {
-        r,
-        pivot: w[r],
-        nz: w
-            .iter()
-            .enumerate()
-            .filter(|&(i, &v)| i != r && v.abs() > ETA_DROP_TOL)
-            .map(|(i, &v)| (i, v))
-            .collect(),
-    }
+/// Product-form eta file in flat structure-of-arrays layout.
+///
+/// Eta `k` is the elementary transformation that is identity except
+/// column `r[k]`, holding the FTRAN'd entering column (pivot element
+/// `pivot[k]` separated; off-pivot nonzeros `(idx, val)` in the shared
+/// pools delimited by `ptr[k]..ptr[k+1]`, stored in ascending row order).
+/// One pool for the whole file — instead of a heap `Vec` per eta — keeps
+/// FTRAN/BTRAN/refactorization on contiguous memory and spares one
+/// allocation per pivot; traversal order is unchanged, so the arithmetic
+/// is bit-for-bit that of the boxed-per-eta layout.
+struct EtaFile {
+    r: Vec<usize>,
+    pivot: Vec<f64>,
+    /// `ptr[k]..ptr[k+1]` delimits eta `k`'s entries; `ptr[0] == 0`.
+    ptr: Vec<usize>,
+    idx: Vec<usize>,
+    val: Vec<f64>,
 }
 
-/// FTRAN: `x ← B⁻¹x`, applying the eta file left to right.
-fn ftran(etas: &[Eta], x: &mut [f64]) {
-    for e in etas {
-        let xr = x[e.r];
-        if xr == 0.0 {
-            continue;
-        }
-        let t = xr / e.pivot;
-        x[e.r] = t;
-        for &(i, w) in &e.nz {
-            x[i] -= w * t;
+impl EtaFile {
+    fn new() -> Self {
+        EtaFile {
+            r: Vec::new(),
+            pivot: Vec::new(),
+            ptr: vec![0],
+            idx: Vec::new(),
+            val: Vec::new(),
         }
     }
-}
 
-/// BTRAN: `y ← (B⁻¹)ᵀy`, applying the eta file right to left, transposed.
-fn btran(etas: &[Eta], y: &mut [f64]) {
-    for e in etas.iter().rev() {
-        let mut v = y[e.r];
-        for &(i, w) in &e.nz {
-            v -= w * y[i];
+    fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Appends one eta from a dense FTRAN'd column `w` with pivot row `r`
+    /// (entries `i ≠ r` above [`ETA_DROP_TOL`], ascending `i`).
+    fn push_dense(&mut self, r: usize, w: &[f64]) {
+        let start = self.idx.len();
+        for (i, &v) in w.iter().enumerate() {
+            if i != r && v.abs() > ETA_DROP_TOL {
+                self.idx.push(i);
+                self.val.push(v);
+            }
         }
-        y[e.r] = v / e.pivot;
+        self.seal(r, w[r], start);
+    }
+
+    /// Appends one eta from an explicit nonzero list (refactorization path;
+    /// the caller supplies entries in ascending row order).
+    fn push(&mut self, r: usize, pivot: f64, nz: impl Iterator<Item = (usize, f64)>) {
+        let start = self.idx.len();
+        for (i, v) in nz {
+            self.idx.push(i);
+            self.val.push(v);
+        }
+        self.seal(r, pivot, start);
+    }
+
+    /// Finishes an eta whose entries were appended starting at pool offset
+    /// `start` — unless it is the identity (unit pivot, no off-pivot
+    /// entries), which FTRAN/BTRAN apply as a bitwise no-op (`v / 1.0 == v`
+    /// for every `v`): storing those — slack columns pivoting on their own
+    /// untouched row, the bulk of a refactorization on these models — would
+    /// only add traversal cost to every later application of the file.
+    fn seal(&mut self, r: usize, pivot: f64, start: usize) {
+        if self.idx.len() == start && pivot == 1.0 {
+            return;
+        }
+        self.r.push(r);
+        self.pivot.push(pivot);
+        self.ptr.push(self.idx.len());
+    }
+
+    /// FTRAN: `x ← B⁻¹x`, applying the eta file left to right.
+    fn ftran(&self, x: &mut [f64]) {
+        for k in 0..self.len() {
+            let r = self.r[k];
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let t = xr / self.pivot[k];
+            x[r] = t;
+            let (s, e) = (self.ptr[k], self.ptr[k + 1]);
+            for (i, w) in self.idx[s..e].iter().zip(&self.val[s..e]) {
+                x[*i] -= w * t;
+            }
+        }
+    }
+
+    /// [`Self::ftran`] recording every scratch entry that turns nonzero in
+    /// `touched` (refactorization's fill tracking).
+    fn ftran_tracking(&self, x: &mut [f64], touched: &mut Vec<usize>) {
+        for k in 0..self.len() {
+            let r = self.r[k];
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let t = xr / self.pivot[k];
+            x[r] = t;
+            let (s, e) = (self.ptr[k], self.ptr[k + 1]);
+            for (i, w) in self.idx[s..e].iter().zip(&self.val[s..e]) {
+                if x[*i] == 0.0 {
+                    touched.push(*i);
+                }
+                x[*i] -= w * t;
+            }
+        }
+    }
+
+    /// BTRAN: `y ← (B⁻¹)ᵀy`, applying the eta file right to left, transposed.
+    fn btran(&self, y: &mut [f64]) {
+        for k in (0..self.len()).rev() {
+            let r = self.r[k];
+            let mut v = y[r];
+            let (s, e) = (self.ptr[k], self.ptr[k + 1]);
+            for (i, w) in self.idx[s..e].iter().zip(&self.val[s..e]) {
+                v -= w * y[*i];
+            }
+            // A zero accumulator stays zero under the pivot scale; skipping
+            // the division only normalizes the zero's sign, which no
+            // consumer of a BTRAN'd vector can observe (it feeds reduced-
+            // cost comparisons and products, where ±0 behave identically).
+            if v != 0.0 {
+                y[r] = v / self.pivot[k];
+            } else if y[r] != 0.0 {
+                y[r] = 0.0;
+            }
+        }
     }
 }
 
@@ -301,11 +386,12 @@ struct Rsm<'a> {
     n_real: usize,
     basis: Vec<usize>,
     in_basis: Vec<bool>,
-    etas: Vec<Eta>,
-    /// Length of the eta-file prefix holding the last refactorization's
-    /// *factor* etas (one per basis column); only the update etas appended
-    /// after it count toward [`REFACTOR_INTERVAL`].
-    factor_len: usize,
+    etas: EtaFile,
+    /// Pivots applied since the last successful refactorization; at
+    /// [`REFACTOR_INTERVAL`] the eta file is rebuilt. Counts pivots rather
+    /// than file length so that identity etas elided by
+    /// [`EtaFile::seal`] cannot shift the refactorization schedule.
+    update_pivots: usize,
     /// Current basic values `B⁻¹b`, indexed by basis position.
     xb: Vec<f64>,
     pivots: u64,
@@ -325,8 +411,8 @@ impl<'a> Rsm<'a> {
             n_real,
             basis,
             in_basis,
-            etas: Vec::new(),
-            factor_len: 0,
+            etas: EtaFile::new(),
+            update_pivots: 0,
             xb,
             pivots: 0,
             refactors: 0,
@@ -352,7 +438,10 @@ impl<'a> Rsm<'a> {
     /// singular.
     fn refactor(&mut self) -> bool {
         let m = self.m();
-        let mut fresh: Vec<Eta> = Vec::with_capacity(m);
+        let mut fresh = EtaFile::new();
+        fresh.r.reserve(m);
+        fresh.pivot.reserve(m);
+        fresh.ptr.reserve(m);
         let mut pivoted = vec![false; m];
         let mut new_basis = vec![usize::MAX; m];
         let mut w = vec![0.0f64; m];
@@ -375,20 +464,7 @@ impl<'a> Rsm<'a> {
                 }
                 w[i] = v;
             }
-            for e in &fresh {
-                let xr = w[e.r];
-                if xr == 0.0 {
-                    continue;
-                }
-                let t = xr / e.pivot;
-                w[e.r] = t;
-                for &(i, wv) in &e.nz {
-                    if w[i] == 0.0 {
-                        touched.push(i);
-                    }
-                    w[i] -= wv * t;
-                }
-            }
+            fresh.ftran_tracking(&mut w, &mut touched);
             touched.sort_unstable();
             touched.dedup();
             // Unpivoted row with the largest magnitude (lowest index tie).
@@ -408,26 +484,25 @@ impl<'a> Rsm<'a> {
             };
             pivoted[r] = true;
             new_basis[r] = col;
-            fresh.push(Eta {
+            fresh.push(
                 r,
-                pivot: w[r],
-                nz: touched
+                w[r],
+                touched
                     .iter()
                     .filter(|&&i| i != r && w[i].abs() > ETA_DROP_TOL)
-                    .map(|&i| (i, w[i]))
-                    .collect(),
-            });
+                    .map(|&i| (i, w[i])),
+            );
             for &i in &touched {
                 w[i] = 0.0;
             }
             touched.clear();
         }
         self.basis = new_basis;
-        self.factor_len = fresh.len();
+        self.update_pivots = 0;
         self.etas = fresh;
         self.refactors += 1;
         self.xb.copy_from_slice(&self.b0);
-        ftran(&self.etas, &mut self.xb);
+        self.etas.ftran(&mut self.xb);
         true
     }
 
@@ -444,11 +519,13 @@ impl<'a> Rsm<'a> {
         self.in_basis[self.basis[r]] = false;
         self.in_basis[q] = true;
         self.basis[r] = q;
-        self.etas.push(make_eta(r, w));
+        self.etas.push_dense(r, w);
         self.pivots += 1;
-        if self.etas.len() - self.factor_len >= REFACTOR_INTERVAL {
+        self.update_pivots += 1;
+        if self.update_pivots >= REFACTOR_INTERVAL {
             // A singular refactorization (numerically degenerate basis)
-            // keeps the longer but still-valid eta file.
+            // keeps the longer but still-valid eta file and retries on
+            // the next pivot (the counter only resets on success).
             self.refactor();
         }
     }
@@ -483,7 +560,7 @@ impl<'a> Rsm<'a> {
                     y[pos] = c[col];
                 }
             }
-            btran(&self.etas, &mut y);
+            self.etas.btran(&mut y);
             let entering = if degenerate_streak >= DEGENERATE_STREAK {
                 // Bland: first improving column.
                 (0..price_cols).find(|&j| !self.in_basis[j] && c[j] - self.a.col_dot(j, &y) > 1e-7)
@@ -510,7 +587,7 @@ impl<'a> Rsm<'a> {
             // basis index tie-break, as in Bland's rule).
             w.iter_mut().for_each(|v| *v = 0.0);
             self.a.scatter(q, &mut w);
-            ftran(&self.etas, &mut w);
+            self.etas.ftran(&mut w);
             let mut leave: Option<usize> = None;
             let mut best = f64::INFINITY;
             for (i, &wi) in w.iter().enumerate() {
@@ -557,13 +634,13 @@ impl<'a> Rsm<'a> {
             }
             v.iter_mut().for_each(|x| *x = 0.0);
             v[pos] = 1.0;
-            btran(&self.etas, &mut v);
+            self.etas.btran(&mut v);
             let entering =
                 (0..self.n_real).find(|&j| !self.in_basis[j] && self.a.col_dot(j, &v).abs() > EPS);
             if let Some(j) = entering {
                 w.iter_mut().for_each(|x| *x = 0.0);
                 self.a.scatter(j, &mut w);
-                ftran(&self.etas, &mut w);
+                self.etas.ftran(&mut w);
                 // The artificial sits at (numerically) zero, so this pivot
                 // cannot lose feasibility regardless of the pivot sign.
                 self.pivot(pos, j, &w);

@@ -1,129 +1,43 @@
-//! The simulation engine.
+//! The simulation engine: two scheduling strategies over one shared
+//! evaluation/commit core.
+//!
+//! Both engines compute the same two-phase cycle — a combinational
+//! handshake fixpoint ([`crate::eval`]) followed by a clock-edge state
+//! commit ([`crate::commit`]) — and differ only in *which* units and
+//! channels they visit:
+//!
+//! * [`SimEngine::FullSweep`] re-queues every unit and re-derives every
+//!   channel at the start of each settle, and commits every channel and
+//!   unit at each edge. It is the original engine, kept as the oracle.
+//! * [`SimEngine::EventDriven`] (the default) keeps a persistent dirty
+//!   set: a settle is seeded only by the channels whose buffer registers
+//!   and the units whose sequential state changed at the previous clock
+//!   edge, and changes propagate along the precomputed adjacency index
+//!   ([`crate::index`]). The commit visits only channels holding a live
+//!   token (`valid_src` or occupied TEHB/OEHB), the units evaluated this
+//!   settle, and a small always-commit set (entry latches, the exit
+//!   observer, and memory ports — see `AdjIndex::always_commit`), in
+//!   ascending unit order so memory effects and error precedence match
+//!   the sweep exactly. Settle and commit cost then scale with circuit
+//!   *activity* instead of circuit *size*.
+//!
+//! The two engines are bit-identical on [`RunStats`], per-channel
+//! transfer/stall counters, and every error case; `tests/sim_equivalence.rs`
+//! pins this on randomized graphs and all evaluation kernels.
 
-use dataflow::{ChannelId, Graph, MemoryId, OpKind, UnitId, UnitKind};
-use std::fmt;
+use crate::index::AdjIndex;
+use crate::state::{ChanSig, ChanState, UnitState};
+use crate::types::{RunStats, SimError};
+use dataflow::{ChannelId, Graph, MemoryId, UnitId, UnitKind};
 
-/// Errors produced while simulating.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum SimError {
-    /// The handshake network did not reach a combinational fixpoint — a
-    /// dataflow cycle is missing an opaque buffer.
-    NoFixpoint,
-    /// No token moved and no state changed: the circuit is deadlocked.
-    Deadlock {
-        /// Cycle at which the deadlock was detected.
-        cycle: u64,
-    },
-    /// The cycle budget ran out before the exit token arrived.
-    Timeout {
-        /// The exhausted budget.
-        max_cycles: u64,
-    },
-    /// A load/store addressed a word outside its memory.
-    AddrOutOfBounds {
-        /// The accessing unit.
-        unit: UnitId,
-        /// The faulting address.
-        addr: u64,
-        /// The memory size in words.
-        size: usize,
-    },
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::NoFixpoint => {
-                f.write_str("combinational handshake cycle (missing opaque buffer)")
-            }
-            SimError::Deadlock { cycle } => write!(f, "deadlock at cycle {cycle}"),
-            SimError::Timeout { max_cycles } => {
-                write!(f, "no completion within {max_cycles} cycles")
-            }
-            SimError::AddrOutOfBounds { unit, addr, size } => {
-                write!(
-                    f,
-                    "unit {unit} accessed address {addr} of a {size}-word memory"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
-
-/// Result of a completed run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunStats {
-    /// Clock cycles until the exit token was consumed.
-    pub cycles: u64,
-    /// Payload of the exit token (`None` for width-0 control exits).
-    pub exit_value: Option<u64>,
-}
-
-fn mask(width: u16) -> u64 {
-    if width == 0 {
-        0
-    } else if width >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << width) - 1
-    }
-}
-
-fn to_signed(v: u64, width: u16) -> i64 {
-    if width == 0 || width >= 64 {
-        v as i64
-    } else if v & (1 << (width - 1)) != 0 {
-        (v | !mask(width)) as i64
-    } else {
-        v as i64
-    }
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum UnitState {
-    None,
-    /// Entry/Argument: has the single token been issued?
-    Fired(bool),
-    /// Eager fork: per-output done flags.
-    ForkDone(Vec<bool>),
-    /// Control merge: per-output done flags plus the latched grant (which
-    /// input the in-flight token came from).
-    CmergeState {
-        /// Output delivery flags (data, index).
-        dones: [bool; 2],
-        /// Latched input, held until both outputs fire.
-        grant: Option<u8>,
-    },
-    /// Pipelined operator: per-stage (valid, value).
-    Pipe(Vec<(bool, u64)>),
-    /// Load/store port: output-register stage (valid, value).
-    MemPort {
-        v: bool,
-        data: u64,
-    },
-}
-
-/// Combinational signal values of one channel.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct ChanSig {
-    valid_src: bool,
-    data_src: u64,
-    ready_src: bool,
-    valid_dst: bool,
-    data_dst: u64,
-    ready_dst: bool,
-}
-
-/// Sequential state of one channel's buffers.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct ChanState {
-    oehb_vld: bool,
-    oehb_data: u64,
-    tehb_full: bool,
-    tehb_saved: u64,
+/// Scheduling strategy of a [`Simulator`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SimEngine {
+    /// Persistent dirty-set scheduler; cost scales with activity.
+    #[default]
+    EventDriven,
+    /// Re-evaluates everything every cycle; the oracle engine.
+    FullSweep,
 }
 
 /// A cycle-accurate simulator for one dataflow graph.
@@ -132,26 +46,48 @@ struct ChanState {
 #[derive(Debug)]
 pub struct Simulator<'g> {
     g: &'g Graph,
-    args: Vec<u64>,
-    sig: Vec<ChanSig>,
-    chan: Vec<ChanState>,
-    unit: Vec<UnitState>,
-    mems: Vec<Vec<u64>>,
-    transfers: Vec<u64>,
-    stalls: Vec<u64>,
+    engine: SimEngine,
+    pub(crate) idx: AdjIndex,
+    pub(crate) args: Vec<u64>,
+    pub(crate) sig: Vec<ChanSig>,
+    pub(crate) chan: Vec<ChanState>,
+    pub(crate) unit: Vec<UnitState>,
+    pub(crate) mems: Vec<Vec<u64>>,
+    pub(crate) transfers: Vec<u64>,
+    pub(crate) stalls: Vec<u64>,
     cycle: u64,
-    exit_value: Option<u64>,
-    exited: bool,
-    /// Event-driven settle: units awaiting re-evaluation.
+    pub(crate) exit_value: Option<u64>,
+    pub(crate) exited: bool,
+    /// Settle worklist: units awaiting (re-)evaluation. Persists across
+    /// cycles under the event-driven engine — commit-time state changes
+    /// mark their unit here for the next settle.
     dirty_unit: Vec<bool>,
     unit_queue: Vec<UnitId>,
     /// Channels whose signals were touched by a unit this settle.
-    touched: Vec<ChannelId>,
+    pub(crate) touched: Vec<ChannelId>,
+    /// Event engine: units evaluated this settle (committed this cycle).
+    evaled: Vec<bool>,
+    commit_units: Vec<UnitId>,
+    /// Event engine: channels whose buffer state changed at the last
+    /// commit; they seed the next settle.
+    chan_dirty: Vec<bool>,
+    chan_seed: Vec<ChannelId>,
+    /// Event engine: channels holding a live token (valid_src or occupied
+    /// buffer); only these can move counters or buffer state at a commit.
+    chan_active: Vec<bool>,
+    active_chans: Vec<ChannelId>,
+    /// Reusable valid/ready staging buffer for the evaluators.
+    pub(crate) scratch: Vec<bool>,
 }
 
 impl<'g> Simulator<'g> {
-    /// Prepares a simulator with all state at reset.
+    /// Prepares an event-driven simulator with all state at reset.
     pub fn new(g: &'g Graph) -> Self {
+        Self::with_engine(g, SimEngine::default())
+    }
+
+    /// Prepares a simulator using the given scheduling engine.
+    pub fn with_engine(g: &'g Graph, engine: SimEngine) -> Self {
         let unit = g
             .units()
             .map(|(_, u)| match u.kind() {
@@ -180,6 +116,8 @@ impl<'g> Simulator<'g> {
             .collect();
         Simulator {
             g,
+            engine,
+            idx: AdjIndex::build(g),
             args: vec![0; 256],
             sig: vec![ChanSig::default(); g.num_channels()],
             chan: vec![ChanState::default(); g.num_channels()],
@@ -193,13 +131,32 @@ impl<'g> Simulator<'g> {
             dirty_unit: vec![false; g.num_units()],
             unit_queue: Vec::new(),
             touched: Vec::new(),
+            evaled: vec![false; g.num_units()],
+            commit_units: Vec::new(),
+            chan_dirty: vec![false; g.num_channels()],
+            chan_seed: Vec::new(),
+            chan_active: vec![false; g.num_channels()],
+            active_chans: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
-    fn mark_dirty(&mut self, u: UnitId) {
+    /// The scheduling engine this simulator runs under.
+    pub fn engine(&self) -> SimEngine {
+        self.engine
+    }
+
+    pub(crate) fn mark_dirty(&mut self, u: UnitId) {
         if !self.dirty_unit[u.index()] {
             self.dirty_unit[u.index()] = true;
             self.unit_queue.push(u);
+        }
+    }
+
+    fn mark_chan_seed(&mut self, cid: ChannelId) {
+        if !self.chan_dirty[cid.index()] {
+            self.chan_dirty[cid.index()] = true;
+            self.chan_seed.push(cid);
         }
     }
 
@@ -273,8 +230,16 @@ impl<'g> Simulator<'g> {
     ///
     /// Same conditions as [`Simulator::run`], except timeouts.
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.settle()?;
-        let progressed = self.commit()?;
+        let progressed = match self.engine {
+            SimEngine::EventDriven => {
+                self.settle_event()?;
+                self.commit_event()?
+            }
+            SimEngine::FullSweep => {
+                self.settle_sweep()?;
+                self.commit_sweep()?
+            }
+        };
         self.cycle += 1;
         if !progressed && !self.exited {
             return Err(SimError::Deadlock { cycle: self.cycle });
@@ -282,27 +247,27 @@ impl<'g> Simulator<'g> {
         Ok(())
     }
 
-    /// Iterates combinational evaluation to a fixpoint, event-driven:
-    /// units re-evaluate only when one of their observed signals changed.
-    fn settle(&mut self) -> Result<(), SimError> {
-        // Every register commit may change any unit's view, so each cycle
-        // starts with all units queued; after that, only changes propagate.
-        for (uid, _) in self.g.units() {
-            if !self.dirty_unit[uid.index()] {
-                self.dirty_unit[uid.index()] = true;
-                self.unit_queue.push(uid);
-            }
+    /// Per-settle evaluation cap: a worklist that outlives this is cycling.
+    fn fixpoint_limit(&self) -> usize {
+        64 * (self.g.num_units() + self.g.num_channels()) + 64
+    }
+
+    /// Sweep settle: every register commit may change any unit's view, so
+    /// each cycle starts with all units queued and all channels rederived;
+    /// after that, only changes propagate.
+    fn settle_sweep(&mut self) -> Result<(), SimError> {
+        let g = self.g;
+        for (uid, _) in g.units() {
+            self.mark_dirty(uid);
         }
-        // First refresh channel outputs from committed buffer state.
-        for (cid, _) in self.g.channels() {
+        for (cid, _) in g.channels() {
             if self.eval_channel(cid) {
-                let ch = self.g.channel(cid);
-                let (s, d) = (ch.src().unit, ch.dst().unit);
+                let (s, d) = self.idx.ends[cid.index()];
                 self.mark_dirty(s);
                 self.mark_dirty(d);
             }
         }
-        let limit = 64 * (self.g.num_units() + self.g.num_channels()) + 64;
+        let limit = self.fixpoint_limit();
         let mut evals = 0usize;
         while let Some(u) = self.unit_queue.pop() {
             self.dirty_unit[u.index()] = false;
@@ -311,23 +276,98 @@ impl<'g> Simulator<'g> {
                 return Err(SimError::NoFixpoint);
             }
             self.touched.clear();
-            let changed = self.eval_unit(u);
-            if !changed {
+            if !self.eval_unit(u) {
                 continue;
             }
             let touched = std::mem::take(&mut self.touched);
             for &cid in &touched {
+                // Endpoints are re-queued even without a derived-signal
+                // change: the raw src-side signal may feed transfer logic
+                // of the counterpart. (The event engine instead tracks the
+                // raw signals through the commit-active channel set.)
+                self.eval_channel(cid);
+                let (s, d) = self.idx.ends[cid.index()];
+                self.mark_dirty(s);
+                self.mark_dirty(d);
+            }
+            self.touched = touched;
+        }
+        Ok(())
+    }
+
+    /// Sweep commit: visits every channel and every unit, ascending.
+    fn commit_sweep(&mut self) -> Result<bool, SimError> {
+        let g = self.g;
+        let mut progressed = false;
+        for (cid, _) in g.channels() {
+            let (p, _) = self.commit_channel(cid);
+            progressed |= p;
+        }
+        for (uid, _) in g.units() {
+            let (p, _) = self.commit_unit(uid)?;
+            progressed |= p;
+        }
+        Ok(progressed)
+    }
+
+    /// Event-driven settle: seeded by the channels/units whose sequential
+    /// state changed at the previous clock edge (cycle 0 seeds everything,
+    /// exactly like the sweep).
+    fn settle_event(&mut self) -> Result<(), SimError> {
+        if self.cycle == 0 {
+            let g = self.g;
+            for (uid, _) in g.units() {
+                self.mark_dirty(uid);
+            }
+            for (cid, _) in g.channels() {
                 if self.eval_channel(cid) {
-                    let ch = self.g.channel(cid);
-                    let (s, d) = (ch.src().unit, ch.dst().unit);
+                    let (s, d) = self.idx.ends[cid.index()];
                     self.mark_dirty(s);
                     self.mark_dirty(d);
-                } else {
-                    // Even without a dst-side change, the raw src-side
-                    // signal may feed transfer logic of the counterpart.
-                    let ch = self.g.channel(cid);
-                    self.mark_dirty(ch.src().unit);
-                    self.mark_dirty(ch.dst().unit);
+                }
+            }
+        } else {
+            let mut seeds = std::mem::take(&mut self.chan_seed);
+            for &cid in &seeds {
+                self.chan_dirty[cid.index()] = false;
+                if self.eval_channel(cid) {
+                    let (s, d) = self.idx.ends[cid.index()];
+                    self.mark_dirty(s);
+                    self.mark_dirty(d);
+                }
+            }
+            seeds.clear();
+            self.chan_seed = seeds;
+        }
+        let limit = self.fixpoint_limit();
+        let mut evals = 0usize;
+        while let Some(u) = self.unit_queue.pop() {
+            self.dirty_unit[u.index()] = false;
+            evals += 1;
+            if evals > limit {
+                return Err(SimError::NoFixpoint);
+            }
+            if !self.evaled[u.index()] {
+                self.evaled[u.index()] = true;
+                self.commit_units.push(u);
+            }
+            self.touched.clear();
+            if !self.eval_unit(u) {
+                continue;
+            }
+            let touched = std::mem::take(&mut self.touched);
+            for &cid in &touched {
+                // A channel joins the commit-active set the moment its
+                // producer offers a token; it leaves at a commit that finds
+                // it idle and empty.
+                if self.sig[cid.index()].valid_src && !self.chan_active[cid.index()] {
+                    self.chan_active[cid.index()] = true;
+                    self.active_chans.push(cid);
+                }
+                if self.eval_channel(cid) {
+                    let (s, d) = self.idx.ends[cid.index()];
+                    self.mark_dirty(s);
+                    self.mark_dirty(d);
                 }
             }
             self.touched = touched;
@@ -335,617 +375,48 @@ impl<'g> Simulator<'g> {
         Ok(())
     }
 
-    /// Re-derives a channel's dst-side (and ready_src) signals from the
-    /// src-side signals and buffer state. Returns `true` if anything
-    /// changed.
-    fn eval_channel(&mut self, cid: ChannelId) -> bool {
-        let ch = self.g.channel(cid);
-        let spec = ch.buffer();
-        let s = self.sig[cid.index()];
-        let st = self.chan[cid.index()];
-        let mut n = s;
-
-        // TEHB stage (upstream): presents v1/d1 to the OEHB or consumer;
-        // the ready *into* the TEHB is derived during commit.
-        let (v1, d1);
-        if spec.transparent {
-            n.ready_src = !st.tehb_full;
-            v1 = s.valid_src || st.tehb_full;
-            d1 = if st.tehb_full {
-                st.tehb_saved
-            } else {
-                s.data_src
-            };
-        } else {
-            v1 = s.valid_src;
-            d1 = s.data_src;
-        }
-
-        if spec.opaque {
-            n.valid_dst = st.oehb_vld;
-            n.data_dst = st.oehb_data;
-            // ready presented upstream of the OEHB:
-            let ready1 = !st.oehb_vld || s.ready_dst;
-            if !spec.transparent {
-                n.ready_src = ready1;
-            }
-        } else {
-            n.valid_dst = v1;
-            n.data_dst = d1;
-            if !spec.transparent {
-                n.ready_src = s.ready_dst;
-            }
-        }
-        let changed = n != s;
-        self.sig[cid.index()] = n;
-        changed
-    }
-
-    /// Ready signal seen *inside* the channel by the TEHB (i.e. the ready
-    /// of the stage downstream of the TEHB).
-    fn tehb_downstream_ready(&self, cid: ChannelId) -> bool {
-        let spec = self.g.channel(cid).buffer();
-        let s = self.sig[cid.index()];
-        let st = self.chan[cid.index()];
-        if spec.opaque {
-            !st.oehb_vld || s.ready_dst
-        } else {
-            s.ready_dst
-        }
-    }
-
-    /// TEHB-stage outputs (v1, d1) of a channel.
-    fn tehb_out(&self, cid: ChannelId) -> (bool, u64) {
-        let spec = self.g.channel(cid).buffer();
-        let s = self.sig[cid.index()];
-        let st = self.chan[cid.index()];
-        if spec.transparent {
-            (
-                s.valid_src || st.tehb_full,
-                if st.tehb_full {
-                    st.tehb_saved
-                } else {
-                    s.data_src
-                },
-            )
-        } else {
-            (s.valid_src, s.data_src)
-        }
-    }
-
-    fn in_ch(&self, uid: UnitId, p: usize) -> ChannelId {
-        self.g.input_channel(uid, p).expect("validated graph")
-    }
-
-    fn out_ch(&self, uid: UnitId, p: usize) -> ChannelId {
-        self.g.output_channel(uid, p).expect("validated graph")
-    }
-
-    fn ivalid(&self, uid: UnitId, p: usize) -> bool {
-        self.sig[self.in_ch(uid, p).index()].valid_dst
-    }
-
-    fn idata(&self, uid: UnitId, p: usize) -> u64 {
-        self.sig[self.in_ch(uid, p).index()].data_dst
-    }
-
-    fn oready(&self, uid: UnitId, p: usize) -> bool {
-        self.sig[self.out_ch(uid, p).index()].ready_src
-    }
-
-    fn set_out(&mut self, uid: UnitId, p: usize, valid: bool, data: u64) -> bool {
-        let cid = self.out_ch(uid, p);
-        let s = &mut self.sig[cid.index()];
-        let changed = s.valid_src != valid || s.data_src != data;
-        s.valid_src = valid;
-        s.data_src = data;
-        if changed {
-            self.touched.push(cid);
-        }
-        changed
-    }
-
-    fn set_ready(&mut self, uid: UnitId, p: usize, ready: bool) -> bool {
-        let cid = self.in_ch(uid, p);
-        let s = &mut self.sig[cid.index()];
-        let changed = s.ready_dst != ready;
-        s.ready_dst = ready;
-        if changed {
-            self.touched.push(cid);
-        }
-        changed
-    }
-
-    /// Combinational function of one unit. Returns `true` on signal change.
-    fn eval_unit(&mut self, uid: UnitId) -> bool {
-        let unit = self.g.unit(uid).clone();
-        let w = unit.width();
-        let mut changed = false;
-        match *unit.kind() {
-            UnitKind::Entry | UnitKind::Argument { .. } => {
-                let fired = matches!(self.unit[uid.index()], UnitState::Fired(true));
-                let data = match *unit.kind() {
-                    UnitKind::Argument { index } => self.args[index as usize] & mask(w),
-                    _ => 0,
-                };
-                changed |= self.set_out(uid, 0, !fired, data);
-            }
-            UnitKind::Exit | UnitKind::Sink => {
-                changed |= self.set_ready(uid, 0, true);
-            }
-            UnitKind::Source => {
-                changed |= self.set_out(uid, 0, true, 0);
-            }
-            UnitKind::Constant { value } => {
-                let v = self.ivalid(uid, 0);
-                let r = self.oready(uid, 0);
-                changed |= self.set_out(uid, 0, v, value & mask(w));
-                changed |= self.set_ready(uid, 0, r);
-            }
-            UnitKind::Fork { outputs } => {
-                let n = outputs as usize;
-                let vin = self.ivalid(uid, 0);
-                let din = self.idata(uid, 0);
-                let dones = match &self.unit[uid.index()] {
-                    UnitState::ForkDone(d) => d.clone(),
-                    _ => unreachable!(),
-                };
-                let mut all = true;
-                for (i, &done) in dones.iter().enumerate() {
-                    all &= done || self.oready(uid, i);
-                }
-                changed |= self.set_ready(uid, 0, all);
-                for (i, &done) in dones.iter().enumerate().take(n) {
-                    changed |= self.set_out(uid, i, vin && !done, din);
-                }
-            }
-            UnitKind::LazyFork { outputs } => {
-                let n = outputs as usize;
-                let vin = self.ivalid(uid, 0);
-                let din = self.idata(uid, 0);
-                let readys: Vec<bool> = (0..n).map(|i| self.oready(uid, i)).collect();
-                changed |= self.set_ready(uid, 0, readys.iter().all(|&r| r));
-                for i in 0..n {
-                    let others = readys
-                        .iter()
-                        .enumerate()
-                        .filter(|(j, _)| *j != i)
-                        .all(|(_, &r)| r);
-                    changed |= self.set_out(uid, i, vin && others, din);
-                }
-            }
-            UnitKind::Join { inputs } => {
-                let n = inputs as usize;
-                let valids: Vec<bool> = (0..n).map(|i| self.ivalid(uid, i)).collect();
-                let all = valids.iter().all(|&v| v);
-                let rout = self.oready(uid, 0);
-                changed |= self.set_out(uid, 0, all, 0);
-                for i in 0..n {
-                    let others = valids
-                        .iter()
-                        .enumerate()
-                        .filter(|(j, _)| *j != i)
-                        .all(|(_, &v)| v);
-                    changed |= self.set_ready(uid, i, rout && others);
-                }
-            }
-            UnitKind::Branch => {
-                let vd = self.ivalid(uid, 0);
-                let dd = self.idata(uid, 0);
-                let vc = self.ivalid(uid, 1);
-                let cond = self.idata(uid, 1) & 1 != 0;
-                let rt = self.oready(uid, 0);
-                let rf = self.oready(uid, 1);
-                changed |= self.set_out(uid, 0, vd && vc && cond, dd);
-                changed |= self.set_out(uid, 1, vd && vc && !cond, dd);
-                let sel_ready = if cond { rt } else { rf };
-                changed |= self.set_ready(uid, 0, vc && sel_ready);
-                changed |= self.set_ready(uid, 1, vd && sel_ready);
-            }
-            UnitKind::Merge { inputs } => {
-                changed |= self.eval_merge(uid, inputs as usize, false);
-            }
-            UnitKind::ControlMerge { inputs } => {
-                changed |= self.eval_merge(uid, inputs as usize, true);
-            }
-            UnitKind::Mux { inputs } => {
-                let n = inputs as usize;
-                let vs = self.ivalid(uid, 0);
-                let sel = self.idata(uid, 0) as usize;
-                let rout = self.oready(uid, 0);
-                let mut vout = false;
-                let mut dout = 0;
-                for i in 0..n {
-                    let hit = vs && sel == i;
-                    let vi = self.ivalid(uid, i + 1);
-                    if hit && vi {
-                        vout = true;
-                        dout = self.idata(uid, i + 1);
-                    }
-                    changed |= self.set_ready(uid, i + 1, hit && rout);
-                }
-                changed |= self.set_out(uid, 0, vout, dout);
-                changed |= self.set_ready(uid, 0, vout && rout);
-            }
-            UnitKind::Operator(op) => {
-                changed |= self.eval_operator(uid, op, w);
-            }
-            UnitKind::Load { .. } => {
-                let (v, data) = match self.unit[uid.index()] {
-                    UnitState::MemPort { v, data } => (v, data),
-                    _ => unreachable!(),
-                };
-                let rout = self.oready(uid, 0);
-                let en = rout || !v;
-                changed |= self.set_out(uid, 0, v, data);
-                changed |= self.set_ready(uid, 0, en);
-            }
-            UnitKind::Store { .. } => {
-                let (v, _) = match self.unit[uid.index()] {
-                    UnitState::MemPort { v, data } => (v, data),
-                    _ => unreachable!(),
-                };
-                let va = self.ivalid(uid, 0);
-                let vd = self.ivalid(uid, 1);
-                let rout = self.oready(uid, 0);
-                let en = rout || !v;
-                changed |= self.set_out(uid, 0, v, 0);
-                changed |= self.set_ready(uid, 0, en && vd);
-                changed |= self.set_ready(uid, 1, en && va);
-            }
-        }
-        changed
-    }
-
-    fn eval_merge(&mut self, uid: UnitId, n: usize, with_index: bool) -> bool {
-        let mut changed = false;
-        let valids: Vec<bool> = (0..n).map(|i| self.ivalid(uid, i)).collect();
-        // Highest-index priority: at a loop header the back edge (input 1)
-        // must outrank a freshly arriving entry token (input 0), or a
-        // legally buffered circuit can process iterations out of order and
-        // deadlock. For exclusive-input merges the priority never fires.
-        let comb_grant = valids.iter().rposition(|&v| v);
-        if with_index {
-            // The grant latches for the lifetime of the in-flight token so
-            // a later arrival on another input cannot corrupt the pair of
-            // outputs (they may fire in different cycles).
-            let (dones, latched) = match &self.unit[uid.index()] {
-                UnitState::CmergeState { dones, grant } => (*dones, *grant),
-                _ => unreachable!(),
-            };
-            let grant = latched.map(|g| g as usize).or(comb_grant);
-            let any = grant
-                .map(|g| valids[g] || latched.is_some())
-                .unwrap_or(false);
-            let dout = grant.map(|i| self.idata(uid, i)).unwrap_or(0);
-            let r0 = self.oready(uid, 0);
-            let r1 = self.oready(uid, 1);
-            changed |= self.set_out(uid, 0, any && !dones[0], dout);
-            changed |= self.set_out(uid, 1, any && !dones[1], grant.unwrap_or(0) as u64);
-            let fire_ready = (dones[0] || r0) && (dones[1] || r1);
-            for (i, _) in valids.iter().enumerate() {
-                let granted = any && grant == Some(i);
-                changed |= self.set_ready(uid, i, granted && fire_ready);
-            }
-        } else {
-            let grant = comb_grant;
-            let any = grant.is_some();
-            let dout = grant.map(|i| self.idata(uid, i)).unwrap_or(0);
-            let r0 = self.oready(uid, 0);
-            changed |= self.set_out(uid, 0, any, dout);
-            for (i, _) in valids.iter().enumerate() {
-                let granted = grant == Some(i);
-                changed |= self.set_ready(uid, i, granted && r0);
-            }
-        }
-        changed
-    }
-
-    fn eval_operator(&mut self, uid: UnitId, op: OpKind, w: u16) -> bool {
-        let mut changed = false;
-        let arity = op.arity();
-        let valids: Vec<bool> = (0..arity).map(|i| self.ivalid(uid, i)).collect();
-        let all = valids.iter().all(|&v| v);
-        let rout = self.oready(uid, 0);
-        if op.latency() == 0 {
-            let result = self.apply_op(uid, op, w);
-            changed |= self.set_out(uid, 0, all, result);
-            for i in 0..arity {
-                let others = valids
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != i)
-                    .all(|(_, &v)| v);
-                changed |= self.set_ready(uid, i, rout && others);
-            }
-        } else {
-            let (last_v, last_d) = match &self.unit[uid.index()] {
-                UnitState::Pipe(stages) => *stages.last().expect("nonempty pipe"),
-                _ => unreachable!(),
-            };
-            let en = rout || !last_v;
-            changed |= self.set_out(uid, 0, last_v, last_d);
-            for i in 0..arity {
-                let others = valids
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != i)
-                    .all(|(_, &v)| v);
-                changed |= self.set_ready(uid, i, en && others);
-            }
-        }
-        changed
-    }
-
-    fn apply_op(&self, uid: UnitId, op: OpKind, w: u16) -> u64 {
-        let m = mask(w);
-        let a = self.idata(uid, 0);
-        let b = if op.arity() >= 2 {
-            self.idata(uid, 1)
-        } else {
-            0
-        };
-        let sa = to_signed(a, w);
-        let sb = to_signed(b, w);
-        match op {
-            OpKind::Add => a.wrapping_add(b) & m,
-            OpKind::Sub => a.wrapping_sub(b) & m,
-            OpKind::Mul => a.wrapping_mul(b) & m,
-            OpKind::ShlConst(k) => (a << k) & m,
-            OpKind::ShrConst(k) => (a & m) >> k,
-            OpKind::And => a & b & m,
-            OpKind::Or => (a | b) & m,
-            OpKind::Xor => (a ^ b) & m,
-            OpKind::Not => !a & m,
-            OpKind::Eq => (a == b) as u64,
-            OpKind::Ne => (a != b) as u64,
-            OpKind::Lt => (sa < sb) as u64,
-            OpKind::Le => (sa <= sb) as u64,
-            OpKind::Gt => (sa > sb) as u64,
-            OpKind::Ge => (sa >= sb) as u64,
-            OpKind::Select => {
-                let cond = a & 1 != 0;
-                let x = self.idata(uid, 1);
-                let y = self.idata(uid, 2);
-                (if cond { x } else { y }) & m
-            }
-        }
-    }
-
-    /// Commits sequential state; returns `true` if anything progressed.
-    fn commit(&mut self) -> Result<bool, SimError> {
+    /// Event-driven commit: visits the live channels and the settle's
+    /// evaluated units plus the always-commit set, in ascending unit order
+    /// (memory effects and error precedence must match the sweep).
+    fn commit_event(&mut self) -> Result<bool, SimError> {
         let mut progressed = false;
-
-        // Channel transfers + buffer state.
-        for (cid, ch) in self.g.channels() {
-            let spec = ch.buffer();
+        let mut i = 0;
+        while i < self.active_chans.len() {
+            let cid = self.active_chans[i];
+            let (p, state_changed) = self.commit_channel(cid);
+            progressed |= p;
+            if state_changed {
+                self.mark_chan_seed(cid);
+            }
             let s = self.sig[cid.index()];
-            if s.valid_src && s.ready_src {
-                self.transfers[cid.index()] += 1;
-                progressed = true;
-            } else if s.valid_src {
-                self.stalls[cid.index()] += 1;
-            }
-            if spec.transparent || spec.opaque {
-                // Compute every next-state from the *current* state before
-                // mutating anything: the TEHB and OEHB registers clock
-                // simultaneously in hardware.
-                let (v1, d1) = self.tehb_out(cid);
-                let ready1 = self.tehb_downstream_ready(cid);
-                let st = self.chan[cid.index()];
-                let mut next = st;
-                if spec.transparent {
-                    next.tehb_full = v1 && !ready1;
-                    if !st.tehb_full {
-                        next.tehb_saved = s.data_src;
-                    }
-                }
-                if spec.opaque {
-                    let en = ready1 && v1;
-                    if en {
-                        next.oehb_data = d1;
-                    }
-                    next.oehb_vld = en || (st.oehb_vld && !s.ready_dst);
-                    if en {
-                        progressed = true;
-                    }
-                }
-                if next.tehb_full != st.tehb_full || next.oehb_vld != st.oehb_vld {
-                    progressed = true;
-                }
-                self.chan[cid.index()] = next;
+            let st = self.chan[cid.index()];
+            if s.valid_src || st.tehb_full || st.oehb_vld {
+                i += 1;
+            } else {
+                self.chan_active[cid.index()] = false;
+                self.active_chans.swap_remove(i);
             }
         }
-
-        // Unit state.
-        for (uid, unit) in self.g.units() {
-            let kind = *unit.kind();
-            let w = unit.width();
-            match kind {
-                UnitKind::Entry | UnitKind::Argument { .. } => {
-                    let cid = self.out_ch(uid, 0);
-                    let s = self.sig[cid.index()];
-                    if let UnitState::Fired(fired) = &mut self.unit[uid.index()] {
-                        if !*fired && s.valid_src && s.ready_src {
-                            *fired = true;
-                            progressed = true;
-                        }
-                    }
-                }
-                UnitKind::Exit => {
-                    let cid = self.in_ch(uid, 0);
-                    let s = self.sig[cid.index()];
-                    if s.valid_dst && !self.exited {
-                        self.exited = true;
-                        self.exit_value = if w > 0 { Some(s.data_dst) } else { None };
-                        progressed = true;
-                    }
-                }
-                UnitKind::Fork { outputs } => {
-                    let n = outputs as usize;
-                    let vin = self.ivalid(uid, 0);
-                    let mut all = true;
-                    let dones = match &self.unit[uid.index()] {
-                        UnitState::ForkDone(d) => d.clone(),
-                        _ => unreachable!(),
-                    };
-                    for (i, &done) in dones.iter().enumerate() {
-                        all &= done || self.oready(uid, i);
-                    }
-                    let fire_all = vin && all;
-                    let mut new_dones = vec![false; n];
-                    for (i, &done) in dones.iter().enumerate() {
-                        let transfer = vin && !done && self.oready(uid, i);
-                        new_dones[i] = (done || transfer) && !fire_all;
-                    }
-                    if new_dones != dones {
-                        progressed = true;
-                    }
-                    self.unit[uid.index()] = UnitState::ForkDone(new_dones);
-                }
-                UnitKind::ControlMerge { inputs } => {
-                    let n = inputs as usize;
-                    let valids: Vec<bool> = (0..n).map(|i| self.ivalid(uid, i)).collect();
-                    let (dones, latched) = match &self.unit[uid.index()] {
-                        UnitState::CmergeState { dones, grant } => (*dones, *grant),
-                        _ => unreachable!(),
-                    };
-                    let comb_grant = valids.iter().rposition(|&v| v);
-                    let grant = latched.map(|g| g as usize).or(comb_grant);
-                    let any = grant
-                        .map(|g| valids[g] || latched.is_some())
-                        .unwrap_or(false);
-                    let mut all = true;
-                    for (i, &done) in dones.iter().enumerate() {
-                        all &= done || self.oready(uid, i);
-                    }
-                    let fire_all = any && all;
-                    let mut new_dones = [false; 2];
-                    for (i, &done) in dones.iter().enumerate() {
-                        let transfer = any && !done && self.oready(uid, i);
-                        new_dones[i] = (done || transfer) && !fire_all;
-                    }
-                    let new_grant = if fire_all {
-                        None
-                    } else if any {
-                        grant.map(|g| g as u8)
-                    } else {
-                        None
-                    };
-                    let new_state = UnitState::CmergeState {
-                        dones: new_dones,
-                        grant: new_grant,
-                    };
-                    if self.unit[uid.index()] != new_state {
-                        progressed = true;
-                    }
-                    self.unit[uid.index()] = new_state;
-                }
-                UnitKind::Operator(op) if op.latency() > 0 => {
-                    let arity = op.arity();
-                    let all = (0..arity).all(|i| self.ivalid(uid, i));
-                    let rout = self.oready(uid, 0);
-                    let result = self.apply_op(uid, op, w);
-                    if let UnitState::Pipe(stages) = &mut self.unit[uid.index()] {
-                        let last_v = stages.last().expect("pipe").0;
-                        let en = rout || !last_v;
-                        if en {
-                            for k in (1..stages.len()).rev() {
-                                stages[k] = stages[k - 1];
-                            }
-                            stages[0] = (all, result);
-                            if all || stages.iter().any(|(v, _)| *v) {
-                                progressed = true;
-                            }
-                        }
-                    }
-                }
-                UnitKind::Load { mem } => {
-                    let vin = self.ivalid(uid, 0);
-                    let addr = self.idata(uid, 0);
-                    let rout = self.oready(uid, 0);
-                    if let UnitState::MemPort { v, .. } = self.unit[uid.index()] {
-                        let en = rout || !v;
-                        if en {
-                            let value = if vin {
-                                let memv = &self.mems[mem.index()];
-                                let idx = addr as usize;
-                                if idx >= memv.len() {
-                                    return Err(SimError::AddrOutOfBounds {
-                                        unit: uid,
-                                        addr,
-                                        size: memv.len(),
-                                    });
-                                }
-                                memv[idx]
-                            } else {
-                                0
-                            };
-                            let new = UnitState::MemPort {
-                                v: vin,
-                                data: value,
-                            };
-                            if self.unit[uid.index()] != new {
-                                progressed = true;
-                            }
-                            self.unit[uid.index()] = new;
-                        }
-                    }
-                }
-                UnitKind::Store { mem } => {
-                    let va = self.ivalid(uid, 0);
-                    let vd = self.ivalid(uid, 1);
-                    let addr = self.idata(uid, 0);
-                    let data = self.idata(uid, 1);
-                    let rout = self.oready(uid, 0);
-                    if let UnitState::MemPort { v, .. } = self.unit[uid.index()] {
-                        let en = rout || !v;
-                        let take = va && vd && en;
-                        if take {
-                            let memv = &mut self.mems[mem.index()];
-                            let idx = addr as usize;
-                            if idx >= memv.len() {
-                                return Err(SimError::AddrOutOfBounds {
-                                    unit: uid,
-                                    addr,
-                                    size: memv.len(),
-                                });
-                            }
-                            memv[idx] = data;
-                        }
-                        if en {
-                            let new = UnitState::MemPort { v: take, data: 0 };
-                            if self.unit[uid.index()] != new || take {
-                                progressed = true;
-                            }
-                            self.unit[uid.index()] = new;
-                        }
-                    }
-                }
-                _ => {}
+        let mut list = std::mem::take(&mut self.commit_units);
+        for i in 0..self.idx.always_commit.len() {
+            let u = self.idx.always_commit[i];
+            if !self.evaled[u.index()] {
+                list.push(u);
             }
         }
+        list.sort_unstable_by_key(|u| u.index());
+        for &u in &list {
+            self.evaled[u.index()] = false;
+        }
+        for &u in &list {
+            let (p, changed) = self.commit_unit(u)?;
+            progressed |= p;
+            if changed {
+                self.mark_dirty(u);
+            }
+        }
+        list.clear();
+        self.commit_units = list;
         Ok(progressed)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn mask_widths() {
-        assert_eq!(mask(0), 0);
-        assert_eq!(mask(1), 1);
-        assert_eq!(mask(8), 0xFF);
-        assert_eq!(mask(64), u64::MAX);
-    }
-
-    #[test]
-    fn signed_reinterpretation() {
-        assert_eq!(to_signed(0xFF, 8), -1);
-        assert_eq!(to_signed(0x7F, 8), 127);
-        assert_eq!(to_signed(0x80, 8), -128);
-        assert_eq!(to_signed(5, 16), 5);
     }
 }

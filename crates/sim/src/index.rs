@@ -1,0 +1,102 @@
+//! Precomputed adjacency index of one dataflow graph.
+//!
+//! Both schedulers propagate combinational changes *unit → touched
+//! channels → endpoint units*; the event-driven scheduler additionally
+//! seeds each cycle from channels whose buffer state changed at the clock
+//! edge. All of those hops are hot, so the graph's connectivity (and the
+//! per-unit kind/width and per-channel buffer spec the evaluators consult
+//! on every call) is flattened once, at construction, into plain arrays.
+
+use dataflow::{BufferSpec, ChannelId, Graph, UnitId, UnitKind};
+
+#[derive(Debug)]
+pub(crate) struct AdjIndex {
+    /// Per-unit kind, flat by unit index.
+    pub kind: Vec<UnitKind>,
+    /// Per-unit data width, flat by unit index.
+    pub width: Vec<u16>,
+    /// Per-channel `(src unit, dst unit)`, flat by channel index.
+    pub ends: Vec<(UnitId, UnitId)>,
+    /// Per-channel buffer spec, flat by channel index.
+    pub spec: Vec<BufferSpec>,
+    /// Flattened input ports: port `p` of unit `u` is
+    /// `in_chs[in_off[u] + p]`.
+    in_off: Vec<u32>,
+    in_chs: Vec<Option<ChannelId>>,
+    /// Flattened output ports, same layout.
+    out_off: Vec<u32>,
+    out_chs: Vec<Option<ChannelId>>,
+    /// Units the event-driven scheduler commits every cycle regardless of
+    /// settle activity, ascending by id: Entry/Argument (token-issue
+    /// latches), Exit (completion observer), and every memory port — a
+    /// load must observe stores committed in the same cycle even when none
+    /// of the load's own signals changed.
+    pub always_commit: Vec<UnitId>,
+}
+
+impl AdjIndex {
+    pub fn build(g: &Graph) -> Self {
+        let mut kind = Vec::with_capacity(g.num_units());
+        let mut width = Vec::with_capacity(g.num_units());
+        let mut in_off = Vec::with_capacity(g.num_units() + 1);
+        let mut in_chs = Vec::new();
+        let mut out_off = Vec::with_capacity(g.num_units() + 1);
+        let mut out_chs = Vec::new();
+        let mut always_commit = Vec::new();
+        for (uid, u) in g.units() {
+            let k = *u.kind();
+            kind.push(k);
+            width.push(u.width());
+            in_off.push(in_chs.len() as u32);
+            for p in 0..k.num_inputs() {
+                in_chs.push(g.input_channel(uid, p));
+            }
+            out_off.push(out_chs.len() as u32);
+            for p in 0..k.num_outputs() {
+                out_chs.push(g.output_channel(uid, p));
+            }
+            if matches!(
+                k,
+                UnitKind::Entry
+                    | UnitKind::Argument { .. }
+                    | UnitKind::Exit
+                    | UnitKind::Load { .. }
+                    | UnitKind::Store { .. }
+            ) {
+                always_commit.push(uid);
+            }
+        }
+        in_off.push(in_chs.len() as u32);
+        out_off.push(out_chs.len() as u32);
+
+        let mut ends = Vec::with_capacity(g.num_channels());
+        let mut spec = Vec::with_capacity(g.num_channels());
+        for (_, ch) in g.channels() {
+            ends.push((ch.src().unit, ch.dst().unit));
+            spec.push(ch.buffer());
+        }
+        AdjIndex {
+            kind,
+            width,
+            ends,
+            spec,
+            in_off,
+            in_chs,
+            out_off,
+            out_chs,
+            always_commit,
+        }
+    }
+
+    /// Channel feeding input port `p` of `uid`.
+    #[inline]
+    pub fn input(&self, uid: UnitId, p: usize) -> ChannelId {
+        self.in_chs[self.in_off[uid.index()] as usize + p].expect("validated graph")
+    }
+
+    /// Channel driven by output port `p` of `uid`.
+    #[inline]
+    pub fn output(&self, uid: UnitId, p: usize) -> ChannelId {
+        self.out_chs[self.out_off[uid.index()] as usize + p].expect("validated graph")
+    }
+}

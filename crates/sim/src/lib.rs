@@ -12,6 +12,11 @@
 //! ready backward) to a fixpoint, then (2) commits all sequential state
 //! (buffer slots, fork done flags, operator pipelines, memory ports).
 //!
+//! Two scheduling engines share those semantics (see [`SimEngine`]): the
+//! default event-driven scheduler, whose per-cycle cost scales with circuit
+//! activity, and the original full-sweep engine kept as a bit-identical
+//! oracle.
+//!
 //! # Example
 //!
 //! ```
@@ -35,8 +40,14 @@
 //! # }
 //! ```
 
+mod commit;
 mod engine;
+mod eval;
+mod index;
+mod state;
+mod types;
 mod vcd;
 
-pub use engine::{RunStats, SimError, Simulator};
+pub use engine::{SimEngine, Simulator};
+pub use types::{RunStats, SimError};
 pub use vcd::VcdTracer;

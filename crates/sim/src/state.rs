@@ -1,0 +1,46 @@
+//! Sequential and combinational state of the simulated circuit.
+
+/// Sequential state of one unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum UnitState {
+    None,
+    /// Entry/Argument: has the single token been issued?
+    Fired(bool),
+    /// Eager fork: per-output done flags.
+    ForkDone(Vec<bool>),
+    /// Control merge: per-output done flags plus the latched grant (which
+    /// input the in-flight token came from).
+    CmergeState {
+        /// Output delivery flags (data, index).
+        dones: [bool; 2],
+        /// Latched input, held until both outputs fire.
+        grant: Option<u8>,
+    },
+    /// Pipelined operator: per-stage (valid, value).
+    Pipe(Vec<(bool, u64)>),
+    /// Load/store port: output-register stage (valid, value).
+    MemPort {
+        v: bool,
+        data: u64,
+    },
+}
+
+/// Combinational signal values of one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ChanSig {
+    pub valid_src: bool,
+    pub data_src: u64,
+    pub ready_src: bool,
+    pub valid_dst: bool,
+    pub data_dst: u64,
+    pub ready_dst: bool,
+}
+
+/// Sequential state of one channel's buffers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ChanState {
+    pub oehb_vld: bool,
+    pub oehb_data: u64,
+    pub tehb_full: bool,
+    pub tehb_saved: u64,
+}

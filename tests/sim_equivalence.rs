@@ -1,0 +1,292 @@
+//! Engine-equivalence suite for the simulator: the event-driven scheduler
+//! ([`sim::SimEngine::EventDriven`], the default) must agree *bit for bit*
+//! with the full-sweep oracle ([`sim::SimEngine::FullSweep`]) — same
+//! cycles, exit values, per-channel transfer/stall counters, memory
+//! contents, and error cases — on randomized DFGs and on all nine
+//! evaluation kernels. The parallel slack-matching pass built on top must
+//! additionally pick identical buffer sets at any job count.
+
+use frequenz::core::{slack_match, SlackOptions};
+use frequenz::dataflow::{BufferSpec, Graph, OpKind, PortRef, UnitKind};
+use frequenz::hls::kernels;
+use frequenz::sim::{RunStats, SimEngine, SimError, Simulator};
+use proptest::prelude::*;
+
+/// Everything externally observable about one finished (or failed) run.
+type Fingerprint = (
+    Result<RunStats, SimError>,
+    u64,           // elapsed cycles (also meaningful after errors)
+    Vec<u64>,      // per-channel transfers
+    Vec<u64>,      // per-channel stalls
+    Vec<Vec<u64>>, // memory contents
+);
+
+fn fingerprint(g: &Graph, engine: SimEngine, args: &[u64], budget: u64) -> Fingerprint {
+    let mut s = Simulator::with_engine(g, engine);
+    for (i, &v) in args.iter().enumerate() {
+        s.set_arg(i as u8, v);
+    }
+    let res = s.run(budget);
+    (
+        res,
+        s.cycle(),
+        g.channels().map(|(c, _)| s.transfers(c)).collect(),
+        g.channels().map(|(c, _)| s.stalls(c)).collect(),
+        g.memories().map(|(m, _)| s.memory(m).to_vec()).collect(),
+    )
+}
+
+fn assert_engines_identical(g: &Graph, args: &[u64], budget: u64, label: &str) {
+    let event = fingerprint(g, SimEngine::EventDriven, args, budget);
+    let sweep = fingerprint(g, SimEngine::FullSweep, args, budget);
+    assert_eq!(event, sweep, "{label}: engines diverged");
+}
+
+/// Builds a pipelined operator chain ending in an [`UnitKind::Exit`], with
+/// buffers sprinkled on arbitrary channels: `ops` picks the operators
+/// (including latency>0 multiplies, exercising the pipeline registers) and
+/// `bufs` picks (channel, buffer kind) pairs.
+fn sim_chain(ops: &[u8], bufs: &[u16]) -> Graph {
+    let mut g = Graph::new("prop");
+    let bbs = [g.add_basic_block("bb0"), g.add_basic_block("bb1")];
+    let a0 = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a0", bbs[0], 8)
+        .unwrap();
+    let mut prev = PortRef::new(a0, 0);
+    let mut prev_width = 8u16;
+    for (i, &op) in ops.iter().enumerate() {
+        let bb = bbs[i % 2];
+        let kind = match op % 8 {
+            0 => OpKind::Add,
+            1 => OpKind::Sub,
+            2 => OpKind::Mul, // latency > 0: exercises the Pipe state
+            3 => OpKind::Or,
+            4 => OpKind::Xor,
+            5 => OpKind::Eq,
+            6 => OpKind::Ge,
+            _ => OpKind::And,
+        };
+        let width = prev_width;
+        let out_width = match kind {
+            OpKind::Eq | OpKind::Ge => 1,
+            _ => width,
+        };
+        let arg = g
+            .add_unit(
+                UnitKind::Argument {
+                    index: (i + 1) as u8,
+                },
+                format!("a{}", i + 1),
+                bb,
+                width,
+            )
+            .unwrap();
+        let u = g
+            .add_unit(UnitKind::Operator(kind), format!("op{i}"), bb, width)
+            .unwrap();
+        g.connect(prev, PortRef::new(u, 0)).unwrap();
+        g.connect(PortRef::new(arg, 0), PortRef::new(u, 1)).unwrap();
+        prev = PortRef::new(u, 0);
+        prev_width = out_width;
+    }
+    let exit = g
+        .add_unit(UnitKind::Exit, "exit", bbs[ops.len() % 2], prev_width)
+        .unwrap();
+    g.connect(prev, PortRef::new(exit, 0)).unwrap();
+    g.validate().unwrap();
+    let channels: Vec<_> = g.channels().map(|(c, _)| c).collect();
+    for &b in bufs {
+        let c = channels[b as usize % channels.len()];
+        let spec = match b % 3 {
+            0 => BufferSpec::FULL,
+            1 => BufferSpec::OPAQUE,
+            _ => BufferSpec::TRANSPARENT,
+        };
+        g.set_buffer(c, spec);
+    }
+    g
+}
+
+/// `gsum(n)` with extra buffers on arbitrary channels: loops, merges,
+/// branches, and memory ports under randomized backpressure. Whatever the
+/// outcome — completion, deadlock, timeout — both engines must agree.
+fn buffered_gsum(n: usize, bufs: &[u16]) -> Graph {
+    let k = kernels::gsum(n);
+    let mut g = k.seeded_graph();
+    let channels: Vec<_> = g.channels().map(|(c, _)| c).collect();
+    for &b in bufs {
+        let c = channels[b as usize % channels.len()];
+        let spec = match b % 3 {
+            0 => BufferSpec::FULL,
+            1 => BufferSpec::OPAQUE,
+            _ => BufferSpec::TRANSPARENT,
+        };
+        g.set_buffer(c, spec);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random pipelined chains with random buffers: bit-identical runs.
+    #[test]
+    fn engines_agree_on_random_dfgs(
+        ops in prop::collection::vec(any::<u8>(), 1..12),
+        bufs in prop::collection::vec(any::<u16>(), 0..8),
+        args in prop::collection::vec(any::<u64>(), 13),
+    ) {
+        let g = sim_chain(&ops, &bufs);
+        let event = fingerprint(&g, SimEngine::EventDriven, &args, 10_000);
+        let sweep = fingerprint(&g, SimEngine::FullSweep, &args, 10_000);
+        prop_assert_eq!(event, sweep);
+    }
+
+    /// Random loop graphs (gsum + arbitrary extra buffers): bit-identical
+    /// runs, including deadlocks or timeouts the extra buffers may cause.
+    #[test]
+    fn engines_agree_on_random_buffered_loops(
+        n in 2usize..24,
+        bufs in prop::collection::vec(any::<u16>(), 0..6),
+    ) {
+        let g = buffered_gsum(n, &bufs);
+        let event = fingerprint(&g, SimEngine::EventDriven, &[], 50_000);
+        let sweep = fingerprint(&g, SimEngine::FullSweep, &[], 50_000);
+        prop_assert_eq!(event, sweep);
+    }
+}
+
+/// All nine evaluation kernels: bit-identical engines, and the event
+/// engine still computes the expected results.
+#[test]
+fn engines_bit_identical_on_all_kernels() {
+    for k in kernels::all_kernels() {
+        let g = k.seeded_graph();
+        let event = fingerprint(&g, SimEngine::EventDriven, &[], k.max_cycles * 4);
+        let sweep = fingerprint(&g, SimEngine::FullSweep, &[], k.max_cycles * 4);
+        assert_eq!(event, sweep, "{}: engines diverged", k.name);
+        let stats = event.0.expect("kernel completes");
+        assert_eq!(stats.exit_value, k.expected_exit, "{}: exit value", k.name);
+        for (mem, expected) in &k.expected_mems {
+            assert_eq!(
+                &event.4[mem.index()],
+                expected,
+                "{}: memory {mem} contents",
+                k.name
+            );
+        }
+    }
+}
+
+/// Unseeded kernels (no back-edge buffers) fail identically: combinational
+/// loops and deadlocks are engine-invariant error cases.
+#[test]
+fn engines_agree_on_unseeded_kernel_failures() {
+    for k in kernels::all_kernels_small() {
+        assert_engines_identical(k.graph(), &[], k.max_cycles, k.name);
+    }
+}
+
+/// A data cycle through two adders never settles: both engines must call
+/// it [`SimError::NoFixpoint`] on the same cycle.
+#[test]
+fn no_fixpoint_is_engine_invariant() {
+    let mut g = Graph::new("osc");
+    let bb = g.add_basic_block("bb0");
+    let a0 = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a0", bb, 8)
+        .unwrap();
+    let a1 = g
+        .add_unit(UnitKind::Argument { index: 1 }, "a1", bb, 8)
+        .unwrap();
+    let u = g
+        .add_unit(UnitKind::Operator(OpKind::Add), "u", bb, 8)
+        .unwrap();
+    let v = g
+        .add_unit(UnitKind::Operator(OpKind::Add), "v", bb, 8)
+        .unwrap();
+    g.connect(PortRef::new(a0, 0), PortRef::new(u, 0)).unwrap();
+    g.connect(PortRef::new(v, 0), PortRef::new(u, 1)).unwrap();
+    g.connect(PortRef::new(u, 0), PortRef::new(v, 0)).unwrap();
+    g.connect(PortRef::new(a1, 0), PortRef::new(v, 1)).unwrap();
+    g.validate().unwrap();
+    let event = fingerprint(&g, SimEngine::EventDriven, &[1, 1], 100);
+    let sweep = fingerprint(&g, SimEngine::FullSweep, &[1, 1], 100);
+    assert_eq!(event, sweep);
+    assert_eq!(event.0, Err(SimError::NoFixpoint));
+}
+
+/// An out-of-range load faults identically under both engines.
+#[test]
+fn addr_out_of_bounds_is_engine_invariant() {
+    let mut g = Graph::new("oob");
+    let bb = g.add_basic_block("bb0");
+    let mem = g.add_memory("m", 4, 8, vec![1, 2, 3, 4]);
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "addr", bb, 8)
+        .unwrap();
+    let ld = g.add_unit(UnitKind::Load { mem }, "ld", bb, 8).unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
+    g.connect(PortRef::new(a, 0), PortRef::new(ld, 0)).unwrap();
+    g.connect(PortRef::new(ld, 0), PortRef::new(x, 0)).unwrap();
+    g.validate().unwrap();
+    let event = fingerprint(&g, SimEngine::EventDriven, &[99], 100);
+    let sweep = fingerprint(&g, SimEngine::FullSweep, &[99], 100);
+    assert_eq!(event, sweep);
+    assert!(
+        matches!(
+            event.0,
+            Err(SimError::AddrOutOfBounds {
+                addr: 99,
+                size: 4,
+                ..
+            })
+        ),
+        "got {:?}",
+        event.0
+    );
+}
+
+/// Truncated runs (timeout) leave identical counters behind.
+#[test]
+fn timeouts_are_engine_invariant() {
+    let k = kernels::gsum(64);
+    let g = k.seeded_graph();
+    for budget in [1, 7, 50] {
+        let event = fingerprint(&g, SimEngine::EventDriven, &[], budget);
+        let sweep = fingerprint(&g, SimEngine::FullSweep, &[], budget);
+        assert_eq!(event, sweep, "budget {budget}");
+        assert_eq!(event.0, Err(SimError::Timeout { max_cycles: budget }));
+    }
+}
+
+/// The parallel slack-matching pass picks the same buffers at any job
+/// count: trials are evaluated concurrently but applied in fixed candidate
+/// order.
+#[test]
+fn slack_matching_jobs_sweep_is_bit_identical() {
+    for k in kernels::all_kernels_small() {
+        let seed: Vec<_> = k.back_edges().to_vec();
+        let reference = slack_match(
+            k.graph(),
+            &seed,
+            &SlackOptions {
+                sim_budget: k.max_cycles * 4,
+                jobs: 1,
+                ..SlackOptions::default()
+            },
+        );
+        for jobs in [2usize, 8] {
+            let got = slack_match(
+                k.graph(),
+                &seed,
+                &SlackOptions {
+                    sim_budget: k.max_cycles * 4,
+                    jobs,
+                    ..SlackOptions::default()
+                },
+            );
+            assert_eq!(got, reference, "{}: jobs={jobs} diverged", k.name);
+        }
+    }
+}
