@@ -5,20 +5,27 @@
 //!
 //! ```sh
 //! cargo run -p frequenz-bench --release --bin bench_milp -- \
-//!     [--repeats N] [--out FILE]
+//!     [--repeats N] [--out FILE] [--baseline FILE]
 //! ```
 //!
 //! Writes `BENCH_milp.json` (per-kernel model sizes, engine wall clocks,
-//! speedups, pivot/refactorization/node counters, and the jobs-sweep
-//! identity verdict) and prints a table. Each engine solves every model
-//! `--repeats` times (default 3) and the minimum wall clock is reported.
+//! speedups, pivot/refactorization/node/cut counters, warm-start adoption,
+//! and the jobs-sweep identity verdict) and prints a table. Each engine
+//! solves every model `--repeats` times (default 3) and the minimum wall
+//! clock is reported.
+//!
+//! With `--baseline FILE`, the previously committed `BENCH_milp.json` is
+//! read *before* anything is overwritten and the fresh branch-and-bound
+//! node counts are gated against it: any kernel whose node count regresses
+//! by more than 10% fails the run (exit 1) after the new JSON is written,
+//! so CI catches search-quality regressions without freezing wall clocks.
 
 use frequenz_bench::CompareError;
 use frequenz_core::{
     build_placement_model, compute_penalties, extract_cfdfcs, map_lut_edges, synthesize,
     FlowOptions, PlacementProblem, TimingGraph,
 };
-use milp::{Engine, Model, Solution};
+use milp::{Engine, Model, Solution, WarmStart};
 use std::time::Instant;
 
 struct Row {
@@ -30,6 +37,7 @@ struct Row {
     sparse_s: f64,
     dense: Solution,
     sparse: Solution,
+    warm: Solution,
     jobs_identical: bool,
 }
 
@@ -87,13 +95,41 @@ fn time_solve(model: &Model, repeats: usize) -> Result<(f64, Solution), CompareE
     Ok((best, sol.expect("at least one repeat ran")))
 }
 
-fn bits(s: &Solution) -> (u64, u64, u64, Vec<u64>) {
+fn bits(s: &Solution) -> (u64, u64, u64, u64, u64, Vec<u64>) {
     (
         s.nodes,
         s.pivots,
+        s.nodes_pruned,
+        s.cuts,
         s.objective.to_bits(),
         s.values.iter().map(|v| v.to_bits()).collect(),
     )
+}
+
+/// Extracts `(name, nodes)` per kernel from a previously written
+/// `BENCH_milp.json`. Hand-rolled on purpose: the bench crate has no JSON
+/// dependency, and the file is machine-written one kernel per line.
+fn baseline_nodes(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(end) = rest.find('"') else { continue };
+        let name = rest[..end].to_string();
+        let Some(kpos) = line.find("\"nodes\": ") else {
+            continue;
+        };
+        let digits: String = line[kpos + 9..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(n) = digits.parse() {
+            out.push((name, n));
+        }
+    }
+    out
 }
 
 fn main() -> Result<(), CompareError> {
@@ -101,6 +137,20 @@ fn main() -> Result<(), CompareError> {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_milp.json".into());
+    // Read the committed baseline *now*: `--baseline` may point at the same
+    // path as `--out`, which is overwritten below.
+    let baseline = match arg_value("--baseline") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            let pairs = baseline_nodes(&text);
+            if pairs.is_empty() {
+                return Err(format!("baseline {path} holds no kernel node counts").into());
+            }
+            Some(pairs)
+        }
+        None => None,
+    };
     let opts = FlowOptions::default();
     let kernels = hls::kernels::all_kernels();
     println!(
@@ -108,7 +158,7 @@ fn main() -> Result<(), CompareError> {
         kernels.len()
     );
     println!(
-        "{:<15} | {:>5} {:>5} {:>5} | {:>9} {:>9} {:>7} | {:>8} {:>8} {:>8} {:>6}",
+        "{:<15} | {:>5} {:>5} {:>5} | {:>9} {:>9} {:>7} | {:>8} {:>8} {:>6} {:>5} | {:>6} {:>8}",
         "Benchmark",
         "vars",
         "rows",
@@ -118,8 +168,10 @@ fn main() -> Result<(), CompareError> {
         "speedup",
         "dPivots",
         "sPivots",
-        "refactor",
-        "nodes"
+        "nodes",
+        "cuts",
+        "wNodes",
+        "wPivots"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -135,6 +187,23 @@ fn main() -> Result<(), CompareError> {
 
         model.set_engine(Engine::SparseRevised);
         let (sparse_s, sparse) = time_solve(&model, repeats)?;
+
+        // Re-solve seeded with the first solve's root basis and incumbent —
+        // the cross-iteration warm-start path of `core::iterate`, measured
+        // in its best case (identical model). Warm starts may change the
+        // work (pivot path, hence the last few ulps), never the optimum.
+        let seed = WarmStart {
+            basis: sparse.root_basis.clone(),
+            incumbent: Some(sparse.values.clone()),
+        };
+        let warm = model.solve_warm(Some(&seed))?;
+        if (warm.objective - sparse.objective).abs() > 1e-9 * (1.0 + sparse.objective.abs()) {
+            return Err(format!(
+                "{}: warm re-solve changed the objective ({} vs {})",
+                kernel.name, warm.objective, sparse.objective
+            )
+            .into());
+        }
 
         // Deterministic parallel search: the wave composition is fixed, so
         // every counter and every solution bit must survive a jobs sweep.
@@ -161,7 +230,7 @@ fn main() -> Result<(), CompareError> {
         }
 
         println!(
-            "{:<15} | {:>5} {:>5} {:>5} | {:>9.4} {:>9.4} {:>6.2}x | {:>8} {:>8} {:>8} {:>6}",
+            "{:<15} | {:>5} {:>5} {:>5} | {:>9.4} {:>9.4} {:>6.2}x | {:>8} {:>8} {:>6} {:>5} | {:>6} {:>8}",
             kernel.name,
             model.num_vars(),
             rows_before,
@@ -171,8 +240,10 @@ fn main() -> Result<(), CompareError> {
             dense_s / sparse_s.max(1e-12),
             dense.pivots,
             sparse.pivots,
-            sparse.refactors,
             sparse.nodes,
+            sparse.cuts,
+            warm.nodes,
+            warm.pivots,
         );
         rows.push(Row {
             name: kernel.name,
@@ -183,6 +254,7 @@ fn main() -> Result<(), CompareError> {
             sparse_s,
             dense,
             sparse,
+            warm,
             jobs_identical,
         });
     }
@@ -206,6 +278,12 @@ fn main() -> Result<(), CompareError> {
             "DIVERGED — see stderr"
         }
     );
+    let warm_hits = rows.iter().filter(|r| r.warm.warm_used).count();
+    let hit_rate = warm_hits as f64 / rows.len().max(1) as f64;
+    println!(
+        "warm re-solve: {warm_hits}/{} kernels adopted the seeded start (hit rate {hit_rate:.3})",
+        rows.len()
+    );
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"repeats\": {repeats},\n"));
@@ -213,13 +291,16 @@ fn main() -> Result<(), CompareError> {
     json.push_str(&format!("  \"largest_kernel\": \"{}\",\n", largest.name));
     json.push_str(&format!("  \"largest_kernel_speedup\": {speedup:.3},\n"));
     json.push_str(&format!("  \"jobs_bit_identical\": {all_identical},\n"));
+    json.push_str(&format!("  \"warm_start_hit_rate\": {hit_rate:.3},\n"));
     json.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"vars\": {}, \"rows\": {}, \"rows_canonicalized\": {}, \
              \"dense_s\": {:.6}, \"sparse_s\": {:.6}, \"speedup\": {:.3}, \
              \"dense_pivots\": {}, \"sparse_pivots\": {}, \"sparse_refactors\": {}, \
-             \"nodes\": {}, \"objective\": {:.6}, \"dense_truncated\": {}, \
+             \"nodes\": {}, \"cuts\": {}, \"bounds_tightened\": {}, \"nodes_pruned\": {}, \
+             \"warm_start_hit\": {}, \"warm_nodes\": {}, \"warm_pivots\": {}, \
+             \"objective\": {:.6}, \"dense_truncated\": {}, \
              \"sparse_truncated\": {}, \"jobs_bit_identical\": {}}}{}\n",
             r.name,
             r.vars,
@@ -232,6 +313,12 @@ fn main() -> Result<(), CompareError> {
             r.sparse.pivots,
             r.sparse.refactors,
             r.sparse.nodes,
+            r.sparse.cuts,
+            r.sparse.presolve.bounds_tightened,
+            r.sparse.nodes_pruned,
+            r.warm.warm_used,
+            r.warm.nodes,
+            r.warm.pivots,
             r.sparse.objective,
             r.dense.truncated,
             r.sparse.truncated,
@@ -242,5 +329,32 @@ fn main() -> Result<(), CompareError> {
     json.push_str("  ]\n}\n");
     std::fs::write(&out, json)?;
     eprintln!("[bench_milp] wrote {out}");
+
+    // Node-count regression gate: fresh vs the committed baseline. Runs
+    // after the new JSON lands so a failing run still leaves the numbers
+    // behind for inspection.
+    if let Some(pairs) = baseline {
+        let mut regressed = false;
+        for (name, base_nodes) in &pairs {
+            let Some(r) = rows.iter().find(|r| r.name == name.as_str()) else {
+                eprintln!("[bench_milp] baseline kernel {name} no longer benchmarked");
+                continue;
+            };
+            if r.sparse.nodes as f64 > *base_nodes as f64 * 1.10 + 1e-9 {
+                eprintln!(
+                    "[bench_milp] REGRESSION: {name} explored {} B&B nodes, baseline {} (>10%)",
+                    r.sparse.nodes, base_nodes
+                );
+                regressed = true;
+            }
+        }
+        if regressed {
+            return Err("branch-and-bound node counts regressed >10% vs baseline".into());
+        }
+        eprintln!(
+            "[bench_milp] node counts within 10% of baseline on all {} kernels",
+            pairs.len()
+        );
+    }
     Ok(())
 }

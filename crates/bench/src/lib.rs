@@ -339,23 +339,38 @@ pub fn run_table1_jobs(
         );
     }
     // MILP solver breakdown of the iterative flow: sparse revised simplex
-    // work (pivots, refactorizations), branch-and-bound nodes, and rows
-    // removed by model canonicalization.
+    // work (pivots, refactorizations), branch-and-bound nodes (explored vs
+    // pruned by bound), rows removed by model canonicalization, root
+    // strengthening (cuts, presolve bound tightenings), and cross-iteration
+    // warm-start adoptions.
     println!();
     println!(
-        "{:<15} | {:>8} {:>9} {:>6} {:>8} | {:>8}",
-        "Benchmark", "milp(s)", "pivots", "nodes", "refactor", "rowsDrop"
+        "{:<15} | {:>8} {:>9} {:>6} {:>8} | {:>8} | {:>5} {:>6} {:>7} {:>6}",
+        "Benchmark",
+        "milp(s)",
+        "pivots",
+        "nodes",
+        "refactor",
+        "rowsDrop",
+        "cuts",
+        "pruned",
+        "tighten",
+        "warm"
     );
     for c in &rows {
         let t = &c.iter_trace;
         println!(
-            "{:<15} | {:>8.2} {:>9} {:>6} {:>8} | {:>8}",
+            "{:<15} | {:>8.2} {:>9} {:>6} {:>8} | {:>8} | {:>5} {:>6} {:>7} {:>6}",
             c.name,
             t.milp.as_secs_f64(),
             t.milp_pivots,
             t.milp_nodes,
             t.milp_refactors,
             t.milp_rows_dropped,
+            t.milp_cuts,
+            t.milp_nodes_pruned,
+            t.milp_bounds_tightened,
+            t.milp_warm_hits,
         );
     }
     // Simulation breakdown: where the cycle-level runs happen (both flows'
@@ -413,6 +428,8 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
              \"synth_full_s\": {:.3}, \"synth_incr_s\": {:.3}, \
              \"milp_s\": {:.3}, \"milp_pivots\": {}, \"milp_nodes\": {}, \
              \"milp_refactors\": {}, \"milp_rows_dropped\": {}, \
+             \"milp_cuts\": {}, \"milp_cut_rounds\": {}, \"milp_nodes_pruned\": {}, \
+             \"milp_bounds_tightened\": {}, \"milp_warm_hits\": {}, \
              \"sim_s\": {:.3}, \"sim_runs\": {}, \"sim_cycles\": {}, \
              \"slack_trials\": {}, \"slack_trials_pruned\": {}, \
              \"meas_sim_s\": {:.3}, \"meas_sim_runs\": {}, \"meas_sim_cycles\": {}}}{}\n",
@@ -445,6 +462,11 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
             t.milp_nodes,
             t.milp_refactors,
             t.milp_rows_dropped,
+            t.milp_cuts,
+            t.milp_cut_rounds,
+            t.milp_nodes_pruned,
+            t.milp_bounds_tightened,
+            t.milp_warm_hits,
             (c.prev_trace.sim + t.sim).as_secs_f64(),
             c.prev_trace.sim_runs + t.sim_runs,
             c.prev_trace.sim_cycles + t.sim_cycles,
@@ -512,6 +534,11 @@ mod tests {
             milp_nodes: 7,
             milp_refactors: 2,
             milp_rows_dropped: 15,
+            milp_cuts: 21,
+            milp_cut_rounds: 5,
+            milp_nodes_pruned: 6,
+            milp_bounds_tightened: 44,
+            milp_warm_hits: 2,
             sim_runs: 11,
             sim_cycles: 4242,
             slack_trials: 30,
@@ -547,6 +574,11 @@ mod tests {
         assert!(j.contains("\"milp_nodes\": 7"));
         assert!(j.contains("\"milp_refactors\": 2"));
         assert!(j.contains("\"milp_rows_dropped\": 15"));
+        assert!(j.contains("\"milp_cuts\": 21"));
+        assert!(j.contains("\"milp_cut_rounds\": 5"));
+        assert!(j.contains("\"milp_nodes_pruned\": 6"));
+        assert!(j.contains("\"milp_bounds_tightened\": 44"));
+        assert!(j.contains("\"milp_warm_hits\": 2"));
         assert!(j.contains("\"sim_runs\": 11"));
         assert!(j.contains("\"sim_cycles\": 4242"));
         assert!(j.contains("\"slack_trials\": 30"));

@@ -11,7 +11,7 @@
 use crate::cfdfc::extract_cfdfcs_traced;
 use crate::lutdfg::{map_lut_edges_cached, ClassifyCache, LutDfgMap};
 use crate::penalty::compute_penalties;
-use crate::place::{place_buffers, PlaceError, PlacementProblem};
+use crate::place::{place_buffers_warm, PlaceError, PlacementProblem};
 use crate::synth::{SynthCache, SynthHandle, Synthesis};
 use crate::timing::TimingGraph;
 use crate::trace::{timed, FlowTrace, SimStats};
@@ -53,6 +53,11 @@ pub struct FlowOptions {
     pub slack_matching: bool,
     /// The MILP objective (Eq. 3 by default; area-only for the ablation).
     pub objective: crate::place::Objective,
+    /// Carry each iteration's optimal MILP basis and incumbent into the
+    /// next iteration's solve ([`milp::MilpWarmStore`]). Warm starts are
+    /// revalidated by the solver and never change a placement — disabling
+    /// this only removes the speedup (the warm-start ablation).
+    pub milp_warm_start: bool,
 }
 
 impl Default for FlowOptions {
@@ -70,6 +75,7 @@ impl Default for FlowOptions {
             buffer_margin: 1,
             use_penalties: true,
             slack_matching: true,
+            milp_warm_start: true,
         }
     }
 }
@@ -268,6 +274,12 @@ pub fn optimize_iterative_with_cache(
     let mut prev_bbs: Option<Vec<(dataflow::BasicBlockId, dataflow::Fingerprint)>> = None;
     let mut classify_cache = ClassifyCache::default();
 
+    // One warm-start store for the whole run: iteration i+1's placement
+    // MILP starts from iteration i's optimal basis and incumbent (the
+    // models share a shape whenever re-synthesis left the variable set
+    // unchanged; any numeric drift is revalidated at adoption time).
+    let warm_store = opts.milp_warm_start.then(milp::MilpWarmStore::new);
+
     let mut extra_margin = 0u32;
     for iteration in 1..=opts.max_iterations {
         // Synthesize the current circuit (with the fixed buffers) and
@@ -324,12 +336,19 @@ pub fn optimize_iterative_with_cache(
             max_cut_rounds: opts.max_cut_rounds,
             objective: opts.objective,
         };
-        let placement = timed(&mut trace.milp, || place_buffers(&problem))?;
+        let placement = timed(&mut trace.milp, || {
+            place_buffers_warm(&problem, warm_store.as_ref())
+        })?;
         trace.cut_rounds += placement.cut_rounds;
         trace.milp_pivots += placement.milp_pivots;
         trace.milp_refactors += placement.milp_refactors;
         trace.milp_nodes += placement.milp_nodes;
         trace.milp_rows_dropped += placement.milp_rows_dropped;
+        trace.milp_cuts += placement.milp_cuts;
+        trace.milp_cut_rounds += placement.milp_cut_rounds;
+        trace.milp_nodes_pruned += placement.milp_nodes_pruned;
+        trace.milp_bounds_tightened += placement.milp_bounds_tightened;
+        trace.milp_warm_hits += placement.milp_warm_hits;
 
         // Re-synthesize with the proposed buffers; check the real levels.
         // The circuit just synthesized is the natural basis: the proposal

@@ -58,7 +58,8 @@ pub use lutdfg::{
 };
 pub use penalty::compute_penalties;
 pub use place::{
-    build_placement_model, place_buffers, Objective, PlaceError, PlacementProblem, PlacementResult,
+    build_placement_model, place_buffers, place_buffers_warm, Objective, PlaceError,
+    PlacementProblem, PlacementResult,
 };
 pub use report::{
     clock_period_ns, measure, measure_traced, measure_with_cache, utilization, CircuitReport,

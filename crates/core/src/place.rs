@@ -93,6 +93,19 @@ pub struct PlacementResult {
     /// Constraint rows removed by [`milp::Model::canonicalize`] across all
     /// cut rounds (duplicate, bound-implied, and empty rows).
     pub milp_rows_dropped: u64,
+    /// Gomory + cover cutting planes added at root nodes across all MILP
+    /// solves.
+    pub milp_cuts: u64,
+    /// Root cut-separation rounds consumed (distinct from the lazy
+    /// clock-period `cut_rounds` above, which rebuild the model).
+    pub milp_cut_rounds: u64,
+    /// Open branch-and-bound nodes discarded by the incumbent bound at pop
+    /// time (never LP-solved).
+    pub milp_nodes_pruned: u64,
+    /// Variable bounds tightened by MILP presolve across all solves.
+    pub milp_bounds_tightened: u64,
+    /// MILP solves that adopted a stored warm-start basis.
+    pub milp_warm_hits: u64,
 }
 
 /// Placement failures.
@@ -336,15 +349,45 @@ pub fn build_placement_model(p: &PlacementProblem<'_>) -> Result<Model, PlaceErr
 /// inconsistent fixed buffers) and [`PlaceError::UnbreakableCycle`] if a
 /// ring cannot be made sequential.
 pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceError> {
+    place_buffers_warm(p, None)
+}
+
+/// [`place_buffers`] with an optional cross-solve warm-start store.
+///
+/// When `store` is given, each MILP solve looks up the previous solve of
+/// the same model *shape* ([`milp::shape_key`]) and starts from its root
+/// basis and incumbent; afterwards it records its own. The Fig.-4 loop
+/// passes one store across all iterations, so iteration *i+1*'s placement
+/// solve warm-starts from iteration *i*'s (and lazy cut rounds within one
+/// call warm-start from each other). Warm starts are revalidated by the
+/// solver and never change the returned placement — only the work spent
+/// finding it.
+///
+/// # Errors
+///
+/// Same as [`place_buffers`].
+pub fn place_buffers_warm(
+    p: &PlacementProblem<'_>,
+    store: Option<&milp::MilpWarmStore>,
+) -> Result<PlacementResult, PlaceError> {
     let fixed: HashSet<ChannelId> = p.fixed.iter().copied().collect();
     let mut cuts = seed_cuts(p, &fixed);
 
     let mut rounds = 0usize;
     let mut unbreakable: Vec<u32> = Vec::new();
+    // Warm state carried across lazy cut rounds: round *i+1* solves the
+    // same model plus a few covering rows, so round *i*'s basis and
+    // incumbent are a near-perfect start (the solver revalidates both).
+    let mut last_warm: Option<milp::WarmStart> = None;
     let mut milp_pivots = 0u64;
     let mut milp_refactors = 0u64;
     let mut milp_nodes = 0u64;
     let mut milp_rows_dropped = 0u64;
+    let mut milp_cuts = 0u64;
+    let mut milp_cut_rounds = 0u64;
+    let mut milp_nodes_pruned = 0u64;
+    let mut milp_bounds_tightened = 0u64;
+    let mut milp_warm_hits = 0u64;
     loop {
         let BuiltModel {
             mut model,
@@ -358,17 +401,46 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
         let reduction = model.canonicalize();
         milp_rows_dropped += reduction.dropped() as u64;
 
-        // Exact solve with a bounded tree; on exhaustion fall back to
-        // rounding the LP relaxation up (covering constraints are
+        // Exact solve with a bounded tree (warm-started from the store when
+        // a previous solve of the same shape exists); on exhaustion fall
+        // back to rounding the LP relaxation up (covering constraints are
         // upward-closed, so rounding up preserves feasibility).
-        let sol = match model.solve() {
+        let key = store.map(|s| (s, milp::shape_key(&model)));
+        // A same-shape entry from a previous call (earlier iteration of
+        // the flow) wins over the intra-call round state: it already
+        // reflects a full solve of this very model shape.
+        let stored = key.as_ref().and_then(|(s, k)| s.get(*k));
+        let from_store = stored.is_some();
+        let warm = stored.or_else(|| last_warm.take());
+        let sol = match model.solve_warm(warm.as_ref()) {
             Ok(s) => s,
             Err(SolveError::NodeLimit) => model.solve_relaxation()?,
             Err(e) => return Err(e.into()),
         };
+        if let Some((s, k)) = &key {
+            s.put(
+                *k,
+                milp::WarmStart {
+                    basis: sol.root_basis.clone(),
+                    incumbent: Some(sol.values.clone()),
+                },
+            );
+        }
+        last_warm = Some(milp::WarmStart {
+            basis: sol.root_basis.clone(),
+            incumbent: Some(sol.values.clone()),
+        });
         milp_pivots += sol.pivots;
         milp_refactors += sol.refactors;
         milp_nodes += sol.nodes;
+        milp_cuts += sol.cuts;
+        milp_cut_rounds += sol.cut_rounds;
+        milp_nodes_pruned += sol.nodes_pruned;
+        milp_bounds_tightened += sol.presolve.bounds_tightened as u64;
+        // Only cross-call *store* adoptions count as warm hits; the
+        // intra-call round-to-round warm state above is unconditional and
+        // would drown the signal the counter exists to expose.
+        milp_warm_hits += (from_store && sol.warm_used) as u64;
         let placed: HashSet<ChannelId> = candidates
             .iter()
             .copied()
@@ -420,6 +492,11 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
                 milp_refactors,
                 milp_nodes,
                 milp_rows_dropped,
+                milp_cuts,
+                milp_cut_rounds,
+                milp_nodes_pruned,
+                milp_bounds_tightened,
+                milp_warm_hits,
             });
         }
         cuts.extend(new_cuts);

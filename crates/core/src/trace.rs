@@ -42,6 +42,19 @@ pub struct FlowTrace {
     pub milp_nodes: u64,
     /// Constraint rows removed by model canonicalization before solving.
     pub milp_rows_dropped: u64,
+    /// Gomory + cover cuts added at MILP root nodes.
+    pub milp_cuts: u64,
+    /// Root cut-separation rounds consumed by the MILP solver (distinct
+    /// from the lazy clock-period `cut_rounds`, which rebuild the model).
+    pub milp_cut_rounds: u64,
+    /// Branch-and-bound nodes pruned by the incumbent bound before their
+    /// LP was ever solved.
+    pub milp_nodes_pruned: u64,
+    /// Variable bounds tightened by MILP presolve.
+    pub milp_bounds_tightened: u64,
+    /// Placement solves that adopted a warm-start basis from a previous
+    /// iteration (or lazy cut round) of the same model shape.
+    pub milp_warm_hits: u64,
     /// Figure-4 iterations executed.
     pub iterations: usize,
     /// Portion of `synth` spent in full (basis-less) synthesis runs.
@@ -146,6 +159,11 @@ impl FlowTrace {
         self.milp_refactors += other.milp_refactors;
         self.milp_nodes += other.milp_nodes;
         self.milp_rows_dropped += other.milp_rows_dropped;
+        self.milp_cuts += other.milp_cuts;
+        self.milp_cut_rounds += other.milp_cut_rounds;
+        self.milp_nodes_pruned += other.milp_nodes_pruned;
+        self.milp_bounds_tightened += other.milp_bounds_tightened;
+        self.milp_warm_hits += other.milp_warm_hits;
         self.iterations += other.iterations;
         self.synth_full += other.synth_full;
         self.synth_incremental += other.synth_incremental;
@@ -170,7 +188,8 @@ impl fmt::Display for FlowTrace {
         write!(
             f,
             "synth {:.2}s (full {:.2}s + incr {:.2}s) | map {:.2}s | timing {:.2}s | \
-             milp {:.2}s ({} pivots, {} nodes, {} refactors, {} rows dropped) | \
+             milp {:.2}s ({} pivots, {} nodes, {} refactors, {} rows dropped, \
+             {} cuts/{} rounds, {} pruned, {} bounds tightened, {} warm hits) | \
              slack {:.2}s ({} trials, {} pruned) | \
              sim {:.2}s ({} runs, {} cycles) | \
              total {:.2}s | cache {}/{} hits ({:.0}%) | \
@@ -186,6 +205,11 @@ impl fmt::Display for FlowTrace {
             self.milp_nodes,
             self.milp_refactors,
             self.milp_rows_dropped,
+            self.milp_cuts,
+            self.milp_cut_rounds,
+            self.milp_nodes_pruned,
+            self.milp_bounds_tightened,
+            self.milp_warm_hits,
             self.slack.as_secs_f64(),
             self.slack_trials,
             self.slack_trials_pruned,
@@ -247,6 +271,11 @@ mod tests {
             milp_refactors: 2,
             milp_nodes: 9,
             milp_rows_dropped: 11,
+            milp_cuts: 6,
+            milp_cut_rounds: 2,
+            milp_nodes_pruned: 4,
+            milp_bounds_tightened: 13,
+            milp_warm_hits: 3,
             iterations: 4,
             synth: Duration::from_millis(5),
             synth_incremental: Duration::from_millis(2),
@@ -271,6 +300,11 @@ mod tests {
         assert_eq!(a.milp_refactors, 2);
         assert_eq!(a.milp_nodes, 9);
         assert_eq!(a.milp_rows_dropped, 11);
+        assert_eq!(a.milp_cuts, 6);
+        assert_eq!(a.milp_cut_rounds, 2);
+        assert_eq!(a.milp_nodes_pruned, 4);
+        assert_eq!(a.milp_bounds_tightened, 13);
+        assert_eq!(a.milp_warm_hits, 3);
         assert_eq!(a.iterations, 5);
         assert_eq!(a.synth, Duration::from_millis(15));
         assert_eq!(a.synth_incremental, Duration::from_millis(2));

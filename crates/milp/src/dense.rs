@@ -153,6 +153,7 @@ pub(crate) fn solve_lp_dense_with_limit(
         refactors: 0,
         truncated,
         basis: None,
+        warmed: false,
     })
 }
 

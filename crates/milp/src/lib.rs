@@ -41,20 +41,48 @@
 //! pure function of the model, so truncated solves reproduce bit-for-bit
 //! across machines, thread counts, and engine-internal timing.
 //!
-//! # Deterministic parallel branch & bound
+//! # Root strengthening: presolve and cutting planes
 //!
-//! [`Model::solve`] explores the tree in fixed-size waves of at most 8
-//! nodes: a wave is popped from the DFS stack, its LP relaxations are
+//! Before any simplex work, [`Model::solve`] runs a **presolve** pass
+//! (bound tightening from row activities, singleton-row substitution,
+//! Savelsbergh coefficient reduction — see the `presolve` module) that
+//! shrinks the model while preserving its mixed-integer optimum; the
+//! reductions are reported in [`Solution::presolve`]. At the root LP
+//! optimum, a round-limited loop separates **Gomory mixed-integer cuts**
+//! (from the optimal tableau) and **knapsack cover cuts** (from the
+//! rows), re-solving each round from the previous round's basis
+//! ([`Model::set_cut_rounds`]). Both layers can be disabled
+//! ([`Model::set_presolve`]) to recover the raw model as an oracle; the
+//! dense engine never generates cuts and serves the same role.
+//!
+//! # Deterministic parallel best-first branch & bound
+//!
+//! [`Model::solve`] explores the tree best-bound-first: open nodes live in
+//! a priority queue ordered by the parent LP bound, with deterministic
+//! depth and creation-sequence tie-breaks. Fixed-size waves of at most 8
+//! nodes are popped (entries dominated by the incumbent are discarded at
+//! pop time, counted in [`Solution::nodes_pruned`]), their LP relaxations
 //! solved concurrently on up to [`Model::set_jobs`] scoped threads, and
-//! the results are then folded back **sequentially in pop order** —
-//! pruning, incumbent updates, budget checks, and child pushes all run on
-//! one thread in a fixed order. Because the wave size never depends on
-//! the thread count and each LP solve is a pure function of
+//! the results folded back **sequentially in pop order** — pruning,
+//! incumbent updates, budget checks, and child pushes all run on one
+//! thread in a fixed order. Because wave composition never depends on the
+//! thread count and each LP solve is a pure function of
 //! `(model, bounds, warm basis)`, the returned solution, objective, node
 //! count, and pivot count are bit-identical for any `jobs` value; threads
 //! only decide how fast the same tree is walked. Each child node reuses
 //! its parent's final basis when it is still primal feasible under the
 //! child's bounds, skipping phase 1 entirely.
+//!
+//! # Cross-solve warm starts
+//!
+//! [`Model::solve_warm`] accepts a [`WarmStart`] — a previous solve's root
+//! basis ([`Solution::root_basis`]) plus incumbent values — and uses both
+//! as starting points after revalidating them against the new model. The
+//! fingerprint-keyed [`MilpWarmStore`] carries these across the paper's
+//! Fig.-4 iterations: structurally identical models (same [`shape_key`])
+//! hit the store, and any numeric drift is caught at adoption time, never
+//! trusted. A warm-started solve returns bit-identical values to a cold
+//! one — the warm start only changes how much work the proof takes.
 //!
 //! # Example
 //!
@@ -76,10 +104,17 @@
 //! ```
 
 mod branch;
+mod cuts;
 mod dense;
 mod model;
+mod presolve;
 mod simplex;
+mod warm;
 
+pub use cuts::{separate_root_cuts, RootCutReport};
 pub use model::{
     Cmp, Constraint, Engine, Model, RowReduction, Sense, Solution, SolveError, Status, VarId,
 };
+pub use presolve::PresolveReport;
+pub use simplex::WarmBasis;
+pub use warm::{shape_key, MilpWarmStore, WarmStart};

@@ -106,6 +106,22 @@ pub struct Solution {
     /// (or an LP phase) finished: the solution is feasible but `objective`
     /// may be short of the true optimum.
     pub truncated: bool,
+    /// Cutting planes (Gomory mixed-integer + knapsack cover) added at the
+    /// root ([`Engine::SparseRevised`] only).
+    pub cuts: u64,
+    /// Root cut-separation rounds that added at least one cut.
+    pub cut_rounds: u64,
+    /// Best-first entries discarded by bound before their LP was solved
+    /// (these never count toward `nodes`).
+    pub nodes_pruned: u64,
+    /// A caller-supplied warm basis ([`Model::solve_warm`]) was adopted at
+    /// the root.
+    pub warm_used: bool,
+    /// What the presolve pass did (all-zero when presolve is disabled).
+    pub presolve: crate::presolve::PresolveReport,
+    /// Final basis of the root LP after the cut loop, for cross-solve warm
+    /// starts ([`Engine::SparseRevised`] only).
+    pub root_basis: Option<crate::simplex::WarmBasis>,
 }
 
 impl Solution {
@@ -132,6 +148,21 @@ pub enum SolveError {
     NodeLimit,
     /// A variable was declared with `lo > hi`.
     BadBounds(String),
+    /// Presolve proved the model infeasible before any simplex ran (crossed
+    /// bounds, a row whose activity range misses its rhs, an integer
+    /// variable pinned to a fractional value). The payload says which rule
+    /// fired; the verdict is the same as [`SolveError::Infeasible`].
+    PresolveInfeasible(String),
+}
+
+impl SolveError {
+    /// `true` for both flavors of infeasibility (plain and presolve-detected).
+    pub fn is_infeasible(&self) -> bool {
+        matches!(
+            self,
+            SolveError::Infeasible | SolveError::PresolveInfeasible(_)
+        )
+    }
 }
 
 impl fmt::Display for SolveError {
@@ -141,6 +172,9 @@ impl fmt::Display for SolveError {
             SolveError::Unbounded => f.write_str("model is unbounded"),
             SolveError::NodeLimit => f.write_str("node limit reached without incumbent"),
             SolveError::BadBounds(v) => write!(f, "variable {v} has lo > hi"),
+            SolveError::PresolveInfeasible(why) => {
+                write!(f, "presolve proved the model infeasible: {why}")
+            }
         }
     }
 }
@@ -184,7 +218,12 @@ pub struct Model {
     pub(crate) work_limit: Option<u64>,
     pub(crate) engine: Engine,
     pub(crate) jobs: usize,
+    pub(crate) presolve: bool,
+    pub(crate) cut_rounds: usize,
 }
+
+/// Default root cut-separation round cap ([`Model::set_cut_rounds`]).
+pub(crate) const DEFAULT_CUT_ROUNDS: usize = 4;
 
 impl Model {
     /// Creates an empty model.
@@ -198,6 +237,8 @@ impl Model {
             work_limit: None,
             engine: Engine::default(),
             jobs: 1,
+            presolve: true,
+            cut_rounds: DEFAULT_CUT_ROUNDS,
         }
     }
 
@@ -282,6 +323,35 @@ impl Model {
     /// pure throughput knob.
     pub fn set_jobs(&mut self, jobs: usize) {
         self.jobs = jobs.max(1);
+    }
+
+    /// Enables/disables the presolve pass run by [`Model::solve`] (default
+    /// on). Presolve is MILP-preserving, not LP-preserving, so
+    /// [`Model::solve_relaxation`] never applies it; turning it off here
+    /// restores the exact pre-presolve solver as an equivalence oracle.
+    pub fn set_presolve(&mut self, on: bool) {
+        self.presolve = on;
+    }
+
+    /// Caps root cut-separation rounds (default 4; `0` disables cutting
+    /// planes entirely, restoring the cuts-off oracle). Cuts are only
+    /// generated under [`Engine::SparseRevised`]; the dense tableau always
+    /// solves the uncut model.
+    pub fn set_cut_rounds(&mut self, rounds: usize) {
+        self.cut_rounds = rounds;
+    }
+
+    /// Runs the presolve pass in place and reports what it did. Called
+    /// automatically by [`Model::solve`] (on a clone, so the caller's model
+    /// is never mutated) unless [`Model::set_presolve`] disabled it; exposed
+    /// for tests and diagnostics. Idempotent: a second call is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::PresolveInfeasible`] when a presolve rule proves the
+    /// model has no integer-feasible point.
+    pub fn presolve(&mut self) -> Result<crate::presolve::PresolveReport, SolveError> {
+        crate::presolve::run(self)
     }
 
     /// Canonicalizes the constraint rows in place and reports what was
@@ -438,12 +508,38 @@ impl Model {
     /// [`SolveError::NodeLimit`] (no incumbent found in budget), or
     /// [`SolveError::BadBounds`].
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_warm(None)
+    }
+
+    /// [`Model::solve`] with an optional cross-solve warm start: the basis
+    /// (adopted at the root only when it still refactors to a primal
+    /// feasible point — a pure, deterministic check) and, when present, an
+    /// incumbent seed (validated against this model's rows and bounds
+    /// before use; an invalid seed is silently ignored). A warm start can
+    /// never change which solutions are feasible, only how fast the search
+    /// converges.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_warm(
+        &self,
+        warm: Option<&crate::warm::WarmStart>,
+    ) -> Result<Solution, SolveError> {
         for v in &self.vars {
             if v.lo > v.hi {
                 return Err(SolveError::BadBounds(v.name.clone()));
             }
         }
-        crate::branch::branch_and_bound(self)
+        if self.presolve {
+            let mut pre = self.clone();
+            let report = crate::presolve::run(&mut pre)?;
+            let mut sol = crate::branch::branch_and_bound(&pre, warm)?;
+            sol.presolve = report;
+            Ok(sol)
+        } else {
+            crate::branch::branch_and_bound(self, warm)
+        }
     }
 
     /// Solves only the LP relaxation (integrality dropped). Useful as a
@@ -472,6 +568,12 @@ impl Model {
             pivots: lp.pivots,
             refactors: lp.refactors,
             truncated: lp.truncated,
+            cuts: 0,
+            cut_rounds: 0,
+            nodes_pruned: 0,
+            warm_used: false,
+            presolve: crate::presolve::PresolveReport::default(),
+            root_basis: lp.basis,
         })
     }
 
@@ -550,6 +652,13 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_var("x", 0.0, 1.0, 1.0, false);
         m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        // Presolve catches the crossed bounds up front; with presolve off
+        // phase 1 must still reach the same verdict.
+        assert!(matches!(
+            m.solve().unwrap_err(),
+            SolveError::PresolveInfeasible(_)
+        ));
+        m.set_presolve(false);
         assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
     }
 
@@ -709,6 +818,8 @@ mod tests {
         let red = m.canonicalize();
         assert_eq!(red.zero, 0);
         assert_eq!(red.remaining, 1);
+        assert!(m.solve().unwrap_err().is_infeasible());
+        m.set_presolve(false);
         assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
     }
 

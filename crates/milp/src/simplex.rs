@@ -41,6 +41,16 @@ pub(crate) const EPS: f64 = 1e-9;
 /// Dantzig pricing before switching to Bland's anti-cycling rule.
 const DEGENERATE_STREAK: u32 = 50;
 
+/// Floor for the stall valve: consecutive degenerate pivots tolerated
+/// before a phase gives up as truncated. Bland's rule cannot cycle, but
+/// on heavily degenerate vertices (cut-augmented placement LPs) its exit
+/// walk can run to the full iteration valve; past `max(STALL_FLOOR,
+/// 2·(rows + priced columns))` zero-progress pivots the walk is abandoned
+/// instead, which keeps one sick LP from draining the caller's entire
+/// deterministic work budget. Purely a function of the model, so the
+/// pivot sequence stays machine-independent.
+const STALL_FLOOR: u32 = 2_048;
+
 /// Hard iteration valve per simplex phase.
 pub(crate) const MAX_SIMPLEX_ITERS: u64 = 2_000_000;
 
@@ -65,15 +75,25 @@ pub(crate) struct LpSolution {
     pub truncated: bool,
     /// Final basis, for warm-starting child nodes (sparse engine only).
     pub basis: Option<WarmBasis>,
+    /// A caller-supplied warm basis was adopted (phase 1 skipped or run
+    /// warm over appended rows only).
+    pub warmed: bool,
 }
 
-/// A basis snapshot handed from a branch-and-bound node to its children.
+/// A basis snapshot handed from one LP solve to a later one: between a
+/// branch-and-bound node and its children, across root cut rounds, or
+/// across flow iterations via [`crate::warm::MilpWarmStore`].
 ///
-/// Valid for a child only if the child's system has the same shape
-/// (`rows` × `cols` before artificials) and every basic column is a real
-/// (structural or slack) column; otherwise the child cold-starts.
+/// Adopted by a later solve only when `rows`/`cols` are no larger than the
+/// new system's, every basic column is a real (structural or slack) column
+/// of the old system, and the candidate basis — extended with natural
+/// basis entries for any appended rows — refactors to a primal-feasible
+/// point. All checks are pure functions of the model, so adoption is
+/// deterministic; a basis from a mismatched model simply fails them and
+/// the solve cold-starts.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct WarmBasis {
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WarmBasis {
     /// Row count of the system the basis was taken from.
     pub rows: usize,
     /// Column count before artificials (structural + slack).
@@ -136,9 +156,23 @@ pub(crate) fn prepare(model: &Model, overrides: &BoundOverrides) -> Result<Prepa
         hi[v] = h;
     }
 
-    // Rows: model constraints (rhs adjusted by lower-bound shift) plus one
-    // row per finite upper bound.
-    let mut rows: Vec<PreparedRow> = Vec::with_capacity(model.constraints.len());
+    // Rows: one row per finite upper bound first, then the model
+    // constraints (rhs adjusted by lower-bound shift). Upper-bound rows
+    // leading means a constraint appended to the model — a root cutting
+    // plane — extends the row system strictly at the end, leaving every
+    // existing structural and slack column index intact; that stability is
+    // what lets the warm-basis adoption below extend a pre-cut basis
+    // instead of cold-starting every cut round.
+    let mut rows: Vec<PreparedRow> = Vec::with_capacity(model.constraints.len() + n);
+    for v in 0..n {
+        if hi[v].is_finite() {
+            rows.push(PreparedRow {
+                coeffs: vec![(v, 1.0)],
+                op: Cmp::Le,
+                rhs: hi[v] - lo[v],
+            });
+        }
+    }
     for c in &model.constraints {
         let mut shift = 0.0;
         for &(v, a) in &c.terms {
@@ -149,15 +183,6 @@ pub(crate) fn prepare(model: &Model, overrides: &BoundOverrides) -> Result<Prepa
             op: c.op,
             rhs: c.rhs - shift,
         });
-    }
-    for v in 0..n {
-        if hi[v].is_finite() {
-            rows.push(PreparedRow {
-                coeffs: vec![(v, 1.0)],
-                op: Cmp::Le,
-                rhs: hi[v] - lo[v],
-            });
-        }
     }
 
     // Objective in shifted space (maximize internally).
@@ -548,9 +573,10 @@ impl<'a> Rsm<'a> {
         // switch to Bland's rule, which cannot cycle, until the objective
         // strictly moves.
         let mut degenerate_streak = 0u32;
+        let stall_limit = STALL_FLOOR.max(2 * (m + price_cols).min(u32::MAX as usize / 2) as u32);
         loop {
             iterations += 1;
-            if iterations > max_iters {
+            if iterations > max_iters || degenerate_streak >= stall_limit {
                 return Ok((self.objective(c), true));
             }
             // BTRAN: y = c_B B⁻¹, then reduced costs via one sparse pass.
@@ -678,6 +704,21 @@ pub(crate) fn solve_lp_warm(
     max_iters: u64,
     warm: Option<&WarmBasis>,
 ) -> Result<LpSolution, SolveError> {
+    solve_lp_warm_gmi(model, overrides, max_iters, warm, false).map(|(lp, _)| lp)
+}
+
+/// [`solve_lp_warm`] that additionally separates Gomory mixed-integer
+/// cuts from the optimal basis when `want_cuts` is set (and the solve was
+/// not truncated). Returned cuts are in the model's original variable
+/// space, are valid for every integer-feasible point, and are violated by
+/// the LP point just returned by more than the separation tolerance.
+pub(crate) fn solve_lp_warm_gmi(
+    model: &Model,
+    overrides: &BoundOverrides,
+    max_iters: u64,
+    warm: Option<&WarmBasis>,
+    want_cuts: bool,
+) -> Result<(LpSolution, Vec<crate::model::Constraint>), SolveError> {
     let prep = prepare(model, overrides)?;
     let n = prep.n;
     let m = prep.rows.len();
@@ -767,14 +808,32 @@ pub(crate) fn solve_lp_warm(
     };
     debug_assert_eq!(a.m, m);
 
-    // Warm start: adopt the parent basis when the system shape matches and
-    // the basis stays primal feasible under the new bounds — phase 1 (and
-    // the artificial machinery) is skipped entirely. All checks are pure
-    // functions of the model, so the decision is deterministic.
-    let mut rsm: Option<Rsm> = None;
+    // Warm start: adopt the supplied basis when it fits inside the new
+    // system (`rows`/`cols` no larger, every basic column real in the old
+    // system), extended with this system's natural basis entries for any
+    // appended rows, provided the candidate refactors to a primal-feasible
+    // point. With no appended artificials phase 1 is skipped entirely; an
+    // appended row that natural-bases an artificial (a `≥` cut row) runs a
+    // *warm* phase 1 that only has to drive those few artificials out. All
+    // checks are pure functions of the model, so the decision is
+    // deterministic, and a basis from a foreign model can at worst fail
+    // the checks and fall back to a cold start.
+    let mut adopted: Option<Rsm> = None;
     if let Some(wb) = warm {
-        if wb.rows == m && wb.cols == n_real && wb.basis.iter().all(|&c| c < n_real) {
-            let mut cand = Rsm::new(&a, b.clone(), n_real, wb.basis.clone());
+        if wb.rows <= m && wb.cols <= n_real {
+            // Positions holding an old *artificial* (col ≥ wb.cols — kept
+            // basic at zero by a redundant row) cannot map into the new
+            // system; substitute the new system's natural column for that
+            // row and let the feasibility gate (and, if the substitute is
+            // itself an artificial, the warm phase 1) sort it out.
+            let mut cand_basis: Vec<usize> = wb
+                .basis
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| if c < wb.cols { c } else { basis[i] })
+                .collect();
+            cand_basis.extend_from_slice(&basis[wb.rows..m]);
+            let mut cand = Rsm::new(&a, b.clone(), n_real, cand_basis);
             if cand.refactor() && cand.xb.iter().all(|&x| x >= -1e-7) {
                 cand.refactors = 0; // setup, not a mid-solve refactorization
                 for x in cand.xb.iter_mut() {
@@ -782,14 +841,33 @@ pub(crate) fn solve_lp_warm(
                         *x = 0.0;
                     }
                 }
-                rsm = Some(cand);
+                adopted = Some(cand);
             }
         }
     }
 
-    let mut pivots_offset = 0u64;
-    let mut rsm = match rsm {
-        Some(r) => r,
+    let warmed = adopted.is_some();
+    let mut rsm = match adopted {
+        Some(mut r) => {
+            // Appended rows may have installed artificials in the adopted
+            // basis; a warm phase 1 drives them out from the near-feasible
+            // starting point (far cheaper than cold phase 1 over all rows).
+            if n_art > 0 && r.basis.iter().any(|&c| c >= n_real) {
+                let mut c1 = vec![0.0f64; ncols];
+                for art in art_of_row.iter().flatten() {
+                    c1[*art] = -1.0;
+                }
+                let (z, truncated) = r.optimize(&c1, ncols, max_iters)?;
+                if truncated {
+                    return Err(SolveError::NodeLimit);
+                }
+                if z < -1e-7 {
+                    return Err(SolveError::Infeasible);
+                }
+                r.purge_artificials();
+            }
+            r
+        }
         None => {
             let mut r = Rsm::new(&a, b, n_real, basis);
             // Phase 1: maximize -(sum of artificials).
@@ -809,11 +887,9 @@ pub(crate) fn solve_lp_warm(
                 }
                 r.purge_artificials();
             }
-            pivots_offset = 0;
             r
         }
     };
-    let _ = pivots_offset;
 
     // Phase 2: the real objective. Artificial columns are simply excluded
     // from pricing (the dense engine equivalently pins them with a −1e18
@@ -832,18 +908,185 @@ pub(crate) fn solve_lp_warm(
         *v += l;
     }
     let objective = prep.sign * (z + prep.obj_shift);
-    Ok(LpSolution {
-        values,
-        objective,
-        pivots: rsm.pivots,
-        refactors: rsm.refactors,
-        truncated,
-        basis: Some(WarmBasis {
-            rows: m,
-            cols: n_real,
-            basis: rsm.basis,
-        }),
-    })
+
+    let cuts = if want_cuts && !truncated {
+        gomory_cuts(model, &prep, &a, &rsm, &slack_col_of_row, &values)
+    } else {
+        Vec::new()
+    };
+
+    Ok((
+        LpSolution {
+            values,
+            objective,
+            pivots: rsm.pivots,
+            refactors: rsm.refactors,
+            truncated,
+            basis: Some(WarmBasis {
+                rows: m,
+                cols: n_real,
+                basis: rsm.basis,
+            }),
+            warmed,
+        },
+        cuts,
+    ))
+}
+
+/// Separation tolerance: a cut must beat the root point by this much to be
+/// worth a re-solve (and for the violation to be numerically trustworthy).
+const CUT_VIOLATION_TOL: f64 = 1e-6;
+
+/// Coefficient-dynamism cap: a cut whose nonzero coefficients span more
+/// than this ratio is numerically fragile and gets discarded.
+const CUT_DYNAMISM_CAP: f64 = 1e7;
+
+/// Generates Gomory mixed-integer (GMI) cuts from the optimal basis of the
+/// just-solved LP, translated back to the model's original variable space.
+///
+/// For each basis position holding a *structural integer* variable at a
+/// fractional value (source rows are scanned in basis-position order, so
+/// the cut list is deterministic), the tableau row `eₚᵀB⁻¹A` is formed
+/// with one BTRAN, and the standard GMI coefficients are applied to every
+/// nonbasic real column — the fractional-part formula for integer
+/// structural columns whose shift preserved integrality, the always-valid
+/// continuous formula for everything else. Slack terms are substituted
+/// away (`s = rhs − Σa·x'` for `≤` rows, the negation for `≥`), the
+/// lower-bound shift is undone, and the result lands as a plain `≥`
+/// constraint over the original variables.
+///
+/// Artificial columns are skipped: they are zero at every feasible point,
+/// so dropping their (nonnegative-coefficient) terms keeps the cut valid.
+/// Cuts that are non-finite, too wide in magnitude
+/// ([`CUT_DYNAMISM_CAP`]), or not violated by the current root point by
+/// more than [`CUT_VIOLATION_TOL`] are discarded.
+fn gomory_cuts(
+    model: &Model,
+    prep: &Prepared,
+    a: &Csc,
+    rsm: &Rsm<'_>,
+    slack_col_of_row: &[Option<usize>],
+    root_values: &[f64],
+) -> Vec<crate::model::Constraint> {
+    use crate::model::{Constraint, VarId};
+
+    let n = prep.n;
+    let n_real = rsm.n_real;
+    let m = rsm.m();
+    // Inverse map: slack column -> its row.
+    let mut row_of_slack: Vec<usize> = vec![usize::MAX; n_real];
+    for (i, s) in slack_col_of_row.iter().enumerate() {
+        if let Some(c) = s {
+            row_of_slack[*c] = i;
+        }
+    }
+    // Does the shift x' = x − lo preserve integrality of variable v?
+    let int_shifted =
+        |v: usize| model.vars[v].integer && (prep.lo[v] - prep.lo[v].round()).abs() <= 1e-9;
+
+    let mut cuts = Vec::new();
+    let mut y = vec![0.0f64; m];
+    let mut coef = vec![0.0f64; n];
+    for p in 0..m {
+        let col = rsm.basis[p];
+        if col >= n || !int_shifted(col) {
+            continue;
+        }
+        let xb = rsm.xb[p];
+        let f0 = xb - xb.floor();
+        if !(0.01..=0.99).contains(&f0) {
+            continue;
+        }
+        // Tableau row p: y = eₚᵀB⁻¹, then ā_j = y·A_j per nonbasic column.
+        y.iter_mut().for_each(|v| *v = 0.0);
+        y[p] = 1.0;
+        rsm.etas.btran(&mut y);
+        coef.iter_mut().for_each(|v| *v = 0.0);
+        // Cut over nonbasic variables: Σ γ_j t_j ≥ 1 (all nonbasic sit at
+        // zero in this standard-form system, so the classic GMI applies).
+        let mut rhs_cut = 1.0f64;
+        for j in 0..n_real {
+            if rsm.in_basis[j] {
+                continue;
+            }
+            let abar = a.col_dot(j, &y);
+            if abar.abs() <= 1e-11 {
+                continue;
+            }
+            let gamma = if j < n && int_shifted(j) {
+                let fj = abar - abar.floor();
+                if fj <= f0 {
+                    fj / f0
+                } else {
+                    (1.0 - fj) / (1.0 - f0)
+                }
+            } else if abar > 0.0 {
+                abar / f0
+            } else {
+                -abar / (1.0 - f0)
+            };
+            if gamma.abs() <= 1e-11 {
+                continue;
+            }
+            if j < n {
+                coef[j] += gamma;
+            } else {
+                // Slack substitution against the (pre-flip) prepared row:
+                // the flip sign cancels out of the slack's defining
+                // equation, so `≤` gives s = rhs − Σa·x' and `≥` gives
+                // s = Σa·x' − rhs.
+                let row = &prep.rows[row_of_slack[j]];
+                match row.op {
+                    Cmp::Le => {
+                        rhs_cut -= gamma * row.rhs;
+                        for &(v, av) in &row.coeffs {
+                            coef[v] -= gamma * av;
+                        }
+                    }
+                    Cmp::Ge => {
+                        rhs_cut += gamma * row.rhs;
+                        for &(v, av) in &row.coeffs {
+                            coef[v] += gamma * av;
+                        }
+                    }
+                    Cmp::Eq => unreachable!("Eq rows have no slack"),
+                }
+            }
+        }
+        // Undo the lower-bound shift and assemble the constraint.
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        let mut rhs = rhs_cut;
+        let mut max_c = 0.0f64;
+        let mut min_c = f64::INFINITY;
+        let mut ok = rhs_cut.is_finite();
+        for (v, &c) in coef.iter().enumerate() {
+            if c.abs() <= 1e-12 {
+                continue;
+            }
+            if !c.is_finite() {
+                ok = false;
+                break;
+            }
+            rhs += c * prep.lo[v];
+            max_c = max_c.max(c.abs());
+            min_c = min_c.min(c.abs());
+            terms.push((VarId(v), c));
+        }
+        if !ok || terms.is_empty() || !rhs.is_finite() || max_c > min_c * CUT_DYNAMISM_CAP {
+            continue;
+        }
+        // Keep only cuts the root point actually violates.
+        let lhs_now: f64 = terms.iter().map(|&(v, c)| c * root_values[v.index()]).sum();
+        if lhs_now >= rhs - CUT_VIOLATION_TOL {
+            continue;
+        }
+        cuts.push(Constraint {
+            terms,
+            op: Cmp::Ge,
+            rhs,
+        });
+    }
+    cuts
 }
 
 #[cfg(test)]

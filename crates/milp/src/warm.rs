@@ -1,0 +1,222 @@
+//! Cross-solve warm starts: a fingerprint-keyed store that carries one
+//! solve's optimal root basis and incumbent into the next structurally
+//! identical model.
+//!
+//! The paper's Fig.-4 loop re-solves a nearly identical placement MILP
+//! every iteration: the variable set is fixed by the circuit, only
+//! objective weights and a few constraint right-hand sides drift as
+//! penalties and cut sets evolve. Iteration *i*'s optimal basis is then a
+//! near-perfect starting point for iteration *i+1*, and its incumbent an
+//! immediate pruning bound.
+//!
+//! The store is keyed by [`shape_key`] — an FNV-1a fingerprint of the
+//! model's *shape* (sense, variable names, integrality pattern), not its
+//! numeric data. Shape captures exactly what survives across iterations;
+//! anything numeric may change and is therefore revalidated at use time
+//! rather than keyed on:
+//!
+//! * the **basis** is adopted only if it still refactors to a primal
+//!   feasible point of the new model ([`WarmBasis`] docs) — a stale basis
+//!   costs one failed refactorization, never a wrong answer;
+//! * the **incumbent** is replayed against the new model's bounds and rows
+//!   and silently dropped if anything violates.
+//!
+//! Invalidation is by keying, like the synthesis cache of the incremental
+//! flow: when re-synthesis changes a basic block, the placement model's
+//! variable names shift and the old entry simply never matches again.
+//! Entries are only ever replaced by newer solves of the same shape, so
+//! the store stays bounded by the number of distinct model shapes a flow
+//! produces (one, for a fixed kernel).
+
+use crate::model::Model;
+use crate::simplex::WarmBasis;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Warm-start payload for [`Model::solve_warm`](crate::Model::solve_warm).
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WarmStart {
+    /// Root basis of a previous solve (adopted only after revalidation).
+    pub basis: Option<WarmBasis>,
+    /// Incumbent values of a previous solve, in original variable space
+    /// (seeded only if still feasible for the new model).
+    pub incumbent: Option<Vec<f64>>,
+}
+
+/// Fingerprint of a model's shape: optimization sense, variable count,
+/// per-variable name and integrality. FNV-1a over that byte stream —
+/// deterministic across runs and platforms, independent of objective
+/// coefficients, bounds, and constraint data (which drift between
+/// iterations and are revalidated at adoption time instead).
+pub fn shape_key(model: &Model) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    eat(match model.sense {
+        crate::Sense::Maximize => 1,
+        crate::Sense::Minimize => 2,
+    });
+    for b in (model.vars.len() as u64).to_le_bytes() {
+        eat(b);
+    }
+    for v in &model.vars {
+        for b in v.name.as_bytes() {
+            eat(*b);
+        }
+        eat(0xff); // name terminator, so "ab"+"c" != "a"+"bc"
+        eat(v.integer as u8);
+    }
+    h
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A shape-keyed warm-start store shared across solves (and threads) of
+/// one flow run.
+///
+/// `get` counts a hit or miss; `put` records the latest solve's basis and
+/// incumbent under the model's key, replacing any previous entry of the
+/// same shape.
+#[derive(Debug, Default)]
+pub struct MilpWarmStore {
+    entries: Mutex<HashMap<u64, WarmStart>>,
+    stats: Stats,
+}
+
+impl MilpWarmStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the warm start recorded for `key`, counting a hit or miss.
+    pub fn get(&self, key: u64) -> Option<WarmStart> {
+        let found = self
+            .entries
+            .lock()
+            .expect("warm store poisoned")
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Records (or replaces) the warm start for `key`.
+    pub fn put(&self, key: u64, warm: WarmStart) {
+        self.entries
+            .lock()
+            .expect("warm store poisoned")
+            .insert(key, warm);
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.stats.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.stats.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored shapes.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("warm store poisoned").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters keep accumulating).
+    pub fn clear(&self) {
+        self.entries.lock().expect("warm store poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Sense};
+
+    fn toy(obj: f64) -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary("x", obj);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+        m
+    }
+
+    #[test]
+    fn shape_key_ignores_numeric_data_but_not_structure() {
+        // Same structure, different objective: same key.
+        assert_eq!(shape_key(&toy(1.0)), shape_key(&toy(7.5)));
+        // Different variable name: different key.
+        let mut other = Model::new(Sense::Maximize);
+        other.add_binary("z", 1.0);
+        other.add_binary("y", 1.0);
+        assert_ne!(shape_key(&toy(1.0)), shape_key(&other));
+        // Different integrality: different key.
+        let mut relaxed = Model::new(Sense::Maximize);
+        relaxed.add_var("x", 0.0, 1.0, 1.0, false);
+        relaxed.add_var("y", 0.0, 1.0, 1.0, true);
+        assert_ne!(shape_key(&toy(1.0)), shape_key(&relaxed));
+    }
+
+    #[test]
+    fn store_counts_hits_and_misses() {
+        let store = MilpWarmStore::new();
+        let key = shape_key(&toy(1.0));
+        assert!(store.get(key).is_none());
+        assert_eq!(store.misses(), 1);
+        store.put(
+            key,
+            WarmStart {
+                basis: None,
+                incumbent: Some(vec![1.0, 0.0]),
+            },
+        );
+        let got = store.get(key).expect("stored entry");
+        assert_eq!(got.incumbent.as_deref(), Some(&[1.0, 0.0][..]));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn warm_solve_with_stored_start_matches_cold() {
+        let store = MilpWarmStore::new();
+        let m = toy(3.0);
+        let key = shape_key(&m);
+        let cold = m.solve().unwrap();
+        store.put(
+            key,
+            WarmStart {
+                basis: cold.root_basis.clone(),
+                incumbent: Some(cold.values.clone()),
+            },
+        );
+        let warm = m
+            .solve_warm(store.get(key).as_ref())
+            .expect("warm solve succeeds");
+        assert!(warm.warm_used, "stored basis of the same model must adopt");
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(
+            warm.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            cold.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

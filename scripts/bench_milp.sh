@@ -5,20 +5,25 @@
 # speedups, pivot/refactorization/node counters, and the jobs-sweep
 # bit-identity verdict). Usage:
 #
-#   ./scripts/bench_milp.sh [--repeats N] [--out FILE]
+#   ./scripts/bench_milp.sh [--repeats N] [--out FILE] [--baseline FILE]
 #
 # Defaults: 3 repeats per engine (min reported), BENCH_milp.json in the
-# repo root.
+# repo root. With --baseline (typically the committed BENCH_milp.json),
+# the run fails if any kernel's branch-and-bound node count regressed by
+# more than 10% against it — the baseline is read before --out is
+# overwritten, so both may name the same file.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 repeats=""
 out="BENCH_milp.json"
+baseline=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --repeats) repeats="$2"; shift 2 ;;
-    --out)     out="$2";     shift 2 ;;
+    --repeats)  repeats="$2";  shift 2 ;;
+    --out)      out="$2";      shift 2 ;;
+    --baseline) baseline="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -27,6 +32,9 @@ args=(--out "$out")
 if [[ -n "$repeats" ]]; then
   args+=(--repeats "$repeats")
 fi
+if [[ -n "$baseline" ]]; then
+  args+=(--baseline "$baseline")
+fi
 
 cargo run -p frequenz-bench --release --bin bench_milp -- "${args[@]}"
 echo "wrote $out" >&2
@@ -34,4 +42,5 @@ echo "wrote $out" >&2
 # Surface the headline numbers recorded in the JSON.
 speedup=$(grep -o '"largest_kernel_speedup": [0-9.]*' "$out" | awk '{print $2}')
 identical=$(grep -o '"jobs_bit_identical": \(true\|false\)' "$out" | head -1 | awk '{print $2}')
-echo "largest-kernel speedup: ${speedup}x, jobs sweep bit-identical: ${identical}" >&2
+hits=$(grep -o '"warm_start_hit_rate": [0-9.]*' "$out" | awk '{print $2}')
+echo "largest-kernel speedup: ${speedup}x, jobs sweep bit-identical: ${identical}, warm-start hit rate: ${hits}" >&2

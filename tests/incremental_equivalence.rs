@@ -123,6 +123,57 @@ proptest! {
     }
 }
 
+/// Cross-iteration MILP warm starts must be invisible, like incremental
+/// re-synthesis: a flow run with the warm-start store on produces a
+/// bit-identical outcome to one with it off — same buffers, levels, and
+/// per-iteration history. Warm starts may only change the *work* (pivots,
+/// nodes), never the placement.
+#[test]
+fn warm_started_flow_equals_cold_on_all_kernels() {
+    let kernels = kernels::all_kernels_small();
+    let handles: Vec<_> = kernels
+        .into_iter()
+        .map(|k| {
+            std::thread::spawn(move || {
+                let warm_opts = test_opts();
+                let cold_opts = FlowOptions {
+                    milp_warm_start: false,
+                    ..test_opts()
+                };
+                let warm = optimize_iterative_with_cache(
+                    k.graph(),
+                    k.back_edges(),
+                    &warm_opts,
+                    &SynthCache::new(),
+                )
+                .expect("warm flow");
+                let cold = optimize_iterative_with_cache(
+                    k.graph(),
+                    k.back_edges(),
+                    &cold_opts,
+                    &SynthCache::new(),
+                )
+                .expect("cold flow");
+                (k.name, warm, cold)
+            })
+        })
+        .collect();
+    let mut any_warm_hit = false;
+    for h in handles {
+        let (name, warm, cold) = h.join().expect("kernel thread");
+        assert_results_identical(name, &warm, &cold);
+        assert_eq!(
+            cold.trace.milp_warm_hits, 0,
+            "{name}: warm-start-off flow must record no warm hits"
+        );
+        any_warm_hit |= warm.trace.milp_warm_hits > 0;
+    }
+    assert!(
+        any_warm_hit,
+        "no kernel adopted any warm start — the cross-iteration path is dead"
+    );
+}
+
 /// All nine Table-I kernels (reduced sizes): exact equality of the flow
 /// outcome, while the incremental run demonstrably reused labels.
 #[test]

@@ -95,17 +95,22 @@ fn assert_engines_agree(
             prop_assert_eq!(d.status, s.status, "status diverges");
             prop_assert_eq!(d.truncated, s.truncated, "truncated flag diverges");
         }
-        (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+        // Presolve runs identically ahead of either engine, so structured
+        // presolve infeasibility and simplex-discovered infeasibility are
+        // the same verdict.
+        (Err(d), Err(s)) if d.is_infeasible() && s.is_infeasible() => {}
         (Err(SolveError::Unbounded), Err(SolveError::Unbounded)) => {}
         (d, s) => prop_assert!(false, "verdicts diverge: dense {d:?} vs sparse {s:?}"),
     }
     Ok(())
 }
 
-fn solution_bits(s: &Solution) -> (u64, u64, u64, Vec<u64>) {
+fn solution_bits(s: &Solution) -> (u64, u64, u64, u64, u64, Vec<u64>) {
     (
         s.nodes,
         s.pivots,
+        s.nodes_pruned,
+        s.cuts,
         s.objective.to_bits(),
         s.values.iter().map(|v| v.to_bits()).collect(),
     )
@@ -154,6 +159,139 @@ proptest! {
         let mut m = to_model(&p, false);
         assert_jobs_invariant(&mut m)?;
     }
+
+    /// Cut validity (both families): every cut separated at the root LP
+    /// optimum of a random binary program must (a) be violated by the root
+    /// point that produced it and (b) hold at **every** feasible 0/1
+    /// assignment — not just the optimum — since a cut that removes any
+    /// integer point is simply wrong.
+    #[test]
+    fn root_cuts_never_remove_integer_points(p in binary_program()) {
+        let m = to_model(&p, false);
+        let rep = match milp::separate_root_cuts(&m) {
+            Ok(r) => r,
+            // Infeasible/unbounded roots have nothing to separate from.
+            Err(_) => return Ok(()),
+        };
+        for c in &rep.cuts {
+            let at = |x: &dyn Fn(usize) -> f64| -> f64 {
+                c.terms.iter().map(|&(v, a)| a * x(v.index())).sum()
+            };
+            // (a) violated at the root point…
+            let root = at(&|v| rep.root_values[v]);
+            let violated = match c.op {
+                Cmp::Le => root > c.rhs + 1e-7,
+                Cmp::Ge => root < c.rhs - 1e-7,
+                Cmp::Eq => (root - c.rhs).abs() > 1e-7,
+            };
+            prop_assert!(violated, "cut {c:?} not violated at root {:?}", rep.root_values);
+            // (b) …and satisfied by every feasible integer assignment.
+            let n = p.vars.len();
+            for mask in 0u32..(1 << n) {
+                let x = |i: usize| ((mask >> i) & 1) as f64;
+                let feasible = p.rows.iter().all(|(coef, op, rhs)| {
+                    if coef.iter().all(|&c| c == 0) {
+                        return true; // dropped by to_model
+                    }
+                    let lhs: f64 =
+                        coef.iter().enumerate().map(|(i, &c)| c as f64 * x(i)).sum();
+                    match op {
+                        0 => lhs <= *rhs as f64 + 1e-9,
+                        1 => lhs >= *rhs as f64 - 1e-9,
+                        _ => (lhs - *rhs as f64).abs() <= 1e-9,
+                    }
+                });
+                if !feasible {
+                    continue;
+                }
+                let act = at(&|v| x(v));
+                let ok = match c.op {
+                    Cmp::Le => act <= c.rhs + 1e-7,
+                    Cmp::Ge => act >= c.rhs - 1e-7,
+                    Cmp::Eq => (act - c.rhs).abs() <= 1e-7,
+                };
+                prop_assert!(ok, "cut {c:?} removes feasible point mask={mask:#b}");
+            }
+        }
+    }
+
+    /// Presolve preserves the mixed-integer optimum: the default solve
+    /// (presolve + cuts on) must agree with the raw solve (both off) on
+    /// random models — same objective, same infeasibility verdict.
+    #[test]
+    fn presolved_optimum_matches_unpresolved_oracle(p in random_program()) {
+        let strengthened = to_model(&p, false);
+        let mut oracle = to_model(&p, false);
+        oracle.set_presolve(false);
+        oracle.set_cut_rounds(0);
+        match (strengthened.solve(), oracle.solve()) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(
+                    (a.objective - b.objective).abs() <= 1e-6 * (1.0 + b.objective.abs()),
+                    "strengthened {} vs oracle {}", a.objective, b.objective
+                );
+                prop_assert_eq!(a.status, b.status, "status diverges");
+            }
+            (Err(a), Err(b)) => prop_assert!(
+                a.is_infeasible() == b.is_infeasible(),
+                "verdicts diverge: strengthened {a:?} vs oracle {b:?}"
+            ),
+            (a, b) => prop_assert!(false, "strengthened {a:?} vs oracle {b:?}"),
+        }
+    }
+
+    /// Two solves of the same model in the same process are bit-identical
+    /// in every counter and value — cuts, presolve, and best-first search
+    /// hold no hidden global state.
+    #[test]
+    fn repeated_solves_are_bit_identical(p in random_program()) {
+        let m = to_model(&p, false);
+        let first = m.solve().map(|s| solution_bits(&s));
+        let second = m.solve().map(|s| solution_bits(&s));
+        match (&first, &second) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "re-solve diverged"),
+            (Err(a), Err(b)) => prop_assert_eq!(
+                std::mem::discriminant(a),
+                std::mem::discriminant(b)
+            ),
+            (a, b) => prop_assert!(false, "re-solve verdict changed: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// All-binary restriction of [`random_program`], small enough to verify
+/// cuts against an exhaustive 0/1 enumeration.
+fn binary_program() -> impl Strategy<Value = RandomProgram> {
+    random_program().prop_map(|mut p| {
+        for v in &mut p.vars {
+            v.0 = 1;
+            v.2 = true;
+        }
+        p
+    })
+}
+
+/// A maximally degenerate MILP — many tied rows pinning the same vertex —
+/// whose LP relaxations stall Dantzig pricing into the Bland fallback.
+/// The solve must terminate at the proven optimum (no cycling) even with
+/// presolve and cuts active.
+#[test]
+fn degenerate_milp_does_not_cycle_under_cuts() {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..6).map(|i| m.add_binary(format!("d{i}"), 1.0)).collect();
+    // Every pair sums to at most 1 (a clique), stated redundantly several
+    // times so the vertex x = 0 is massively degenerate.
+    for i in 0..vars.len() {
+        for j in (i + 1)..vars.len() {
+            m.add_constraint(vec![(vars[i], 1.0), (vars[j], 1.0)], Cmp::Le, 1.0);
+            m.add_constraint(vec![(vars[i], 2.0), (vars[j], 2.0)], Cmp::Le, 2.0);
+        }
+    }
+    m.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Le, 1.0);
+    let sol = m.solve().expect("degenerate clique model solves");
+    assert_eq!(sol.status, milp::Status::Optimal);
+    assert!(!sol.truncated);
+    assert!((sol.objective - 1.0).abs() < 1e-6);
 }
 
 /// Builds the canonicalized seed placement model (the Eq. 3 model of the
@@ -200,6 +338,22 @@ fn engines_agree_on_all_kernel_placement_models() {
         let dense = model.solve().expect("dense solves the placement model");
         model.set_engine(Engine::SparseRevised);
         let sparse = model.solve().expect("sparse solves the placement model");
+
+        // Strengthening oracle: presolve + cuts must not move the optimum.
+        let mut raw = model.clone();
+        raw.set_presolve(false);
+        raw.set_cut_rounds(0);
+        let oracle = raw.solve().expect("raw model solves");
+        if !sparse.truncated && !oracle.truncated {
+            assert!(
+                (sparse.objective - oracle.objective).abs()
+                    <= 1e-6 * (1.0 + oracle.objective.abs()),
+                "{}: strengthened {} vs raw oracle {}",
+                kernel.name,
+                sparse.objective,
+                oracle.objective
+            );
+        }
 
         // Pivot budgets fire at engine-specific points, so objectives are
         // only comparable when neither search was truncated.
