@@ -1,6 +1,7 @@
-//! Criterion micro-benches for the simulation engines: the event-driven
-//! scheduler vs the full-sweep oracle on seeded kernels, plus the jobs
-//! scaling of the parallel slack-matching pass.
+//! Criterion micro-benches for the simulation engines: the compiled
+//! bytecode engine and the event-driven scheduler vs the full-sweep
+//! oracle on seeded kernels, plus the jobs scaling of the parallel
+//! slack-matching pass.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frequenz_core::{slack_match_with_cache, SlackOptions, SynthCache};
@@ -13,10 +14,14 @@ fn bench_engines(c: &mut Criterion) {
     for kernel in [hls::kernels::gsum(64), hls::kernels::matrix(6)] {
         let g = kernel.seeded_graph();
         let budget = kernel.max_cycles * 4;
-        for engine in [SimEngine::FullSweep, SimEngine::EventDriven] {
+        for engine in [
+            SimEngine::FullSweep,
+            SimEngine::EventDriven,
+            SimEngine::Compiled,
+        ] {
             group.bench_function(BenchmarkId::new(format!("{engine:?}"), kernel.name), |b| {
                 b.iter(|| {
-                    let mut s = Simulator::with_engine(&g, engine);
+                    let mut s = Simulator::with_engine(&g, engine).unwrap();
                     black_box(s.run(budget).expect("completes").cycles)
                 })
             });
@@ -41,7 +46,11 @@ fn bench_slack_jobs_scaling(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("slack_match", jobs), |b| {
             b.iter(|| {
                 let cache = SynthCache::new();
-                black_box(slack_match_with_cache(kernel.graph(), &seed, &opts, &cache).len())
+                black_box(
+                    slack_match_with_cache(kernel.graph(), &seed, &opts, &cache)
+                        .expect("slack matching succeeds")
+                        .len(),
+                )
             })
         });
     }

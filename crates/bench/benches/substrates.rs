@@ -14,7 +14,7 @@ fn bench_simulator(c: &mut Criterion) {
         let g = kernel.seeded_graph();
         group.bench_with_input(BenchmarkId::new("run", kernel.name), &g, |b, g| {
             b.iter(|| {
-                let mut s = Simulator::new(g);
+                let mut s = Simulator::new(g).unwrap();
                 black_box(s.run(kernel.max_cycles).expect("completes").cycles)
             })
         });

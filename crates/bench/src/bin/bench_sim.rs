@@ -1,17 +1,25 @@
-//! Benchmarks the simulation engines on the nine kernels' seeded graphs,
-//! comparing the event-driven scheduler against the full-sweep oracle
-//! (bit-identity checked), and sweeps the parallel slack-matching pass
-//! across job counts (buffer-set identity checked).
+//! Benchmarks the simulation engines on the nine kernels' seeded graphs —
+//! the compiled bytecode engine and the event-driven scheduler against the
+//! full-sweep oracle (three-way bit-identity checked) — and compares the
+//! engines on the workload that motivated the compiled backend: the
+//! slack-matching pass's trial simulations (sim sub-lane wall clock,
+//! jobs=1, buffer-set identity checked across engines and job counts).
 //!
 //! ```sh
 //! cargo run -p frequenz-bench --release --bin bench_sim -- \
-//!     [--repeats N] [--out FILE]
+//!     [--repeats N] [--out FILE] [--baseline FILE]
 //! ```
 //!
-//! Writes `BENCH_sim.json` (per-kernel simulated cycles/second for both
-//! engines, speedups, slack-trial counts, and the identity verdicts) and
-//! prints a table. Each engine runs every kernel `--repeats` times
-//! (default 3) and the minimum wall clock is reported.
+//! Writes `BENCH_sim.json` (per-kernel simulated cycles/second for all
+//! engines, speedups, the slack-lane comparison, and the identity
+//! verdicts) and prints a table. Each engine runs every kernel
+//! `--repeats` times (default 3) and the minimum wall clock is reported.
+//!
+//! With `--baseline FILE`, the previously committed `BENCH_sim.json` is
+//! read *before* the fresh run overwrites it and the run fails if any
+//! kernel's completed cycle count drifts by more than 10% (they are
+//! deterministic — any drift is a semantics change) or if any identity
+//! verdict is false.
 
 use frequenz_bench::CompareError;
 use frequenz_core::{slack_match_traced, FlowTrace, SlackOptions, SynthCache};
@@ -21,26 +29,38 @@ use std::time::Instant;
 struct Row {
     name: &'static str,
     cycles: u64,
-    event_s: f64,
     sweep_s: f64,
+    event_s: f64,
+    compiled_s: f64,
     engines_identical: bool,
+    slack_event_sim_s: f64,
+    slack_compiled_sim_s: f64,
     slack_trials: u64,
     slack_pruned: u64,
     slack_buffers: usize,
     slack_jobs_identical: bool,
+    slack_engines_identical: bool,
 }
 
 impl Row {
-    fn speedup(&self) -> f64 {
+    /// Event-driven vs full-sweep on one seeded run.
+    fn event_speedup(&self) -> f64 {
         self.sweep_s / self.event_s.max(1e-12)
     }
 
-    fn event_cps(&self) -> f64 {
-        self.cycles as f64 / self.event_s.max(1e-12)
+    /// Compiled vs event-driven on one seeded run (compile included).
+    fn compiled_speedup(&self) -> f64 {
+        self.event_s / self.compiled_s.max(1e-12)
     }
 
-    fn sweep_cps(&self) -> f64 {
-        self.cycles as f64 / self.sweep_s.max(1e-12)
+    /// Compiled vs event-driven on the slack-trial workload (one compile
+    /// amortized over every profile and trial of the pass).
+    fn slack_speedup(&self) -> f64 {
+        self.slack_event_sim_s / self.slack_compiled_sim_s.max(1e-12)
+    }
+
+    fn compiled_cps(&self) -> f64 {
+        self.cycles as f64 / self.compiled_s.max(1e-12)
     }
 }
 
@@ -67,7 +87,7 @@ type Fingerprint = (
 );
 
 fn fingerprint(g: &dataflow::Graph, engine: SimEngine, budget: u64) -> Fingerprint {
-    let mut s = Simulator::with_engine(g, engine);
+    let mut s = Simulator::with_engine(g, engine).expect("seeded kernels construct");
     let res = s.run(budget);
     (
         res,
@@ -79,7 +99,8 @@ fn fingerprint(g: &dataflow::Graph, engine: SimEngine, budget: u64) -> Fingerpri
 }
 
 /// Runs the kernel `repeats` times under `engine`, returning the minimum
-/// wall clock and the completed cycle count.
+/// wall clock (construction included — for the compiled engine that is
+/// the compile pass) and the completed cycle count.
 fn time_engine(
     g: &dataflow::Graph,
     engine: SimEngine,
@@ -89,8 +110,8 @@ fn time_engine(
     let mut best = f64::INFINITY;
     let mut cycles = 0;
     for _ in 0..repeats.max(1) {
-        let mut s = Simulator::with_engine(g, engine);
         let t = Instant::now();
+        let mut s = Simulator::with_engine(g, engine)?;
         let stats = s.run(budget)?;
         best = best.min(t.elapsed().as_secs_f64());
         cycles = stats.cycles;
@@ -98,27 +119,70 @@ fn time_engine(
     Ok((best, cycles))
 }
 
+/// Extracts `(name, cycles)` per kernel from a previously written
+/// `BENCH_sim.json`. Hand-rolled on purpose: the bench crate has no JSON
+/// dependency, and the file is machine-written one kernel per line.
+fn baseline_cycles(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(end) = rest.find('"') else { continue };
+        let name = rest[..end].to_string();
+        let Some(kpos) = line.find("\"cycles\": ") else {
+            continue;
+        };
+        let digits: String = line[kpos + 10..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(n) = digits.parse() {
+            out.push((name, n));
+        }
+    }
+    out
+}
+
 fn main() -> Result<(), CompareError> {
     let repeats: usize = arg_value("--repeats")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_sim.json".into());
+    // Read the committed baseline *now*: `--baseline` may point at the same
+    // path as `--out`, which is overwritten below.
+    let baseline = match arg_value("--baseline") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            let pairs = baseline_cycles(&text);
+            if pairs.is_empty() {
+                return Err(format!("baseline {path} holds no kernel cycle counts").into());
+            }
+            Some(pairs)
+        }
+        None => None,
+    };
     let kernels = hls::kernels::all_kernels();
     println!(
         "sim engine benchmark — {} kernels, {repeats} repeats per engine (min reported)",
         kernels.len()
     );
     println!(
-        "{:<15} | {:>8} | {:>9} {:>9} {:>7} | {:>10} {:>10} | {:>6} {:>6} {:>5} | {:>5}",
+        "{:<15} | {:>8} | {:>9} {:>9} {:>9} {:>7} {:>7} | {:>10} | {:>9} {:>9} {:>7} | {:>6} {:>5} | {:>5}",
         "Benchmark",
         "cycles",
         "sweep(s)",
         "event(s)",
-        "speedup",
-        "sweep c/s",
-        "event c/s",
+        "compl(s)",
+        "ev/sw",
+        "cp/ev",
+        "compl c/s",
+        "slkEv(s)",
+        "slkCp(s)",
+        "slack x",
         "trials",
-        "pruned",
         "bufs",
         "ident"
     );
@@ -128,77 +192,117 @@ fn main() -> Result<(), CompareError> {
         let g = kernel.seeded_graph();
         let budget = kernel.max_cycles * 4;
 
-        // Bit-identity first: cycles, exit, counters, memories, errors.
-        let event_fp = fingerprint(&g, SimEngine::EventDriven, budget);
+        // Three-way bit-identity first: cycles, exit, counters, memories,
+        // errors — the full-sweep engine is the oracle.
         let sweep_fp = fingerprint(&g, SimEngine::FullSweep, budget);
-        let engines_identical = event_fp == sweep_fp;
+        let event_fp = fingerprint(&g, SimEngine::EventDriven, budget);
+        let compiled_fp = fingerprint(&g, SimEngine::Compiled, budget);
+        let engines_identical = event_fp == sweep_fp && compiled_fp == sweep_fp;
         if !engines_identical {
             eprintln!("[bench_sim] {}: engines diverged!", kernel.name);
         }
 
         let (sweep_s, cycles) = time_engine(&g, SimEngine::FullSweep, budget, repeats)?;
         let (event_s, event_cycles) = time_engine(&g, SimEngine::EventDriven, budget, repeats)?;
+        let (compiled_s, compiled_cycles) = time_engine(&g, SimEngine::Compiled, budget, repeats)?;
         assert_eq!(cycles, event_cycles, "{}: cycle counts differ", kernel.name);
+        assert_eq!(
+            cycles, compiled_cycles,
+            "{}: compiled cycle count differs",
+            kernel.name
+        );
 
-        // Slack-matching jobs sweep on the same kernel: the pass must pick
-        // the same buffers (and run the same number of trials) at any job
-        // count. One shared synthesis cache keeps the sweep cheap — the
-        // probes are identical across job counts by construction.
+        // Slack-matching lane: the same pass on both engines, jobs=1 so no
+        // thread scheduling muddies the sim sub-lane wall clock. One shared
+        // synthesis cache keeps the level probes (identical by
+        // construction) from dominating — only `trace.sim` is compared.
         let cache = SynthCache::new();
         let seed: Vec<_> = kernel.back_edges().to_vec();
-        let mut reference: Option<(Vec<_>, u64, u64)> = None;
+        let mut lane: Vec<(Vec<_>, u64, u64, f64)> = Vec::new(); // per engine
+        for engine in [SimEngine::EventDriven, SimEngine::Compiled] {
+            let opts = SlackOptions {
+                sim_budget: budget,
+                jobs: 1,
+                engine,
+                ..SlackOptions::default()
+            };
+            let mut best_sim = f64::INFINITY;
+            let mut outcome = None;
+            for _ in 0..repeats.max(1) {
+                let mut trace = FlowTrace::default();
+                let buffers = slack_match_traced(kernel.graph(), &seed, &opts, &cache, &mut trace)?;
+                best_sim = best_sim.min(trace.sim.as_secs_f64());
+                outcome = Some((buffers, trace.slack_trials, trace.slack_trials_pruned));
+            }
+            let (buffers, trials, pruned) = outcome.expect("at least one repeat");
+            lane.push((buffers, trials, pruned, best_sim));
+        }
+        let slack_engines_identical =
+            lane[0].0 == lane[1].0 && lane[0].1 == lane[1].1 && lane[0].2 == lane[1].2;
+        if !slack_engines_identical {
+            eprintln!("[bench_sim] {}: slack engines diverged!", kernel.name);
+        }
+
+        // Jobs sweep on the default (compiled) engine: the pass must pick
+        // the same buffers (and run the same number of trials) at any job
+        // count.
         let mut slack_jobs_identical = true;
-        for jobs in [1usize, 2, 8] {
+        for jobs in [2usize, 8] {
             let opts = SlackOptions {
                 sim_budget: budget,
                 jobs,
                 ..SlackOptions::default()
             };
             let mut trace = FlowTrace::default();
-            let buffers = slack_match_traced(kernel.graph(), &seed, &opts, &cache, &mut trace);
+            let buffers = slack_match_traced(kernel.graph(), &seed, &opts, &cache, &mut trace)?;
             let got = (buffers, trace.slack_trials, trace.slack_trials_pruned);
-            match &reference {
-                None => reference = Some(got),
-                Some(r) => {
-                    if *r != got {
-                        slack_jobs_identical = false;
-                        eprintln!("[bench_sim] {}: slack jobs={jobs} diverged!", kernel.name);
-                    }
-                }
+            if got != (lane[1].0.clone(), lane[1].1, lane[1].2) {
+                slack_jobs_identical = false;
+                eprintln!("[bench_sim] {}: slack jobs={jobs} diverged!", kernel.name);
             }
         }
-        let (buffers, trials, pruned) = reference.expect("jobs sweep ran");
 
         let row = Row {
             name: kernel.name,
             cycles,
-            event_s,
             sweep_s,
+            event_s,
+            compiled_s,
             engines_identical,
-            slack_trials: trials,
-            slack_pruned: pruned,
-            slack_buffers: buffers.len(),
+            slack_event_sim_s: lane[0].3,
+            slack_compiled_sim_s: lane[1].3,
+            slack_trials: lane[1].1,
+            slack_pruned: lane[1].2,
+            slack_buffers: lane[1].0.len(),
             slack_jobs_identical,
+            slack_engines_identical,
         };
         println!(
-            "{:<15} | {:>8} | {:>9.4} {:>9.4} {:>6.2}x | {:>10.0} {:>10.0} | {:>6} {:>6} {:>5} | {:>5}",
+            "{:<15} | {:>8} | {:>9.4} {:>9.4} {:>9.4} {:>6.2}x {:>6.2}x | {:>10.0} | {:>9.4} {:>9.4} {:>6.2}x | {:>6} {:>5} | {:>5}",
             row.name,
             row.cycles,
             row.sweep_s,
             row.event_s,
-            row.speedup(),
-            row.sweep_cps(),
-            row.event_cps(),
+            row.compiled_s,
+            row.event_speedup(),
+            row.compiled_speedup(),
+            row.compiled_cps(),
+            row.slack_event_sim_s,
+            row.slack_compiled_sim_s,
+            row.slack_speedup(),
             row.slack_trials,
-            row.slack_pruned,
             row.slack_buffers,
-            row.engines_identical && row.slack_jobs_identical,
+            row.engines_identical && row.slack_jobs_identical && row.slack_engines_identical,
         );
         rows.push(row);
     }
 
-    // Headline numbers: the paper-scale kernel (gemver) and the slowest
-    // simulation overall.
+    // Headline numbers: the aggregate slack-lane speedup (the workload the
+    // compiled engine exists for), the paper-scale kernel (gemver) and the
+    // slowest simulation overall.
+    let slack_event_total: f64 = rows.iter().map(|r| r.slack_event_sim_s).sum();
+    let slack_compiled_total: f64 = rows.iter().map(|r| r.slack_compiled_sim_s).sum();
+    let slack_total_speedup = slack_event_total / slack_compiled_total.max(1e-12);
     let gemver = rows.iter().find(|r| r.name == "gemver");
     let largest = rows
         .iter()
@@ -206,21 +310,25 @@ fn main() -> Result<(), CompareError> {
         .expect("at least one kernel");
     if let Some(g) = gemver {
         println!(
-            "\ngemver: event engine is {:.2}x faster than the full sweep ({:.0} vs {:.0} cycles/s)",
-            g.speedup(),
-            g.event_cps(),
-            g.sweep_cps()
+            "\ngemver: compiled engine is {:.2}x faster than event-driven ({:.2}x vs full sweep)",
+            g.compiled_speedup(),
+            g.event_speedup() * g.compiled_speedup(),
         );
     }
     println!(
-        "slowest sweep: {} — event engine {:.2}x faster",
+        "slack-trial lane (all kernels, jobs=1): compiled {slack_compiled_total:.4}s vs \
+         event {slack_event_total:.4}s — {slack_total_speedup:.2}x"
+    );
+    println!(
+        "slowest sweep: {} — compiled engine {:.2}x faster than event-driven",
         largest.name,
-        largest.speedup()
+        largest.compiled_speedup()
     );
     let all_engines = rows.iter().all(|r| r.engines_identical);
     let all_jobs = rows.iter().all(|r| r.slack_jobs_identical);
+    let all_slack_engines = rows.iter().all(|r| r.slack_engines_identical);
     println!(
-        "engine identity: {}; slack jobs sweep (1/2/8): {}",
+        "engine identity: {}; slack jobs sweep (1/2/8): {}; slack engines: {}",
         if all_engines {
             "bit-identical on every kernel"
         } else {
@@ -230,48 +338,106 @@ fn main() -> Result<(), CompareError> {
             "identical buffer sets"
         } else {
             "DIVERGED — see stderr"
+        },
+        if all_slack_engines {
+            "identical buffer sets"
+        } else {
+            "DIVERGED — see stderr"
         }
     );
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"repeats\": {repeats},\n"));
     json.push_str("  \"jobs_swept\": [1, 2, 8],\n");
+    json.push_str(&format!(
+        "  \"slack_sim_speedup_compiled_vs_event\": {slack_total_speedup:.3},\n"
+    ));
     if let Some(g) = gemver {
-        json.push_str(&format!("  \"gemver_speedup\": {:.3},\n", g.speedup()));
+        json.push_str(&format!(
+            "  \"gemver_event_speedup\": {:.3},\n",
+            g.event_speedup()
+        ));
+        json.push_str(&format!(
+            "  \"gemver_compiled_speedup\": {:.3},\n",
+            g.compiled_speedup()
+        ));
     }
     json.push_str(&format!("  \"largest_kernel\": \"{}\",\n", largest.name));
     json.push_str(&format!(
-        "  \"largest_kernel_speedup\": {:.3},\n",
-        largest.speedup()
+        "  \"largest_kernel_compiled_speedup\": {:.3},\n",
+        largest.compiled_speedup()
     ));
     json.push_str(&format!("  \"engines_bit_identical\": {all_engines},\n"));
     json.push_str(&format!("  \"jobs_bit_identical\": {all_jobs},\n"));
+    json.push_str(&format!(
+        "  \"slack_engines_bit_identical\": {all_slack_engines},\n"
+    ));
     json.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"cycles\": {}, \"sweep_s\": {:.6}, \"event_s\": {:.6}, \
-             \"speedup\": {:.3}, \"sweep_cycles_per_s\": {:.0}, \"event_cycles_per_s\": {:.0}, \
+             \"compiled_s\": {:.6}, \"event_speedup\": {:.3}, \"compiled_speedup\": {:.3}, \
+             \"compiled_cycles_per_s\": {:.0}, \
+             \"slack_event_sim_s\": {:.6}, \"slack_compiled_sim_s\": {:.6}, \
+             \"slack_speedup\": {:.3}, \
              \"engines_bit_identical\": {}, \"slack_trials\": {}, \"slack_trials_pruned\": {}, \
-             \"slack_buffers\": {}, \"slack_jobs_identical\": {}}}{}\n",
+             \"slack_buffers\": {}, \"slack_jobs_identical\": {}, \
+             \"slack_engines_identical\": {}}}{}\n",
             r.name,
             r.cycles,
             r.sweep_s,
             r.event_s,
-            r.speedup(),
-            r.sweep_cps(),
-            r.event_cps(),
+            r.compiled_s,
+            r.event_speedup(),
+            r.compiled_speedup(),
+            r.compiled_cps(),
+            r.slack_event_sim_s,
+            r.slack_compiled_sim_s,
+            r.slack_speedup(),
             r.engines_identical,
             r.slack_trials,
             r.slack_pruned,
             r.slack_buffers,
             r.slack_jobs_identical,
+            r.slack_engines_identical,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out, json)?;
     eprintln!("[bench_sim] wrote {out}");
-    if !all_engines || !all_jobs {
+
+    // Cycle-count regression gate: fresh vs the committed baseline. Runs
+    // after the new JSON lands so a failing run still leaves the numbers
+    // behind for inspection. Cycle counts are deterministic, so the 10%
+    // head-room only forgives intentional semantic changes that were
+    // committed together with a refreshed baseline.
+    if let Some(pairs) = baseline {
+        let mut regressed = false;
+        for (name, base_cycles) in &pairs {
+            let Some(r) = rows.iter().find(|r| r.name == name.as_str()) else {
+                eprintln!("[bench_sim] baseline kernel {name} no longer benchmarked");
+                continue;
+            };
+            let hi = *base_cycles as f64 * 1.10 + 1e-9;
+            let lo = *base_cycles as f64 * 0.90 - 1e-9;
+            if (r.cycles as f64) > hi || (r.cycles as f64) < lo {
+                eprintln!(
+                    "[bench_sim] REGRESSION: {name} completed in {} cycles, baseline {} (>10%)",
+                    r.cycles, base_cycles
+                );
+                regressed = true;
+            }
+        }
+        if regressed {
+            return Err("simulated cycle counts drifted >10% vs baseline".into());
+        }
+        eprintln!(
+            "[bench_sim] cycle counts within 10% of baseline on all {} kernels",
+            pairs.len()
+        );
+    }
+    if !all_engines || !all_jobs || !all_slack_engines {
         return Err("identity check failed — see stderr".into());
     }
     Ok(())

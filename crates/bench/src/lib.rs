@@ -156,7 +156,7 @@ pub fn verify_outputs_traced(
     result: &FlowResult,
     sim: &mut SimStats,
 ) -> Result<(), CompareError> {
-    let mut s = Simulator::new(&result.graph);
+    let mut s = Simulator::new(&result.graph)?;
     let t = Instant::now();
     let res = s.run(kernel.max_cycles * 8);
     sim.tally(t.elapsed(), s.cycle());
@@ -202,11 +202,14 @@ pub fn compare_kernel(
     let mut meas_sim = SimStats::default();
     let prev = optimize_baseline_with_cache(kernel.graph(), kernel.back_edges(), opts, &cache)?;
     verify_outputs_traced(kernel, &prev, &mut meas_sim)?;
-    let prev_report = measure_traced(&prev.graph, opts.k, budget, &cache, &mut meas_sim)?;
+    let sim_opts = frequenz_core::SimOptions {
+        engine: opts.sim_engine,
+    };
+    let prev_report = measure_traced(&prev.graph, opts.k, budget, &cache, sim_opts, &mut meas_sim)?;
 
     let iter = optimize_iterative_with_cache(kernel.graph(), kernel.back_edges(), opts, &cache)?;
     verify_outputs_traced(kernel, &iter, &mut meas_sim)?;
-    let iter_report = measure_traced(&iter.graph, opts.k, budget, &cache, &mut meas_sim)?;
+    let iter_report = measure_traced(&iter.graph, opts.k, budget, &cache, sim_opts, &mut meas_sim)?;
 
     Ok(KernelComparison {
         name: kernel.name,
@@ -559,6 +562,7 @@ mod tests {
                 time: std::time::Duration::from_millis(12),
                 runs: 4,
                 cycles: 999,
+                compiles: 1,
             },
             wall_s: 0.5,
         };

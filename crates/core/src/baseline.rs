@@ -148,6 +148,9 @@ pub fn optimize_baseline_with_cache(
             back_edges,
             opts.max_cfdfcs,
             opts.sim_budget,
+            sim::SimOptions {
+                engine: opts.sim_engine,
+            },
             &mut cfdfc_sim,
         )
     });
@@ -183,9 +186,10 @@ pub fn optimize_baseline_with_cache(
             k: opts.k,
             target_levels: opts.target_levels.max(achieved0),
             sim_budget: opts.sim_budget,
+            engine: opts.sim_engine,
             ..crate::slack::SlackOptions::default()
         };
-        buffers = crate::slack::slack_match_traced(base, &buffers, &slack_opts, cache, &mut trace);
+        buffers = crate::slack::slack_match_traced(base, &buffers, &slack_opts, cache, &mut trace)?;
     }
     let graph = apply_buffers(base, &buffers);
     let achieved = timed(&mut trace.synth, || cache.synthesize(&graph, opts.k))?.logic_levels();
@@ -265,7 +269,7 @@ mod tests {
     fn baseline_circuit_is_still_correct() {
         let k = kernels::gsumif(16);
         let prev = optimize_baseline(k.graph(), k.back_edges(), &FlowOptions::default()).unwrap();
-        let mut s = Simulator::new(&prev.graph);
+        let mut s = Simulator::new(&prev.graph).unwrap();
         let stats = s.run(k.max_cycles * 4).unwrap();
         assert_eq!(stats.exit_value, k.expected_exit);
     }

@@ -8,7 +8,7 @@
 
 use crate::trace::SimStats;
 use dataflow::{enumerate_simple_cycles, BufferSpec, ChannelId, Graph};
-use sim::Simulator;
+use sim::{SimEngine, SimOptions, Simulator};
 use std::time::Instant;
 
 /// One choice-free dataflow circuit: a simple cycle with profiling data.
@@ -28,25 +28,35 @@ pub struct Cfdfc {
 /// frequency. `back_edges` seed the profiling run; cycles that never
 /// execute (frequency 0) are dropped.
 ///
-/// If the profiling simulation fails or exceeds `sim_budget` cycles, all
-/// cycles get frequency 1 (uniform weighting) — buffer placement then
-/// still enforces correctness, just without throughput preferences.
+/// If the profiling simulation fails (even to construct) or exceeds
+/// `sim_budget` cycles, all cycles get frequency 1 (uniform weighting) —
+/// buffer placement then still enforces correctness, just without
+/// throughput preferences.
 pub fn extract_cfdfcs(
     base: &Graph,
     back_edges: &[ChannelId],
     max: usize,
     sim_budget: u64,
 ) -> Vec<Cfdfc> {
-    extract_cfdfcs_traced(base, back_edges, max, sim_budget, &mut SimStats::default())
+    extract_cfdfcs_traced(
+        base,
+        back_edges,
+        max,
+        sim_budget,
+        SimOptions::default(),
+        &mut SimStats::default(),
+    )
 }
 
-/// [`extract_cfdfcs`] with instrumentation: the profiling run's wall
-/// clock and executed cycles are tallied into `sim`.
+/// [`extract_cfdfcs`] with instrumentation and an engine choice: the
+/// profiling run's wall clock, executed cycles (and bytecode compiles,
+/// for [`SimEngine::Compiled`]) are tallied into `sim`.
 pub fn extract_cfdfcs_traced(
     base: &Graph,
     back_edges: &[ChannelId],
     max: usize,
     sim_budget: u64,
+    opts: SimOptions,
     sim: &mut SimStats,
 ) -> Vec<Cfdfc> {
     let cycles = enumerate_simple_cycles(base, 4096);
@@ -54,22 +64,29 @@ pub fn extract_cfdfcs_traced(
     for &ch in back_edges {
         seeded.set_buffer(ch, BufferSpec::FULL);
     }
-    let mut simulator = Simulator::new(&seeded);
+    // A graph the simulator rejects (it should never reach this pass, but
+    // the pass must not panic on it) degrades to uniform weighting, the
+    // same fallback as a failed run.
+    let mut simulator = Simulator::with_engine(&seeded, opts.engine).ok();
+    if opts.engine == SimEngine::Compiled && simulator.is_some() {
+        sim.compiles += 1;
+    }
     let t = Instant::now();
-    let profiled = simulator.run(sim_budget).is_ok();
-    sim.tally(t.elapsed(), simulator.cycle());
+    let profiled = simulator
+        .as_mut()
+        .map(|s| s.run(sim_budget).is_ok())
+        .unwrap_or(false);
+    sim.tally(
+        t.elapsed(),
+        simulator.as_ref().map(|s| s.cycle()).unwrap_or(0),
+    );
 
     let mut cfdfcs: Vec<Cfdfc> = cycles
         .into_iter()
         .map(|channels| {
-            let frequency = if profiled {
-                channels
-                    .iter()
-                    .map(|&c| simulator.transfers(c))
-                    .min()
-                    .unwrap_or(0)
-            } else {
-                1
+            let frequency = match (&simulator, profiled) {
+                (Some(s), true) => channels.iter().map(|&c| s.transfers(c)).min().unwrap_or(0),
+                _ => 1,
             };
             let latency: u32 = channels
                 .iter()
@@ -121,6 +138,62 @@ mod tests {
             max_f >= 2 * min_f,
             "innermost ({max_f}) should dominate outermost ({min_f})"
         );
+    }
+
+    #[test]
+    fn profiling_engine_never_changes_the_weights() {
+        let k = kernels::gsumif(8);
+        let mut per_engine = Vec::new();
+        for engine in [
+            SimEngine::FullSweep,
+            SimEngine::EventDriven,
+            SimEngine::Compiled,
+        ] {
+            let mut sim = SimStats::default();
+            let cfdfcs = extract_cfdfcs_traced(
+                k.graph(),
+                k.back_edges(),
+                16,
+                100_000,
+                SimOptions { engine },
+                &mut sim,
+            );
+            assert_eq!(
+                sim.compiles,
+                u64::from(engine == SimEngine::Compiled),
+                "{engine:?}: compile accounting"
+            );
+            per_engine.push(
+                cfdfcs
+                    .into_iter()
+                    .map(|c| (c.channels, c.frequency))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(per_engine[0], per_engine[1]);
+        assert_eq!(per_engine[0], per_engine[2]);
+    }
+
+    #[test]
+    fn unsimulatable_graph_degrades_to_uniform_weights() {
+        use dataflow::{OpKind, PortRef, UnitKind};
+        // A dangling input port: the simulator refuses to construct, the
+        // extraction must fall back to frequency 1 instead of panicking.
+        let mut g = Graph::new("dangling");
+        let bb = g.add_basic_block("bb0");
+        let a = g
+            .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+            .unwrap();
+        let u = g
+            .add_unit(UnitKind::Operator(OpKind::Add), "u", bb, 8)
+            .unwrap();
+        let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
+        g.connect(PortRef::new(a, 0), PortRef::new(u, 0)).unwrap();
+        g.connect(PortRef::new(u, 0), PortRef::new(x, 0)).unwrap();
+        let cfdfcs = extract_cfdfcs(&g, &[], 8, 1_000);
+        for c in &cfdfcs {
+            assert_eq!(c.frequency, 1);
+        }
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct FlowOptions {
     pub use_penalties: bool,
     /// Run the shared slack-matching pass after placement (both flows).
     pub slack_matching: bool,
+    /// Simulation engine for every simulation-driven step (CFDFC
+    /// profiling, slack matching). Engines are bit-identical — this is a
+    /// speed knob; the compiled default is what keeps slack-matching
+    /// trials cheap.
+    pub sim_engine: sim::SimEngine,
     /// The MILP objective (Eq. 3 by default; area-only for the ablation).
     pub objective: crate::place::Objective,
     /// Carry each iteration's optimal MILP basis and incumbent into the
@@ -76,6 +81,7 @@ impl Default for FlowOptions {
             use_penalties: true,
             slack_matching: true,
             milp_warm_start: true,
+            sim_engine: sim::SimEngine::Compiled,
         }
     }
 }
@@ -174,6 +180,18 @@ pub enum FlowError {
     Placement(PlaceError),
     /// The [`FlowOptions`] are unusable (see [`FlowOptions::validate`]).
     InvalidOptions(String),
+    /// A simulator could not be constructed (malformed graph reached a
+    /// simulation-driven pass).
+    Simulation(sim::SimError),
+    /// A slack-matching trial worker panicked. `trial` is the candidate
+    /// index within its round — the *first* failing trial in deterministic
+    /// candidate order, regardless of thread scheduling.
+    TrialPanic {
+        /// Candidate index of the failing trial within its round.
+        trial: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -182,6 +200,10 @@ impl fmt::Display for FlowError {
             FlowError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
             FlowError::Placement(e) => write!(f, "placement failed: {e}"),
             FlowError::InvalidOptions(msg) => write!(f, "invalid flow options: {msg}"),
+            FlowError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            FlowError::TrialPanic { trial, message } => {
+                write!(f, "slack-matching trial {trial} panicked: {message}")
+            }
         }
     }
 }
@@ -197,6 +219,12 @@ impl From<MapError> for FlowError {
 impl From<PlaceError> for FlowError {
     fn from(e: PlaceError) -> Self {
         FlowError::Placement(e)
+    }
+}
+
+impl From<sim::SimError> for FlowError {
+    fn from(e: sim::SimError) -> Self {
+        FlowError::Simulation(e)
     }
 }
 
@@ -255,6 +283,9 @@ pub fn optimize_iterative_with_cache(
             back_edges,
             opts.max_cfdfcs,
             opts.sim_budget,
+            sim::SimOptions {
+                engine: opts.sim_engine,
+            },
             &mut cfdfc_sim,
         )
     });
@@ -391,6 +422,7 @@ pub fn optimize_iterative_with_cache(
                     k: opts.k,
                     target_levels: opts.target_levels.max(best_levels),
                     sim_budget: opts.sim_budget,
+                    engine: opts.sim_engine,
                     ..crate::slack::SlackOptions::default()
                 };
                 let widened = crate::slack::slack_match_traced(
@@ -399,7 +431,7 @@ pub fn optimize_iterative_with_cache(
                     &slack_opts,
                     cache,
                     &mut trace,
-                );
+                )?;
                 if widened.len() != best_buffers.len() {
                     best_buffers = widened;
                     if let Ok(s2) = synth_step(
@@ -523,7 +555,7 @@ mod tests {
         assert!(r.achieved_levels <= 6);
         assert!(r.iterations.len() <= 5);
         // The final circuit still computes the right answer.
-        let mut s = Simulator::new(&r.graph);
+        let mut s = Simulator::new(&r.graph).unwrap();
         let stats = s.run(k.max_cycles * 4).unwrap();
         assert_eq!(stats.exit_value, k.expected_exit);
     }

@@ -65,6 +65,7 @@ pub use report::{
     clock_period_ns, measure, measure_traced, measure_with_cache, utilization, CircuitReport,
     MeasureError,
 };
+pub use sim::{SimEngine, SimOptions};
 pub use slack::{slack_match, slack_match_traced, slack_match_with_cache, SlackOptions};
 pub use synth::{synthesize, SynthCache, SynthDelta, SynthHandle, Synthesis};
 pub use timing::{CriticalPath, TimingEdge, TimingGraph, TimingNode, TimingNodeId};

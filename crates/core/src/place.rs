@@ -682,7 +682,7 @@ mod tests {
         for &c in &r.buffers {
             g.set_buffer(c, BufferSpec::FULL);
         }
-        let mut s = sim::Simulator::new(&g);
+        let mut s = sim::Simulator::new(&g).unwrap();
         let stats = s.run(k.max_cycles).unwrap();
         assert_eq!(stats.exit_value, k.expected_exit);
     }

@@ -12,7 +12,7 @@ use crate::synth::{synthesize, SynthCache, Synthesis};
 use crate::trace::SimStats;
 use dataflow::{Graph, LOGIC_LEVEL_DELAY_NS};
 use lutmap::{LutId, LutInput};
-use sim::{SimError, Simulator};
+use sim::{SimEngine, SimError, SimOptions, Simulator};
 use std::fmt;
 use std::time::Instant;
 
@@ -180,7 +180,13 @@ pub fn utilization(g: &Graph, synth: &Synthesis) -> Vec<(String, usize, usize)> 
 /// `sim_budget` cycles applies).
 pub fn measure(g: &Graph, k: usize, sim_budget: u64) -> Result<CircuitReport, MeasureError> {
     let synth = synthesize(g, k).map_err(MeasureError::Synthesis)?;
-    measure_synthesized(g, &synth, sim_budget, &mut SimStats::default())
+    measure_synthesized(
+        g,
+        &synth,
+        sim_budget,
+        SimOptions::default(),
+        &mut SimStats::default(),
+    )
 }
 
 /// [`measure`] with a caller-owned synthesis cache.
@@ -198,12 +204,20 @@ pub fn measure_with_cache(
     sim_budget: u64,
     cache: &SynthCache,
 ) -> Result<CircuitReport, MeasureError> {
-    measure_traced(g, k, sim_budget, cache, &mut SimStats::default())
+    measure_traced(
+        g,
+        k,
+        sim_budget,
+        cache,
+        SimOptions::default(),
+        &mut SimStats::default(),
+    )
 }
 
-/// [`measure_with_cache`] with instrumentation: the functional
-/// simulation's wall clock and executed cycles are tallied into `sim`
-/// (also on failure — a deadlocked run still burns real time).
+/// [`measure_with_cache`] with instrumentation and an engine choice: the
+/// functional simulation's wall clock and executed cycles (and bytecode
+/// compiles, for [`SimEngine::Compiled`]) are tallied into `sim` (also on
+/// failure — a deadlocked run still burns real time).
 ///
 /// # Errors
 ///
@@ -213,19 +227,24 @@ pub fn measure_traced(
     k: usize,
     sim_budget: u64,
     cache: &SynthCache,
+    opts: SimOptions,
     sim: &mut SimStats,
 ) -> Result<CircuitReport, MeasureError> {
     let synth = cache.synthesize(g, k).map_err(MeasureError::Synthesis)?;
-    measure_synthesized(g, &synth, sim_budget, sim)
+    measure_synthesized(g, &synth, sim_budget, opts, sim)
 }
 
 fn measure_synthesized(
     g: &Graph,
     synth: &Synthesis,
     sim_budget: u64,
+    opts: SimOptions,
     sim: &mut SimStats,
 ) -> Result<CircuitReport, MeasureError> {
-    let mut s = Simulator::new(g);
+    let mut s = Simulator::with_engine(g, opts.engine).map_err(MeasureError::Simulation)?;
+    if opts.engine == SimEngine::Compiled {
+        sim.compiles += 1;
+    }
     let t = Instant::now();
     let res = s.run(sim_budget);
     sim.tally(t.elapsed(), s.cycle());

@@ -20,16 +20,26 @@
 //! there (reported as a pruned trial, distinct from a genuine deadlock)
 //! preserves behavior while skipping the useless tail of the simulation.
 //!
+//! With the default [`SimEngine::Compiled`] engine the pass lowers the
+//! base circuit to bytecode **once** ([`sim::Program`]) and every profile
+//! and trial overlays its buffer set on a shared read-only [`Arc`] of that
+//! program ([`CompiledSim::with_buffers`]) — no per-trial graph clone, no
+//! adjacency rebuild, no hash lookups in the cycle loop. The engines are
+//! bit-identical (enforced by the three-way oracle in
+//! `tests/sim_equivalence.rs`), so the engine choice can never change the
+//! chosen buffer set — only how fast it arrives.
+//!
 //! Both strategies (mapping-aware and baseline) run the same pass, so the
 //! comparison between them stays apples-to-apples.
 
-use crate::iterate::apply_buffers;
+use crate::iterate::{apply_buffers, FlowError};
 use crate::synth::SynthCache;
 use crate::trace::{FlowTrace, SimStats};
 use dataflow::{ChannelId, Graph};
-use sim::{SimError, Simulator};
+use sim::{CompiledSim, Program, SimEngine, SimError, Simulator};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// Options for [`slack_match`].
@@ -49,6 +59,11 @@ pub struct SlackOptions {
     /// applied in fixed candidate order, so any job count produces the
     /// same buffer set — this is purely a throughput knob.
     pub jobs: usize,
+    /// Simulation engine for profiles and trials. All engines are
+    /// bit-identical; [`SimEngine::Compiled`] (the default here) compiles
+    /// the circuit once per pass and shares the program across trial
+    /// threads, which is what makes large candidate rounds cheap.
+    pub engine: SimEngine,
 }
 
 impl Default for SlackOptions {
@@ -60,6 +75,7 @@ impl Default for SlackOptions {
             k: 6,
             target_levels: 6,
             jobs: slack_jobs(),
+            engine: SimEngine::Compiled,
         }
     }
 }
@@ -74,23 +90,114 @@ fn slack_jobs() -> usize {
         .min(4)
 }
 
-/// Runs one simulation; returns completion cycles (`None` on failure),
+/// How one pass instantiates simulators: a bytecode program compiled once
+/// and shared (buffer sets overlaid per run), or per-run interpreted
+/// simulators over freshly buffered graph clones.
+enum SimFactory<'g> {
+    Compiled(Arc<Program>),
+    Interpreted(&'g Graph, SimEngine),
+}
+
+/// A simulator of either flavor, unified just enough for this pass.
+enum TrialSim<'g> {
+    // Boxed: a CompiledSim is hundreds of bytes of vector headers, far
+    // larger than the interpreted variant.
+    Compiled(Box<CompiledSim>),
+    // The interpreted simulator borrows its graph, so the trial graph
+    // rides along in the same variant (self-referential via Box + the
+    // graph staying put behind it is avoided: profile/run helpers below
+    // never outlive one call, so the graph is owned by the caller frame).
+    Interpreted(Box<Simulator<'g>>),
+}
+
+impl<'g> SimFactory<'g> {
+    /// Builds the factory for `base`: the compiled flavor lowers the graph
+    /// to bytecode once (counted in `sim.compiles`).
+    fn build(
+        base: &'g Graph,
+        engine: SimEngine,
+        sim: &mut SimStats,
+    ) -> Result<SimFactory<'g>, FlowError> {
+        match engine {
+            SimEngine::Compiled => {
+                let prog = Arc::new(Program::compile(base)?);
+                sim.compiles += 1;
+                Ok(SimFactory::Compiled(prog))
+            }
+            other => Ok(SimFactory::Interpreted(base, other)),
+        }
+    }
+}
+
+/// Runs one simulation of `base` + `bufs` for at most `budget` cycles and
+/// hands the finished simulator (and the run result) to `inspect`.
+fn run_with<T>(
+    factory: &SimFactory<'_>,
+    bufs: &[ChannelId],
+    budget: u64,
+    inspect: impl FnOnce(Result<u64, SimError>, &TrialSim<'_>) -> T,
+) -> Result<T, SimError> {
+    match factory {
+        SimFactory::Compiled(prog) => {
+            let mut vm = CompiledSim::with_buffers(Arc::clone(prog), bufs);
+            let res = vm.run(budget).map(|r| r.cycles);
+            Ok(inspect(res, &TrialSim::Compiled(Box::new(vm))))
+        }
+        SimFactory::Interpreted(base, engine) => {
+            let g = apply_buffers(base, bufs);
+            let mut s = Simulator::with_engine(&g, *engine)?;
+            let res = s.run(budget).map(|r| r.cycles);
+            Ok(inspect(res, &TrialSim::Interpreted(Box::new(s))))
+        }
+    }
+}
+
+impl TrialSim<'_> {
+    fn stalls(&self, c: ChannelId) -> u64 {
+        match self {
+            TrialSim::Compiled(vm) => vm.stalls(c),
+            TrialSim::Interpreted(s) => s.stalls(c),
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        match self {
+            TrialSim::Compiled(vm) => vm.cycle(),
+            TrialSim::Interpreted(s) => s.cycle(),
+        }
+    }
+}
+
+/// Completion cycles (`None` on run failure), the non-zero per-channel
+/// stall counts ranked for candidate selection, and the cycles executed.
+type ProfileResult = (Option<u64>, Vec<(ChannelId, u64)>, u64);
+
+/// Runs one simulation; returns completion cycles (`None` on run failure),
 /// the per-channel stall counts, and the cycles actually executed.
 ///
 /// Stalls are ranked by count descending with ties broken by ascending
 /// [`ChannelId`] — an explicit total order, so the candidate ranking never
 /// depends on sort-implementation details.
-fn profile(g: &Graph, budget: u64) -> (Option<u64>, Vec<(ChannelId, u64)>, u64) {
-    let mut s = Simulator::new(g);
-    let cycles = s.run(budget).ok().map(|r| r.cycles);
-    let mut stalls: Vec<(ChannelId, u64)> = g
-        .channels()
-        .map(|(c, _)| (c, s.stalls(c)))
-        .filter(|(_, n)| *n > 0)
-        .collect();
-    stalls.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
-    let spent = s.cycle();
-    (cycles, stalls, spent)
+///
+/// # Errors
+///
+/// Only simulator *construction* failures (malformed graph); a deadlocked
+/// or timed-out run is an ordinary `None` outcome.
+fn profile(
+    base: &Graph,
+    factory: &SimFactory<'_>,
+    bufs: &[ChannelId],
+    budget: u64,
+) -> Result<ProfileResult, SimError> {
+    run_with(factory, bufs, budget, |res, s| {
+        let mut stalls: Vec<(ChannelId, u64)> = base
+            .channels()
+            .map(|(c, _)| (c, s.stalls(c)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        stalls.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+        (res.ok(), stalls, s.cycle())
+    })
 }
 
 /// Outcome of one trial simulation.
@@ -106,52 +213,99 @@ enum TrialOutcome {
     Failed,
 }
 
-/// Simulates `g` for at most `cap` cycles; returns the outcome and the
-/// cycles actually executed (the budget spent).
-fn run_trial(g: &Graph, cap: u64) -> (TrialOutcome, u64) {
-    let mut s = Simulator::new(g);
-    match s.run(cap) {
-        Ok(r) => (TrialOutcome::Completed(r.cycles), r.cycles),
+/// Simulates `base` + `bufs` for at most `cap` cycles; returns the outcome
+/// and the cycles actually executed (the budget spent).
+fn run_trial(
+    factory: &SimFactory<'_>,
+    bufs: &[ChannelId],
+    cap: u64,
+) -> Result<(TrialOutcome, u64), SimError> {
+    run_with(factory, bufs, cap, |res, s| match res {
+        Ok(cycles) => (TrialOutcome::Completed(cycles), cycles),
         Err(SimError::Timeout { max_cycles }) => (TrialOutcome::TimedOut, max_cycles),
         Err(_) => (TrialOutcome::Failed, s.cycle()),
-    }
+    })
 }
 
 /// Runs `f` over `0..n` on up to `jobs` scoped worker threads, returning
 /// the results in index order. Work is handed out through an atomic
 /// cursor, so *scheduling* is nondeterministic but the result vector (and
 /// everything downstream of it) is not.
-fn parallel_trials<R, F>(n: usize, jobs: usize, f: F) -> Vec<R>
+///
+/// # Errors
+///
+/// A panicking `f` poisons nothing: every completed result travels back
+/// over a channel, the panic is caught on the worker, and the failure
+/// reported is the one with the *lowest index* —
+/// [`FlowError::TrialPanic`] — deterministic at any job count.
+fn parallel_trials<R, F>(n: usize, jobs: usize, f: F) -> Result<Vec<R>, FlowError>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
     let jobs = jobs.max(1).min(n);
     if jobs <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| FlowError::TrialPanic {
+                    trial: i,
+                    message: panic_message(p),
+                })
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
+    let f = &f;
+    let cursor = &cursor;
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let r = f(i);
-                *slots[i].lock().expect("trial slot poisoned") = Some(r);
+                let r = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("trial slot poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
+    drop(tx);
+    let mut slots: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    // Surface the first failure in *candidate* order, not arrival order.
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(message)) => return Err(FlowError::TrialPanic { trial: i, message }),
+            // Unreachable: the scope joins every worker and the cursor
+            // hands out each index exactly once — but a structured error
+            // beats an expect() if that invariant ever breaks.
+            None => {
+                return Err(FlowError::TrialPanic {
+                    trial: i,
+                    message: "trial result never arrived".to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Greedily adds capacity buffers where backpressure concentrates.
@@ -159,7 +313,18 @@ where
 /// Returns the augmented buffer list (a superset of `buffers`). The level
 /// budget is re-checked by synthesis for every accepted buffer, so the
 /// pass can only improve cycle counts, never the clock period.
-pub fn slack_match(base: &Graph, buffers: &[ChannelId], opts: &SlackOptions) -> Vec<ChannelId> {
+///
+/// # Errors
+///
+/// [`FlowError::Simulation`] when `base` cannot be simulated at all
+/// (malformed graph) and [`FlowError::TrialPanic`] when a trial worker
+/// panics; a trial that merely deadlocks or times out is an ordinary
+/// rejected candidate, not an error.
+pub fn slack_match(
+    base: &Graph,
+    buffers: &[ChannelId],
+    opts: &SlackOptions,
+) -> Result<Vec<ChannelId>, FlowError> {
     slack_match_with_cache(base, buffers, opts, &SynthCache::new())
 }
 
@@ -168,44 +333,65 @@ pub fn slack_match(base: &Graph, buffers: &[ChannelId], opts: &SlackOptions) -> 
 /// The pass re-synthesizes every accepted candidate to re-check the level
 /// budget; probing the same buffer set twice (or re-checking the set the
 /// enclosing flow just synthesized) then hits the cache.
+///
+/// # Errors
+///
+/// Same contract as [`slack_match`].
 pub fn slack_match_with_cache(
     base: &Graph,
     buffers: &[ChannelId],
     opts: &SlackOptions,
     cache: &SynthCache,
-) -> Vec<ChannelId> {
+) -> Result<Vec<ChannelId>, FlowError> {
     slack_match_traced(base, buffers, opts, cache, &mut FlowTrace::default())
 }
 
 /// [`slack_match_with_cache`] with instrumentation: accumulates the pass
 /// wall clock into `trace.slack`, the simulator sub-lane into `trace.sim`
-/// (runs/cycles included), and the trial/pruned counters.
+/// (runs/cycles/compiles included), and the trial/pruned counters.
+///
+/// # Errors
+///
+/// Same contract as [`slack_match`].
 pub fn slack_match_traced(
     base: &Graph,
     buffers: &[ChannelId],
     opts: &SlackOptions,
     cache: &SynthCache,
     trace: &mut FlowTrace,
-) -> Vec<ChannelId> {
+) -> Result<Vec<ChannelId>, FlowError> {
     let pass = Instant::now();
     let mut sim = SimStats::default();
+    let result = slack_match_inner(base, buffers, opts, cache, trace, &mut sim);
+    trace.slack += pass.elapsed();
+    trace.record_sim(sim);
+    result
+}
+
+fn slack_match_inner(
+    base: &Graph,
+    buffers: &[ChannelId],
+    opts: &SlackOptions,
+    cache: &SynthCache,
+    trace: &mut FlowTrace,
+    sim: &mut SimStats,
+) -> Result<Vec<ChannelId>, FlowError> {
+    // One compile for the whole pass: every profile and trial below
+    // overlays its buffer set on this shared program.
+    let factory = SimFactory::build(base, opts.engine, sim)?;
 
     let mut current: Vec<ChannelId> = buffers.to_vec();
-    let g0 = apply_buffers(base, &current);
     let t = Instant::now();
-    let (first, _, spent) = profile(&g0, opts.sim_budget);
+    let (first, _, spent) = profile(base, &factory, &current, opts.sim_budget)?;
     sim.tally(t.elapsed(), spent);
     let Some(mut best_cycles) = first else {
-        trace.slack += pass.elapsed();
-        trace.record_sim(sim);
-        return current;
+        return Ok(current);
     };
 
     let mut added = 0usize;
     while added < opts.max_added {
-        let g = apply_buffers(base, &current);
         let t = Instant::now();
-        let (_, stalls, spent) = profile(&g, opts.sim_budget);
+        let (_, stalls, spent) = profile(base, &factory, &current, opts.sim_budget)?;
         sim.tally(t.elapsed(), spent);
         let top: Vec<ChannelId> = stalls
             .iter()
@@ -235,16 +421,19 @@ pub fn slack_match_traced(
         let outcomes = parallel_trials(candidates.len(), opts.jobs, |i| {
             let mut trial = current.clone();
             trial.extend(candidates[i].iter().copied());
-            run_trial(&apply_buffers(base, &trial), cap)
-        });
+            run_trial(&factory, &trial, cap)
+        })?;
         sim.time += t.elapsed();
         sim.runs += outcomes.len() as u64;
         trace.slack_trials += outcomes.len() as u64;
 
         // Replay acceptance sequentially in candidate order — identical
-        // results at any job count.
+        // results at any job count. Construction errors (impossible for a
+        // graph that profiled above, but structured all the same) surface
+        // in the same deterministic order.
         let mut accepted: Option<(Vec<ChannelId>, u64)> = None;
-        for (cand, (outcome, spent)) in candidates.into_iter().zip(outcomes) {
+        for (cand, outcome) in candidates.into_iter().zip(outcomes) {
+            let (outcome, spent) = outcome?;
             sim.cycles += spent;
             let cycles = match outcome {
                 TrialOutcome::Completed(c) => c,
@@ -282,9 +471,7 @@ pub fn slack_match_traced(
     }
     current.sort();
     current.dedup();
-    trace.slack += pass.elapsed();
-    trace.record_sim(sim);
-    current
+    Ok(current)
 }
 
 #[cfg(test)]
@@ -293,23 +480,34 @@ mod tests {
     use crate::synth::synthesize;
     use hls::kernels;
 
+    /// Profiles `base` + `bufs` with the given engine (test convenience).
+    fn profile_once(
+        base: &Graph,
+        bufs: &[ChannelId],
+        budget: u64,
+        engine: SimEngine,
+    ) -> (Option<u64>, Vec<(ChannelId, u64)>, u64) {
+        let factory = SimFactory::build(base, engine, &mut SimStats::default()).unwrap();
+        profile(base, &factory, bufs, budget).unwrap()
+    }
+
     #[test]
     fn slack_matching_never_hurts_cycles() {
         let k = kernels::gsum(32);
         let seed: Vec<ChannelId> = k.back_edges().to_vec();
-        let g0 = apply_buffers(k.graph(), &seed);
-        let (before, _, _) = profile(&g0, k.max_cycles * 4);
+        let (before, _, _) = profile_once(k.graph(), &seed, k.max_cycles * 4, SimEngine::default());
         let opts = SlackOptions {
             sim_budget: k.max_cycles * 4,
             target_levels: 16, // generous: this test is about cycles
             ..SlackOptions::default()
         };
-        let matched = slack_match(k.graph(), &seed, &opts);
-        let g1 = apply_buffers(k.graph(), &matched);
-        let (after, _, _) = profile(&g1, k.max_cycles * 4);
+        let matched = slack_match(k.graph(), &seed, &opts).unwrap();
+        let (after, _, _) =
+            profile_once(k.graph(), &matched, k.max_cycles * 4, SimEngine::default());
         assert!(after.unwrap() <= before.unwrap());
         // The result still computes the right value.
-        let mut s = Simulator::new(&g1);
+        let g1 = apply_buffers(k.graph(), &matched);
+        let mut s = Simulator::new(&g1).unwrap();
         let stats = s.run(k.max_cycles * 4).unwrap();
         assert_eq!(stats.exit_value, k.expected_exit);
     }
@@ -324,7 +522,7 @@ mod tests {
             max_added: 8,
             ..SlackOptions::default()
         };
-        let matched = slack_match(k.graph(), &seed, &opts);
+        let matched = slack_match(k.graph(), &seed, &opts).unwrap();
         let g = apply_buffers(k.graph(), &matched);
         let levels = synthesize(&g, 6).unwrap().logic_levels();
         assert!(levels <= 32);
@@ -333,15 +531,21 @@ mod tests {
     #[test]
     fn stall_profile_identifies_hotspots() {
         let k = kernels::matrix(4);
-        let g = k.seeded_graph();
-        let (cycles, stalls, _) = profile(&g, k.max_cycles * 4);
-        assert!(cycles.is_some());
-        assert!(!stalls.is_empty(), "a seeded matmul must stall somewhere");
-        // Sorted descending, ties broken by ascending channel id.
-        for w in stalls.windows(2) {
-            assert!(w[0].1 >= w[1].1);
-            if w[0].1 == w[1].1 {
-                assert!(w[0].0 < w[1].0, "tie not broken by channel id");
+        for engine in [
+            SimEngine::FullSweep,
+            SimEngine::EventDriven,
+            SimEngine::Compiled,
+        ] {
+            let (cycles, stalls, _) =
+                profile_once(k.graph(), k.back_edges(), k.max_cycles * 4, engine);
+            assert!(cycles.is_some());
+            assert!(!stalls.is_empty(), "a seeded matmul must stall somewhere");
+            // Sorted descending, ties broken by ascending channel id.
+            for w in stalls.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+                if w[0].1 == w[1].1 {
+                    assert!(w[0].0 < w[1].0, "tie not broken by channel id");
+                }
             }
         }
     }
@@ -357,19 +561,72 @@ mod tests {
             ..SlackOptions::default()
         };
         let mut trace = FlowTrace::default();
-        let matched = slack_match_traced(k.graph(), &seed, &opts, &SynthCache::new(), &mut trace);
-        assert_eq!(matched, slack_match(k.graph(), &seed, &opts));
+        let matched =
+            slack_match_traced(k.graph(), &seed, &opts, &SynthCache::new(), &mut trace).unwrap();
+        assert_eq!(matched, slack_match(k.graph(), &seed, &opts).unwrap());
         assert!(trace.sim_runs > 0, "profiles and trials must be counted");
         assert!(trace.sim_cycles > 0);
+        assert_eq!(
+            trace.sim_compiles, 1,
+            "the compiled engine lowers the circuit exactly once per pass"
+        );
         assert!(trace.slack >= trace.sim, "sim is a sub-lane of slack here");
         assert!(trace.slack_trials >= trace.slack_trials_pruned);
     }
 
     #[test]
     fn parallel_trials_preserves_index_order() {
-        let out = parallel_trials(17, 8, |i| i * i);
+        let out = parallel_trials(17, 8, |i| i * i).unwrap();
         assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
-        let empty = parallel_trials(0, 4, |i| i);
+        let empty = parallel_trials(0, 4, |i| i).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn panicking_trial_surfaces_lowest_index_deterministically() {
+        for jobs in [1usize, 2, 8] {
+            let err = parallel_trials(9, jobs, |i| {
+                if i % 3 == 2 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+            .unwrap_err();
+            match err {
+                FlowError::TrialPanic { trial, message } => {
+                    assert_eq!(trial, 2, "jobs={jobs}: first failing index wins");
+                    assert_eq!(message, "boom at 2");
+                }
+                other => panic!("expected TrialPanic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unvalidated_base_is_a_structured_simulation_error() {
+        use dataflow::{OpKind, PortRef, UnitKind};
+        let mut g = Graph::new("dangling");
+        let bb = g.add_basic_block("bb0");
+        let a = g
+            .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+            .unwrap();
+        let u = g
+            .add_unit(UnitKind::Operator(OpKind::Add), "u", bb, 8)
+            .unwrap();
+        let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
+        g.connect(PortRef::new(a, 0), PortRef::new(u, 0)).unwrap();
+        g.connect(PortRef::new(u, 0), PortRef::new(x, 0)).unwrap();
+        // No validate(): port 1 of `u` dangles. Both engine families must
+        // report it as FlowError::Simulation, never panic.
+        for engine in [SimEngine::Compiled, SimEngine::EventDriven] {
+            let opts = SlackOptions {
+                engine,
+                ..SlackOptions::default()
+            };
+            match slack_match(&g, &[], &opts) {
+                Err(FlowError::Simulation(SimError::UnconnectedPort { .. })) => {}
+                other => panic!("{engine:?}: expected UnconnectedPort, got {other:?}"),
+            }
+        }
     }
 }

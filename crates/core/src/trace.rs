@@ -85,6 +85,11 @@ pub struct FlowTrace {
     pub sim_runs: u64,
     /// Clock cycles executed across all simulator runs.
     pub sim_cycles: u64,
+    /// Bytecode programs compiled for [`sim::SimEngine::Compiled`] runs.
+    /// The compiled engine's economics live here: slack matching compiles
+    /// *once* per pass and shares the program across every trial thread,
+    /// so this stays far below `sim_runs`.
+    pub sim_compiles: u64,
     /// Slack-matching trial simulations evaluated.
     pub slack_trials: u64,
     /// Slack trials aborted by the incumbent-bound early exit (they spent
@@ -104,6 +109,8 @@ pub struct SimStats {
     pub runs: u64,
     /// Cycles executed.
     pub cycles: u64,
+    /// Bytecode programs compiled (compiled engine only).
+    pub compiles: u64,
 }
 
 impl SimStats {
@@ -141,6 +148,7 @@ impl FlowTrace {
         self.sim += stats.time;
         self.sim_runs += stats.runs;
         self.sim_cycles += stats.cycles;
+        self.sim_compiles += stats.compiles;
     }
 
     /// Sums phase durations and counters of `other` into `self` (used to
@@ -178,6 +186,7 @@ impl FlowTrace {
         self.sim += other.sim;
         self.sim_runs += other.sim_runs;
         self.sim_cycles += other.sim_cycles;
+        self.sim_compiles += other.sim_compiles;
         self.slack_trials += other.slack_trials;
         self.slack_trials_pruned += other.slack_trials_pruned;
     }
@@ -191,7 +200,7 @@ impl fmt::Display for FlowTrace {
              milp {:.2}s ({} pivots, {} nodes, {} refactors, {} rows dropped, \
              {} cuts/{} rounds, {} pruned, {} bounds tightened, {} warm hits) | \
              slack {:.2}s ({} trials, {} pruned) | \
-             sim {:.2}s ({} runs, {} cycles) | \
+             sim {:.2}s ({} runs, {} cycles, {} compiles) | \
              total {:.2}s | cache {}/{} hits ({:.0}%) | \
              {} incr / {} full synths | labels {}/{} reused ({:.0}%) | \
              dirty BBs {}/{} | {} cut rounds | {} iterations",
@@ -216,6 +225,7 @@ impl fmt::Display for FlowTrace {
             self.sim.as_secs_f64(),
             self.sim_runs,
             self.sim_cycles,
+            self.sim_compiles,
             self.total.as_secs_f64(),
             self.cache_hits,
             self.cache_hits + self.cache_misses,
@@ -288,6 +298,7 @@ mod tests {
             sim: Duration::from_millis(7),
             sim_runs: 3,
             sim_cycles: 900,
+            sim_compiles: 2,
             slack_trials: 12,
             slack_trials_pruned: 5,
             ..FlowTrace::default()
@@ -316,6 +327,7 @@ mod tests {
         assert_eq!(a.sim, Duration::from_millis(7));
         assert_eq!(a.sim_runs, 3);
         assert_eq!(a.sim_cycles, 900);
+        assert_eq!(a.sim_compiles, 2);
         assert_eq!(a.slack_trials, 12);
         assert_eq!(a.slack_trials_pruned, 5);
     }
@@ -326,14 +338,19 @@ mod tests {
         let mut s = SimStats::default();
         s.tally(Duration::from_millis(4), 100);
         s.tally(Duration::from_millis(6), 50);
+        s.compiles += 1;
         t.record_sim(s);
         t.record_sim(s);
         assert_eq!(t.sim, Duration::from_millis(20));
         assert_eq!(t.sim_runs, 4);
         assert_eq!(t.sim_cycles, 300);
+        assert_eq!(t.sim_compiles, 2);
         // The instrumentation line surfaces the new lane.
         let line = t.to_string();
-        assert!(line.contains("sim 0.02s (4 runs, 300 cycles)"), "{line}");
+        assert!(
+            line.contains("sim 0.02s (4 runs, 300 cycles, 2 compiles)"),
+            "{line}"
+        );
     }
 
     #[test]

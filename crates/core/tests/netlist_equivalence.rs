@@ -106,7 +106,7 @@ fn arith_graph(buffered: bool) -> (Graph, UnitId, UnitId, UnitId) {
 fn check(a_val: u64, b_val: u64, c_val: u64, buffered: bool) {
     let (g, a, b, c) = arith_graph(buffered);
     // Token-level reference.
-    let mut tok = Simulator::new(&g);
+    let mut tok = Simulator::new(&g).unwrap();
     tok.set_arg(0, a_val);
     tok.set_arg(1, b_val);
     tok.set_arg(2, c_val);
@@ -167,7 +167,7 @@ fn gate_level_branch_and_select() {
     g.validate().unwrap();
 
     for (av, bv) in [(3u64, 9u64), (9, 3), (5, 5), (200, 100)] {
-        let mut tok = Simulator::new(&g);
+        let mut tok = Simulator::new(&g).unwrap();
         tok.set_arg(0, av);
         tok.set_arg(1, bv);
         let expect = tok.run(100).expect("token sim").exit_value;

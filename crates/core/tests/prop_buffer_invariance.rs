@@ -21,7 +21,7 @@ fn check_with_buffers(kernel: &Kernel, extra_mask: &[bool]) -> Result<(), TestCa
             g.set_buffer(ChannelId::from_raw(i as u32), BufferSpec::FULL);
         }
     }
-    let mut s = Simulator::new(&g);
+    let mut s = Simulator::new(&g).unwrap();
     let stats = s
         .run(kernel.max_cycles * 16)
         .map_err(|e| TestCaseError::fail(format!("{}: {e}", kernel.name)))?;

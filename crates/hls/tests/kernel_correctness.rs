@@ -8,7 +8,7 @@ use sim::Simulator;
 fn check(kernel: &Kernel) {
     let g = kernel.seeded_graph();
     g.validate().expect("kernel validates");
-    let mut s = Simulator::new(&g);
+    let mut s = Simulator::new(&g).unwrap();
     let stats = s
         .run(kernel.max_cycles)
         .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
@@ -107,7 +107,7 @@ fn kernels_round_trip_through_dfg_text() {
         for &be in k.back_edges() {
             g.set_buffer(be, dataflow::BufferSpec::FULL);
         }
-        let mut s = Simulator::new(&g);
+        let mut s = Simulator::new(&g).unwrap();
         let stats = s
             .run(k.max_cycles)
             .unwrap_or_else(|e| panic!("{}: {e}", k.name));

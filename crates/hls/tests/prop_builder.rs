@@ -100,7 +100,7 @@ proptest! {
         let built = k.finish_with_value(out).expect("builds");
         built.graph.validate().expect("validates");
 
-        let mut s = Simulator::new(&built.graph);
+        let mut s = Simulator::new(&built.graph).unwrap();
         for (i, &a) in args.iter().enumerate() {
             s.set_arg(i as u8, a);
         }
@@ -130,7 +130,7 @@ proptest! {
             }
             g
         };
-        let mut s = Simulator::new(&g);
+        let mut s = Simulator::new(&g).unwrap();
         let stats = s.run(100_000).expect("runs");
         let expected: u64 = (0..n).map(|i| i * step).sum::<u64>() & MASK;
         prop_assert_eq!(stats.exit_value, Some(expected));

@@ -88,29 +88,31 @@ impl Simulator<'_> {
             }
             UnitKind::Fork { .. } => {
                 let vin = self.ivalid(uid, 0);
+                // Construction validated the state shape (SimError::BadUnit);
+                // a mismatch skips the commit instead of panicking.
                 let state = std::mem::replace(&mut self.unit[uid.index()], UnitState::None);
-                let mut dones = match state {
-                    UnitState::ForkDone(d) => d,
-                    _ => unreachable!(),
-                };
-                let mut all = true;
-                for (i, &done) in dones.iter().enumerate() {
-                    all &= done || self.oready(uid, i);
-                }
-                let fire_all = vin && all;
-                for (i, slot) in dones.iter_mut().enumerate() {
-                    let done = *slot;
-                    let transfer = vin && !done && self.oready(uid, i);
-                    let next = (done || transfer) && !fire_all;
-                    if next != done {
-                        changed = true;
+                if let UnitState::ForkDone(mut dones) = state {
+                    let mut all = true;
+                    for (i, &done) in dones.iter().enumerate() {
+                        all &= done || self.oready(uid, i);
                     }
-                    *slot = next;
+                    let fire_all = vin && all;
+                    for (i, slot) in dones.iter_mut().enumerate() {
+                        let done = *slot;
+                        let transfer = vin && !done && self.oready(uid, i);
+                        let next = (done || transfer) && !fire_all;
+                        if next != done {
+                            changed = true;
+                        }
+                        *slot = next;
+                    }
+                    if changed {
+                        progressed = true;
+                    }
+                    self.unit[uid.index()] = UnitState::ForkDone(dones);
+                } else {
+                    self.unit[uid.index()] = state;
                 }
-                if changed {
-                    progressed = true;
-                }
-                self.unit[uid.index()] = UnitState::ForkDone(dones);
             }
             UnitKind::ControlMerge { inputs } => {
                 let n = inputs as usize;
@@ -119,7 +121,8 @@ impl Simulator<'_> {
                 valids.extend((0..n).map(|i| self.ivalid(uid, i)));
                 let (dones, latched) = match &self.unit[uid.index()] {
                     UnitState::CmergeState { dones, grant } => (*dones, *grant),
-                    _ => unreachable!(),
+                    // Dead by construction validation (SimError::BadUnit).
+                    _ => ([false; 2], None),
                 };
                 let comb_grant = valids.iter().rposition(|&v| v);
                 let grant = latched.map(|g| g as usize).or(comb_grant);
@@ -159,8 +162,13 @@ impl Simulator<'_> {
                 let all = (0..arity).all(|i| self.ivalid(uid, i));
                 let rout = self.oready(uid, 0);
                 let result = self.apply_op(uid, op, w);
+                // A latency>0 operator always carries a nonempty Pipe state —
+                // enforced at construction (SimError::BadUnit); any mismatch
+                // skips the commit instead of panicking at the clock edge.
                 if let UnitState::Pipe(stages) = &mut self.unit[uid.index()] {
-                    let last_v = stages.last().expect("pipe").0;
+                    let Some(&(last_v, _)) = stages.last() else {
+                        return Ok((progressed, changed));
+                    };
                     let en = rout || !last_v;
                     if en {
                         for k in (1..stages.len()).rev() {

@@ -1,10 +1,10 @@
-//! The simulation engine: two scheduling strategies over one shared
-//! evaluation/commit core.
+//! The simulation engine: three scheduling strategies over one shared
+//! semantics.
 //!
-//! Both engines compute the same two-phase cycle — a combinational
+//! All engines compute the same two-phase cycle — a combinational
 //! handshake fixpoint ([`crate::eval`]) followed by a clock-edge state
-//! commit ([`crate::commit`]) — and differ only in *which* units and
-//! channels they visit:
+//! commit ([`crate::commit`]) — and differ only in *how* units and
+//! channels are visited:
 //!
 //! * [`SimEngine::FullSweep`] re-queues every unit and re-derives every
 //!   channel at the start of each settle, and commits every channel and
@@ -20,24 +20,81 @@
 //!   ascending unit order so memory effects and error precedence match
 //!   the sweep exactly. Settle and commit cost then scale with circuit
 //!   *activity* instead of circuit *size*.
+//! * [`SimEngine::Compiled`] lowers the graph once into flat bytecode
+//!   ([`crate::compile`]) and executes it with SoA state and dense dirty
+//!   bitmasks — no per-cycle `UnitKind` dispatch or port lookups. The
+//!   program is `Arc`-shared read-only across slack-trial threads.
 //!
-//! The two engines are bit-identical on [`RunStats`], per-channel
-//! transfer/stall counters, and every error case; `tests/sim_equivalence.rs`
-//! pins this on randomized graphs and all evaluation kernels.
+//! The engines are bit-identical on [`RunStats`], per-channel
+//! transfer/stall counters, memory images, and every error case;
+//! `tests/sim_equivalence.rs` pins the three-way identity on randomized
+//! graphs and all evaluation kernels.
 
+use crate::compile::{CompiledSim, Program};
 use crate::index::AdjIndex;
 use crate::state::{ChanSig, ChanState, UnitState};
 use crate::types::{RunStats, SimError};
 use dataflow::{ChannelId, Graph, MemoryId, UnitId, UnitKind};
+use std::sync::Arc;
 
 /// Scheduling strategy of a [`Simulator`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum SimEngine {
-    /// Persistent dirty-set scheduler; cost scales with activity.
+    /// Persistent dirty-set interpreter; cost scales with activity.
     #[default]
     EventDriven,
     /// Re-evaluates everything every cycle; the oracle engine.
     FullSweep,
+    /// One-time bytecode compile, tight decode-loop execution; the fast
+    /// path for simulation-heavy passes (slack trials, measurement).
+    Compiled,
+}
+
+/// Initial sequential state for a unit of the given kind.
+fn reset_state(kind: &UnitKind) -> UnitState {
+    match kind {
+        UnitKind::Entry | UnitKind::Argument { .. } => UnitState::Fired(false),
+        UnitKind::Fork { outputs } => UnitState::ForkDone(vec![false; *outputs as usize]),
+        UnitKind::ControlMerge { .. } => UnitState::CmergeState {
+            dones: [false; 2],
+            grant: None,
+        },
+        UnitKind::Operator(op) if op.latency() > 0 => {
+            UnitState::Pipe(vec![(false, 0); op.latency() as usize])
+        }
+        UnitKind::Load { .. } | UnitKind::Store { .. } => UnitState::MemPort { v: false, data: 0 },
+        _ => UnitState::None,
+    }
+}
+
+/// Whether a sequential state has the shape the per-cycle evaluators
+/// expect for `kind`. Checked once at [`Simulator`] construction (see
+/// [`SimError::BadUnit`]) so [`crate::eval`]/[`crate::commit`] never have
+/// to panic on a mismatched state mid-cycle.
+pub(crate) fn state_consistent(kind: &UnitKind, st: &UnitState) -> bool {
+    match (kind, st) {
+        (UnitKind::Entry | UnitKind::Argument { .. }, UnitState::Fired(_)) => true,
+        (UnitKind::Fork { outputs }, UnitState::ForkDone(d)) => d.len() == *outputs as usize,
+        (UnitKind::ControlMerge { .. }, UnitState::CmergeState { .. }) => true,
+        (UnitKind::Operator(op), UnitState::Pipe(stages)) => {
+            op.latency() > 0 && stages.len() == op.latency() as usize
+        }
+        (UnitKind::Operator(op), UnitState::None) => op.latency() == 0,
+        (UnitKind::Load { .. } | UnitKind::Store { .. }, UnitState::MemPort { .. }) => true,
+        (
+            UnitKind::LazyFork { .. }
+            | UnitKind::Join { .. }
+            | UnitKind::Branch
+            | UnitKind::Merge { .. }
+            | UnitKind::Mux { .. }
+            | UnitKind::Constant { .. }
+            | UnitKind::Source
+            | UnitKind::Sink
+            | UnitKind::Exit,
+            UnitState::None,
+        ) => true,
+        _ => false,
+    }
 }
 
 /// A cycle-accurate simulator for one dataflow graph.
@@ -47,6 +104,10 @@ pub enum SimEngine {
 pub struct Simulator<'g> {
     g: &'g Graph,
     engine: SimEngine,
+    /// Present iff `engine == SimEngine::Compiled`; every public accessor
+    /// dispatches to it before touching the interpreted state (which is
+    /// left empty under the compiled engine).
+    vm: Option<CompiledSim>,
     pub(crate) idx: AdjIndex,
     pub(crate) args: Vec<u64>,
     pub(crate) sig: Vec<ChanSig>,
@@ -82,30 +143,40 @@ pub struct Simulator<'g> {
 
 impl<'g> Simulator<'g> {
     /// Prepares an event-driven simulator with all state at reset.
-    pub fn new(g: &'g Graph) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnconnectedPort`] if the graph skipped validation and
+    /// has a dangling port, [`SimError::BadUnit`] if a unit's reset state
+    /// is inconsistent with its kind.
+    pub fn new(g: &'g Graph) -> Result<Self, SimError> {
         Self::with_engine(g, SimEngine::default())
     }
 
     /// Prepares a simulator using the given scheduling engine.
-    pub fn with_engine(g: &'g Graph, engine: SimEngine) -> Self {
-        let unit = g
-            .units()
-            .map(|(_, u)| match u.kind() {
-                UnitKind::Entry | UnitKind::Argument { .. } => UnitState::Fired(false),
-                UnitKind::Fork { outputs } => UnitState::ForkDone(vec![false; *outputs as usize]),
-                UnitKind::ControlMerge { .. } => UnitState::CmergeState {
-                    dones: [false; 2],
-                    grant: None,
-                },
-                UnitKind::Operator(op) if op.latency() > 0 => {
-                    UnitState::Pipe(vec![(false, 0); op.latency() as usize])
-                }
-                UnitKind::Load { .. } | UnitKind::Store { .. } => {
-                    UnitState::MemPort { v: false, data: 0 }
-                }
-                _ => UnitState::None,
-            })
-            .collect();
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::new`].
+    pub fn with_engine(g: &'g Graph, engine: SimEngine) -> Result<Self, SimError> {
+        if engine == SimEngine::Compiled {
+            let prog = Arc::new(Program::compile(g)?);
+            return Ok(Self::from_compiled(g, CompiledSim::new(prog)));
+        }
+        let mut unit = Vec::with_capacity(g.num_units());
+        for (uid, u) in g.units() {
+            let st = reset_state(u.kind());
+            if !state_consistent(u.kind(), &st) {
+                return Err(SimError::BadUnit {
+                    unit: uid,
+                    reason: format!(
+                        "sequential state {st:?} inconsistent with unit kind {}",
+                        u.kind()
+                    ),
+                });
+            }
+            unit.push(st);
+        }
         let mems = g
             .memories()
             .map(|(_, m)| {
@@ -114,10 +185,11 @@ impl<'g> Simulator<'g> {
                 v
             })
             .collect();
-        Simulator {
+        Ok(Simulator {
             g,
             engine,
-            idx: AdjIndex::build(g),
+            vm: None,
+            idx: AdjIndex::try_build(g)?,
             args: vec![0; 256],
             sig: vec![ChanSig::default(); g.num_channels()],
             chan: vec![ChanState::default(); g.num_channels()],
@@ -136,6 +208,38 @@ impl<'g> Simulator<'g> {
             chan_dirty: vec![false; g.num_channels()],
             chan_seed: Vec::new(),
             chan_active: vec![false; g.num_channels()],
+            active_chans: Vec::new(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Wraps an already-constructed VM (used both by
+    /// [`Simulator::with_engine`] and to reuse an `Arc`-shared program
+    /// compiled elsewhere, e.g. once per slack-matching placement).
+    pub fn from_compiled(g: &'g Graph, vm: CompiledSim) -> Self {
+        Simulator {
+            g,
+            engine: SimEngine::Compiled,
+            vm: Some(vm),
+            idx: AdjIndex::empty(),
+            args: Vec::new(),
+            sig: Vec::new(),
+            chan: Vec::new(),
+            unit: Vec::new(),
+            mems: Vec::new(),
+            transfers: Vec::new(),
+            stalls: Vec::new(),
+            cycle: 0,
+            exit_value: None,
+            exited: false,
+            dirty_unit: Vec::new(),
+            unit_queue: Vec::new(),
+            touched: Vec::new(),
+            evaled: Vec::new(),
+            commit_units: Vec::new(),
+            chan_dirty: Vec::new(),
+            chan_seed: Vec::new(),
+            chan_active: Vec::new(),
             active_chans: Vec::new(),
             scratch: Vec::new(),
         }
@@ -162,49 +266,82 @@ impl<'g> Simulator<'g> {
 
     /// Sets the value of kernel argument `index` (before running).
     pub fn set_arg(&mut self, index: u8, value: u64) {
-        self.args[index as usize] = value;
+        if let Some(vm) = self.vm.as_mut() {
+            vm.set_arg(index, value);
+        } else {
+            self.args[index as usize] = value;
+        }
     }
 
     /// Reads back a memory after (or during) simulation.
     pub fn memory(&self, id: MemoryId) -> &[u64] {
-        &self.mems[id.index()]
+        match &self.vm {
+            Some(vm) => vm.memory(id),
+            None => &self.mems[id.index()],
+        }
     }
 
     /// Number of tokens transferred over a channel so far (producer side).
     pub fn transfers(&self, ch: ChannelId) -> u64 {
-        self.transfers[ch.index()]
+        match &self.vm {
+            Some(vm) => vm.transfers(ch),
+            None => self.transfers[ch.index()],
+        }
     }
 
     /// Cycles in which a token was offered on `ch` but not accepted
     /// (`valid && !ready` at the producer side) — the backpressure-stall
     /// counter driving slack matching.
     pub fn stalls(&self, ch: ChannelId) -> u64 {
-        self.stalls[ch.index()]
+        match &self.vm {
+            Some(vm) => vm.stalls(ch),
+            None => self.stalls[ch.index()],
+        }
     }
 
     /// Elapsed cycles.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        match &self.vm {
+            Some(vm) => vm.cycle(),
+            None => self.cycle,
+        }
     }
 
     /// Debug view of a channel's handshake state as of the last settle:
     /// `(valid_src, ready_src, valid_dst, ready_dst)`.
     pub fn channel_state(&self, ch: ChannelId) -> (bool, bool, bool, bool) {
-        let s = self.sig[ch.index()];
-        (s.valid_src, s.ready_src, s.valid_dst, s.ready_dst)
+        match &self.vm {
+            Some(vm) => vm.channel_state(ch),
+            None => {
+                let s = self.sig[ch.index()];
+                (s.valid_src, s.ready_src, s.valid_dst, s.ready_dst)
+            }
+        }
     }
 
     /// The data payload currently presented by the producer of `ch`.
     pub fn channel_data(&self, ch: ChannelId) -> u64 {
-        self.sig[ch.index()].data_src
+        match &self.vm {
+            Some(vm) => vm.channel_data(ch),
+            None => self.sig[ch.index()].data_src,
+        }
     }
 
     /// `true` once the exit token has been consumed.
     pub fn exited(&self) -> bool {
-        self.exited
+        match &self.vm {
+            Some(vm) => vm.exited(),
+            None => self.exited,
+        }
     }
 
     /// Runs until the exit fires.
+    ///
+    /// The budget check precedes each step, so a circuit that completes in
+    /// exactly `max_cycles` cycles completes — [`SimError::Timeout`] is
+    /// returned only when the budget is exhausted *and* the exit token has
+    /// still not been consumed (`tests/sim_equivalence.rs` pins this
+    /// boundary on all three engines).
     ///
     /// # Errors
     ///
@@ -212,6 +349,9 @@ impl<'g> Simulator<'g> {
     /// the circuit stops making progress, [`SimError::NoFixpoint`] for
     /// unbuffered cycles, or [`SimError::AddrOutOfBounds`].
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        if let Some(vm) = self.vm.as_mut() {
+            return vm.run(max_cycles);
+        }
         while !self.exited {
             if self.cycle >= max_cycles {
                 return Err(SimError::Timeout { max_cycles });
@@ -230,8 +370,11 @@ impl<'g> Simulator<'g> {
     ///
     /// Same conditions as [`Simulator::run`], except timeouts.
     pub fn step(&mut self) -> Result<(), SimError> {
+        if let Some(vm) = self.vm.as_mut() {
+            return vm.step();
+        }
         let progressed = match self.engine {
-            SimEngine::EventDriven => {
+            SimEngine::EventDriven | SimEngine::Compiled => {
                 self.settle_event()?;
                 self.commit_event()?
             }
@@ -418,5 +561,68 @@ impl<'g> Simulator<'g> {
         list.clear();
         self.commit_units = list;
         Ok(progressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::OpKind;
+
+    #[test]
+    fn reset_states_are_consistent_for_every_kind() {
+        let kinds = [
+            UnitKind::Entry,
+            UnitKind::Argument { index: 3 },
+            UnitKind::Exit,
+            UnitKind::Sink,
+            UnitKind::Source,
+            UnitKind::Constant { value: 7 },
+            UnitKind::Fork { outputs: 3 },
+            UnitKind::LazyFork { outputs: 2 },
+            UnitKind::Join { inputs: 2 },
+            UnitKind::Branch,
+            UnitKind::Merge { inputs: 2 },
+            UnitKind::ControlMerge { inputs: 2 },
+            UnitKind::Mux { inputs: 2 },
+            UnitKind::Operator(OpKind::Add),
+            UnitKind::Operator(OpKind::Mul),
+        ];
+        for k in kinds {
+            assert!(
+                state_consistent(&k, &reset_state(&k)),
+                "reset state for {k} rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_latency_operator_with_pipe_state_is_inconsistent() {
+        // The exact corruption eval.rs/commit.rs used to panic on
+        // ("nonempty pipe" / unreachable!): a combinational operator
+        // carrying pipeline registers.
+        let kind = UnitKind::Operator(OpKind::Add);
+        assert!(!state_consistent(&kind, &UnitState::Pipe(vec![(false, 0)])));
+        // ... and the dual: a pipelined operator with the wrong depth.
+        let mul = UnitKind::Operator(OpKind::Mul);
+        assert!(!state_consistent(&mul, &UnitState::Pipe(Vec::new())));
+        assert!(!state_consistent(&mul, &UnitState::None));
+        assert!(state_consistent(
+            &mul,
+            &UnitState::Pipe(vec![(false, 0); OpKind::Mul.latency() as usize])
+        ));
+    }
+
+    #[test]
+    fn mismatched_shapes_are_inconsistent() {
+        assert!(!state_consistent(
+            &UnitKind::Fork { outputs: 3 },
+            &UnitState::ForkDone(vec![false; 2])
+        ));
+        assert!(!state_consistent(&UnitKind::Entry, &UnitState::None));
+        assert!(!state_consistent(
+            &UnitKind::Branch,
+            &UnitState::Fired(false)
+        ));
     }
 }

@@ -162,12 +162,11 @@ impl Simulator<'_> {
                 let n = outputs as usize;
                 let vin = self.ivalid(uid, 0);
                 let din = self.idata(uid, 0);
+                // Construction validated the state shape (SimError::BadUnit),
+                // so the non-ForkDone arm is dead; skipping the eval beats
+                // panicking mid-cycle if it ever resurfaces.
                 let state = std::mem::replace(&mut self.unit[uid.index()], UnitState::None);
-                {
-                    let dones = match &state {
-                        UnitState::ForkDone(d) => d,
-                        _ => unreachable!(),
-                    };
+                if let UnitState::ForkDone(dones) = &state {
                     let mut all = true;
                     for (i, &done) in dones.iter().enumerate() {
                         all &= done || self.oready(uid, i);
@@ -257,9 +256,11 @@ impl Simulator<'_> {
                 changed |= self.eval_operator(uid, op, w);
             }
             UnitKind::Load { .. } => {
+                // Construction guarantees a MemPort state (SimError::BadUnit);
+                // an empty port is the harmless fallback.
                 let (v, data) = match self.unit[uid.index()] {
                     UnitState::MemPort { v, data } => (v, data),
-                    _ => unreachable!(),
+                    _ => (false, 0),
                 };
                 let rout = self.oready(uid, 0);
                 let en = rout || !v;
@@ -269,7 +270,7 @@ impl Simulator<'_> {
             UnitKind::Store { .. } => {
                 let (v, _) = match self.unit[uid.index()] {
                     UnitState::MemPort { v, data } => (v, data),
-                    _ => unreachable!(),
+                    _ => (false, 0),
                 };
                 let va = self.ivalid(uid, 0);
                 let vd = self.ivalid(uid, 1);
@@ -299,7 +300,8 @@ impl Simulator<'_> {
             // outputs (they may fire in different cycles).
             let (dones, latched) = match &self.unit[uid.index()] {
                 UnitState::CmergeState { dones, grant } => (*dones, *grant),
-                _ => unreachable!(),
+                // Dead by construction validation (SimError::BadUnit).
+                _ => ([false; 2], None),
             };
             let grant = latched.map(|g| g as usize).or(comb_grant);
             let any = grant
@@ -350,9 +352,12 @@ impl Simulator<'_> {
                 changed |= self.set_ready(uid, i, rout && others);
             }
         } else {
+            // A latency>0 operator always carries a nonempty Pipe state —
+            // enforced at construction (SimError::BadUnit) rather than by
+            // panicking here in the middle of a settle.
             let (last_v, last_d) = match &self.unit[uid.index()] {
-                UnitState::Pipe(stages) => *stages.last().expect("nonempty pipe"),
-                _ => unreachable!(),
+                UnitState::Pipe(stages) => stages.last().copied().unwrap_or((false, 0)),
+                _ => (false, 0),
             };
             let en = rout || !last_v;
             changed |= self.set_out(uid, 0, last_v, last_d);

@@ -1,12 +1,19 @@
 //! Precomputed adjacency index of one dataflow graph.
 //!
-//! Both schedulers propagate combinational changes *unit → touched
-//! channels → endpoint units*; the event-driven scheduler additionally
-//! seeds each cycle from channels whose buffer state changed at the clock
-//! edge. All of those hops are hot, so the graph's connectivity (and the
-//! per-unit kind/width and per-channel buffer spec the evaluators consult
-//! on every call) is flattened once, at construction, into plain arrays.
+//! Both interpreted schedulers propagate combinational changes *unit →
+//! touched channels → endpoint units*; the event-driven scheduler
+//! additionally seeds each cycle from channels whose buffer state changed
+//! at the clock edge. All of those hops are hot, so the graph's
+//! connectivity (and the per-unit kind/width and per-channel buffer spec
+//! the evaluators consult on every call) is flattened once, at
+//! construction, into plain arrays.
+//!
+//! Flattening is where an unvalidated graph surfaces: a dangling port has
+//! no channel, so [`AdjIndex::try_build`] reports it as a structured
+//! [`SimError::UnconnectedPort`] instead of letting the per-cycle lookups
+//! panic mid-simulation.
 
+use crate::types::SimError;
 use dataflow::{BufferSpec, ChannelId, Graph, UnitId, UnitKind};
 
 #[derive(Debug)]
@@ -20,12 +27,13 @@ pub(crate) struct AdjIndex {
     /// Per-channel buffer spec, flat by channel index.
     pub spec: Vec<BufferSpec>,
     /// Flattened input ports: port `p` of unit `u` is
-    /// `in_chs[in_off[u] + p]`.
+    /// `in_chs[in_off[u] + p]`. Every entry is a real channel —
+    /// [`AdjIndex::try_build`] fails on dangling ports.
     in_off: Vec<u32>,
-    in_chs: Vec<Option<ChannelId>>,
+    in_chs: Vec<ChannelId>,
     /// Flattened output ports, same layout.
     out_off: Vec<u32>,
-    out_chs: Vec<Option<ChannelId>>,
+    out_chs: Vec<ChannelId>,
     /// Units the event-driven scheduler commits every cycle regardless of
     /// settle activity, ascending by id: Entry/Argument (token-issue
     /// latches), Exit (completion observer), and every memory port — a
@@ -35,7 +43,25 @@ pub(crate) struct AdjIndex {
 }
 
 impl AdjIndex {
-    pub fn build(g: &Graph) -> Self {
+    /// Placeholder index for simulators that never consult it (the
+    /// compiled engine resolves connectivity in its own program instead).
+    pub fn empty() -> Self {
+        AdjIndex {
+            kind: Vec::new(),
+            width: Vec::new(),
+            ends: Vec::new(),
+            spec: Vec::new(),
+            in_off: vec![0],
+            in_chs: Vec::new(),
+            out_off: vec![0],
+            out_chs: Vec::new(),
+            always_commit: Vec::new(),
+        }
+    }
+
+    /// Flattens `g`'s connectivity, failing with
+    /// [`SimError::UnconnectedPort`] on any dangling port.
+    pub fn try_build(g: &Graph) -> Result<Self, SimError> {
         let mut kind = Vec::with_capacity(g.num_units());
         let mut width = Vec::with_capacity(g.num_units());
         let mut in_off = Vec::with_capacity(g.num_units() + 1);
@@ -49,11 +75,21 @@ impl AdjIndex {
             width.push(u.width());
             in_off.push(in_chs.len() as u32);
             for p in 0..k.num_inputs() {
-                in_chs.push(g.input_channel(uid, p));
+                let c = g.input_channel(uid, p).ok_or(SimError::UnconnectedPort {
+                    unit: uid,
+                    port: p,
+                    output: false,
+                })?;
+                in_chs.push(c);
             }
             out_off.push(out_chs.len() as u32);
             for p in 0..k.num_outputs() {
-                out_chs.push(g.output_channel(uid, p));
+                let c = g.output_channel(uid, p).ok_or(SimError::UnconnectedPort {
+                    unit: uid,
+                    port: p,
+                    output: true,
+                })?;
+                out_chs.push(c);
             }
             if matches!(
                 k,
@@ -75,7 +111,7 @@ impl AdjIndex {
             ends.push((ch.src().unit, ch.dst().unit));
             spec.push(ch.buffer());
         }
-        AdjIndex {
+        Ok(AdjIndex {
             kind,
             width,
             ends,
@@ -85,18 +121,18 @@ impl AdjIndex {
             out_off,
             out_chs,
             always_commit,
-        }
+        })
     }
 
     /// Channel feeding input port `p` of `uid`.
     #[inline]
     pub fn input(&self, uid: UnitId, p: usize) -> ChannelId {
-        self.in_chs[self.in_off[uid.index()] as usize + p].expect("validated graph")
+        self.in_chs[self.in_off[uid.index()] as usize + p]
     }
 
     /// Channel driven by output port `p` of `uid`.
     #[inline]
     pub fn output(&self, uid: UnitId, p: usize) -> ChannelId {
-        self.out_chs[self.out_off[uid.index()] as usize + p].expect("validated graph")
+        self.out_chs[self.out_off[uid.index()] as usize + p]
     }
 }

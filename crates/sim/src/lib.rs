@@ -12,10 +12,14 @@
 //! ready backward) to a fixpoint, then (2) commits all sequential state
 //! (buffer slots, fork done flags, operator pipelines, memory ports).
 //!
-//! Two scheduling engines share those semantics (see [`SimEngine`]): the
+//! Three scheduling engines share those semantics (see [`SimEngine`]): the
 //! default event-driven scheduler, whose per-cycle cost scales with circuit
-//! activity, and the original full-sweep engine kept as a bit-identical
-//! oracle.
+//! activity; the original full-sweep engine kept as a bit-identical oracle;
+//! and a compiled bytecode engine ([`SimEngine::Compiled`], see
+//! [`compile`]) that lowers the graph once and executes a tight decode
+//! loop — the fast path for simulation-heavy passes like slack-matching
+//! trials, where one [`Program`] is compiled per placement and shared
+//! read-only across trial threads.
 //!
 //! # Example
 //!
@@ -32,7 +36,7 @@
 //! g.connect(PortRef::new(a, 0), PortRef::new(s, 0))?;
 //! g.connect(PortRef::new(s, 0), PortRef::new(x, 0))?;
 //! g.validate()?;
-//! let mut sim = Simulator::new(&g);
+//! let mut sim = Simulator::new(&g)?;
 //! sim.set_arg(0, 21);
 //! let stats = sim.run(1000)?;
 //! assert_eq!(stats.exit_value, Some(42));
@@ -41,6 +45,7 @@
 //! ```
 
 mod commit;
+pub mod compile;
 mod engine;
 mod eval;
 mod index;
@@ -48,6 +53,7 @@ mod state;
 mod types;
 mod vcd;
 
+pub use compile::{CompiledSim, Program};
 pub use engine::{SimEngine, Simulator};
-pub use types::{RunStats, SimError};
+pub use types::{RunStats, SimError, SimOptions};
 pub use vcd::VcdTracer;

@@ -1,10 +1,11 @@
-//! Error and result types shared by both scheduling engines, plus the
+//! Error and result types shared by all scheduling engines, plus the
 //! small bit-twiddling helpers of the datapath model.
 
+use crate::engine::SimEngine;
 use dataflow::UnitId;
 use std::fmt;
 
-/// Errors produced while simulating.
+/// Errors produced while constructing a simulator or simulating.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimError {
@@ -30,6 +31,26 @@ pub enum SimError {
         /// The memory size in words.
         size: usize,
     },
+    /// A unit port with no channel attached was found while flattening the
+    /// graph — the graph skipped [`dataflow::Graph::validate`].
+    UnconnectedPort {
+        /// The unit owning the dangling port.
+        unit: UnitId,
+        /// The port index on that unit.
+        port: usize,
+        /// `true` for an output port, `false` for an input port.
+        output: bool,
+    },
+    /// A unit's sequential state table is inconsistent with its kind (for
+    /// example an `Operator` with `latency() == 0` carrying a `Pipe`
+    /// state). Rejected at construction so the per-cycle evaluators never
+    /// have to panic.
+    BadUnit {
+        /// The offending unit.
+        unit: UnitId,
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,11 +69,29 @@ impl fmt::Display for SimError {
                     "unit {unit} accessed address {addr} of a {size}-word memory"
                 )
             }
+            SimError::UnconnectedPort { unit, port, output } => {
+                let dir = if *output { "output" } else { "input" };
+                write!(
+                    f,
+                    "unit {unit} has no channel on {dir} port {port} (graph not validated)"
+                )
+            }
+            SimError::BadUnit { unit, reason } => {
+                write!(f, "unit {unit} rejected at construction: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Options shared by every simulator-driven pass (measurement, CFDFC
+/// extraction, slack-matching trials).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Scheduling engine to simulate with.
+    pub engine: SimEngine,
+}
 
 /// Result of a completed run.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -24,7 +24,7 @@ use std::io::{self, Write};
 /// let x = g.add_unit(UnitKind::Exit, "x", bb, 0)?;
 /// g.connect(PortRef::new(e, 0), PortRef::new(x, 0))?;
 /// g.validate()?;
-/// let mut sim = Simulator::new(&g);
+/// let mut sim = Simulator::new(&g)?;
 /// let mut out = Vec::new();
 /// let mut vcd = VcdTracer::new(&g, &mut out)?;
 /// while !sim.exited() {
@@ -152,7 +152,7 @@ mod tests {
         g.connect(PortRef::new(s, 0), PortRef::new(x, 0)).unwrap();
         g.validate().unwrap();
 
-        let mut sim = Simulator::new(&g);
+        let mut sim = Simulator::new(&g).unwrap();
         sim.set_arg(0, 0x21);
         let mut out = Vec::new();
         let mut vcd = VcdTracer::new(&g, &mut out).unwrap();

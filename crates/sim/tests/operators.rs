@@ -29,7 +29,7 @@ fn eval_binary(op: OpKind, a: u64, b: u64) -> u64 {
     }
     g.connect(PortRef::new(u, 0), PortRef::new(x, 0)).unwrap();
     g.validate().unwrap();
-    let mut s = Simulator::new(&g);
+    let mut s = Simulator::new(&g).unwrap();
     s.set_arg(0, a);
     s.set_arg(1, b);
     s.run(100).unwrap().exit_value.unwrap()
@@ -138,7 +138,7 @@ fn select_operator() {
             .unwrap();
         g.connect(PortRef::new(sel, 0), PortRef::new(x, 0)).unwrap();
         g.validate().unwrap();
-        let mut s = Simulator::new(&g);
+        let mut s = Simulator::new(&g).unwrap();
         s.set_arg(0, c);
         s.set_arg(1, 0xAAAA);
         s.set_arg(2, 0x5555);
@@ -162,7 +162,7 @@ fn lazy_fork_delivers_when_all_consumers_ready() {
     g.connect(PortRef::new(lf, 0), PortRef::new(x, 0)).unwrap();
     g.connect(PortRef::new(lf, 1), PortRef::new(sk, 0)).unwrap();
     g.validate().unwrap();
-    let mut s = Simulator::new(&g);
+    let mut s = Simulator::new(&g).unwrap();
     s.set_arg(0, 42);
     assert_eq!(s.run(100).unwrap().exit_value, Some(42));
 }
@@ -191,7 +191,7 @@ fn lazy_fork_into_join_is_a_known_combinational_deadlock() {
         .unwrap();
     g.connect(PortRef::new(add, 0), PortRef::new(x, 0)).unwrap();
     g.validate().unwrap();
-    let mut s = Simulator::new(&g);
+    let mut s = Simulator::new(&g).unwrap();
     s.set_arg(0, 21);
     assert!(matches!(s.run(100), Err(sim::SimError::Deadlock { .. })));
 }
@@ -222,7 +222,7 @@ fn timeout_is_reported() {
     g.connect(PortRef::new(src, 0), PortRef::new(j, 1)).unwrap();
     g.connect(PortRef::new(j, 0), PortRef::new(x, 0)).unwrap();
     g.validate().unwrap();
-    let mut s = Simulator::new(&g);
+    let mut s = Simulator::new(&g).unwrap();
     s.set_arg(0, 0);
     let err = s.run(5);
     assert!(

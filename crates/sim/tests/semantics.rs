@@ -33,7 +33,7 @@ fn adder_graph(w: u16) -> Graph {
 #[test]
 fn adder_computes_and_exits_in_one_cycle() {
     let g = adder_graph(16);
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 1000);
     sim.set_arg(1, 234);
     let stats = sim.run(10).unwrap();
@@ -47,7 +47,7 @@ fn opaque_buffer_adds_one_cycle_of_latency() {
     let add = g.unit_by_name("add").unwrap();
     let ch = g.output_channel(add, 0).unwrap();
     g.set_buffer(ch, BufferSpec::OPAQUE);
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 1);
     sim.set_arg(1, 2);
     let stats = sim.run(10).unwrap();
@@ -61,7 +61,7 @@ fn transparent_buffer_adds_no_latency() {
     let add = g.unit_by_name("add").unwrap();
     let ch = g.output_channel(add, 0).unwrap();
     g.set_buffer(ch, BufferSpec::TRANSPARENT);
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 1);
     sim.set_arg(1, 2);
     let stats = sim.run(10).unwrap();
@@ -86,7 +86,7 @@ fn multiplier_pipeline_latency() {
     conn(&mut g, (b, 0), (mul, 1));
     conn(&mut g, (mul, 0), (x, 0));
     g.validate().unwrap();
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 7);
     sim.set_arg(1, 6);
     let stats = sim.run(20).unwrap();
@@ -133,7 +133,7 @@ fn branch_steers_by_condition() {
     g.validate().unwrap();
 
     for (input, expected) in [(20u64, 20u64), (5, 105)] {
-        let mut sim = Simulator::new(&g);
+        let mut sim = Simulator::new(&g).unwrap();
         sim.set_arg(0, input);
         sim.set_arg(1, 10);
         sim.set_arg(2, 100);
@@ -215,7 +215,7 @@ fn counting_loop() -> (Graph, dataflow::ChannelId, dataflow::ChannelId) {
 #[test]
 fn counting_loop_runs_to_completion() {
     let (g, ..) = counting_loop();
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 0);
     let stats = sim.run(500).unwrap();
     // for (i = 0; i < 20; ++i): exit fires with the first i+1 == 20.
@@ -228,13 +228,13 @@ fn redundant_buffer_on_loop_cycle_lowers_throughput() {
     // throughput-critical cycle increases the loop initiation interval and
     // thus total cycles.
     let (g, _, fwd) = counting_loop();
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 0);
     let base = sim.run(2000).unwrap().cycles;
 
     let mut g2 = g.clone();
     g2.set_buffer(fwd, BufferSpec::FULL);
-    let mut sim2 = Simulator::new(&g2);
+    let mut sim2 = Simulator::new(&g2).unwrap();
     sim2.set_arg(0, 0);
     let slowed = sim2.run(4000).unwrap().cycles;
     assert!(
@@ -248,7 +248,7 @@ fn buffer_off_cycle_does_not_change_cycles_much() {
     // A buffer on the exit edge (outside the loop ring) costs at most one
     // extra cycle in total, not one per iteration.
     let (g, ..) = counting_loop();
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 0);
     let base = sim.run(2000).unwrap().cycles;
 
@@ -256,7 +256,7 @@ fn buffer_off_cycle_does_not_change_cycles_much() {
     let brd = g2.unit_by_name("brd").unwrap();
     let exit_edge = g2.output_channel(brd, 1).unwrap();
     g2.set_buffer(exit_edge, BufferSpec::FULL);
-    let mut sim2 = Simulator::new(&g2);
+    let mut sim2 = Simulator::new(&g2).unwrap();
     sim2.set_arg(0, 0);
     let with_buf = sim2.run(2000).unwrap().cycles;
     assert!(with_buf <= base + 1, "{base} -> {with_buf}");
@@ -287,7 +287,7 @@ fn load_store_round_trip() {
     conn(&mut g, (ld, 0), (x, 0));
     g.validate().unwrap();
 
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 5);
     sim.set_arg(1, 777);
     let stats = sim.run(50).unwrap();
@@ -313,7 +313,7 @@ fn full_buffer_ring_sustains_full_throughput() {
     let out = g.connect(PortRef::new(f, 1), PortRef::new(s, 0)).unwrap();
     g.set_buffer(back, BufferSpec::FULL);
     g.validate().unwrap();
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     for _ in 0..100 {
         sim.step().unwrap();
     }
@@ -339,7 +339,7 @@ fn two_buffers_on_ring_halve_throughput() {
     g.set_buffer(back, BufferSpec::FULL);
     g.set_buffer(mid, BufferSpec::FULL);
     g.validate().unwrap();
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     for _ in 0..100 {
         sim.step().unwrap();
     }
@@ -371,7 +371,7 @@ fn cmerge_prefers_back_edge_and_latches_grant() {
     g.set_buffer(idx_ch, BufferSpec::FULL);
     g.validate().unwrap();
 
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     let stats = sim.run(50).unwrap();
     // The first token processed must be input 1 (back-edge priority).
     assert_eq!(stats.exit_value, Some(1));
@@ -395,7 +395,7 @@ fn merge_grants_highest_index_when_racing() {
     conn(&mut g, (b, 0), (m, 1));
     conn(&mut g, (m, 0), (x, 0));
     g.validate().unwrap();
-    let mut sim = Simulator::new(&g);
+    let mut sim = Simulator::new(&g).unwrap();
     sim.set_arg(0, 11);
     sim.set_arg(1, 22);
     // Both argument tokens arrive at cycle 0; input 1 must win.

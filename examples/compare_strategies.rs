@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Both must still compute the right answer.
     for (label, g) in [("prev", &prev.graph), ("iter", &iter.graph)] {
-        let mut s = Simulator::new(g);
+        let mut s = Simulator::new(g).unwrap();
         let stats = s.run(budget)?;
         if let Some(exp) = kernel.expected_exit {
             assert_eq!(stats.exit_value, Some(exp), "{label} broke the kernel");

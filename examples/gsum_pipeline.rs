@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Verify functional correctness of the optimized circuit.
-    let mut sim = Simulator::new(&result.graph);
+    let mut sim = Simulator::new(&result.graph).unwrap();
     let stats = sim.run(kernel.max_cycles * 4)?;
     assert_eq!(stats.exit_value, kernel.expected_exit, "kernel result");
     println!("functional check passed: exit value {:?}", stats.exit_value);

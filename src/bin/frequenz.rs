@@ -127,7 +127,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
     println!("{name}: {summary}");
 
     // Simulate (optionally with waveforms) and verify.
-    let mut sim = Simulator::new(&graph);
+    let mut sim = match Simulator::new(&graph) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simulator construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let vcd_path = parse_flag(args, "--vcd");
     let run = |sim: &mut Simulator<'_>| -> Result<u64, Box<dyn std::error::Error>> {
         if let Some(path) = vcd_path {

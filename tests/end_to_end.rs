@@ -14,7 +14,7 @@ fn iterative_flow_is_correct_and_meets_levels_on_gsum() {
     assert!(r.converged, "achieved {}", r.achieved_levels);
     assert!(r.achieved_levels <= opts.target_levels);
 
-    let mut s = Simulator::new(&r.graph);
+    let mut s = Simulator::new(&r.graph).unwrap();
     let stats = s.run(k.max_cycles * 8).expect("simulates");
     assert_eq!(stats.exit_value, k.expected_exit);
 }
@@ -33,7 +33,7 @@ fn iterative_beats_baseline_on_buffer_count_for_gsumif() {
     );
     // Both remain functionally correct.
     for g in [&prev.graph, &iter.graph] {
-        let mut s = Simulator::new(g);
+        let mut s = Simulator::new(g).unwrap();
         let stats = s.run(k.max_cycles * 8).expect("simulates");
         assert_eq!(stats.exit_value, k.expected_exit);
     }
@@ -58,7 +58,7 @@ fn memory_kernel_survives_the_full_flow() {
     let k = kernels::gaussian(5);
     let opts = FlowOptions::default();
     let r = optimize_iterative(k.graph(), k.back_edges(), &opts).expect("flow");
-    let mut s = Simulator::new(&r.graph);
+    let mut s = Simulator::new(&r.graph).unwrap();
     s.run(k.max_cycles * 8).expect("simulates");
     for (mem, expected) in &k.expected_mems {
         assert_eq!(s.memory(*mem), expected.as_slice(), "memory contents");
@@ -74,7 +74,7 @@ fn buffering_more_channels_never_breaks_function() {
     for (c, _) in k.graph().channels() {
         g.set_buffer(c, frequenz::dataflow::BufferSpec::FULL);
     }
-    let mut s = Simulator::new(&g);
+    let mut s = Simulator::new(&g).unwrap();
     let stats = s.run(k.max_cycles * 16).expect("fully buffered still runs");
     assert_eq!(stats.exit_value, k.expected_exit);
 }

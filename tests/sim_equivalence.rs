@@ -1,16 +1,23 @@
 //! Engine-equivalence suite for the simulator: the event-driven scheduler
-//! ([`sim::SimEngine::EventDriven`], the default) must agree *bit for bit*
-//! with the full-sweep oracle ([`sim::SimEngine::FullSweep`]) — same
-//! cycles, exit values, per-channel transfer/stall counters, memory
-//! contents, and error cases — on randomized DFGs and on all nine
-//! evaluation kernels. The parallel slack-matching pass built on top must
-//! additionally pick identical buffer sets at any job count.
+//! ([`sim::SimEngine::EventDriven`], the default) and the compiled bytecode
+//! engine ([`sim::SimEngine::Compiled`]) must both agree *bit for bit* with
+//! the full-sweep oracle ([`sim::SimEngine::FullSweep`]) — same cycles, exit
+//! values, per-channel transfer/stall counters, memory contents, and error
+//! cases — on randomized DFGs and on all nine evaluation kernels. The
+//! parallel slack-matching pass built on top must additionally pick
+//! identical buffer sets at any job count.
 
 use frequenz::core::{slack_match, SlackOptions};
 use frequenz::dataflow::{BufferSpec, Graph, OpKind, PortRef, UnitKind};
 use frequenz::hls::kernels;
 use frequenz::sim::{RunStats, SimEngine, SimError, Simulator};
 use proptest::prelude::*;
+
+const ENGINES: [SimEngine; 3] = [
+    SimEngine::FullSweep,
+    SimEngine::EventDriven,
+    SimEngine::Compiled,
+];
 
 /// Everything externally observable about one finished (or failed) run.
 type Fingerprint = (
@@ -22,7 +29,7 @@ type Fingerprint = (
 );
 
 fn fingerprint(g: &Graph, engine: SimEngine, args: &[u64], budget: u64) -> Fingerprint {
-    let mut s = Simulator::with_engine(g, engine);
+    let mut s = Simulator::with_engine(g, engine).expect("valid graph constructs");
     for (i, &v) in args.iter().enumerate() {
         s.set_arg(i as u8, v);
     }
@@ -36,10 +43,15 @@ fn fingerprint(g: &Graph, engine: SimEngine, args: &[u64], budget: u64) -> Finge
     )
 }
 
-fn assert_engines_identical(g: &Graph, args: &[u64], budget: u64, label: &str) {
-    let event = fingerprint(g, SimEngine::EventDriven, args, budget);
+/// Runs all three engines and asserts pairwise bit-identity against the
+/// full-sweep oracle; returns the oracle fingerprint for further checks.
+fn assert_engines_identical(g: &Graph, args: &[u64], budget: u64, label: &str) -> Fingerprint {
     let sweep = fingerprint(g, SimEngine::FullSweep, args, budget);
-    assert_eq!(event, sweep, "{label}: engines diverged");
+    for engine in [SimEngine::EventDriven, SimEngine::Compiled] {
+        let got = fingerprint(g, engine, args, budget);
+        assert_eq!(got, sweep, "{label}: {engine:?} diverged from FullSweep");
+    }
+    sweep
 }
 
 /// Builds a pipelined operator chain ending in an [`UnitKind::Exit`], with
@@ -109,7 +121,7 @@ fn sim_chain(ops: &[u8], bufs: &[u16]) -> Graph {
 
 /// `gsum(n)` with extra buffers on arbitrary channels: loops, merges,
 /// branches, and memory ports under randomized backpressure. Whatever the
-/// outcome — completion, deadlock, timeout — both engines must agree.
+/// outcome — completion, deadlock, timeout — all engines must agree.
 fn buffered_gsum(n: usize, bufs: &[u16]) -> Graph {
     let k = kernels::gsum(n);
     let mut g = k.seeded_graph();
@@ -129,7 +141,8 @@ fn buffered_gsum(n: usize, bufs: &[u16]) -> Graph {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Random pipelined chains with random buffers: bit-identical runs.
+    /// Random pipelined chains with random buffers and random argument
+    /// vectors: bit-identical runs across all three engines.
     #[test]
     fn engines_agree_on_random_dfgs(
         ops in prop::collection::vec(any::<u8>(), 1..12),
@@ -137,9 +150,11 @@ proptest! {
         args in prop::collection::vec(any::<u64>(), 13),
     ) {
         let g = sim_chain(&ops, &bufs);
-        let event = fingerprint(&g, SimEngine::EventDriven, &args, 10_000);
         let sweep = fingerprint(&g, SimEngine::FullSweep, &args, 10_000);
-        prop_assert_eq!(event, sweep);
+        for engine in [SimEngine::EventDriven, SimEngine::Compiled] {
+            let got = fingerprint(&g, engine, &args, 10_000);
+            prop_assert_eq!(&got, &sweep, "{:?} diverged", engine);
+        }
     }
 
     /// Random loop graphs (gsum + arbitrary extra buffers): bit-identical
@@ -150,26 +165,26 @@ proptest! {
         bufs in prop::collection::vec(any::<u16>(), 0..6),
     ) {
         let g = buffered_gsum(n, &bufs);
-        let event = fingerprint(&g, SimEngine::EventDriven, &[], 50_000);
         let sweep = fingerprint(&g, SimEngine::FullSweep, &[], 50_000);
-        prop_assert_eq!(event, sweep);
+        for engine in [SimEngine::EventDriven, SimEngine::Compiled] {
+            let got = fingerprint(&g, engine, &[], 50_000);
+            prop_assert_eq!(&got, &sweep, "{:?} diverged", engine);
+        }
     }
 }
 
-/// All nine evaluation kernels: bit-identical engines, and the event
-/// engine still computes the expected results.
+/// All nine evaluation kernels: bit-identical engines, and the oracle
+/// still computes the expected results.
 #[test]
 fn engines_bit_identical_on_all_kernels() {
     for k in kernels::all_kernels() {
         let g = k.seeded_graph();
-        let event = fingerprint(&g, SimEngine::EventDriven, &[], k.max_cycles * 4);
-        let sweep = fingerprint(&g, SimEngine::FullSweep, &[], k.max_cycles * 4);
-        assert_eq!(event, sweep, "{}: engines diverged", k.name);
-        let stats = event.0.expect("kernel completes");
+        let sweep = assert_engines_identical(&g, &[], k.max_cycles * 4, k.name);
+        let stats = sweep.0.expect("kernel completes");
         assert_eq!(stats.exit_value, k.expected_exit, "{}: exit value", k.name);
         for (mem, expected) in &k.expected_mems {
             assert_eq!(
-                &event.4[mem.index()],
+                &sweep.4[mem.index()],
                 expected,
                 "{}: memory {mem} contents",
                 k.name
@@ -183,11 +198,11 @@ fn engines_bit_identical_on_all_kernels() {
 #[test]
 fn engines_agree_on_unseeded_kernel_failures() {
     for k in kernels::all_kernels_small() {
-        assert_engines_identical(k.graph(), &[], k.max_cycles, k.name);
+        let _ = assert_engines_identical(k.graph(), &[], k.max_cycles, k.name);
     }
 }
 
-/// A data cycle through two adders never settles: both engines must call
+/// A data cycle through two adders never settles: all engines must call
 /// it [`SimError::NoFixpoint`] on the same cycle.
 #[test]
 fn no_fixpoint_is_engine_invariant() {
@@ -210,13 +225,11 @@ fn no_fixpoint_is_engine_invariant() {
     g.connect(PortRef::new(u, 0), PortRef::new(v, 0)).unwrap();
     g.connect(PortRef::new(a1, 0), PortRef::new(v, 1)).unwrap();
     g.validate().unwrap();
-    let event = fingerprint(&g, SimEngine::EventDriven, &[1, 1], 100);
-    let sweep = fingerprint(&g, SimEngine::FullSweep, &[1, 1], 100);
-    assert_eq!(event, sweep);
-    assert_eq!(event.0, Err(SimError::NoFixpoint));
+    let sweep = assert_engines_identical(&g, &[1, 1], 100, "osc");
+    assert_eq!(sweep.0, Err(SimError::NoFixpoint));
 }
 
-/// An out-of-range load faults identically under both engines.
+/// An out-of-range load faults identically under all engines.
 #[test]
 fn addr_out_of_bounds_is_engine_invariant() {
     let mut g = Graph::new("oob");
@@ -230,12 +243,10 @@ fn addr_out_of_bounds_is_engine_invariant() {
     g.connect(PortRef::new(a, 0), PortRef::new(ld, 0)).unwrap();
     g.connect(PortRef::new(ld, 0), PortRef::new(x, 0)).unwrap();
     g.validate().unwrap();
-    let event = fingerprint(&g, SimEngine::EventDriven, &[99], 100);
-    let sweep = fingerprint(&g, SimEngine::FullSweep, &[99], 100);
-    assert_eq!(event, sweep);
+    let sweep = assert_engines_identical(&g, &[99], 100, "oob");
     assert!(
         matches!(
-            event.0,
+            sweep.0,
             Err(SimError::AddrOutOfBounds {
                 addr: 99,
                 size: 4,
@@ -243,7 +254,7 @@ fn addr_out_of_bounds_is_engine_invariant() {
             })
         ),
         "got {:?}",
-        event.0
+        sweep.0
     );
 }
 
@@ -253,40 +264,135 @@ fn timeouts_are_engine_invariant() {
     let k = kernels::gsum(64);
     let g = k.seeded_graph();
     for budget in [1, 7, 50] {
-        let event = fingerprint(&g, SimEngine::EventDriven, &[], budget);
-        let sweep = fingerprint(&g, SimEngine::FullSweep, &[], budget);
-        assert_eq!(event, sweep, "budget {budget}");
-        assert_eq!(event.0, Err(SimError::Timeout { max_cycles: budget }));
+        let sweep = assert_engines_identical(&g, &[], budget, "gsum(64)");
+        assert_eq!(sweep.0, Err(SimError::Timeout { max_cycles: budget }));
+    }
+}
+
+/// `run(max_cycles)` boundary, pinned for every engine: a circuit that
+/// finishes on cycle `N` completes under a budget of exactly `N`, times out
+/// under `N - 1`, and a zero budget times out before the first step.
+#[test]
+fn run_budget_boundary_is_exact() {
+    let k = kernels::gsum(8);
+    let g = k.seeded_graph();
+    // Reference cycle count from an effectively unbounded run.
+    let n = fingerprint(&g, SimEngine::FullSweep, &[], u64::MAX)
+        .0
+        .expect("gsum(8) completes")
+        .cycles;
+    assert!(n > 1, "kernel must take more than one cycle");
+    for engine in ENGINES {
+        let mut exact = Simulator::with_engine(&g, engine).unwrap();
+        let stats = exact.run(n).expect("budget == completion cycle is enough");
+        assert_eq!(stats.cycles, n, "{engine:?}: cycles at exact budget");
+
+        let mut short = Simulator::with_engine(&g, engine).unwrap();
+        assert_eq!(
+            short.run(n - 1),
+            Err(SimError::Timeout { max_cycles: n - 1 }),
+            "{engine:?}: one cycle short must time out"
+        );
+        assert_eq!(short.cycle(), n - 1, "{engine:?}: stops at the budget");
+
+        let mut zero = Simulator::with_engine(&g, engine).unwrap();
+        assert_eq!(
+            zero.run(0),
+            Err(SimError::Timeout { max_cycles: 0 }),
+            "{engine:?}: zero budget"
+        );
+        assert_eq!(zero.cycle(), 0, "{engine:?}: zero budget runs no cycles");
+    }
+}
+
+/// Feeding an unvalidated graph (dangling ports) must yield a structured
+/// [`SimError::UnconnectedPort`] from every engine's constructor — never a
+/// panic.
+#[test]
+fn unvalidated_graph_is_rejected_with_structured_error() {
+    let mut g = Graph::new("dangling");
+    let bb = g.add_basic_block("bb0");
+    let a = g
+        .add_unit(UnitKind::Argument { index: 0 }, "a", bb, 8)
+        .unwrap();
+    let u = g
+        .add_unit(UnitKind::Operator(OpKind::Add), "u", bb, 8)
+        .unwrap();
+    let x = g.add_unit(UnitKind::Exit, "x", bb, 8).unwrap();
+    g.connect(PortRef::new(a, 0), PortRef::new(u, 0)).unwrap();
+    g.connect(PortRef::new(u, 0), PortRef::new(x, 0)).unwrap();
+    // Deliberately no g.validate(): u's second input port is dangling.
+    for engine in ENGINES {
+        match Simulator::with_engine(&g, engine) {
+            Err(SimError::UnconnectedPort { port, output, .. }) => {
+                assert_eq!((port, output), (1, false), "{engine:?}: wrong port");
+            }
+            other => panic!("{engine:?}: expected UnconnectedPort, got {other:?}"),
+        }
     }
 }
 
 /// The parallel slack-matching pass picks the same buffers at any job
 /// count: trials are evaluated concurrently but applied in fixed candidate
-/// order.
+/// order. Also sweeps both simulation engines usable inside the pass.
 #[test]
 fn slack_matching_jobs_sweep_is_bit_identical() {
     for k in kernels::all_kernels_small() {
         let seed: Vec<_> = k.back_edges().to_vec();
-        let reference = slack_match(
-            k.graph(),
-            &seed,
-            &SlackOptions {
-                sim_budget: k.max_cycles * 4,
-                jobs: 1,
-                ..SlackOptions::default()
-            },
-        );
-        for jobs in [2usize, 8] {
-            let got = slack_match(
+        for engine in [SimEngine::EventDriven, SimEngine::Compiled] {
+            let reference = slack_match(
                 k.graph(),
                 &seed,
                 &SlackOptions {
                     sim_budget: k.max_cycles * 4,
-                    jobs,
+                    jobs: 1,
+                    engine,
                     ..SlackOptions::default()
                 },
-            );
-            assert_eq!(got, reference, "{}: jobs={jobs} diverged", k.name);
+            )
+            .expect("slack matching succeeds");
+            for jobs in [2usize, 8] {
+                let got = slack_match(
+                    k.graph(),
+                    &seed,
+                    &SlackOptions {
+                        sim_budget: k.max_cycles * 4,
+                        jobs,
+                        engine,
+                        ..SlackOptions::default()
+                    },
+                )
+                .expect("slack matching succeeds");
+                assert_eq!(
+                    got, reference,
+                    "{}: jobs={jobs} engine={engine:?} diverged",
+                    k.name
+                );
+            }
         }
+    }
+}
+
+/// The two slack engines must choose the same buffer set: simulation is
+/// bit-identical, so the greedy pass sees identical cycle counts.
+#[test]
+fn slack_matching_engines_agree() {
+    for k in kernels::all_kernels_small() {
+        let seed: Vec<_> = k.back_edges().to_vec();
+        let mut picks = Vec::new();
+        for engine in [SimEngine::EventDriven, SimEngine::Compiled] {
+            let opts = SlackOptions {
+                sim_budget: k.max_cycles * 4,
+                jobs: 2,
+                engine,
+                ..SlackOptions::default()
+            };
+            picks.push(slack_match(k.graph(), &seed, &opts).expect("slack matching succeeds"));
+        }
+        assert_eq!(
+            picks[0], picks[1],
+            "{}: engines picked different buffers",
+            k.name
+        );
     }
 }
