@@ -15,10 +15,13 @@
 //! clock is reported.
 //!
 //! With `--baseline FILE`, the previously committed `BENCH_milp.json` is
-//! read *before* anything is overwritten and the fresh branch-and-bound
-//! node counts are gated against it: any kernel whose node count regresses
-//! by more than 10% fails the run (exit 1) after the new JSON is written,
-//! so CI catches search-quality regressions without freezing wall clocks.
+//! read *before* anything is overwritten and the fresh deterministic work
+//! counters are gated against it: a kernel fails the run (exit 1, after
+//! the new JSON is written) when its branch-and-bound node count regresses
+//! by more than 10%, or its simplex pivot / basis refactorization count
+//! drifts by more than 15% in *either* direction — a drop is progress,
+//! but it means the committed baseline no longer describes the solver and
+//! must be regenerated. Wall clocks are never gated.
 
 use frequenz_bench::CompareError;
 use frequenz_core::{
@@ -106,10 +109,30 @@ fn bits(s: &Solution) -> (u64, u64, u64, u64, u64, Vec<u64>) {
     )
 }
 
-/// Extracts `(name, nodes)` per kernel from a previously written
+/// One kernel's gated counters from a previously written `BENCH_milp.json`.
+struct Baseline {
+    name: String,
+    nodes: u64,
+    /// Absent in baselines written before the pivot gate existed.
+    pivots: Option<u64>,
+    refactors: Option<u64>,
+}
+
+/// Extracts an unsigned integer field from one machine-written JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let pos = line.find(&tag)?;
+    let digits: String = line[pos + tag.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts the gated counters per kernel from a previously written
 /// `BENCH_milp.json`. Hand-rolled on purpose: the bench crate has no JSON
 /// dependency, and the file is machine-written one kernel per line.
-fn baseline_nodes(text: &str) -> Vec<(String, u64)> {
+fn baseline_rows(text: &str) -> Vec<Baseline> {
     let mut out = Vec::new();
     for line in text.lines() {
         let Some(npos) = line.find("\"name\": \"") else {
@@ -118,18 +141,25 @@ fn baseline_nodes(text: &str) -> Vec<(String, u64)> {
         let rest = &line[npos + 9..];
         let Some(end) = rest.find('"') else { continue };
         let name = rest[..end].to_string();
-        let Some(kpos) = line.find("\"nodes\": ") else {
+        let Some(nodes) = field_u64(line, "nodes") else {
             continue;
         };
-        let digits: String = line[kpos + 9..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit())
-            .collect();
-        if let Ok(n) = digits.parse() {
-            out.push((name, n));
-        }
+        out.push(Baseline {
+            name,
+            nodes,
+            pivots: field_u64(line, "sparse_pivots"),
+            refactors: field_u64(line, "sparse_refactors"),
+        });
     }
     out
+}
+
+/// Symmetric drift gate: fails when `fresh` is more than 15% away from
+/// `base` in either direction, with a small absolute slop so tiny counts
+/// (a refactorization or two) cannot trip it.
+fn drifted(fresh: u64, base: u64) -> bool {
+    let diff = (fresh as f64 - base as f64).abs();
+    diff > base as f64 * 0.15 + 8.0
 }
 
 fn main() -> Result<(), CompareError> {
@@ -143,7 +173,7 @@ fn main() -> Result<(), CompareError> {
         Some(path) => {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
-            let pairs = baseline_nodes(&text);
+            let pairs = baseline_rows(&text);
             if pairs.is_empty() {
                 return Err(format!("baseline {path} holds no kernel node counts").into());
             }
@@ -158,7 +188,7 @@ fn main() -> Result<(), CompareError> {
         kernels.len()
     );
     println!(
-        "{:<15} | {:>5} {:>5} {:>5} | {:>9} {:>9} {:>7} | {:>8} {:>8} {:>6} {:>5} | {:>6} {:>8}",
+        "{:<15} | {:>5} {:>5} {:>5} | {:>9} {:>9} {:>7} | {:>8} {:>8} {:>6} {:>5} | {:>6} {:>8} {:>6}",
         "Benchmark",
         "vars",
         "rows",
@@ -171,7 +201,8 @@ fn main() -> Result<(), CompareError> {
         "nodes",
         "cuts",
         "wNodes",
-        "wPivots"
+        "wPivots",
+        "wDual"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -195,6 +226,7 @@ fn main() -> Result<(), CompareError> {
         let seed = WarmStart {
             basis: sparse.root_basis.clone(),
             incumbent: Some(sparse.values.clone()),
+            var_names: None,
         };
         let warm = model.solve_warm(Some(&seed))?;
         if (warm.objective - sparse.objective).abs() > 1e-9 * (1.0 + sparse.objective.abs()) {
@@ -230,7 +262,7 @@ fn main() -> Result<(), CompareError> {
         }
 
         println!(
-            "{:<15} | {:>5} {:>5} {:>5} | {:>9.4} {:>9.4} {:>6.2}x | {:>8} {:>8} {:>6} {:>5} | {:>6} {:>8}",
+            "{:<15} | {:>5} {:>5} {:>5} | {:>9.4} {:>9.4} {:>6.2}x | {:>8} {:>8} {:>6} {:>5} | {:>6} {:>8} {:>6}",
             kernel.name,
             model.num_vars(),
             rows_before,
@@ -244,6 +276,7 @@ fn main() -> Result<(), CompareError> {
             sparse.cuts,
             warm.nodes,
             warm.pivots,
+            warm.dual_pivots,
         );
         rows.push(Row {
             name: kernel.name,
@@ -299,7 +332,9 @@ fn main() -> Result<(), CompareError> {
              \"dense_s\": {:.6}, \"sparse_s\": {:.6}, \"speedup\": {:.3}, \
              \"dense_pivots\": {}, \"sparse_pivots\": {}, \"sparse_refactors\": {}, \
              \"nodes\": {}, \"cuts\": {}, \"bounds_tightened\": {}, \"nodes_pruned\": {}, \
+             \"cut_score_rejected\": {}, \
              \"warm_start_hit\": {}, \"warm_nodes\": {}, \"warm_pivots\": {}, \
+             \"dual_pivots\": {}, \
              \"objective\": {:.6}, \"dense_truncated\": {}, \
              \"sparse_truncated\": {}, \"jobs_bit_identical\": {}}}{}\n",
             r.name,
@@ -316,9 +351,11 @@ fn main() -> Result<(), CompareError> {
             r.sparse.cuts,
             r.sparse.presolve.bounds_tightened,
             r.sparse.nodes_pruned,
+            r.sparse.cut_score_rejected,
             r.warm.warm_used,
             r.warm.nodes,
             r.warm.pivots,
+            r.warm.dual_pivots,
             r.sparse.objective,
             r.dense.truncated,
             r.sparse.truncated,
@@ -330,29 +367,51 @@ fn main() -> Result<(), CompareError> {
     std::fs::write(&out, json)?;
     eprintln!("[bench_milp] wrote {out}");
 
-    // Node-count regression gate: fresh vs the committed baseline. Runs
-    // after the new JSON lands so a failing run still leaves the numbers
-    // behind for inspection.
+    // Deterministic-work regression gate: fresh vs the committed baseline.
+    // Runs after the new JSON lands so a failing run still leaves the
+    // numbers behind for inspection.
     if let Some(pairs) = baseline {
-        let mut regressed = false;
-        for (name, base_nodes) in &pairs {
-            let Some(r) = rows.iter().find(|r| r.name == name.as_str()) else {
+        let mut failed = false;
+        for base in &pairs {
+            let name = base.name.as_str();
+            let Some(r) = rows.iter().find(|r| r.name == name) else {
                 eprintln!("[bench_milp] baseline kernel {name} no longer benchmarked");
                 continue;
             };
-            if r.sparse.nodes as f64 > *base_nodes as f64 * 1.10 + 1e-9 {
+            if r.sparse.nodes as f64 > base.nodes as f64 * 1.10 + 1e-9 {
                 eprintln!(
                     "[bench_milp] REGRESSION: {name} explored {} B&B nodes, baseline {} (>10%)",
-                    r.sparse.nodes, base_nodes
+                    r.sparse.nodes, base.nodes
                 );
-                regressed = true;
+                failed = true;
+            }
+            if let Some(bp) = base.pivots {
+                if drifted(r.sparse.pivots, bp) {
+                    eprintln!(
+                        "[bench_milp] DRIFT: {name} spent {} pivots, baseline {bp} (>15%) — \
+                         regenerate BENCH_milp.json if intentional",
+                        r.sparse.pivots
+                    );
+                    failed = true;
+                }
+            }
+            if let Some(bf) = base.refactors {
+                if drifted(r.sparse.refactors, bf) {
+                    eprintln!(
+                        "[bench_milp] DRIFT: {name} performed {} refactorizations, baseline {bf} \
+                         (>15%) — regenerate BENCH_milp.json if intentional",
+                        r.sparse.refactors
+                    );
+                    failed = true;
+                }
             }
         }
-        if regressed {
-            return Err("branch-and-bound node counts regressed >10% vs baseline".into());
+        if failed {
+            return Err("node/pivot/refactorization counts drifted vs baseline".into());
         }
         eprintln!(
-            "[bench_milp] node counts within 10% of baseline on all {} kernels",
+            "[bench_milp] node, pivot, and refactorization counts within bounds of baseline \
+             on all {} kernels",
             pairs.len()
         );
     }

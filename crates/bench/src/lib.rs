@@ -348,7 +348,7 @@ pub fn run_table1_jobs(
     // warm-start adoptions.
     println!();
     println!(
-        "{:<15} | {:>8} {:>9} {:>6} {:>8} | {:>8} | {:>5} {:>6} {:>7} {:>6}",
+        "{:<15} | {:>8} {:>9} {:>6} {:>8} | {:>8} | {:>5} {:>6} {:>7} {:>8}",
         "Benchmark",
         "milp(s)",
         "pivots",
@@ -358,12 +358,12 @@ pub fn run_table1_jobs(
         "cuts",
         "pruned",
         "tighten",
-        "warm"
+        "warmH/M"
     );
     for c in &rows {
         let t = &c.iter_trace;
         println!(
-            "{:<15} | {:>8.2} {:>9} {:>6} {:>8} | {:>8} | {:>5} {:>6} {:>7} {:>6}",
+            "{:<15} | {:>8.2} {:>9} {:>6} {:>8} | {:>8} | {:>5} {:>6} {:>7} {:>8}",
             c.name,
             t.milp.as_secs_f64(),
             t.milp_pivots,
@@ -373,7 +373,7 @@ pub fn run_table1_jobs(
             t.milp_cuts,
             t.milp_nodes_pruned,
             t.milp_bounds_tightened,
-            t.milp_warm_hits,
+            format!("{}/{}", t.milp_warm_hits, t.milp_warm_misses),
         );
     }
     // Simulation breakdown: where the cycle-level runs happen (both flows'
@@ -433,6 +433,7 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
              \"milp_refactors\": {}, \"milp_rows_dropped\": {}, \
              \"milp_cuts\": {}, \"milp_cut_rounds\": {}, \"milp_nodes_pruned\": {}, \
              \"milp_bounds_tightened\": {}, \"milp_warm_hits\": {}, \
+             \"milp_warm_misses\": {}, \
              \"sim_s\": {:.3}, \"sim_runs\": {}, \"sim_cycles\": {}, \
              \"slack_trials\": {}, \"slack_trials_pruned\": {}, \
              \"meas_sim_s\": {:.3}, \"meas_sim_runs\": {}, \"meas_sim_cycles\": {}}}{}\n",
@@ -470,6 +471,7 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
             t.milp_nodes_pruned,
             t.milp_bounds_tightened,
             t.milp_warm_hits,
+            t.milp_warm_misses,
             (c.prev_trace.sim + t.sim).as_secs_f64(),
             c.prev_trace.sim_runs + t.sim_runs,
             c.prev_trace.sim_cycles + t.sim_cycles,
@@ -542,6 +544,7 @@ mod tests {
             milp_nodes_pruned: 6,
             milp_bounds_tightened: 44,
             milp_warm_hits: 2,
+            milp_warm_misses: 3,
             sim_runs: 11,
             sim_cycles: 4242,
             slack_trials: 30,
@@ -583,6 +586,7 @@ mod tests {
         assert!(j.contains("\"milp_nodes_pruned\": 6"));
         assert!(j.contains("\"milp_bounds_tightened\": 44"));
         assert!(j.contains("\"milp_warm_hits\": 2"));
+        assert!(j.contains("\"milp_warm_misses\": 3"));
         assert!(j.contains("\"sim_runs\": 11"));
         assert!(j.contains("\"sim_cycles\": 4242"));
         assert!(j.contains("\"slack_trials\": 30"));

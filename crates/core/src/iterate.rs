@@ -380,6 +380,7 @@ pub fn optimize_iterative_with_cache(
         trace.milp_nodes_pruned += placement.milp_nodes_pruned;
         trace.milp_bounds_tightened += placement.milp_bounds_tightened;
         trace.milp_warm_hits += placement.milp_warm_hits;
+        trace.milp_warm_misses += placement.milp_warm_misses;
 
         // Re-synthesize with the proposed buffers; check the real levels.
         // The circuit just synthesized is the natural basis: the proposal

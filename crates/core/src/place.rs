@@ -106,6 +106,10 @@ pub struct PlacementResult {
     pub milp_bounds_tightened: u64,
     /// MILP solves that adopted a stored warm-start basis.
     pub milp_warm_hits: u64,
+    /// Store lookups that did *not* end in an adopted warm start — either
+    /// the store had no entry yet, or the remapped entry failed the
+    /// solver's revalidation. Zero when no store was supplied.
+    pub milp_warm_misses: u64,
 }
 
 /// Placement failures.
@@ -355,17 +359,58 @@ pub fn place_buffers(p: &PlacementProblem<'_>) -> Result<PlacementResult, PlaceE
 /// [`place_buffers`] with an optional cross-solve warm-start store.
 ///
 /// When `store` is given, each MILP solve looks up the previous solve of
-/// the same model *shape* ([`milp::shape_key`]) and starts from its root
-/// basis and incumbent; afterwards it records its own. The Fig.-4 loop
-/// passes one store across all iterations, so iteration *i+1*'s placement
-/// solve warm-starts from iteration *i*'s (and lazy cut rounds within one
-/// call warm-start from each other). Warm starts are revalidated by the
-/// solver and never change the returned placement — only the work spent
-/// finding it.
+/// the same *problem* ([`warm_key`] — the iteration-stable identity of the
+/// kernel, not the churning model shape), remaps its root basis and
+/// incumbent onto the current model by variable name
+/// ([`milp::WarmStart::remap_to`]), and starts from them; afterwards it
+/// records its own. The Fig.-4 loop passes one store across all
+/// iterations, so iteration *i+1*'s placement solve warm-starts from
+/// iteration *i*'s (and lazy cut rounds within one call warm-start from
+/// each other). Warm starts are revalidated by the solver and never
+/// change the returned placement — only the work spent finding it.
 ///
 /// # Errors
 ///
 /// Same as [`place_buffers`].
+/// Key for the cross-iteration warm-start store: an FNV-1a fingerprint of
+/// the *iteration-stable* identity of the placement problem. The Fig.-4
+/// loop re-solves the same kernel with drifting penalties, fixed sets,
+/// and cut channels — all of which change the model's variable set — so
+/// keying on the model shape ([`milp::shape_key`]) forfeits nearly every
+/// cross-iteration warm start. This key instead hashes what does not
+/// drift: the objective kind, the level target, the objective weights,
+/// the graph size, and the CFDFC channel structure. A stale entry under
+/// this looser key is harmless: the stored basis and incumbent are
+/// remapped by variable name and then revalidated by the solver, so the
+/// worst case is one wasted refactorization.
+fn warm_key(p: &PlacementProblem<'_>) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(match p.objective {
+        Objective::ThroughputAndArea => 1,
+        Objective::AreaOnly => 2,
+    });
+    eat(p.target_levels as u64);
+    eat(p.alpha.to_bits());
+    eat(p.beta.to_bits());
+    eat(p.graph.num_channels() as u64);
+    eat(p.cfdfcs.len() as u64);
+    for k in p.cfdfcs {
+        eat(k.channels.len() as u64);
+        for &c in &k.channels {
+            eat(c.index() as u64);
+        }
+    }
+    h
+}
+
 pub fn place_buffers_warm(
     p: &PlacementProblem<'_>,
     store: Option<&milp::MilpWarmStore>,
@@ -388,6 +433,10 @@ pub fn place_buffers_warm(
     let mut milp_nodes_pruned = 0u64;
     let mut milp_bounds_tightened = 0u64;
     let mut milp_warm_hits = 0u64;
+    let mut milp_warm_misses = 0u64;
+    // The key depends only on the iteration-stable problem identity, not
+    // the per-round model, so it is computed once.
+    let key = store.map(|s| (s, warm_key(p)));
     loop {
         let BuiltModel {
             mut model,
@@ -405,31 +454,30 @@ pub fn place_buffers_warm(
         // a previous solve of the same shape exists); on exhaustion fall
         // back to rounding the LP relaxation up (covering constraints are
         // upward-closed, so rounding up preserves feasibility).
-        let key = store.map(|s| (s, milp::shape_key(&model)));
-        // A same-shape entry from a previous call (earlier iteration of
-        // the flow) wins over the intra-call round state: it already
-        // reflects a full solve of this very model shape.
+        // An entry from a previous call (earlier iteration of the flow)
+        // wins over the intra-call round state: it already reflects a
+        // full solve of this very problem. Either way the warm start is
+        // remapped onto the current model's variable space — candidate
+        // churn between iterations (and cut rounds) shifts columns.
         let stored = key.as_ref().and_then(|(s, k)| s.get(*k));
         let from_store = stored.is_some();
-        let warm = stored.or_else(|| last_warm.take());
+        let warm = stored
+            .or_else(|| last_warm.take())
+            .map(|w| w.remap_to(&model));
         let sol = match model.solve_warm(warm.as_ref()) {
             Ok(s) => s,
             Err(SolveError::NodeLimit) => model.solve_relaxation()?,
             Err(e) => return Err(e.into()),
         };
-        if let Some((s, k)) = &key {
-            s.put(
-                *k,
-                milp::WarmStart {
-                    basis: sol.root_basis.clone(),
-                    incumbent: Some(sol.values.clone()),
-                },
-            );
-        }
-        last_warm = Some(milp::WarmStart {
+        let entry = milp::WarmStart {
             basis: sol.root_basis.clone(),
             incumbent: Some(sol.values.clone()),
-        });
+            var_names: Some(model.var_names()),
+        };
+        if let Some((s, k)) = &key {
+            s.put(*k, entry.clone());
+        }
+        last_warm = Some(entry);
         milp_pivots += sol.pivots;
         milp_refactors += sol.refactors;
         milp_nodes += sol.nodes;
@@ -441,6 +489,7 @@ pub fn place_buffers_warm(
         // intra-call round-to-round warm state above is unconditional and
         // would drown the signal the counter exists to expose.
         milp_warm_hits += (from_store && sol.warm_used) as u64;
+        milp_warm_misses += (key.is_some() && !(from_store && sol.warm_used)) as u64;
         let placed: HashSet<ChannelId> = candidates
             .iter()
             .copied()
@@ -497,6 +546,7 @@ pub fn place_buffers_warm(
                 milp_nodes_pruned,
                 milp_bounds_tightened,
                 milp_warm_hits,
+                milp_warm_misses,
             });
         }
         cuts.extend(new_cuts);

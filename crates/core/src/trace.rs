@@ -53,8 +53,11 @@ pub struct FlowTrace {
     /// Variable bounds tightened by MILP presolve.
     pub milp_bounds_tightened: u64,
     /// Placement solves that adopted a warm-start basis from a previous
-    /// iteration (or lazy cut round) of the same model shape.
+    /// iteration (or lazy cut round) of the same placement problem.
     pub milp_warm_hits: u64,
+    /// Placement-store lookups that did *not* end in an adopted warm start
+    /// (empty store, or the remapped entry failed revalidation).
+    pub milp_warm_misses: u64,
     /// Figure-4 iterations executed.
     pub iterations: usize,
     /// Portion of `synth` spent in full (basis-less) synthesis runs.
@@ -172,6 +175,7 @@ impl FlowTrace {
         self.milp_nodes_pruned += other.milp_nodes_pruned;
         self.milp_bounds_tightened += other.milp_bounds_tightened;
         self.milp_warm_hits += other.milp_warm_hits;
+        self.milp_warm_misses += other.milp_warm_misses;
         self.iterations += other.iterations;
         self.synth_full += other.synth_full;
         self.synth_incremental += other.synth_incremental;
@@ -198,7 +202,8 @@ impl fmt::Display for FlowTrace {
             f,
             "synth {:.2}s (full {:.2}s + incr {:.2}s) | map {:.2}s | timing {:.2}s | \
              milp {:.2}s ({} pivots, {} nodes, {} refactors, {} rows dropped, \
-             {} cuts/{} rounds, {} pruned, {} bounds tightened, {} warm hits) | \
+             {} cuts/{} rounds, {} pruned, {} bounds tightened, \
+             {} warm hits/{} misses) | \
              slack {:.2}s ({} trials, {} pruned) | \
              sim {:.2}s ({} runs, {} cycles, {} compiles) | \
              total {:.2}s | cache {}/{} hits ({:.0}%) | \
@@ -219,6 +224,7 @@ impl fmt::Display for FlowTrace {
             self.milp_nodes_pruned,
             self.milp_bounds_tightened,
             self.milp_warm_hits,
+            self.milp_warm_misses,
             self.slack.as_secs_f64(),
             self.slack_trials,
             self.slack_trials_pruned,
@@ -286,6 +292,7 @@ mod tests {
             milp_nodes_pruned: 4,
             milp_bounds_tightened: 13,
             milp_warm_hits: 3,
+            milp_warm_misses: 2,
             iterations: 4,
             synth: Duration::from_millis(5),
             synth_incremental: Duration::from_millis(2),
@@ -316,6 +323,7 @@ mod tests {
         assert_eq!(a.milp_nodes_pruned, 4);
         assert_eq!(a.milp_bounds_tightened, 13);
         assert_eq!(a.milp_warm_hits, 3);
+        assert_eq!(a.milp_warm_misses, 2);
         assert_eq!(a.iterations, 5);
         assert_eq!(a.synth, Duration::from_millis(15));
         assert_eq!(a.synth_incremental, Duration::from_millis(2));

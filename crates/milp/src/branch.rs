@@ -65,6 +65,16 @@ const SEED_TOL: f64 = 1e-6;
 /// nontrivial model and would only churn out truncations.
 const MIN_LP_BUDGET: u64 = 64;
 
+/// Pivot-equivalent charge added to the work meter for every LP solve, on
+/// top of the pivots the solve actually took. It accounts for the
+/// per-solve fixed cost — standard-form prepare, CSC rebuild, the basis
+/// refactorization that validates an adopted warm basis — which the pivot
+/// count alone cannot see. Without it a dual warm re-solve that finishes
+/// in a handful of pivots looks nearly free to the budget and stagnation
+/// valves, and a finite work limit quietly buys ~50x more nodes of wall
+/// clock than it did when every node paid the cold phase-1/2 price.
+const LP_SOLVE_OVERHEAD: u64 = 32;
+
 /// Per-LP iteration budget: the work limit's unspent remainder (the whole
 /// limit at the root), capped by the hard per-phase valve. Without this,
 /// a single degenerate node LP could legally burn [`MAX_SIMPLEX_ITERS`]
@@ -226,10 +236,12 @@ fn validate_seed(model: &Model, seed: &[f64]) -> Option<Solution> {
         status: Status::Optimal,
         nodes: 0,
         pivots: 0,
+        dual_pivots: 0,
         refactors: 0,
         truncated: false,
         cuts: 0,
         cut_rounds: 0,
+        cut_score_rejected: 0,
         nodes_pruned: 0,
         warm_used: false,
         presolve: crate::presolve::PresolveReport::default(),
@@ -298,7 +310,13 @@ struct Search<'m> {
     gap: f64,
     incumbent: Option<Solution>,
     nodes: u64,
+    /// Budget meter: pivots actually taken plus [`LP_SOLVE_OVERHEAD`] per
+    /// LP solve. Drives `lp_budget`, the wave cutoff, and the stagnation
+    /// valve; the reported pivot count is `pivots`.
     work: u64,
+    /// True simplex pivots (primal + dual) across every LP solve.
+    pivots: u64,
+    dual_pivots: u64,
     refactors: u64,
     nodes_pruned: u64,
     hit_limit: bool,
@@ -376,10 +394,12 @@ impl<'m> Search<'m> {
                     status: Status::Optimal,
                     nodes: 0,
                     pivots: 0,
+                    dual_pivots: 0,
                     refactors: 0,
                     truncated: false,
                     cuts: 0,
                     cut_rounds: 0,
+                    cut_score_rejected: 0,
                     nodes_pruned: 0,
                     warm_used: false,
                     presolve: crate::presolve::PresolveReport::default(),
@@ -403,13 +423,19 @@ impl<'m> Search<'m> {
                 down_ov.entries.push((v, f64::NEG_INFINITY, floor));
                 let mut up_ov = node.ov;
                 up_ov.entries.push((v, floor + 1.0, f64::INFINITY));
+                // Both children re-solve from the parent's final basis:
+                // the parent vertex stays dual-feasible when one variable
+                // bound tightens, so the sparse engine walks to the child
+                // optimum with a short dual simplex run instead of a cold
+                // phase 1/2.
+                let child_warm = lp.basis;
                 let down = Node {
                     ov: down_ov,
-                    warm: lp.basis.clone(),
+                    warm: child_warm.clone(),
                 };
                 let up = Node {
                     ov: up_ov,
-                    warm: lp.basis,
+                    warm: child_warm,
                 };
                 // The child rounding toward the LP value gets the lower
                 // sequence number, so on tied bounds it pops first.
@@ -444,6 +470,8 @@ pub(crate) fn branch_and_bound(
         incumbent: None,
         nodes: 0,
         work: 0,
+        pivots: 0,
+        dual_pivots: 0,
         refactors: 0,
         nodes_pruned: 0,
         hit_limit: false,
@@ -501,7 +529,9 @@ pub(crate) fn branch_and_bound(
         Engine::DenseTableau => (crate::dense::solve_lp_dense(model, &root_ov)?, Vec::new()),
     };
     let warm_used = root_lp.warmed || seeded;
-    search.work += root_lp.pivots;
+    search.work += root_lp.pivots + LP_SOLVE_OVERHEAD;
+    search.pivots += root_lp.pivots;
+    search.dual_pivots += root_lp.dual_pivots;
     search.refactors += root_lp.refactors;
     // Export the *pre-cut* root basis: it indexes the base model's rows, so
     // the next structurally identical solve (which starts cut-free) can
@@ -517,6 +547,7 @@ pub(crate) fn branch_and_bound(
     let mut work_model = model.clone();
     let mut cuts_added = 0u64;
     let mut cut_rounds = 0u64;
+    let mut cut_score_rejected = 0u64;
     // Cutting shares the deterministic pivot budget with the search but may
     // spend at most a quarter of it: cut re-solves strengthen the bound,
     // branching closes it, and a cut loop that starves the tree is a net
@@ -533,6 +564,17 @@ pub(crate) fn branch_and_bound(
             let mut batch = std::mem::take(&mut pending_gmi);
             batch.extend(crate::cuts::cover_cuts(&work_model, &root_lp.values));
             let batch = crate::cuts::dedup_cuts(batch, &work_model);
+            if batch.is_empty() {
+                break;
+            }
+            // Quality gate: keep only the round budget of deepest,
+            // mutually diverse cuts instead of appending everything the
+            // separators produced — rejected cuts are counted, and the
+            // next round can re-separate a better variant from the moved
+            // root point if one exists.
+            let (batch, n_rejected) =
+                crate::cuts::select_cuts(batch, &root_lp.values, work_model.vars.len());
+            cut_score_rejected += n_rejected;
             if batch.is_empty() {
                 break;
             }
@@ -553,7 +595,9 @@ pub(crate) fn branch_and_bound(
                 another_round,
             ) {
                 Ok((lp, gmi)) if !lp.truncated => {
-                    search.work += lp.pivots;
+                    search.work += lp.pivots + LP_SOLVE_OVERHEAD;
+                    search.pivots += lp.pivots;
+                    search.dual_pivots += lp.dual_pivots;
                     search.refactors += lp.refactors;
                     cuts_added += n_new;
                     cut_rounds += 1;
@@ -564,7 +608,9 @@ pub(crate) fn branch_and_bound(
                     // Truncated or failed re-solve: drop this round's cuts
                     // and keep the last good root state.
                     if let Ok((lp, _)) = other {
-                        search.work += lp.pivots;
+                        search.work += lp.pivots + LP_SOLVE_OVERHEAD;
+                        search.pivots += lp.pivots;
+                        search.dual_pivots += lp.dual_pivots;
                         search.refactors += lp.refactors;
                         search.hit_limit = true;
                     }
@@ -606,14 +652,18 @@ pub(crate) fn branch_and_bound(
             if budget >= MIN_LP_BUDGET {
                 match solve_lp_warm(&purged, &root_ov, budget, root_basis.as_ref()) {
                     Ok(lp) if !lp.truncated => {
-                        search.work += lp.pivots;
+                        search.work += lp.pivots + LP_SOLVE_OVERHEAD;
+                        search.pivots += lp.pivots;
+                        search.dual_pivots += lp.dual_pivots;
                         search.refactors += lp.refactors;
                         work_model = purged;
                         root_lp = lp;
                         cuts_added = n_kept;
                     }
                     Ok(lp) => {
-                        search.work += lp.pivots;
+                        search.work += lp.pivots + LP_SOLVE_OVERHEAD;
+                        search.pivots += lp.pivots;
+                        search.dual_pivots += lp.dual_pivots;
                         search.refactors += lp.refactors;
                     }
                     Err(_) => {}
@@ -658,7 +708,9 @@ pub(crate) fn branch_and_bound(
         let budget = lp_budget(model.work_limit, search.work);
         if budget >= MIN_LP_BUDGET {
             if let Ok(lp) = solve_node(&work_model, &dive, budget) {
-                search.work += lp.pivots;
+                search.work += lp.pivots + LP_SOLVE_OVERHEAD;
+                search.pivots += lp.pivots;
+                search.dual_pivots += lp.dual_pivots;
                 search.refactors += lp.refactors;
                 // Even a truncated phase 2 keeps primal feasibility, and
                 // the fixed bounds force integrality — accept it.
@@ -674,10 +726,12 @@ pub(crate) fn branch_and_bound(
                     status: Status::Feasible,
                     nodes: 0,
                     pivots: 0,
+                    dual_pivots: 0,
                     refactors: 0,
                     truncated: false,
                     cuts: 0,
                     cut_rounds: 0,
+                    cut_score_rejected: 0,
                     nodes_pruned: 0,
                     warm_used: false,
                     presolve: crate::presolve::PresolveReport::default(),
@@ -774,7 +828,9 @@ pub(crate) fn branch_and_bound(
                 }
                 Err(e) => return Err(e),
             };
-            search.work += lp.pivots;
+            search.work += lp.pivots + LP_SOLVE_OVERHEAD;
+            search.pivots += lp.pivots;
+            search.dual_pivots += lp.dual_pivots;
             search.refactors += lp.refactors;
             search.process(entry.node, entry.depth, lp);
         }
@@ -783,7 +839,8 @@ pub(crate) fn branch_and_bound(
     let Search {
         incumbent,
         nodes,
-        work,
+        pivots,
+        dual_pivots,
         refactors,
         nodes_pruned,
         hit_limit,
@@ -802,11 +859,13 @@ pub(crate) fn branch_and_bound(
                 sol.truncated = false;
             }
             sol.nodes = nodes;
-            sol.pivots = work;
+            sol.pivots = pivots;
+            sol.dual_pivots = dual_pivots;
             sol.refactors = refactors;
             sol.nodes_pruned = nodes_pruned;
             sol.cuts = cuts_added;
             sol.cut_rounds = cut_rounds;
+            sol.cut_score_rejected = cut_score_rejected;
             sol.warm_used = warm_used;
             sol.root_basis = root_basis;
             Ok(sol)

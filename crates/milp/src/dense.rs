@@ -150,6 +150,7 @@ pub(crate) fn solve_lp_dense_with_limit(
         values,
         objective,
         pivots,
+        dual_pivots: 0,
         refactors: 0,
         truncated,
         basis: None,

@@ -2,10 +2,10 @@
 //!
 //! This crate replaces Gurobi in the paper's flow. It provides:
 //!
-//! * a **sparse revised** two-phase primal simplex (the default
-//!   [`Engine::SparseRevised`]) and the legacy dense tableau
-//!   ([`Engine::DenseTableau`]) it superseded, both with Dantzig pricing
-//!   and a Bland anti-cycling fallback,
+//! * a **sparse revised** two-phase primal simplex plus a **dual simplex**
+//!   for warm re-solves (the default [`Engine::SparseRevised`]) and the
+//!   legacy dense tableau ([`Engine::DenseTableau`]) it superseded, all
+//!   with Dantzig pricing and a Bland anti-cycling fallback,
 //! * deterministic, optionally parallel branch & bound over
 //!   integer/binary variables with incumbent pruning and warm-started
 //!   node bases ([`Model::set_jobs`]),
@@ -27,10 +27,14 @@
 //! * the basis inverse as a **product-form eta file**: each pivot appends
 //!   one sparse eta vector, and `B⁻¹v` / `vᵀB⁻¹` (FTRAN / BTRAN) apply
 //!   the file in O(total eta nonzeros);
-//! * a **refactorization** policy: every 64 pivots (and on warm starts)
-//!   the file is rebuilt from the current basis columns by greedy
-//!   partial-pivoting re-inversion, bounding file length and
-//!   floating-point drift.
+//! * an **adaptive refactorization** policy: the file is rebuilt from the
+//!   current basis columns (greedy partial-pivoting re-inversion) when its
+//!   nonzero growth since the last factorization exceeds a threshold
+//!   scaled to the factorized basis size — with a fixed pivot-count
+//!   backstop — bounding FTRAN/BTRAN cost and floating-point drift on
+//!   exactly the solves that need it instead of on a wall-clock-blind
+//!   fixed schedule. The trigger reads only deterministic counters, so
+//!   the rebuilt points reproduce bit-for-bit.
 //!
 //! Per iteration the engine BTRANs the basic costs, prices every nonbasic
 //! column with one sparse dot product (Dantzig: most positive reduced
@@ -51,7 +55,12 @@
 //! optimum, a round-limited loop separates **Gomory mixed-integer cuts**
 //! (from the optimal tableau) and **knapsack cover cuts** (from the
 //! rows), re-solving each round from the previous round's basis
-//! ([`Model::set_cut_rounds`]). Both layers can be disabled
+//! ([`Model::set_cut_rounds`]). Separated cuts pass a **quality scorer**
+//! before admission — ranked by efficacy (violation over coefficient
+//! norm), penalized for near-parallelism to already-selected cuts,
+//! preferring sparser rows, under a fixed per-round budget; rejects are
+//! counted in [`Solution::cut_score_rejected`]. Both layers can be
+//! disabled
 //! ([`Model::set_presolve`]) to recover the raw model as an oracle; the
 //! dense engine never generates cuts and serves the same role.
 //!
@@ -69,20 +78,40 @@
 //! thread count and each LP solve is a pure function of
 //! `(model, bounds, warm basis)`, the returned solution, objective, node
 //! count, and pivot count are bit-identical for any `jobs` value; threads
-//! only decide how fast the same tree is walked. Each child node reuses
-//! its parent's final basis when it is still primal feasible under the
-//! child's bounds, skipping phase 1 entirely.
+//! only decide how fast the same tree is walked. The work meter charges
+//! each LP solve a fixed pivot-equivalent overhead on top of its pivots,
+//! so budgets and the stagnation valve stay honest even when warm
+//! re-solves finish in a handful of pivots.
+//!
+//! # Dual simplex warm re-solves
+//!
+//! Branching tightens one variable bound, and appending a cut row extends
+//! the system by one slack: in both moves the parent optimum stays **dual
+//! feasible** while (usually) turning primal infeasible. Wherever a
+//! revalidated warm basis is dual feasible — child nodes re-solving from
+//! the parent's final basis, post-cut re-solves with the new row basic on
+//! its slack, and [`MilpWarmStore`] hits — the engine therefore runs the
+//! **dual simplex** (most-infeasible leaving row, ratio-test entering
+//! column, the same Bland-style anti-cycling fallback) instead of a cold
+//! phase 1/2, typically reaching the new optimum in a handful of pivots
+//! ([`Solution::dual_pivots`]). A dual walk that stalls discards the basis
+//! and falls back to the primal phase-1 path, carrying its spent work into
+//! the deterministic budget.
 //!
 //! # Cross-solve warm starts
 //!
 //! [`Model::solve_warm`] accepts a [`WarmStart`] — a previous solve's root
-//! basis ([`Solution::root_basis`]) plus incumbent values — and uses both
-//! as starting points after revalidating them against the new model. The
-//! fingerprint-keyed [`MilpWarmStore`] carries these across the paper's
-//! Fig.-4 iterations: structurally identical models (same [`shape_key`])
-//! hit the store, and any numeric drift is caught at adoption time, never
-//! trusted. A warm-started solve returns bit-identical values to a cold
-//! one — the warm start only changes how much work the proof takes.
+//! basis ([`Solution::root_basis`]) plus incumbent values, optionally
+//! tagged with variable names so [`WarmStart::remap_to`] can follow a
+//! drifted model — and uses both as starting points after revalidating
+//! them against the new model. The caller-keyed [`MilpWarmStore`] carries
+//! these across the paper's Fig.-4 iterations: the buffer placer keys
+//! entries by the *problem* being re-solved (graph, CFDFCs, objective
+//! weights), so later iterations hit the store even as cut counts and
+//! bound tightenings reshape the model, and any numeric drift is caught
+//! at adoption time, never trusted. A warm-started solve returns
+//! bit-identical values to a cold one — the warm start only changes how
+//! much work the proof takes.
 //!
 //! # Example
 //!

@@ -99,6 +99,9 @@ pub struct Solution {
     /// Simplex pivots spent across all explored nodes — the deterministic
     /// work measure behind [`Model::set_work_limit`].
     pub pivots: u64,
+    /// Subset of `pivots` performed by the dual simplex on warm re-solves
+    /// ([`Engine::SparseRevised`] only; always 0 for the dense tableau).
+    pub dual_pivots: u64,
     /// Basis refactorizations performed across all explored nodes
     /// ([`Engine::SparseRevised`] only; always 0 for the dense tableau).
     pub refactors: u64,
@@ -111,6 +114,10 @@ pub struct Solution {
     pub cuts: u64,
     /// Root cut-separation rounds that added at least one cut.
     pub cut_rounds: u64,
+    /// Separated cuts rejected by the quality scorer (low efficacy, near
+    /// parallelism to a selected cut, or over the round budget) instead of
+    /// being added to the root LP.
+    pub cut_score_rejected: u64,
     /// Best-first entries discarded by bound before their LP was solved
     /// (these never count toward `nodes`).
     pub nodes_pruned: u64,
@@ -226,6 +233,13 @@ pub struct Model {
 pub(crate) const DEFAULT_CUT_ROUNDS: usize = 4;
 
 impl Model {
+    /// Names of all variables, in column order — the payload for
+    /// [`WarmStart::var_names`](crate::WarmStart::var_names), which lets a
+    /// stored warm start follow its variables into a drifted model.
+    pub fn var_names(&self) -> Vec<String> {
+        self.vars.iter().map(|v| v.name.clone()).collect()
+    }
+
     /// Creates an empty model.
     pub fn new(sense: Sense) -> Self {
         Model {
@@ -566,10 +580,12 @@ impl Model {
             status: Status::Feasible,
             nodes: 1,
             pivots: lp.pivots,
+            dual_pivots: lp.dual_pivots,
             refactors: lp.refactors,
             truncated: lp.truncated,
             cuts: 0,
             cut_rounds: 0,
+            cut_score_rejected: 0,
             nodes_pruned: 0,
             warm_used: false,
             presolve: crate::presolve::PresolveReport::default(),

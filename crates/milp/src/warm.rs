@@ -9,24 +9,27 @@
 //! near-perfect starting point for iteration *i+1*, and its incumbent an
 //! immediate pruning bound.
 //!
-//! The store is keyed by [`shape_key`] — an FNV-1a fingerprint of the
-//! model's *shape* (sense, variable names, integrality pattern), not its
-//! numeric data. Shape captures exactly what survives across iterations;
-//! anything numeric may change and is therefore revalidated at use time
-//! rather than keyed on:
+//! The store is keyed by whatever `u64` the caller supplies. [`shape_key`]
+//! — an FNV-1a fingerprint of the model's *shape* (sense, variable names,
+//! integrality pattern) — is the strict choice: entries only ever match a
+//! structurally identical model. Callers whose models *drift* between
+//! solves (the placement MILP gains and loses candidate variables as cut
+//! channels move) should instead key on the stable identity of the
+//! underlying problem and record [`WarmStart::var_names`]; at lookup time
+//! [`WarmStart::remap_to`] translates the entry onto the new model's
+//! variable space by *name*. Loose keying is safe because nothing in an
+//! entry is ever trusted blindly:
 //!
-//! * the **basis** is adopted only if it still refactors to a primal
-//!   feasible point of the new model ([`WarmBasis`] docs) — a stale basis
-//!   costs one failed refactorization, never a wrong answer;
+//! * the **basis** is adopted only if it still refactors to a usable
+//!   (primal- or dual-feasible) point of the new model ([`WarmBasis`]
+//!   docs) — a stale basis costs one failed refactorization, never a
+//!   wrong answer;
 //! * the **incumbent** is replayed against the new model's bounds and rows
 //!   and silently dropped if anything violates.
 //!
-//! Invalidation is by keying, like the synthesis cache of the incremental
-//! flow: when re-synthesis changes a basic block, the placement model's
-//! variable names shift and the old entry simply never matches again.
-//! Entries are only ever replaced by newer solves of the same shape, so
-//! the store stays bounded by the number of distinct model shapes a flow
-//! produces (one, for a fixed kernel).
+//! Entries are only ever replaced by newer solves under the same key, so
+//! the store stays bounded by the number of distinct keys a flow produces
+//! (one, for a fixed kernel).
 
 use crate::model::Model;
 use crate::simplex::WarmBasis;
@@ -43,6 +46,81 @@ pub struct WarmStart {
     /// Incumbent values of a previous solve, in original variable space
     /// (seeded only if still feasible for the new model).
     pub incumbent: Option<Vec<f64>>,
+    /// Variable names of the model this entry was recorded on, in column
+    /// order. When present, [`WarmStart::remap_to`] can translate the
+    /// basis and incumbent onto a model whose variable set has drifted.
+    pub var_names: Option<Vec<String>>,
+}
+
+impl WarmStart {
+    /// Translates this warm start onto `model`'s variable space.
+    ///
+    /// With no recorded [`var_names`](WarmStart::var_names), or names
+    /// identical to `model`'s, the entry is returned unchanged. Otherwise
+    /// structural columns are matched *by name*: the incumbent keeps
+    /// matched values (variables new to `model` start at their lower
+    /// bound), and the basis keeps matched structural columns while slack
+    /// columns and vanished variables are rewritten to an out-of-range
+    /// sentinel that basis adoption replaces with the row's natural
+    /// column. A remapped entry is revalidated by the solver exactly like
+    /// a same-shape one (refactorization, then feasibility gates), so the
+    /// worst case of a bad match is one wasted refactorization.
+    pub fn remap_to(&self, model: &Model) -> WarmStart {
+        let Some(names) = &self.var_names else {
+            return self.clone();
+        };
+        if names.len() == model.vars.len()
+            && names.iter().zip(&model.vars).all(|(n, v)| *n == v.name)
+        {
+            return self.clone();
+        }
+        let old_index: HashMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let new_index: HashMap<&str, usize> = model
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.as_str(), i))
+            .collect();
+        let n_new = model.vars.len();
+        let incumbent = self.incumbent.as_ref().map(|old| {
+            model
+                .vars
+                .iter()
+                .map(|v| match old_index.get(v.name.as_str()) {
+                    Some(&i) if i < old.len() => old[i],
+                    _ if v.lo.is_finite() => v.lo,
+                    _ => 0.0,
+                })
+                .collect()
+        });
+        let basis = self.basis.as_ref().map(|wb| {
+            let old_n = names.len();
+            let mapped = wb
+                .basis
+                .iter()
+                .map(|&c| match names.get(c).filter(|_| c < old_n) {
+                    // Same variable, possibly at a new column.
+                    Some(name) => *new_index.get(name.as_str()).unwrap_or(&n_new),
+                    // Slack or artificial: no cross-model identity.
+                    None => n_new,
+                })
+                .collect();
+            WarmBasis {
+                rows: wb.rows,
+                cols: n_new,
+                basis: mapped,
+            }
+        });
+        WarmStart {
+            basis,
+            incumbent,
+            var_names: Some(model.vars.iter().map(|v| v.name.clone()).collect()),
+        }
+    }
 }
 
 /// Fingerprint of a model's shape: optimization sense, variable count,
@@ -188,6 +266,7 @@ mod tests {
             WarmStart {
                 basis: None,
                 incumbent: Some(vec![1.0, 0.0]),
+                var_names: None,
             },
         );
         let got = store.get(key).expect("stored entry");
@@ -207,6 +286,7 @@ mod tests {
             WarmStart {
                 basis: cold.root_basis.clone(),
                 incumbent: Some(cold.values.clone()),
+                var_names: None,
             },
         );
         let warm = m

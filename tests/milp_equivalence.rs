@@ -10,7 +10,7 @@ use frequenz_core::{
     build_placement_model, compute_penalties, extract_cfdfcs, map_lut_edges, synthesize,
     FlowOptions, PlacementProblem, TimingGraph,
 };
-use milp::{Cmp, Engine, Model, Sense, Solution, SolveError};
+use milp::{Cmp, Engine, Model, Sense, Solution, SolveError, WarmStart};
 use proptest::prelude::*;
 
 /// A random mixed program: bounded continuous and binary variables with
@@ -139,6 +139,73 @@ fn assert_jobs_invariant(m: &mut Model) -> Result<(), proptest::test_runner::Tes
     Ok(())
 }
 
+/// Checks a warm (dual-path) re-solve against a cold (primal) solve of the
+/// same tightened program: same infeasible/unbounded classification, and on
+/// success the same objective plus a warm solution that is genuinely
+/// feasible for the tightened program. Alternate optima are routine on
+/// these degenerate programs, so feasibility-at-the-same-objective is the
+/// meaningful notion of "same solution" — value-by-value equality is not.
+fn assert_warm_agrees_with_cold(
+    q: &RandomProgram,
+    warm: &Result<Solution, SolveError>,
+    cold: &Result<Solution, SolveError>,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    match (warm, cold) {
+        (Ok(w), Ok(c)) => {
+            prop_assert!(
+                (w.objective - c.objective).abs() <= 1e-6 * (1.0 + c.objective.abs()),
+                "objectives diverge: warm {} vs cold {}",
+                w.objective,
+                c.objective
+            );
+            prop_assert_eq!(w.status, c.status, "status diverges");
+            for (i, &(hi, _, _)) in q.vars.iter().enumerate() {
+                prop_assert!(
+                    w.values[i] >= -1e-6 && w.values[i] <= hi as f64 + 1e-6,
+                    "warm value x{i}={} breaks bound [0, {hi}]",
+                    w.values[i]
+                );
+            }
+            for (coef, op, rhs) in &q.rows {
+                if coef.iter().all(|&c| c == 0) {
+                    continue; // dropped by to_model
+                }
+                let lhs: f64 = coef
+                    .iter()
+                    .zip(&w.values)
+                    .map(|(&c, &x)| c as f64 * x)
+                    .sum();
+                let ok = match op {
+                    0 => lhs <= *rhs as f64 + 1e-6,
+                    1 => lhs >= *rhs as f64 - 1e-6,
+                    _ => (lhs - *rhs as f64).abs() <= 1e-6,
+                };
+                prop_assert!(ok, "warm solution breaks row {coef:?} op{op} {rhs}");
+            }
+        }
+        (Err(w), Err(c)) => {
+            prop_assert!(
+                w.is_infeasible() == c.is_infeasible()
+                    && matches!(w, SolveError::Unbounded) == matches!(c, SolveError::Unbounded),
+                "classifications diverge: warm {w:?} vs cold {c:?}"
+            );
+        }
+        (w, c) => prop_assert!(false, "verdicts diverge: warm {w:?} vs cold {c:?}"),
+    }
+    Ok(())
+}
+
+/// Tightens one variable's upper bound below the base program's: the old
+/// optimal vertex usually turns primal infeasible while the reduced costs
+/// are untouched, which is exactly the regime the dual simplex re-solve
+/// path must handle.
+fn tightened(p: &RandomProgram, pick: u8) -> RandomProgram {
+    let mut q = p.clone();
+    let k = pick as usize % q.vars.len();
+    q.vars[k].0 -= 1; // hi is drawn from 1..6, so this stays ≥ 0
+    q
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -240,6 +307,48 @@ proptest! {
         }
     }
 
+    /// Dual-vs-primal agreement on random bounded LPs: a warm re-solve of
+    /// a bound-tightened program from the base optimum's basis (the dual
+    /// simplex path when the old vertex went primal infeasible) must agree
+    /// with a cold primal solve — same objective, a feasible solution, and
+    /// the same infeasible/unbounded classification.
+    #[test]
+    fn dual_warm_resolve_agrees_with_cold_on_tightened_lps(
+        p in random_program(),
+        pick in any::<u8>(),
+    ) {
+        let mut base = to_model(&p, true);
+        base.set_presolve(false);
+        let Ok(first) = base.solve() else { return Ok(()) };
+        let Some(basis) = first.root_basis.clone() else { return Ok(()) };
+        let q = tightened(&p, pick);
+        let mut tight = to_model(&q, true);
+        tight.set_presolve(false);
+        let warm = WarmStart { basis: Some(basis), incumbent: None, var_names: None };
+        let warm_sol = tight.solve_warm(Some(&warm));
+        let cold_sol = tight.solve();
+        assert_warm_agrees_with_cold(&q, &warm_sol, &cold_sol)?;
+    }
+
+    /// Same agreement through the full branch-and-bound: every node of the
+    /// warm-started tree re-solves from its parent basis via the dual
+    /// simplex, and the incumbent must still match the cold search's.
+    #[test]
+    fn dual_warm_resolve_agrees_with_cold_on_tightened_milps(
+        p in random_program(),
+        pick in any::<u8>(),
+    ) {
+        let base = to_model(&p, false);
+        let Ok(first) = base.solve() else { return Ok(()) };
+        let Some(basis) = first.root_basis.clone() else { return Ok(()) };
+        let q = tightened(&p, pick);
+        let tight = to_model(&q, false);
+        let warm = WarmStart { basis: Some(basis), incumbent: None, var_names: None };
+        let warm_sol = tight.solve_warm(Some(&warm));
+        let cold_sol = tight.solve();
+        assert_warm_agrees_with_cold(&q, &warm_sol, &cold_sol)?;
+    }
+
     /// Two solves of the same model in the same process are bit-identical
     /// in every counter and value — cuts, presolve, and best-first search
     /// hold no hidden global state.
@@ -292,6 +401,65 @@ fn degenerate_milp_does_not_cycle_under_cuts() {
     assert_eq!(sol.status, milp::Status::Optimal);
     assert!(!sol.truncated);
     assert!((sol.objective - 1.0).abs() < 1e-6);
+}
+
+/// Anti-cycling regression for the dual simplex: re-solving a maximally
+/// dual-degenerate tightening — every pair row turns infeasible by the
+/// same amount, so the leaving-row choice ties across the whole basis —
+/// must terminate at the proven optimum via the Bland fallback, and must
+/// actually take dual pivots (the warm basis is dual feasible but primal
+/// infeasible, so a silent cold restart would be a regression).
+#[test]
+fn dual_degenerate_resolve_does_not_cycle() {
+    let n = 6usize;
+    let build = |rhs: f64| {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("t{i}"), 0.0, 1.0, 1.0, false))
+            .collect();
+        // Every pair twice (redundantly), so both the relaxed optimum
+        // (all ones, rhs = 2) and the tightened one (all halves, rhs = 1)
+        // are massively degenerate vertices.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.add_constraint(vec![(vars[i], 1.0), (vars[j], 1.0)], Cmp::Le, rhs);
+                m.add_constraint(vec![(vars[i], 2.0), (vars[j], 2.0)], Cmp::Le, 2.0 * rhs);
+            }
+        }
+        m.set_presolve(false);
+        m
+    };
+    let base = build(2.0).solve().expect("relaxed pairing model solves");
+    assert!((base.objective - n as f64).abs() < 1e-6);
+    let basis = base
+        .root_basis
+        .clone()
+        .expect("sparse solve exports a basis");
+
+    let tight = build(1.0);
+    let warm = WarmStart {
+        basis: Some(basis),
+        incumbent: None,
+        var_names: None,
+    };
+    let warm_sol = tight
+        .solve_warm(Some(&warm))
+        .expect("tightened re-solve terminates");
+    let cold_sol = tight.solve().expect("tightened cold solve terminates");
+    assert_eq!(warm_sol.status, milp::Status::Optimal);
+    assert!(!warm_sol.truncated, "dual walk stalled into truncation");
+    assert!(
+        (warm_sol.objective - cold_sol.objective).abs() <= 1e-6,
+        "warm {} vs cold {}",
+        warm_sol.objective,
+        cold_sol.objective
+    );
+    assert!((warm_sol.objective - n as f64 / 2.0).abs() < 1e-6);
+    assert!(warm_sol.warm_used, "warm basis was not adopted");
+    assert!(
+        warm_sol.dual_pivots > 0,
+        "tightened re-solve took no dual pivots — the dual path never ran"
+    );
 }
 
 /// Builds the canonicalized seed placement model (the Eq. 3 model of the
@@ -380,4 +548,74 @@ fn engines_agree_on_all_kernel_placement_models() {
             );
         }
     }
+}
+
+/// Dual-vs-primal agreement on the nine kernels' *real* placement models:
+/// re-solving under a tightened clock-period target (`target_levels - 1`,
+/// the exact move the iterate loop makes) from the slack target's root
+/// basis must match a cold solve — same objective when neither search
+/// truncated, same status — and must be bit-identical across the jobs
+/// sweep. At least one kernel's warm re-solve must actually take dual
+/// pivots, or the dual path silently stopped engaging.
+#[test]
+fn dual_warm_resolve_agrees_on_all_kernel_placement_models() {
+    let base_opts = FlowOptions::default();
+    let tight_opts = FlowOptions {
+        target_levels: base_opts.target_levels.saturating_sub(1).max(1),
+        ..FlowOptions::default()
+    };
+    let mut any_dual = 0u64;
+    for kernel in hls::kernels::all_kernels() {
+        let mut base = kernel_placement_model(&kernel, &base_opts);
+        base.set_jobs(1);
+        let cold_base = base.solve().expect("base placement model solves");
+        let Some(basis) = cold_base.root_basis.clone() else {
+            continue;
+        };
+        let warm = WarmStart {
+            basis: Some(basis),
+            incumbent: None,
+            var_names: Some(base.var_names()),
+        };
+
+        let mut tight = kernel_placement_model(&kernel, &tight_opts);
+        tight.set_jobs(1);
+        let warm_sol = tight
+            .solve_warm(Some(&warm.remap_to(&tight)))
+            .expect("warm re-solve of the tightened model terminates");
+        let cold_sol = tight
+            .solve()
+            .expect("cold solve of the tightened model terminates");
+        any_dual += warm_sol.dual_pivots;
+
+        if !warm_sol.truncated && !cold_sol.truncated {
+            assert!(
+                (warm_sol.objective - cold_sol.objective).abs()
+                    <= 1e-6 * (1.0 + cold_sol.objective.abs()),
+                "{}: warm {} vs cold {}",
+                kernel.name,
+                warm_sol.objective,
+                cold_sol.objective
+            );
+            assert_eq!(warm_sol.status, cold_sol.status, "{}: status", kernel.name);
+        }
+
+        let reference = solution_bits(&warm_sol);
+        for jobs in [2usize, 8] {
+            tight.set_jobs(jobs);
+            let s = tight
+                .solve_warm(Some(&warm.remap_to(&tight)))
+                .expect("warm re-solve repeats");
+            assert_eq!(
+                solution_bits(&s),
+                reference,
+                "{}: warm re-solve jobs={jobs} diverged",
+                kernel.name
+            );
+        }
+    }
+    assert!(
+        any_dual > 0,
+        "no kernel's tightened re-solve took a dual pivot — the path is dead"
+    );
 }
