@@ -26,11 +26,11 @@ fn bench_elaboration_and_optimization(c: &mut Criterion) {
     let kernel = hls::kernels::gemver(8);
     let g = kernel.seeded_graph();
     c.bench_function("elaborate_gemver", |b| {
-        b.iter(|| black_box(elaborate(&g).netlist.num_gates()))
+        b.iter(|| black_box(elaborate(&g).unwrap().netlist.num_gates()))
     });
     c.bench_function("optimize_gemver", |b| {
         b.iter(|| {
-            let mut nl = elaborate(&g).netlist;
+            let mut nl = elaborate(&g).unwrap().netlist;
             black_box(nl.optimize().live_after)
         })
     });
@@ -45,7 +45,7 @@ fn bench_flowmap_scaling(c: &mut Criterion) {
         ("gemver8", hls::kernels::gemver(8)),
     ] {
         let g = kernel.seeded_graph();
-        let mut nl = elaborate(&g).netlist;
+        let mut nl = elaborate(&g).unwrap().netlist;
         nl.optimize();
         group.bench_function(BenchmarkId::new("map", name), |b| {
             b.iter(|| {

@@ -31,8 +31,14 @@ fn json_path() -> Option<String> {
 }
 
 fn main() -> Result<(), frequenz_bench::CompareError> {
-    let opts = FlowOptions::default();
     let jobs = jobs_from_args();
+    // One knob drives both pools: kernels compare in parallel *and* each
+    // flow's synthesis/slack lanes use the same worker width. Results are
+    // bit-identical at any job count, so this only trades wall clock.
+    let opts = FlowOptions {
+        jobs,
+        ..FlowOptions::default()
+    };
     println!(
         "Table I reproduction — target {} logic levels (CP ≈ {:.1} ns), K = {}, {jobs} jobs",
         opts.target_levels,

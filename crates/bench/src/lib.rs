@@ -376,6 +376,29 @@ pub fn run_table1_jobs(
             format!("{}/{}", t.milp_warm_hits, t.milp_warm_misses),
         );
     }
+    // Synthesis-lane breakdown: worker-pool width and the deterministic
+    // parallel task counts (unit-characterization tasks of the baseline
+    // flow, LUTs packed by the cover pass) next to the label-reuse rate —
+    // the knobs and yields of the parallel synthesis lane.
+    println!();
+    println!(
+        "{:<15} | {:>5} | {:>9} {:>9} | {:>9} {:>9} | {:>6}",
+        "Benchmark", "jobs", "unitT(P)", "unitT(I)", "packed(P)", "packed(I)", "reuse%"
+    );
+    for c in &rows {
+        let p = &c.prev_trace;
+        let t = &c.iter_trace;
+        println!(
+            "{:<15} | {:>5} | {:>9} {:>9} | {:>9} {:>9} | {:>5.0}%",
+            c.name,
+            p.synth_jobs.max(t.synth_jobs),
+            p.par_unit_tasks,
+            t.par_unit_tasks,
+            p.par_pack_tasks,
+            t.par_pack_tasks,
+            100.0 * t.label_reuse_rate(),
+        );
+    }
     // Simulation breakdown: where the cycle-level runs happen (both flows'
     // profiling + slack trials, plus the out-of-flow verification and
     // measurement runs) — the lane that closes the wall-vs-total gap.
@@ -436,6 +459,7 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
              \"milp_warm_misses\": {}, \
              \"sim_s\": {:.3}, \"sim_runs\": {}, \"sim_cycles\": {}, \
              \"slack_trials\": {}, \"slack_trials_pruned\": {}, \
+             \"synth_jobs\": {}, \"par_unit_tasks\": {}, \"par_pack_tasks\": {}, \
              \"meas_sim_s\": {:.3}, \"meas_sim_runs\": {}, \"meas_sim_cycles\": {}}}{}\n",
             c.name,
             c.wall_s,
@@ -477,6 +501,9 @@ pub fn comparisons_to_json(rows: &[KernelComparison], total_wall_s: f64, jobs: u
             c.prev_trace.sim_cycles + t.sim_cycles,
             c.prev_trace.slack_trials + t.slack_trials,
             c.prev_trace.slack_trials_pruned + t.slack_trials_pruned,
+            c.prev_trace.synth_jobs.max(t.synth_jobs),
+            c.prev_trace.par_unit_tasks + t.par_unit_tasks,
+            c.prev_trace.par_pack_tasks + t.par_pack_tasks,
             c.meas_sim.time.as_secs_f64(),
             c.meas_sim.runs,
             c.meas_sim.cycles,
@@ -549,6 +576,9 @@ mod tests {
             sim_cycles: 4242,
             slack_trials: 30,
             slack_trials_pruned: 4,
+            synth_jobs: 4,
+            par_unit_tasks: 6,
+            par_pack_tasks: 55,
             ..FlowTrace::default()
         };
         let row = KernelComparison {
@@ -591,6 +621,9 @@ mod tests {
         assert!(j.contains("\"sim_cycles\": 4242"));
         assert!(j.contains("\"slack_trials\": 30"));
         assert!(j.contains("\"slack_trials_pruned\": 4"));
+        assert!(j.contains("\"synth_jobs\": 4"));
+        assert!(j.contains("\"par_unit_tasks\": 6"));
+        assert!(j.contains("\"par_pack_tasks\": 55"));
         assert!(j.contains("\"meas_sim_s\": 0.012"));
         assert!(j.contains("\"meas_sim_runs\": 4"));
         assert!(j.contains("\"meas_sim_cycles\": 999"));

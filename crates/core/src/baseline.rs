@@ -11,7 +11,8 @@
 use crate::cfdfc::extract_cfdfcs_traced;
 use crate::iterate::{apply_buffers, FlowError, FlowOptions, FlowResult, IterationRecord};
 use crate::place::{place_buffers, PlacementProblem};
-use crate::synth::SynthCache;
+use crate::slack::parallel_trials;
+use crate::synth::{SynthCache, SynthOptions};
 use crate::timing::{TimingGraph, TimingNode, TimingNodeId};
 use crate::trace::{timed, FlowTrace, SimStats};
 use dataflow::collections::HashMap;
@@ -23,8 +24,31 @@ use std::time::Instant;
 /// Measures the isolated logic depth of every unit of `g` (memoized by
 /// unit signature), exactly like pre-characterizing an RTL unit library.
 pub fn characterize_units(g: &Graph, k: usize) -> HashMap<UnitId, u32> {
-    let mut cache: HashMap<(String, u16, usize, usize), u32> = HashMap::default();
-    let mut out = HashMap::default();
+    characterize_units_jobs(g, k, 1)
+        .map(|(levels, _)| levels)
+        .expect("serial unit characterization cannot fail")
+}
+
+/// [`characterize_units`] with the per-signature isolated syntheses fanned
+/// out over `jobs` scoped threads. Each unique unit signature is one
+/// independent task (isolated elaboration → optimization → mapping), and
+/// results are committed in first-occurrence order, so the returned map is
+/// bit-identical at any job count. Also returns the task count — a
+/// deterministic quantity recorded as `par_unit_tasks` in the trace.
+///
+/// # Errors
+///
+/// [`FlowError::TrialPanic`] if a characterization task panics.
+pub fn characterize_units_jobs(
+    g: &Graph,
+    k: usize,
+    jobs: usize,
+) -> Result<(HashMap<UnitId, u32>, u64), FlowError> {
+    // Dedup by signature first (the memoization of the old serial loop),
+    // keeping the first unit of each signature as its representative.
+    let mut sig_index: HashMap<(String, u16, usize, usize), usize> = HashMap::default();
+    let mut reps: Vec<UnitId> = Vec::new();
+    let mut unit_sig: Vec<(UnitId, usize)> = Vec::new();
     for (uid, unit) in g.units() {
         let key = (
             unit.kind().mnemonic().to_string(),
@@ -32,23 +56,36 @@ pub fn characterize_units(g: &Graph, k: usize) -> HashMap<UnitId, u32> {
             unit.kind().num_inputs(),
             unit.kind().num_outputs(),
         );
-        let levels = *cache.entry(key).or_insert_with(|| {
-            let mut nl = elaborate_isolated(g, uid);
-            nl.optimize();
-            match map_netlist(
-                &nl,
-                &MapOptions {
-                    k,
-                    area_recovery: true,
-                },
-            ) {
-                Ok(luts) => luts.depth(),
-                Err(_) => 0,
-            }
+        let idx = *sig_index.entry(key).or_insert_with(|| {
+            reps.push(uid);
+            reps.len() - 1
         });
-        out.insert(uid, levels);
+        unit_sig.push((uid, idx));
     }
-    out
+    // One task per unique signature; the tiny isolated netlists map with
+    // jobs = 1 — the parallelism is across units, not within them.
+    let map_opts = MapOptions {
+        k,
+        area_recovery: true,
+        jobs: 1,
+    };
+    let levels = parallel_trials(reps.len(), jobs, |i| {
+        // A unit that cannot be elaborated or mapped contributes no
+        // characterized depth — consistent with the map-error arm below.
+        let Ok(mut nl) = elaborate_isolated(g, reps[i]) else {
+            return 0;
+        };
+        nl.optimize();
+        match map_netlist(&nl, &map_opts) {
+            Ok(luts) => luts.depth(),
+            Err(_) => 0,
+        }
+    })?;
+    let mut out = HashMap::default();
+    for (uid, idx) in unit_sig {
+        out.insert(uid, levels[idx]);
+    }
+    Ok((out, reps.len() as u64))
 }
 
 /// Builds the unit-level (pre-characterized) timing model: a unit with
@@ -133,10 +170,18 @@ pub fn optimize_baseline_with_cache(
     opts.validate()?;
     let run_start = Instant::now();
     let mut trace = FlowTrace::default();
+    let synth_opts = SynthOptions {
+        k: opts.k,
+        jobs: opts.jobs,
+    };
     let (hits0, misses0) = (cache.hits(), cache.misses());
     // Pre-characterization is the baseline's substitute for in-context
     // synthesis; account it to the synth phase.
-    let unit_levels = timed(&mut trace.synth, || characterize_units(base, opts.k));
+    let (unit_levels, unit_tasks) = timed(&mut trace.synth, || {
+        characterize_units_jobs(base, opts.k, opts.jobs)
+    })?;
+    trace.par_unit_tasks += unit_tasks;
+    trace.synth_jobs = trace.synth_jobs.max(opts.jobs);
     let timing = timed(&mut trace.timing, || {
         baseline_timing_graph(base, &unit_levels)
     });
@@ -179,7 +224,7 @@ pub fn optimize_baseline_with_cache(
     let mut buffers = placement.buffers.clone();
     if opts.slack_matching {
         let achieved0 = timed(&mut trace.synth, || {
-            cache.synthesize(&apply_buffers(base, &buffers), opts.k)
+            cache.synthesize_opts(&apply_buffers(base, &buffers), &synth_opts)
         })?
         .logic_levels();
         let slack_opts = crate::slack::SlackOptions {
@@ -187,12 +232,16 @@ pub fn optimize_baseline_with_cache(
             target_levels: opts.target_levels.max(achieved0),
             sim_budget: opts.sim_budget,
             engine: opts.sim_engine,
+            jobs: opts.jobs,
             ..crate::slack::SlackOptions::default()
         };
         buffers = crate::slack::slack_match_traced(base, &buffers, &slack_opts, cache, &mut trace)?;
     }
     let graph = apply_buffers(base, &buffers);
-    let achieved = timed(&mut trace.synth, || cache.synthesize(&graph, opts.k))?.logic_levels();
+    let achieved = timed(&mut trace.synth, || {
+        cache.synthesize_opts(&graph, &synth_opts)
+    })?
+    .logic_levels();
     trace.iterations = 1;
     trace.cache_hits = cache.hits() - hits0;
     trace.cache_misses = cache.misses() - misses0;

@@ -12,7 +12,7 @@ use crate::cfdfc::extract_cfdfcs_traced;
 use crate::lutdfg::{map_lut_edges_cached, ClassifyCache, LutDfgMap};
 use crate::penalty::compute_penalties;
 use crate::place::{place_buffers_warm, PlaceError, PlacementProblem};
-use crate::synth::{SynthCache, SynthHandle, Synthesis};
+use crate::synth::{SynthCache, SynthHandle, SynthOptions, Synthesis};
 use crate::timing::TimingGraph;
 use crate::trace::{timed, FlowTrace, SimStats};
 use dataflow::collections::{HashMap, HashSet};
@@ -58,6 +58,14 @@ pub struct FlowOptions {
     pub sim_engine: sim::SimEngine,
     /// The MILP objective (Eq. 3 by default; area-only for the ablation).
     pub objective: crate::place::Objective,
+    /// Worker threads shared by every parallel stage of the flow: the
+    /// level-synchronous FlowMap labeler and LUT packer
+    /// ([`SynthOptions::jobs`](crate::SynthOptions)), the per-unit
+    /// baseline characterization, and the slack-matching trial pool
+    /// ([`SlackOptions::jobs`](crate::SlackOptions)). Every one of those
+    /// stages is bit-identical at any job count; 0 is invalid (rejected by
+    /// [`FlowOptions::validate`]).
+    pub jobs: usize,
     /// Carry each iteration's optimal MILP basis and incumbent into the
     /// next iteration's solve ([`milp::MilpWarmStore`]). Warm starts are
     /// revalidated by the solver and never change a placement — disabling
@@ -82,6 +90,7 @@ impl Default for FlowOptions {
             slack_matching: true,
             milp_warm_start: true,
             sim_engine: sim::SimEngine::Compiled,
+            jobs: lutmap::default_jobs(),
         }
     }
 }
@@ -101,8 +110,9 @@ impl FlowOptions {
     /// `k < 3` (below the widest primitive gate), `max_iterations == 0`
     /// (the Figure-4 loop must run at least once),
     /// `buffer_margin >= target_levels` (the margin consumes the whole
-    /// level budget — the internal MILP target would underflow), or a
-    /// non-finite / negative `alpha` or `beta`.
+    /// level budget — the internal MILP target would underflow), a
+    /// non-finite / negative `alpha` or `beta`, or `jobs == 0` (the
+    /// synthesis and slack worker pools need at least one thread).
     pub fn validate(&self) -> Result<(), FlowError> {
         if self.k < 3 {
             return Err(FlowError::InvalidOptions(format!(
@@ -133,6 +143,11 @@ impl FlowOptions {
                 "beta must be finite and non-negative, got {}",
                 self.beta
             )));
+        }
+        if self.jobs == 0 {
+            return Err(FlowError::InvalidOptions(
+                "jobs = 0: the synthesis/slack worker pools need at least one thread".into(),
+            ));
         }
         Ok(())
     }
@@ -275,6 +290,10 @@ pub fn optimize_iterative_with_cache(
     opts.validate()?;
     let run_start = Instant::now();
     let mut trace = FlowTrace::default();
+    let synth_opts = SynthOptions {
+        k: opts.k,
+        jobs: opts.jobs,
+    };
     let (hits0, misses0) = (cache.hits(), cache.misses());
     let mut cfdfc_sim = SimStats::default();
     let cfdfcs = timed(&mut trace.timing, || {
@@ -329,7 +348,7 @@ pub fn optimize_iterative_with_cache(
         trace.clean_bbs += cur_bbs.len().saturating_sub(dirty) as u64;
         prev_bbs = Some(cur_bbs);
 
-        let cur_handle = synth_step(&mut trace, cache, &g_cur, opts.k, prev_handle.as_ref())?;
+        let cur_handle = synth_step(&mut trace, cache, &g_cur, &synth_opts, prev_handle.as_ref())?;
         let synth = cur_handle.synthesis().clone();
         let (map, timing) = match &prev_model {
             Some((ps, pm, pt)) if Arc::ptr_eq(ps, &synth) => (pm.clone(), pt.clone()),
@@ -386,7 +405,7 @@ pub fn optimize_iterative_with_cache(
         // The circuit just synthesized is the natural basis: the proposal
         // extends the fixed set, so most basic blocks are untouched.
         let g_new = apply_buffers(base, &placement.buffers);
-        let new_handle = synth_step(&mut trace, cache, &g_new, opts.k, Some(&cur_handle))?;
+        let new_handle = synth_step(&mut trace, cache, &g_new, &synth_opts, Some(&cur_handle))?;
         let achieved = new_handle.synthesis().logic_levels();
 
         let mean_penalty = if placement.buffers.is_empty() {
@@ -424,6 +443,7 @@ pub fn optimize_iterative_with_cache(
                     target_levels: opts.target_levels.max(best_levels),
                     sim_budget: opts.sim_budget,
                     engine: opts.sim_engine,
+                    jobs: opts.jobs,
                     ..crate::slack::SlackOptions::default()
                 };
                 let widened = crate::slack::slack_match_traced(
@@ -439,7 +459,7 @@ pub fn optimize_iterative_with_cache(
                         &mut trace,
                         cache,
                         &apply_buffers(base, &best_buffers),
-                        opts.k,
+                        &synth_opts,
                         Some(&cur_handle),
                     ) {
                         best_levels = s2.synthesis().logic_levels();
@@ -484,13 +504,14 @@ fn synth_step(
     trace: &mut FlowTrace,
     cache: &SynthCache,
     g: &Graph,
-    k: usize,
+    opts: &SynthOptions,
     basis: Option<&SynthHandle>,
 ) -> Result<SynthHandle, MapError> {
     let start = Instant::now();
-    let out = cache.synthesize_with_basis(g, k, basis);
+    let out = cache.synthesize_with_basis_opts(g, opts, basis);
     let dt = start.elapsed();
     trace.synth += dt;
+    trace.synth_jobs = trace.synth_jobs.max(opts.jobs);
     if let Ok((_, delta)) = &out {
         if !delta.cache_hit {
             if delta.incremental {
@@ -503,6 +524,7 @@ fn synth_step(
         }
         trace.labels_reused += delta.labels_reused as u64;
         trace.labels_computed += delta.labels_computed as u64;
+        trace.par_pack_tasks += delta.luts_packed as u64;
     }
     out.map(|(h, _)| h)
 }
@@ -619,6 +641,11 @@ mod tests {
         });
         reject(FlowOptions {
             beta: -1.0,
+            ..FlowOptions::default()
+        });
+        // Zero worker threads would deadlock the scoped pools.
+        reject(FlowOptions {
+            jobs: 0,
             ..FlowOptions::default()
         });
         assert!(FlowOptions::default().validate().is_ok());

@@ -45,7 +45,8 @@ pub mod timing;
 pub mod trace;
 
 pub use baseline::{
-    baseline_timing_graph, characterize_units, optimize_baseline, optimize_baseline_with_cache,
+    baseline_timing_graph, characterize_units, characterize_units_jobs, optimize_baseline,
+    optimize_baseline_with_cache,
 };
 pub use cfdfc::{extract_cfdfcs, extract_cfdfcs_traced, Cfdfc};
 pub use domains::{interaction_units, is_interaction_unit, Domain};
@@ -67,6 +68,8 @@ pub use report::{
 };
 pub use sim::{SimEngine, SimOptions};
 pub use slack::{slack_match, slack_match_traced, slack_match_with_cache, SlackOptions};
-pub use synth::{synthesize, SynthCache, SynthDelta, SynthHandle, Synthesis};
+pub use synth::{
+    synthesize, synthesize_opts, SynthCache, SynthDelta, SynthHandle, SynthOptions, Synthesis,
+};
 pub use timing::{CriticalPath, TimingEdge, TimingGraph, TimingNode, TimingNodeId};
 pub use trace::{FlowTrace, SimStats};

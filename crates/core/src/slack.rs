@@ -33,7 +33,7 @@
 //! comparison between them stays apples-to-apples.
 
 use crate::iterate::{apply_buffers, FlowError};
-use crate::synth::SynthCache;
+use crate::synth::{SynthCache, SynthOptions};
 use crate::trace::{FlowTrace, SimStats};
 use dataflow::{ChannelId, Graph};
 use sim::{CompiledSim, Program, SimEngine, SimError, Simulator};
@@ -238,7 +238,7 @@ fn run_trial(
 /// over a channel, the panic is caught on the worker, and the failure
 /// reported is the one with the *lowest index* —
 /// [`FlowError::TrialPanic`] — deterministic at any job count.
-fn parallel_trials<R, F>(n: usize, jobs: usize, f: F) -> Result<Vec<R>, FlowError>
+pub(crate) fn parallel_trials<R, F>(n: usize, jobs: usize, f: F) -> Result<Vec<R>, FlowError>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -451,7 +451,11 @@ fn slack_match_inner(
                 let mut trial = current.clone();
                 trial.extend(cand.iter().copied());
                 let gt = apply_buffers(base, &trial);
-                let levels = match cache.synthesize(&gt, opts.k) {
+                let synth_opts = SynthOptions {
+                    k: opts.k,
+                    jobs: opts.jobs,
+                };
+                let levels = match cache.synthesize_opts(&gt, &synth_opts) {
                     Ok(s) => s.logic_levels(),
                     Err(_) => continue,
                 };

@@ -10,6 +10,46 @@ use netlist::{elaborate, match_netlists, Netlist, OptStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Options for one synthesis run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthOptions {
+    /// LUT input count (the paper's K = 6).
+    pub k: usize,
+    /// Worker threads for the level-synchronous FlowMap labeler and LUT
+    /// packing. Results are bit-identical at any value — jobs only trades
+    /// wall clock, which is why it is *not* part of the synthesis cache
+    /// key. Must be ≥ 1 ([`FlowOptions::validate`](crate::FlowOptions)
+    /// rejects 0).
+    pub jobs: usize,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            k: 6,
+            jobs: lutmap::default_jobs(),
+        }
+    }
+}
+
+impl SynthOptions {
+    /// Default options with the given K.
+    pub fn with_k(k: usize) -> Self {
+        SynthOptions {
+            k,
+            ..Self::default()
+        }
+    }
+
+    fn map_options(&self) -> MapOptions {
+        MapOptions {
+            k: self.k,
+            area_recovery: true,
+            jobs: self.jobs.max(1),
+        }
+    }
+}
+
 /// The artifacts of one synthesis run.
 #[derive(Debug)]
 pub struct Synthesis {
@@ -43,17 +83,21 @@ impl Synthesis {
 /// # Errors
 ///
 /// [`MapError::CombinationalCycle`] if a dataflow cycle carries no opaque
-/// buffer — callers must seed loop back edges first (Figure 4).
+/// buffer — callers must seed loop back edges first (Figure 4) — and
+/// [`MapError::Elaborate`] if the graph has dangling ports.
 pub fn synthesize(g: &Graph, k: usize) -> Result<Synthesis, MapError> {
-    let mut nl = elaborate(g).netlist;
+    synthesize_opts(g, &SynthOptions::with_k(k))
+}
+
+/// [`synthesize`] with explicit [`SynthOptions`] (job count included).
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_opts(g: &Graph, opts: &SynthOptions) -> Result<Synthesis, MapError> {
+    let mut nl = elaborate(g)?.netlist;
     let opt_stats = nl.optimize();
-    let luts = map_netlist(
-        &nl,
-        &MapOptions {
-            k,
-            area_recovery: true,
-        },
-    )?;
+    let luts = map_netlist(&nl, &opts.map_options())?;
     Ok(Synthesis {
         netlist: nl,
         luts,
@@ -101,19 +145,19 @@ pub struct SynthDelta {
     pub matched_gates: usize,
     /// Live logic gates with no basis counterpart.
     pub unmatched_gates: usize,
+    /// LUT packing tasks executed (one per emitted LUT) — a deterministic
+    /// task count, identical at every job count.
+    pub luts_packed: usize,
 }
 
 fn synthesize_entry(
     g: &Graph,
-    k: usize,
+    opts: &SynthOptions,
     basis: Option<&SynthEntry>,
 ) -> Result<(SynthEntry, SynthDelta), MapError> {
-    let mut nl = elaborate(g).netlist;
+    let mut nl = elaborate(g)?.netlist;
     let opt_stats = nl.optimize();
-    let opts = MapOptions {
-        k,
-        area_recovery: true,
-    };
+    let map_opts = opts.map_options();
     let mut delta = SynthDelta::default();
     let (luts, seed, stats) = match basis {
         Some(b) => {
@@ -121,12 +165,13 @@ fn synthesize_entry(
             delta.incremental = true;
             delta.matched_gates = m.matched_logic;
             delta.unmatched_gates = m.unmatched_logic;
-            map_netlist_with_seed(&nl, &opts, Some((&b.seed, &m)))?
+            map_netlist_with_seed(&nl, &map_opts, Some((&b.seed, &m)))?
         }
-        None => map_netlist_with_seed(&nl, &opts, None)?,
+        None => map_netlist_with_seed(&nl, &map_opts, None)?,
     };
     delta.labels_reused = stats.labels_reused;
     delta.labels_computed = stats.labels_computed;
+    delta.luts_packed = stats.luts_packed;
     Ok((
         SynthEntry {
             synthesis: Arc::new(Synthesis {
@@ -135,7 +180,7 @@ fn synthesize_entry(
                 opt_stats,
             }),
             seed,
-            k,
+            k: opts.k,
         },
         delta,
     ))
@@ -205,6 +250,20 @@ impl SynthCache {
             .map(|(h, _)| h.0.synthesis.clone())
     }
 
+    /// [`SynthCache::synthesize`] with explicit [`SynthOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`synthesize`]; errors are not cached.
+    pub fn synthesize_opts(
+        &self,
+        g: &Graph,
+        opts: &SynthOptions,
+    ) -> Result<Arc<Synthesis>, MapError> {
+        self.synthesize_with_basis_opts(g, opts, None)
+            .map(|(h, _)| h.0.synthesis.clone())
+    }
+
     /// Like [`SynthCache::synthesize`], but on a miss reuses per-gate
     /// FlowMap labels from `basis` wherever the new optimized netlist is
     /// structurally identical to the basis netlist. The result is
@@ -222,7 +281,23 @@ impl SynthCache {
         k: usize,
         basis: Option<&SynthHandle>,
     ) -> Result<(SynthHandle, SynthDelta), MapError> {
-        let key = (fingerprint_graph(g), k);
+        self.synthesize_with_basis_opts(g, &SynthOptions::with_k(k), basis)
+    }
+
+    /// [`SynthCache::synthesize_with_basis`] with explicit
+    /// [`SynthOptions`]. The cache key remains `(fingerprint, K)` — the
+    /// job count cannot change any result, only how fast it is produced.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`synthesize`]; errors are not cached.
+    pub fn synthesize_with_basis_opts(
+        &self,
+        g: &Graph,
+        opts: &SynthOptions,
+        basis: Option<&SynthHandle>,
+    ) -> Result<(SynthHandle, SynthDelta), MapError> {
+        let key = (fingerprint_graph(g), opts.k);
         if let Some(hit) = self.entries.lock().unwrap().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((
@@ -233,8 +308,8 @@ impl SynthCache {
                 },
             ));
         }
-        let basis = basis.filter(|b| self.incremental && b.0.k == k);
-        let (entry, delta) = synthesize_entry(g, k, basis.map(|b| &*b.0))?;
+        let basis = basis.filter(|b| self.incremental && b.0.k == opts.k);
+        let (entry, delta) = synthesize_entry(g, opts, basis.map(|b| &*b.0))?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(entry);
         let shared = self

@@ -98,6 +98,16 @@ pub struct FlowTrace {
     /// Slack trials aborted by the incumbent-bound early exit (they spent
     /// their full cycle cap without beating the round's best).
     pub slack_trials_pruned: u64,
+    /// Largest worker-pool width used by the synthesis lane (labeling,
+    /// LUT packing, unit characterization). Deterministic: it reports the
+    /// configured width, not scheduling behaviour.
+    pub synth_jobs: usize,
+    /// Independent unit-characterization tasks fanned out by the baseline
+    /// flow (one per unique unit signature) — jobs-invariant by design.
+    pub par_unit_tasks: u64,
+    /// LUTs packed by the (potentially parallel) cover-construction pass
+    /// across all syntheses — jobs-invariant by design.
+    pub par_pack_tasks: u64,
 }
 
 /// Wall clock and work counters of a batch of simulator runs, tallied by
@@ -193,6 +203,9 @@ impl FlowTrace {
         self.sim_compiles += other.sim_compiles;
         self.slack_trials += other.slack_trials;
         self.slack_trials_pruned += other.slack_trials_pruned;
+        self.synth_jobs = self.synth_jobs.max(other.synth_jobs);
+        self.par_unit_tasks += other.par_unit_tasks;
+        self.par_pack_tasks += other.par_pack_tasks;
     }
 }
 
@@ -208,7 +221,8 @@ impl fmt::Display for FlowTrace {
              sim {:.2}s ({} runs, {} cycles, {} compiles) | \
              total {:.2}s | cache {}/{} hits ({:.0}%) | \
              {} incr / {} full synths | labels {}/{} reused ({:.0}%) | \
-             dirty BBs {}/{} | {} cut rounds | {} iterations",
+             dirty BBs {}/{} | {} cut rounds | {} iterations | \
+             synth jobs {} ({} unit tasks, {} packed)",
             self.synth.as_secs_f64(),
             self.synth_full.as_secs_f64(),
             self.synth_incremental.as_secs_f64(),
@@ -245,6 +259,9 @@ impl fmt::Display for FlowTrace {
             self.dirty_bbs + self.clean_bbs,
             self.cut_rounds,
             self.iterations,
+            self.synth_jobs,
+            self.par_unit_tasks,
+            self.par_pack_tasks,
         )
     }
 }
@@ -277,6 +294,8 @@ mod tests {
             cut_rounds: 2,
             iterations: 1,
             synth: Duration::from_millis(10),
+            synth_jobs: 4,
+            par_unit_tasks: 2,
             ..FlowTrace::default()
         };
         let b = FlowTrace {
@@ -308,6 +327,9 @@ mod tests {
             sim_compiles: 2,
             slack_trials: 12,
             slack_trials_pruned: 5,
+            synth_jobs: 2,
+            par_unit_tasks: 3,
+            par_pack_tasks: 40,
             ..FlowTrace::default()
         };
         a.absorb(&b);
@@ -338,6 +360,10 @@ mod tests {
         assert_eq!(a.sim_compiles, 2);
         assert_eq!(a.slack_trials, 12);
         assert_eq!(a.slack_trials_pruned, 5);
+        // Worker-pool width absorbs via max, task counts via sum.
+        assert_eq!(a.synth_jobs, 4);
+        assert_eq!(a.par_unit_tasks, 5);
+        assert_eq!(a.par_pack_tasks, 40);
     }
 
     #[test]

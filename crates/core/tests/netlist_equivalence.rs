@@ -9,7 +9,7 @@ use sim::Simulator;
 
 /// Drives the netlist until the exit keep asserts; returns the exit data.
 fn run_netlist(g: &Graph, args: &[(UnitId, u64)], max_cycles: usize) -> Option<u64> {
-    let mut nl = elaborate(g).netlist;
+    let mut nl = elaborate(g).unwrap().netlist;
     nl.optimize();
 
     // Argument data bits are Input gates with the argument unit's origin,

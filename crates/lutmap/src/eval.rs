@@ -5,10 +5,50 @@
 //! its root gate. This module re-evaluates every LUT locally (through its
 //! covered gate cone) while a [`NetlistSim`] provides the reference values,
 //! and reports the first mismatch.
+//!
+//! Memoized values live in an epoch-stamped dense array (one slot per
+//! netlist gate) rather than a per-LUT `HashMap`, so checking a large
+//! cover allocates nothing per LUT.
 
 use crate::network::{LutInput, LutNetwork};
-use dataflow::collections::HashMap;
 use netlist::{GateId, GateKind, Netlist, NetlistSim};
+
+/// Epoch-stamped per-gate value store: `value[g]` is meaningful only while
+/// `stamp[g] == epoch`, so clearing between LUTs is one counter bump.
+struct DenseEnv {
+    value: Vec<bool>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl DenseEnv {
+    fn new(num_gates: usize) -> Self {
+        DenseEnv {
+            value: vec![false; num_gates],
+            stamp: vec![0; num_gates],
+            epoch: 0,
+        }
+    }
+
+    fn next_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn get(&self, g: GateId) -> Option<bool> {
+        (self.stamp[g.index()] == self.epoch).then(|| self.value[g.index()])
+    }
+
+    #[inline]
+    fn set(&mut self, g: GateId, v: bool) {
+        self.stamp[g.index()] = self.epoch;
+        self.value[g.index()] = v;
+    }
+}
 
 /// Checks that every LUT computes the same value as its root gate for the
 /// current state of `sim` (call [`NetlistSim::settle`] or
@@ -25,17 +65,18 @@ pub fn check_equivalence(
     let mut order: Vec<usize> = (0..net.num_luts()).collect();
     order.sort_by_key(|&i| net.lut(crate::LutId::from_raw(i as u32)).level());
     let mut lut_value: Vec<bool> = vec![false; net.num_luts()];
+    let mut env = DenseEnv::new(nl.num_gates());
     for i in order {
         let lut = net.lut(crate::LutId::from_raw(i as u32));
         // Input values come from other LUTs or startpoints (sim values).
-        let mut env: HashMap<GateId, bool> = HashMap::default();
+        env.next_epoch();
         for input in lut.inputs() {
             match *input {
                 LutInput::Lut(src) => {
-                    env.insert(net.lut(src).root(), lut_value[src.index()]);
+                    env.set(net.lut(src).root(), lut_value[src.index()]);
                 }
                 LutInput::Start(g) => {
-                    env.insert(g, sim.peek(g));
+                    env.set(g, sim.peek(g));
                 }
             }
         }
@@ -51,8 +92,8 @@ pub fn check_equivalence(
 
 /// Recursively evaluates `g` from the values in `env` (which is extended
 /// with memoized intermediate results).
-fn eval_cone(nl: &Netlist, g: GateId, env: &mut HashMap<GateId, bool>) -> bool {
-    if let Some(&v) = env.get(&g) {
+fn eval_cone(nl: &Netlist, g: GateId, env: &mut DenseEnv) -> bool {
+    if let Some(v) = env.get(g) {
         return v;
     }
     let gate = nl.gate(g);
@@ -81,11 +122,11 @@ fn eval_cone(nl: &Netlist, g: GateId, env: &mut HashMap<GateId, bool>) -> bool {
             unreachable!("startpoint {g} must be provided by the LUT inputs")
         }
     };
-    env.insert(g, v);
+    env.set(g, v);
     v
 }
 
-fn eval_fanin(nl: &Netlist, f: GateId, env: &mut HashMap<GateId, bool>) -> bool {
+fn eval_fanin(nl: &Netlist, f: GateId, env: &mut DenseEnv) -> bool {
     let f = nl.resolve(f);
     eval_cone(nl, f, env)
 }

@@ -6,74 +6,372 @@
 //! `l(t) ∈ {p, p+1}` with `p` the maximum fanin label, decided by a
 //! max-flow ≤ K test on the fanin cone with all label-`p` nodes collapsed
 //! into the sink (Cong & Ding, 1994).
+//!
+//! # Dense layout
+//!
+//! Labels and cuts live in flat arrays indexed by a *dense* per-netlist
+//! logic-gate index (assigned in topological order); cuts share one pooled
+//! arena addressed by `(offset, len)` spans. The per-gate max-flow scratch
+//! (cone marks, local indices, the flow network, BFS state) is allocated
+//! once per worker and reused across gates with epoch-stamped visited
+//! sets, so the hot loop performs no hashing and no per-gate allocation.
+//!
+//! # Level-synchronous parallelism
+//!
+//! A gate's label is a pure function of its fanin cone and the labels of
+//! that cone — all at strictly lower topological *levels* (a gate's level
+//! is `1 + max` over its logic fanins). Gates of one level therefore have
+//! independent labels given the levels below, and are fanned out over
+//! scoped worker threads. Results are committed in ascending dense (= topo)
+//! order and the reuse counters are summed over chunks in that same order,
+//! so labels, chosen cuts, and all [`MapStats`] counters are bit-identical
+//! at any job count. `crate::reference` retains the original serial
+//! `HashMap`-backed labeler as the oracle this equivalence is tested
+//! against.
 
-use dataflow::collections::HashMap;
 use netlist::{GateId, Netlist, NetlistMatching};
 
+/// Sentinel for "no dense index" / "unmatched gate".
+const NONE: u32 = u32::MAX;
+/// Local-index sentinel marking a collapsed (sink-merged) cone node.
+const COLLAPSED: u32 = u32::MAX;
+/// Minimum gates in one topological level before it is worth fanning the
+/// level out over threads (below this, scoped-thread setup dominates).
+const PAR_MIN_GATES: usize = 48;
+
 /// The combinational DAG view of a netlist: live logic gates with resolved
-/// (alias-free) fanins.
+/// (alias-free) fanins, stored as flat arrays indexed by a dense logic
+/// index assigned in topological order.
 #[derive(Debug)]
 pub(crate) struct CombView {
-    /// Logic gates in topological order.
+    /// Logic gates in topological order; position = dense index.
     pub topo: Vec<GateId>,
-    /// Resolved fanins per gate id (only filled for logic gates).
-    pub fanins: HashMap<GateId, Vec<GateId>>,
+    /// `GateId::index() → dense index` ([`NONE`] for non-logic gates).
+    dense: Vec<u32>,
+    /// Fanin arena: fanins of dense gate `d` are
+    /// `fanin_pool[fanin_offs[d]..fanin_offs[d + 1]]`.
+    fanin_offs: Vec<u32>,
+    fanin_pool: Vec<GateId>,
+    /// Gates of topological level `l + 1` are
+    /// `schedule[level_offs[l]..level_offs[l + 1]]` (dense indices,
+    /// ascending — i.e. in topological order within the level).
+    schedule: Vec<u32>,
+    level_offs: Vec<u32>,
+    /// Total gate count of the source netlist (scratch sizing).
+    num_gates: usize,
 }
 
 impl CombView {
     /// Extracts the view; fails on combinational cycles.
     pub fn build(nl: &Netlist) -> Result<Self, Vec<GateId>> {
         let order = nl.topo_logic()?;
+        let num_gates = nl.num_gates();
+        let mut dense = vec![NONE; num_gates];
         let mut topo = Vec::new();
-        let mut fanins = HashMap::default();
+        let mut fanin_offs = vec![0u32];
+        let mut fanin_pool: Vec<GateId> = Vec::new();
         for id in order {
             let g = nl.gate(id);
             if !g.kind().is_logic() {
                 continue; // skip aliases
             }
-            let mut resolved: Vec<GateId> = g.fanin().iter().map(|&f| nl.resolve(f)).collect();
             // A gate may see the same net twice (e.g. AND(x, x) pre-opt);
-            // keep duplicates out of cut computations by deduping here.
-            resolved.dedup();
-            fanins.insert(id, resolved);
+            // keep adjacent duplicates out of cut computations by deduping
+            // here (resolved fanins, like `Vec::dedup` on the old layout).
+            let start = fanin_pool.len();
+            for &f in g.fanin() {
+                let r = nl.resolve(f);
+                if fanin_pool.len() > start && fanin_pool[fanin_pool.len() - 1] == r {
+                    continue;
+                }
+                fanin_pool.push(r);
+            }
+            dense[id.index()] = topo.len() as u32;
             topo.push(id);
+            fanin_offs.push(fanin_pool.len() as u32);
         }
-        Ok(CombView { topo, fanins })
+
+        // Topological levels: 1 + max over logic fanins (startpoint-fed
+        // gates are level 1). Fanins precede their gate in `topo`, so one
+        // forward pass suffices.
+        let n = topo.len();
+        let mut level = vec![0u32; n];
+        let mut max_level = 0u32;
+        for d in 0..n {
+            let mut lv = 1;
+            for f in &fanin_pool[fanin_offs[d] as usize..fanin_offs[d + 1] as usize] {
+                let fd = dense[f.index()];
+                if fd != NONE {
+                    lv = lv.max(level[fd as usize] + 1);
+                }
+            }
+            level[d] = lv;
+            max_level = max_level.max(lv);
+        }
+        // Bucket by level with a counting sort: stable, so each bucket
+        // lists its gates in ascending dense (= topological) order.
+        let ml = max_level as usize;
+        // Counts land at index `lv` (= bucket + 1); the inclusive scan then
+        // turns level_offs[b]..level_offs[b + 1] into bucket b's span.
+        let mut level_offs = vec![0u32; ml + 1];
+        for &lv in &level {
+            level_offs[lv as usize] += 1;
+        }
+        for i in 1..level_offs.len() {
+            level_offs[i] += level_offs[i - 1];
+        }
+        let mut cursor = level_offs.clone();
+        let mut schedule = vec![0u32; n];
+        for (d, &lv) in level.iter().enumerate() {
+            let b = (lv - 1) as usize;
+            schedule[cursor[b] as usize] = d as u32;
+            cursor[b] += 1;
+        }
+
+        Ok(CombView {
+            topo,
+            dense,
+            fanin_offs,
+            fanin_pool,
+            schedule,
+            level_offs,
+            num_gates,
+        })
     }
 
     /// `true` if `g` is an internal (logic) node of the view.
+    #[inline]
     pub fn is_logic(&self, g: GateId) -> bool {
-        self.fanins.contains_key(&g)
+        self.dense.get(g.index()).is_some_and(|&d| d != NONE)
+    }
+
+    /// The dense index of `g`, if `g` is a logic node of the view.
+    #[inline]
+    pub fn dense_of(&self, g: GateId) -> Option<u32> {
+        match self.dense.get(g.index()) {
+            Some(&d) if d != NONE => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Resolved fanins of the dense gate `d`.
+    #[inline]
+    pub fn fanins_of(&self, d: u32) -> &[GateId] {
+        &self.fanin_pool
+            [self.fanin_offs[d as usize] as usize..self.fanin_offs[d as usize + 1] as usize]
+    }
+
+    /// Number of logic gates.
+    #[inline]
+    pub fn num_logic(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Total gates of the source netlist (for scratch sizing).
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// Number of topological levels.
+    fn num_levels(&self) -> usize {
+        self.level_offs.len() - 1
+    }
+
+    /// The dense indices of topological level `l + 1`, ascending.
+    fn level_bucket(&self, l: usize) -> &[u32] {
+        &self.schedule[self.level_offs[l] as usize..self.level_offs[l + 1] as usize]
     }
 }
 
-/// Result of the labeling phase.
+/// Result of the labeling phase: flat per-dense-gate labels plus a pooled
+/// cut arena.
 #[derive(Debug)]
 pub(crate) struct Labeling {
-    /// `label[gate]` for logic gates; startpoints are absent (label 0).
-    pub label: HashMap<GateId, u32>,
-    /// The chosen K-feasible cut per logic gate.
-    pub cut: HashMap<GateId, Vec<GateId>>,
+    /// `label[dense]` for logic gates (always ≥ 1 once computed).
+    label: Vec<u32>,
+    /// `(offset, len)` into [`Labeling::cut_pool`] per dense gate.
+    cut_span: Vec<(u32, u32)>,
+    cut_pool: Vec<GateId>,
+}
+
+impl Labeling {
+    fn with_capacity(n: usize) -> Self {
+        Labeling {
+            label: vec![0; n],
+            cut_span: vec![(0, 0); n],
+            // Most cuts are 2-6 gates; 4·n is a good first guess.
+            cut_pool: Vec::with_capacity(4 * n),
+        }
+    }
+
+    /// The label of the dense gate `d`.
+    #[inline]
+    pub fn label_of(&self, d: u32) -> u32 {
+        self.label[d as usize]
+    }
+
+    /// The chosen K-feasible cut of the dense gate `d`.
+    #[inline]
+    pub fn cut_of(&self, d: u32) -> &[GateId] {
+        let (s, n) = self.cut_span[d as usize];
+        &self.cut_pool[s as usize..(s + n) as usize]
+    }
+
+    fn push(&mut self, d: u32, label: u32, cut: &[GateId]) {
+        self.label[d as usize] = label;
+        let start = self.cut_pool.len() as u32;
+        self.cut_pool.extend_from_slice(cut);
+        self.cut_span[d as usize] = (start, cut.len() as u32);
+    }
+
+    /// Densifies a `HashMap`-backed labeling (the reference labeler's
+    /// output) so it can share the LUT-generation phase.
+    pub fn from_maps(
+        view: &CombView,
+        label: &dataflow::collections::HashMap<GateId, u32>,
+        cut: &dataflow::collections::HashMap<GateId, Vec<GateId>>,
+    ) -> Self {
+        let mut out = Labeling::with_capacity(view.num_logic());
+        for (d, &g) in view.topo.iter().enumerate() {
+            if let (Some(&l), Some(c)) = (label.get(&g), cut.get(&g)) {
+                out.push(d as u32, l, c);
+            }
+        }
+        out
+    }
 }
 
 /// Labeling reuse statistics of one [`compute_labels_seeded`] run.
+///
+/// Every field is a pure function of the input netlist/seed pair — the
+/// counts are bit-identical at any job count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MapStats {
     /// Labels (and cuts) copied from the seed through the matching.
     pub labels_reused: usize,
     /// Labels computed by the max-flow test from scratch.
     pub labels_computed: usize,
+    /// LUTs packed by the cover phase (one packing task each).
+    pub luts_packed: usize,
 }
 
-/// A previous run's labels and cuts, expressed in *that run's* gate ids.
+/// A previous run's labels and cuts, expressed in *that run's* gate ids,
+/// stored densely by gate index (label `0` marks an unlabeled gate; real
+/// labels are always ≥ 1).
 ///
 /// Captured by [`map_netlist_with_seed`](crate::map_netlist_with_seed) and
 /// consumed by a later run together with a
 /// [`NetlistMatching`] that translates between the two id spaces.
 #[derive(Debug)]
 pub struct MapSeed {
-    pub(crate) label: HashMap<GateId, u32>,
-    pub(crate) cut: HashMap<GateId, Vec<GateId>>,
+    /// FlowMap label per `GateId::index()` of the producing netlist.
+    label: Vec<u32>,
+    /// `(offset, len)` into [`MapSeed::cut_pool`] per gate index.
+    span: Vec<(u32, u32)>,
+    cut_pool: Vec<GateId>,
+}
+
+impl MapSeed {
+    /// Re-keys a [`Labeling`] from dense indices to the producing
+    /// netlist's gate indices (the id space a later matching translates).
+    pub(crate) fn from_labeling(view: &CombView, labeling: Labeling) -> Self {
+        let mut label = vec![0u32; view.num_gates()];
+        let mut span = vec![(0u32, 0u32); view.num_gates()];
+        for (d, &g) in view.topo.iter().enumerate() {
+            label[g.index()] = labeling.label[d];
+            span[g.index()] = labeling.cut_span[d];
+        }
+        MapSeed {
+            label,
+            span,
+            cut_pool: labeling.cut_pool,
+        }
+    }
+
+    fn lookup_raw(&self, raw: u32) -> Option<(u32, &[GateId])> {
+        match self.label.get(raw as usize) {
+            Some(&l) if l > 0 => {
+                let (s, n) = self.span[raw as usize];
+                Some((l, &self.cut_pool[s as usize..(s + n) as usize]))
+            }
+            _ => None,
+        }
+    }
+
+    /// The label and cut recorded for gate `g` of the producing netlist.
+    pub fn lookup(&self, g: GateId) -> Option<(u32, &[GateId])> {
+        self.lookup_raw(g.index() as u32)
+    }
+
+    /// Iterates over `(gate, label, cut)` for every labeled gate, in gate
+    /// id order. Exposed so tests and benches can compare two labelings
+    /// without reaching into the storage layout.
+    pub fn entries(&self) -> impl Iterator<Item = (GateId, u32, &[GateId])> + '_ {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            .map(move |(i, &l)| {
+                let (s, n) = self.span[i];
+                (
+                    GateId::from_raw(i as u32),
+                    l,
+                    &self.cut_pool[s as usize..(s + n) as usize],
+                )
+            })
+    }
+
+    /// Gate count of the producing netlist.
+    fn num_gates(&self) -> usize {
+        self.label.len()
+    }
+}
+
+/// A [`NetlistMatching`] densified to flat gate-index arrays, so the seed
+/// path of the labeler performs no hashing.
+struct DenseSeed<'a> {
+    seed: &'a MapSeed,
+    /// Current gate index → raw previous gate id ([`NONE`] = unmatched).
+    prev_of: Vec<u32>,
+    /// Previous gate index → raw current gate id ([`NONE`] = unmatched).
+    cur_of: Vec<u32>,
+}
+
+impl<'a> DenseSeed<'a> {
+    fn build(seed: &'a MapSeed, m: &NetlistMatching, cur_gates: usize) -> Self {
+        let (cur_of, prev_of) = m.dense_maps(seed.num_gates(), cur_gates);
+        DenseSeed {
+            seed,
+            prev_of,
+            cur_of,
+        }
+    }
+
+    /// The seed label and cut matched to current gate `t`, if any.
+    fn lookup(&self, t: GateId) -> Option<(u32, &'a [GateId])> {
+        match self.prev_of.get(t.index()) {
+            Some(&p) if p != NONE => self.seed.lookup_raw(p),
+            _ => None,
+        }
+    }
+
+    /// Translates a previous-run cut into current gate ids. Returns
+    /// `false` (leaving `out` unusable) if any cut gate is unmatched — the
+    /// caller then falls through to a fresh label computation. A matched
+    /// root's whole cone is matched, so this cannot occur for well-formed
+    /// matchings; falling through (instead of keeping a partial cut) makes
+    /// the seed path safe against malformed ones in release builds too.
+    fn translate(&self, cut: &[GateId], out: &mut Vec<GateId>) -> bool {
+        out.clear();
+        for &g in cut {
+            match self.cur_of.get(g.index()) {
+                Some(&c) if c != NONE => out.push(GateId::from_raw(c)),
+                _ => return false,
+            }
+        }
+        true
+    }
 }
 
 /// Computes FlowMap labels and cuts for every logic gate.
@@ -85,10 +383,11 @@ pub struct MapSeed {
 /// same refinement classic FlowMap implementations apply.
 #[cfg(test)]
 pub(crate) fn compute_labels(view: &CombView, k: usize, max_volume: bool) -> Labeling {
-    compute_labels_seeded(view, k, max_volume, None).0
+    compute_labels_seeded(view, k, max_volume, None, 1).0
 }
 
-/// [`compute_labels`] with optional reuse of a previous run's results.
+/// [`compute_labels`] with optional reuse of a previous run's results and
+/// level-synchronous parallel labeling over `jobs` scoped threads.
 ///
 /// For every gate the matching pairs with a seed gate, the seed's label
 /// and cut are copied (cut gate ids translated through the matching)
@@ -98,103 +397,251 @@ pub(crate) fn compute_labels(view: &CombView, k: usize, max_volume: bool) -> Lab
 /// cuts are deterministic pure functions of the cone structure walked in
 /// fanin order, so the copied values are bit-identical to what the fresh
 /// computation would produce — including every label the fresh run would
-/// have read from the shared `label` map while processing *unmatched*
-/// gates downstream.
+/// have read while processing *unmatched* gates downstream.
 pub(crate) fn compute_labels_seeded(
     view: &CombView,
     k: usize,
     max_volume: bool,
     seed: Option<(&MapSeed, &NetlistMatching)>,
+    jobs: usize,
 ) -> (Labeling, MapStats) {
-    let mut label: HashMap<GateId, u32> = HashMap::default();
-    let mut cut: HashMap<GateId, Vec<GateId>> = HashMap::default();
-    let mut cone_buf = ConeBuffers::default();
+    let n = view.num_logic();
+    let mut labeling = Labeling::with_capacity(n);
     let mut stats = MapStats::default();
+    let dense_seed = seed.map(|(s, m)| DenseSeed::build(s, m, view.num_gates()));
+    let seed_ref = dense_seed.as_ref();
+    let jobs = jobs.max(1);
 
-    'gates: for &t in &view.topo {
-        if let Some((seed, m)) = seed {
-            if let Some(p) = m.cur_to_prev.get(&t) {
-                if let (Some(&pl), Some(pc)) = (seed.label.get(p), seed.cut.get(p)) {
-                    let mut translated = Vec::with_capacity(pc.len());
-                    for g in pc {
-                        match m.prev_to_cur.get(g) {
-                            Some(&c) => translated.push(c),
-                            // A cut gate outside the matching cannot occur
-                            // for a matched root (the whole cone matches);
-                            // fall through to a fresh computation anyway.
-                            None => {
-                                debug_assert!(false, "matched root with unmatched cut gate");
-                                translated.clear();
-                                break;
+    let mut scratches: Vec<LabelScratch> = (0..jobs)
+        .map(|_| LabelScratch::new(view.num_gates()))
+        .collect();
+
+    for lvl in 0..view.num_levels() {
+        let bucket = view.level_bucket(lvl);
+        if jobs <= 1 || bucket.len() < PAR_MIN_GATES {
+            // Serial: commit each gate as it is labeled. Gates of one
+            // level never read same-level labels (only strictly lower
+            // levels appear in a fanin cone), so interleaving commits with
+            // computation changes nothing.
+            let scratch = &mut scratches[0];
+            for &d in bucket {
+                let t = view.topo[d as usize];
+                let (label, reused) = label_one_gate(
+                    view,
+                    &labeling.label,
+                    seed_ref,
+                    t,
+                    d,
+                    k,
+                    max_volume,
+                    scratch,
+                );
+                if reused {
+                    stats.labels_reused += 1;
+                } else {
+                    stats.labels_computed += 1;
+                }
+                let cut = std::mem::take(&mut scratch.cut_out);
+                labeling.push(d, label, &cut);
+                scratch.cut_out = cut;
+            }
+        } else {
+            // Parallel: fan the level out in contiguous chunks, then
+            // commit chunk results in ascending dense order. The commit
+            // order (and therefore the arena layout, the counters, and
+            // every label/cut) is independent of thread scheduling.
+            let chunk_len = bucket.len().div_ceil(jobs);
+            let chunks: Vec<&[u32]> = bucket.chunks(chunk_len).collect();
+            let labels_ref: &[u32] = &labeling.label;
+            let outs: Vec<ChunkOut> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .zip(scratches.iter_mut())
+                    .map(|(chunk, scratch)| {
+                        let chunk: &[u32] = chunk;
+                        scope.spawn(move || {
+                            let mut out = ChunkOut {
+                                labels: Vec::with_capacity(chunk.len()),
+                                lens: Vec::with_capacity(chunk.len()),
+                                pool: Vec::new(),
+                            };
+                            for &d in chunk {
+                                let t = view.topo[d as usize];
+                                let (label, reused) = label_one_gate(
+                                    view, labels_ref, seed_ref, t, d, k, max_volume, scratch,
+                                );
+                                out.labels.push((label, reused));
+                                out.lens.push(scratch.cut_out.len() as u32);
+                                out.pool.extend_from_slice(&scratch.cut_out);
                             }
-                        }
-                    }
-                    if !translated.is_empty() {
-                        label.insert(t, pl);
-                        cut.insert(t, translated);
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            });
+            for (chunk, out) in chunks.iter().zip(outs) {
+                let mut pos = 0usize;
+                for ((&d, &(label, reused)), &len) in chunk.iter().zip(&out.labels).zip(&out.lens) {
+                    if reused {
                         stats.labels_reused += 1;
-                        continue 'gates;
+                    } else {
+                        stats.labels_computed += 1;
                     }
+                    labeling.push(d, label, &out.pool[pos..pos + len as usize]);
+                    pos += len as usize;
                 }
             }
         }
-        stats.labels_computed += 1;
-        let fanins = &view.fanins[&t];
-        let p = fanins
-            .iter()
-            .map(|f| label.get(f).copied().unwrap_or(0))
-            .max()
-            .unwrap_or(0);
-        if p == 0 {
-            // Directly fed by startpoints: depth 1, trivial cut.
-            debug_assert!(fanins.len() <= k, "gate arity exceeds K");
-            label.insert(t, 1);
-            cut.insert(t, fanins.clone());
-            continue;
-        }
-        match min_cut_with_collapsed(view, &label, t, p, k, max_volume, &mut cone_buf) {
-            Some(c) => {
-                label.insert(t, p);
-                cut.insert(t, c);
-            }
-            None => {
-                label.insert(t, p + 1);
-                cut.insert(t, fanins.clone());
-            }
-        }
     }
-    (Labeling { label, cut }, stats)
+    (labeling, stats)
 }
 
-#[derive(Default)]
-struct ConeBuffers {
+/// One worker chunk's results: per-gate labels plus a private cut pool
+/// (lengths delimit consecutive cuts), merged deterministically.
+struct ChunkOut {
+    labels: Vec<(u32, bool)>,
+    lens: Vec<u32>,
+    pool: Vec<GateId>,
+}
+
+/// The label of `f` as seen by the labeler: 0 for startpoints, the
+/// committed label for logic gates of lower levels.
+#[inline]
+fn label_of(view: &CombView, labels: &[u32], f: GateId) -> u32 {
+    match view.dense_of(f) {
+        Some(fd) => labels[fd as usize],
+        None => 0,
+    }
+}
+
+/// Labels one gate; the chosen cut is left in `scratch.cut_out`.
+#[allow(clippy::too_many_arguments)]
+fn label_one_gate(
+    view: &CombView,
+    labels: &[u32],
+    seed: Option<&DenseSeed<'_>>,
+    t: GateId,
+    d: u32,
+    k: usize,
+    max_volume: bool,
+    scratch: &mut LabelScratch,
+) -> (u32, bool) {
+    if let Some(ds) = seed {
+        if let Some((pl, pc)) = ds.lookup(t) {
+            if ds.translate(pc, &mut scratch.cut_out) {
+                return (pl, true);
+            }
+            // Unmatched cut gate under a matched root: fall through to a
+            // fresh computation for this gate (see DenseSeed::translate).
+        }
+    }
+    let fanins = view.fanins_of(d);
+    let p = fanins
+        .iter()
+        .map(|&f| label_of(view, labels, f))
+        .max()
+        .unwrap_or(0);
+    if p == 0 {
+        // Directly fed by startpoints: depth 1, trivial cut.
+        debug_assert!(fanins.len() <= k, "gate arity exceeds K");
+        scratch.cut_out.clear();
+        scratch.cut_out.extend_from_slice(fanins);
+        return (1, false);
+    }
+    if min_cut_with_collapsed(view, labels, t, p, k, max_volume, scratch) {
+        (p, false)
+    } else {
+        scratch.cut_out.clear();
+        scratch.cut_out.extend_from_slice(fanins);
+        (p + 1, false)
+    }
+}
+
+/// Reusable per-worker scratch for the max-flow label test: epoch-stamped
+/// visited marks sized by the netlist's gate count, the cone/local lists,
+/// and the flow network's buffers. Nothing here is reallocated per gate.
+pub(crate) struct LabelScratch {
+    /// Cone membership marks by gate index (`stamp[g] == epoch`).
+    stamp: Vec<u32>,
+    /// Local flow-node index by gate index (valid when stamped);
+    /// [`COLLAPSED`] marks sink-merged nodes.
+    local_idx: Vec<u32>,
+    epoch: u32,
     cone: Vec<GateId>,
-    mark: HashMap<GateId, bool>,
+    locals: Vec<GateId>,
+    stack: Vec<GateId>,
+    /// The chosen cut of the most recent gate.
+    pub cut_out: Vec<GateId>,
+    flow: FlowScratch,
+}
+
+impl LabelScratch {
+    pub fn new(num_gates: usize) -> Self {
+        LabelScratch {
+            stamp: vec![0; num_gates],
+            local_idx: vec![0; num_gates],
+            epoch: 0,
+            cone: Vec::new(),
+            locals: Vec::new(),
+            stack: Vec::new(),
+            cut_out: Vec::new(),
+            flow: FlowScratch::default(),
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
 }
 
 /// Max-flow test: collapse `t` and all cone nodes labeled `p` into the
-/// sink; if a node cut of size ≤ k exists between startpoint leaves and the
-/// sink, return the cut (as netlist gates), else `None`.
-#[allow(clippy::too_many_arguments)]
+/// sink; if a node cut of size ≤ k exists between startpoint leaves and
+/// the sink, leave it in `scratch.cut_out` (as netlist gates) and return
+/// `true`. The cone walk, flow-network construction, BFS tie-breaking and
+/// cut extraction reproduce the reference labeler step for step, so the
+/// chosen cut (not just its size) is bit-identical.
 fn min_cut_with_collapsed(
     view: &CombView,
-    label: &HashMap<GateId, u32>,
+    labels: &[u32],
     t: GateId,
     p: u32,
     k: usize,
     max_volume: bool,
-    buf: &mut ConeBuffers,
-) -> Option<Vec<GateId>> {
+    scratch: &mut LabelScratch,
+) -> bool {
+    let epoch = scratch.next_epoch();
+    let LabelScratch {
+        stamp,
+        local_idx,
+        cone,
+        locals,
+        stack,
+        cut_out,
+        flow,
+        ..
+    } = scratch;
+
     // 1. Collect the cone of t: internal logic nodes and startpoint leaves.
-    buf.cone.clear();
-    buf.mark.clear();
-    let mut stack = vec![t];
-    buf.mark.insert(t, true);
+    cone.clear();
+    locals.clear();
+    stack.clear();
+    stack.push(t);
+    stamp[t.index()] = epoch;
     while let Some(u) = stack.pop() {
-        buf.cone.push(u);
-        if let Some(fs) = view.fanins.get(&u) {
-            for &f in fs {
-                if buf.mark.insert(f, true).is_none() {
+        cone.push(u);
+        if let Some(du) = view.dense_of(u) {
+            for &f in view.fanins_of(du) {
+                if stamp[f.index()] != epoch {
+                    stamp[f.index()] = epoch;
                     stack.push(f);
                 }
             }
@@ -203,22 +650,21 @@ fn min_cut_with_collapsed(
 
     // 2. Local indexing. Collapsed nodes (t and label==p internals) merge
     //    into the sink.
-    let mut local: HashMap<GateId, usize> = HashMap::default();
-    let mut locals: Vec<GateId> = Vec::new();
-    let mut collapsed: HashMap<GateId, bool> = HashMap::default();
-    for &u in &buf.cone {
-        let is_collapsed = u == t || label.get(&u).copied().unwrap_or(0) == p;
-        collapsed.insert(u, is_collapsed && view.is_logic(u));
-        if !(is_collapsed && view.is_logic(u)) {
-            local.insert(u, locals.len());
+    for &u in cone.iter() {
+        let du = view.dense_of(u);
+        let is_collapsed = (u == t || du.map_or(0, |d| labels[d as usize]) == p) && du.is_some();
+        if is_collapsed {
+            local_idx[u.index()] = COLLAPSED;
+        } else {
+            local_idx[u.index()] = locals.len() as u32;
             locals.push(u);
         }
     }
 
-    // Flow network: node 0 = source, node 1 = sink; node i (≥0 local) has
+    // Flow network: node 0 = source, node 1 = sink; local node i has
     // in = 2 + 2i, out = 2 + 2i + 1; in→out capacity 1.
     let n_nodes = 2 + 2 * locals.len();
-    let mut flow = FlowNet::new(n_nodes);
+    flow.reset(n_nodes);
     const INF: i32 = i32::MAX / 2;
     for (i, &u) in locals.iter().enumerate() {
         let (uin, uout) = (2 + 2 * i, 2 + 2 * i + 1);
@@ -228,48 +674,49 @@ fn min_cut_with_collapsed(
             flow.add_edge(0, uin, INF);
         }
     }
-    // DAG edges within the cone.
-    for &u in &buf.cone {
-        if let Some(fs) = view.fanins.get(&u) {
-            let u_collapsed = collapsed[&u];
-            let udst = if u_collapsed {
+    // DAG edges within the cone (every fanin of a cone node is in the cone).
+    for &u in cone.iter() {
+        if let Some(du) = view.dense_of(u) {
+            let udst = if local_idx[u.index()] == COLLAPSED {
                 1 // edges into collapsed nodes go to the sink
             } else {
-                2 + 2 * local[&u]
+                2 + 2 * local_idx[u.index()] as usize
             };
-            for &f in fs {
-                if collapsed.get(&f).copied().unwrap_or(false) {
+            for &f in view.fanins_of(du) {
+                if local_idx[f.index()] == COLLAPSED {
                     continue; // labels are monotone; S→non-S edges don't occur
                 }
-                let fout = 2 + 2 * local[&f] + 1;
+                let fout = 2 + 2 * local_idx[f.index()] as usize + 1;
                 flow.add_edge(fout, udst, INF);
             }
         }
     }
+    flow.build_adj();
 
     // 3. Max-flow with early abort once flow exceeds k.
     let mut total = 0usize;
     while total <= k {
-        match flow.augment(0, 1) {
-            Some(_) => total += 1,
-            None => break,
+        if flow.augment(0, 1) {
+            total += 1;
+        } else {
+            break;
         }
     }
     if total > k {
-        return None;
+        return false;
     }
 
     // 4. Min cut. Source-side: nodes whose in-side is reachable from the
     //    source in the residual graph but whose out-side is not.
     //    Sink-side (max volume): nodes whose out-side reaches the sink but
     //    whose in-side does not.
-    let mut cut_nodes = Vec::new();
+    cut_out.clear();
     if max_volume {
         let reach = flow.residual_reaching(1);
         for (i, &u) in locals.iter().enumerate() {
             let (uin, uout) = (2 + 2 * i, 2 + 2 * i + 1);
             if reach[uout] && !reach[uin] {
-                cut_nodes.push(u);
+                cut_out.push(u);
             }
         }
     } else {
@@ -277,120 +724,164 @@ fn min_cut_with_collapsed(
         for (i, &u) in locals.iter().enumerate() {
             let (uin, uout) = (2 + 2 * i, 2 + 2 * i + 1);
             if reach[uin] && !reach[uout] {
-                cut_nodes.push(u);
+                cut_out.push(u);
             }
         }
     }
-    debug_assert!(cut_nodes.len() <= k, "min cut exceeded K");
-    debug_assert!(!cut_nodes.is_empty(), "empty cut for {t}");
-    Some(cut_nodes)
+    debug_assert!(cut_out.len() <= k, "min cut exceeded K");
+    debug_assert!(!cut_out.is_empty(), "empty cut for {t}");
+    true
 }
 
-/// A small max-flow network (BFS augmenting paths).
-struct FlowNet {
-    /// Adjacency: per node, list of edge indices.
-    adj: Vec<Vec<usize>>,
-    /// Edge targets.
-    to: Vec<usize>,
-    /// Residual capacities; edge `e ^ 1` is the reverse of `e`.
+/// A small max-flow network (BFS augmenting paths) over reusable buffers.
+///
+/// Edges are recorded flat (`e ^ 1` is the reverse of `e`), then a CSR
+/// adjacency is built in one counting pass — the per-node edge order is
+/// insertion order, exactly like the reference implementation's
+/// `Vec<Vec<usize>>`, so BFS tie-breaking (and therefore the residual
+/// graph and the extracted cut) is identical.
+#[derive(Default)]
+struct FlowScratch {
+    n: usize,
+    from: Vec<u32>,
+    to: Vec<u32>,
     cap: Vec<i32>,
+    adj_offs: Vec<u32>,
+    adj: Vec<u32>,
+    prev_edge: Vec<u32>,
+    visit: Vec<u32>,
+    vepoch: u32,
+    queue: Vec<u32>,
+    reach: Vec<bool>,
 }
 
-impl FlowNet {
-    fn new(n: usize) -> Self {
-        FlowNet {
-            adj: vec![Vec::new(); n],
-            to: Vec::new(),
-            cap: Vec::new(),
+impl FlowScratch {
+    fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.from.clear();
+        self.to.clear();
+        self.cap.clear();
+        if self.visit.len() < n {
+            self.visit.resize(n, 0);
+            self.prev_edge.resize(n, 0);
         }
     }
 
     fn add_edge(&mut self, from: usize, to: usize, cap: i32) {
-        let e = self.to.len();
-        self.to.push(to);
+        self.from.push(from as u32);
+        self.to.push(to as u32);
         self.cap.push(cap);
-        self.adj[from].push(e);
-        self.to.push(from);
+        self.from.push(to as u32);
+        self.to.push(from as u32);
         self.cap.push(0);
-        self.adj[to].push(e + 1);
+    }
+
+    fn build_adj(&mut self) {
+        self.adj_offs.clear();
+        self.adj_offs.resize(self.n + 1, 0);
+        for &f in &self.from {
+            self.adj_offs[f as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            self.adj_offs[i + 1] += self.adj_offs[i];
+        }
+        self.adj.resize(self.from.len(), 0);
+        let mut cursor: Vec<u32> = self.adj_offs[..self.n].to_vec();
+        for (e, &f) in self.from.iter().enumerate() {
+            self.adj[cursor[f as usize] as usize] = e as u32;
+            cursor[f as usize] += 1;
+        }
+    }
+
+    fn next_vepoch(&mut self) -> u32 {
+        if self.vepoch == u32::MAX {
+            self.visit.iter_mut().for_each(|v| *v = 0);
+            self.vepoch = 0;
+        }
+        self.vepoch += 1;
+        self.vepoch
     }
 
     /// Pushes one unit of flow along a shortest augmenting path.
-    fn augment(&mut self, s: usize, t: usize) -> Option<()> {
-        let mut prev_edge: Vec<Option<usize>> = vec![None; self.adj.len()];
-        let mut visited = vec![false; self.adj.len()];
-        let mut queue = std::collections::VecDeque::new();
-        visited[s] = true;
-        queue.push_back(s);
-        'bfs: while let Some(u) = queue.pop_front() {
-            for &e in &self.adj[u] {
-                if self.cap[e] > 0 && !visited[self.to[e]] {
-                    visited[self.to[e]] = true;
-                    prev_edge[self.to[e]] = Some(e);
-                    if self.to[e] == t {
+    fn augment(&mut self, s: usize, t: usize) -> bool {
+        let e = self.next_vepoch();
+        self.queue.clear();
+        self.visit[s] = e;
+        self.queue.push(s as u32);
+        let mut head = 0usize;
+        'bfs: while head < self.queue.len() {
+            let u = self.queue[head] as usize;
+            head += 1;
+            for idx in self.adj_offs[u]..self.adj_offs[u + 1] {
+                let ed = self.adj[idx as usize] as usize;
+                let v = self.to[ed] as usize;
+                if self.cap[ed] > 0 && self.visit[v] != e {
+                    self.visit[v] = e;
+                    self.prev_edge[v] = ed as u32;
+                    if v == t {
                         break 'bfs;
                     }
-                    queue.push_back(self.to[e]);
+                    self.queue.push(v as u32);
                 }
             }
         }
-        if !visited[t] {
-            return None;
+        if self.visit[t] != e {
+            return false;
         }
         // All augmenting paths carry exactly 1 unit (node capacities are 1).
         let mut v = t;
         while v != s {
-            let e = prev_edge[v].expect("path edge");
-            self.cap[e] -= 1;
-            self.cap[e ^ 1] += 1;
-            v = if e.is_multiple_of(2) {
-                // forward edge e: source is to[e ^ 1]
-                self.to[e ^ 1]
-            } else {
-                self.to[e ^ 1]
-            };
+            let ed = self.prev_edge[v] as usize;
+            self.cap[ed] -= 1;
+            self.cap[ed ^ 1] += 1;
+            v = self.to[ed ^ 1] as usize;
         }
-        Some(())
+        true
     }
 
     /// Nodes that can reach `t` through residual-capacity edges.
-    fn residual_reaching(&self, t: usize) -> Vec<bool> {
-        let mut reach = vec![false; self.adj.len()];
-        reach[t] = true;
+    fn residual_reaching(&mut self, t: usize) -> &[bool] {
+        self.reach.clear();
+        self.reach.resize(self.n, false);
+        self.reach[t] = true;
         // Fixpoint over incoming residual edges (edge u→v with cap > 0
         // lets u reach whatever v reaches).
         let mut changed = true;
         while changed {
             changed = false;
-            for e in 0..self.to.len() {
-                if self.cap[e] > 0 {
-                    let u = self.to[e ^ 1];
-                    let v = self.to[e];
-                    if reach[v] && !reach[u] {
-                        reach[u] = true;
+            for ed in 0..self.to.len() {
+                if self.cap[ed] > 0 {
+                    let u = self.from[ed] as usize;
+                    let v = self.to[ed] as usize;
+                    if self.reach[v] && !self.reach[u] {
+                        self.reach[u] = true;
                         changed = true;
                     }
                 }
             }
         }
-        reach
+        &self.reach
     }
 
     /// Nodes reachable from `s` in the residual graph.
-    fn residual_reachable(&self, s: usize) -> Vec<bool> {
-        let mut reach = vec![false; self.adj.len()];
-        let mut stack = vec![s];
-        reach[s] = true;
-        while let Some(u) = stack.pop() {
-            for &e in &self.adj[u] {
-                let v = self.to[e];
-                if self.cap[e] > 0 && !reach[v] {
-                    reach[v] = true;
-                    stack.push(v);
+    fn residual_reachable(&mut self, s: usize) -> &[bool] {
+        self.reach.clear();
+        self.reach.resize(self.n, false);
+        self.queue.clear();
+        self.queue.push(s as u32);
+        self.reach[s] = true;
+        while let Some(u) = self.queue.pop() {
+            let u = u as usize;
+            for idx in self.adj_offs[u]..self.adj_offs[u + 1] {
+                let ed = self.adj[idx as usize] as usize;
+                let v = self.to[ed] as usize;
+                if self.cap[ed] > 0 && !self.reach[v] {
+                    self.reach[v] = true;
+                    self.queue.push(v as u32);
                 }
             }
         }
-        reach
+        &self.reach
     }
 }
 
@@ -400,6 +891,14 @@ mod tests {
     use netlist::Origin;
 
     const O: Origin = Origin::External;
+
+    fn label_of_gate(view: &CombView, lab: &Labeling, g: GateId) -> u32 {
+        lab.label_of(view.dense_of(g).expect("logic gate"))
+    }
+
+    fn cut_of_gate<'a>(view: &CombView, lab: &'a Labeling, g: GateId) -> &'a [GateId] {
+        lab.cut_of(view.dense_of(g).expect("logic gate"))
+    }
 
     #[test]
     fn chain_labels_grow_with_k_saturation() {
@@ -417,10 +916,10 @@ mod tests {
         let view = CombView::build(&nl).unwrap();
 
         let lab2 = compute_labels(&view, 2, false);
-        assert_eq!(lab2.label[gates.last().unwrap()], 8);
+        assert_eq!(label_of_gate(&view, &lab2, *gates.last().unwrap()), 8);
 
         let lab6 = compute_labels(&view, 6, false);
-        assert_eq!(lab6.label[gates.last().unwrap()], 2);
+        assert_eq!(label_of_gate(&view, &lab6, *gates.last().unwrap()), 2);
     }
 
     #[test]
@@ -431,9 +930,8 @@ mod tests {
         nl.add_keep(root, "out");
         let view = CombView::build(&nl).unwrap();
         let lab = compute_labels(&view, 6, true);
-        assert_eq!(lab.label[&root], 2);
-        let cut = &lab.cut[&root];
-        assert!(cut.len() <= 6);
+        assert_eq!(label_of_gate(&view, &lab, root), 2);
+        assert!(cut_of_gate(&view, &lab, root).len() <= 6);
     }
 
     #[test]
@@ -445,8 +943,8 @@ mod tests {
         nl.add_keep(g, "out");
         let view = CombView::build(&nl).unwrap();
         let lab = compute_labels(&view, 6, true);
-        assert_eq!(lab.label[&g], 1);
-        assert_eq!(lab.cut[&g], vec![a, b]);
+        assert_eq!(label_of_gate(&view, &lab, g), 1);
+        assert_eq!(cut_of_gate(&view, &lab, g), &[a, b]);
     }
 
     #[test]
@@ -458,7 +956,8 @@ mod tests {
         let view = CombView::build(&nl).unwrap();
         for k in [2usize, 3, 4, 6] {
             let lab = compute_labels(&view, k, k % 2 == 0);
-            for cut in lab.cut.values() {
+            for d in 0..view.num_logic() as u32 {
+                let cut = lab.cut_of(d);
                 assert!(cut.len() <= k, "cut of {} exceeds K={}", cut.len(), k);
             }
         }
@@ -476,9 +975,39 @@ mod tests {
         nl.add_keep(f, "out");
         let view = CombView::build(&nl).unwrap();
         let lab = compute_labels(&view, 6, true);
-        assert_eq!(lab.label[&f], 1, "reconvergent cone must fuse");
-        let mut cut = lab.cut[&f].clone();
+        assert_eq!(
+            label_of_gate(&view, &lab, f),
+            1,
+            "reconvergent cone must fuse"
+        );
+        let mut cut = cut_of_gate(&view, &lab, f).to_vec();
         cut.sort_unstable();
         assert_eq!(cut, vec![a, b]);
+    }
+
+    #[test]
+    fn parallel_labeling_is_bit_identical() {
+        // Wide level: 64 independent AND trees, then a reduction — enough
+        // gates per level to trigger the parallel path at jobs > 1.
+        let mut nl = Netlist::new();
+        let mut roots = Vec::new();
+        for _ in 0..64 {
+            let ins: Vec<GateId> = (0..4).map(|_| nl.input(O)).collect();
+            roots.push(nl.and_tree(&ins, O));
+        }
+        let top = nl.and_tree(&roots, O);
+        nl.add_keep(top, "out");
+        let view = CombView::build(&nl).unwrap();
+        for mv in [false, true] {
+            let (serial, s1) = compute_labels_seeded(&view, 4, mv, None, 1);
+            for jobs in [2usize, 3, 8] {
+                let (par, sj) = compute_labels_seeded(&view, 4, mv, None, jobs);
+                assert_eq!(s1, sj, "stats diverge at jobs={jobs}");
+                for d in 0..view.num_logic() as u32 {
+                    assert_eq!(serial.label_of(d), par.label_of(d), "label at {d}");
+                    assert_eq!(serial.cut_of(d), par.cut_of(d), "cut at {d}");
+                }
+            }
+        }
     }
 }

@@ -32,8 +32,20 @@ mod eval;
 mod flowmap;
 mod mapper;
 mod network;
+mod reference;
 
 pub use eval::check_equivalence;
 pub use flowmap::{MapSeed, MapStats};
 pub use mapper::{map_netlist, map_netlist_with_seed, MapError, MapOptions};
 pub use network::{Lut, LutId, LutInput, LutNetwork};
+pub use reference::map_netlist_reference;
+
+/// Default worker-thread count for parallel labeling and LUT packing:
+/// `min(cores, 4)`, matching the slack-matching trial pool. Results are
+/// bit-identical at any job count, so this only trades wall clock.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}

@@ -1,12 +1,23 @@
 //! Phase 2 of FlowMap: LUT generation from the labeled cuts, plus the
 //! public mapping entry point.
+//!
+//! LUT discovery (assigning [`LutId`]s by walking the needed frontier) is
+//! inherently serial and kept so — it fixes the id order every downstream
+//! consumer sees. The per-LUT *packing* work (cone cover + majority
+//! origin), which dominates the phase, is a pure function of the root and
+//! its cut, so it fans out over the same scoped-thread pool as the labeler
+//! and commits in [`LutId`] order: the network is bit-identical at any job
+//! count.
 
-use crate::flowmap::{compute_labels_seeded, CombView, MapSeed, MapStats};
+use crate::flowmap::{compute_labels_seeded, CombView, Labeling, MapSeed, MapStats};
 use crate::network::{Lut, LutId, LutInput, LutNetwork};
 use dataflow::collections::{HashMap, HashSet};
 use dataflow::UnitId;
 use netlist::{GateId, GateKind, Netlist, NetlistMatching, Origin};
 use std::fmt;
+
+/// Minimum LUT count before packing is fanned out over threads.
+const PACK_PAR_MIN: usize = 64;
 
 /// Options for [`map_netlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +28,9 @@ pub struct MapOptions {
     /// Use max-volume min cuts so LUTs swallow as many gates as their
     /// label allows (better area at identical, optimal depth).
     pub area_recovery: bool,
+    /// Worker threads for labeling and LUT packing. Results are
+    /// bit-identical at any value; `0` is treated as `1`.
+    pub jobs: usize,
 }
 
 impl Default for MapOptions {
@@ -24,6 +38,7 @@ impl Default for MapOptions {
         MapOptions {
             k: 6,
             area_recovery: true,
+            jobs: crate::default_jobs(),
         }
     }
 }
@@ -37,6 +52,13 @@ pub enum MapError {
     CombinationalCycle(Vec<GateId>),
     /// `k` was smaller than the widest primitive gate (3).
     KTooSmall(usize),
+    /// A mapping root had no FlowMap label/cut — the labeling does not
+    /// cover the netlist (malformed input rather than a mapper bug, so it
+    /// is reported instead of panicking).
+    MissingLabel(GateId),
+    /// Gate-level elaboration of the dataflow graph failed before mapping
+    /// could start (e.g. a dangling port on an unvalidated graph).
+    Elaborate(netlist::ElaborateError),
 }
 
 impl fmt::Display for MapError {
@@ -46,11 +68,19 @@ impl fmt::Display for MapError {
                 write!(f, "combinational cycle through {} gates", gs.len())
             }
             MapError::KTooSmall(k) => write!(f, "K = {k} is below the minimum of 3"),
+            MapError::MissingLabel(g) => write!(f, "no FlowMap label for mapped gate {g}"),
+            MapError::Elaborate(e) => write!(f, "elaboration failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for MapError {}
+
+impl From<netlist::ElaborateError> for MapError {
+    fn from(e: netlist::ElaborateError) -> Self {
+        MapError::Elaborate(e)
+    }
+}
 
 /// Maps the live combinational logic of `nl` onto K-input LUTs.
 ///
@@ -88,8 +118,22 @@ pub fn map_netlist_with_seed(
         return Err(MapError::KTooSmall(opts.k));
     }
     let view = CombView::build(nl).map_err(MapError::CombinationalCycle)?;
-    let (labeling, stats) = compute_labels_seeded(&view, opts.k, opts.area_recovery, seed);
+    let (labeling, mut stats) =
+        compute_labels_seeded(&view, opts.k, opts.area_recovery, seed, opts.jobs);
+    let net = lut_cover(nl, &view, &labeling, opts.k, opts.jobs)?;
+    stats.luts_packed = net.num_luts();
+    Ok((net, MapSeed::from_labeling(&view, labeling), stats))
+}
 
+/// Generates the LUT cover from a labeling. Shared by the dense mapper and
+/// the reference mapper so both produce networks through identical code.
+pub(crate) fn lut_cover(
+    nl: &Netlist,
+    view: &CombView,
+    labeling: &Labeling,
+    k: usize,
+    jobs: usize,
+) -> Result<LutNetwork, MapError> {
     // Mapping roots: logic gates observed by registers, keeps, or — for
     // robustness — any non-logic live gate (e.g. a register D pin).
     let live = nl.live_mask();
@@ -118,36 +162,49 @@ pub fn map_netlist_with_seed(
         push_root(*g, &mut needed, &mut seen);
     }
 
-    // Generate LUTs from the cuts, walking the needed frontier.
-    let mut luts: Vec<Lut> = Vec::new();
+    // LUT discovery: walk the needed frontier, assigning ids in visit
+    // order (this order is what every downstream consumer keys on, so it
+    // stays serial and identical to the original single-pass loop).
+    let mut roots: Vec<(GateId, u32)> = Vec::new();
     let mut lut_of_gate: HashMap<GateId, LutId> = HashMap::default();
     let mut frontier = needed;
     while let Some(root) = frontier.pop() {
         if lut_of_gate.contains_key(&root) {
             continue;
         }
-        let cut = labeling.cut[&root].clone();
-        let covered = covered_gates(&view, root, &cut);
-        let origin = majority_origin(nl, &covered);
-        let id = LutId::from_raw(luts.len() as u32);
+        let d = view.dense_of(root).ok_or(MapError::MissingLabel(root))?;
+        if labeling.label_of(d) == 0 {
+            return Err(MapError::MissingLabel(root));
+        }
+        let id = LutId::from_raw(roots.len() as u32);
         lut_of_gate.insert(root, id);
-        luts.push(Lut {
-            root,
-            inputs: Vec::new(), // filled below once all LUTs exist
-            gates: covered,
-            origin,
-            level: 0,
-        });
-        for &c in &cut {
+        roots.push((root, d));
+        for &c in labeling.cut_of(d) {
             if view.is_logic(c) && !lut_of_gate.contains_key(&c) && seen.insert(c) {
                 frontier.push(c);
             }
         }
     }
 
+    // Packing: per-LUT cover + origin, independent per root, committed in
+    // LutId order.
+    let packed = pack_luts(nl, view, labeling, &roots, jobs);
+    let mut luts: Vec<Lut> = roots
+        .iter()
+        .zip(packed)
+        .map(|(&(root, _), (gates, origin))| Lut {
+            root,
+            inputs: Vec::new(), // filled below once all LUTs exist
+            gates,
+            origin,
+            level: 0,
+        })
+        .collect();
+
     // Wire LUT inputs now that every needed root has an id.
-    for lut in &mut luts {
-        let inputs: Vec<LutInput> = labeling.cut[&lut.root]
+    for (lut, &(_, d)) in luts.iter_mut().zip(&roots) {
+        let inputs: Vec<LutInput> = labeling
+            .cut_of(d)
             .iter()
             .map(|&c| match lut_of_gate.get(&c) {
                 Some(&l) => LutInput::Lut(l),
@@ -166,18 +223,99 @@ pub fn map_netlist_with_seed(
         lut.level = levels[i].expect("level computed");
     }
 
-    Ok((
-        LutNetwork {
-            luts,
-            lut_of_gate,
-            k: opts.k,
-        },
-        MapSeed {
-            label: labeling.label,
-            cut: labeling.cut,
-        },
-        stats,
-    ))
+    Ok(LutNetwork {
+        luts,
+        lut_of_gate,
+        k,
+    })
+}
+
+/// Packs every discovered LUT: cover DFS + majority origin. Fans out over
+/// scoped threads when the cover is large enough to pay for them; each
+/// worker owns one [`PackScratch`], and chunk results are concatenated in
+/// root order, so output never depends on scheduling.
+fn pack_luts(
+    nl: &Netlist,
+    view: &CombView,
+    labeling: &Labeling,
+    roots: &[(GateId, u32)],
+    jobs: usize,
+) -> Vec<(Vec<GateId>, Origin)> {
+    let jobs = jobs.max(1);
+    if jobs <= 1 || roots.len() < PACK_PAR_MIN {
+        let mut scratch = PackScratch::new(view.num_gates());
+        return roots
+            .iter()
+            .map(|&(root, d)| pack_one(nl, view, root, labeling.cut_of(d), &mut scratch))
+            .collect();
+    }
+    let chunk_len = roots.len().div_ceil(jobs);
+    let chunks: Vec<&[(GateId, u32)]> = roots.chunks(chunk_len).collect();
+    let outs: Vec<Vec<(Vec<GateId>, Origin)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let chunk: &[(GateId, u32)] = chunk;
+                scope.spawn(move || {
+                    let mut scratch = PackScratch::new(view.num_gates());
+                    chunk
+                        .iter()
+                        .map(|&(root, d)| {
+                            pack_one(nl, view, root, labeling.cut_of(d), &mut scratch)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    outs.into_iter().flatten().collect()
+}
+
+fn pack_one(
+    nl: &Netlist,
+    view: &CombView,
+    root: GateId,
+    cut: &[GateId],
+    scratch: &mut PackScratch,
+) -> (Vec<GateId>, Origin) {
+    let covered = covered_gates(view, root, cut, scratch);
+    let origin = majority_origin(nl, &covered);
+    (covered, origin)
+}
+
+/// Epoch-stamped scratch for the cover DFS (no per-LUT set allocation).
+struct PackScratch {
+    /// `cut_stamp[g] == epoch` marks cut membership.
+    cut_stamp: Vec<u32>,
+    /// `seen_stamp[g] == epoch` marks visited cone nodes.
+    seen_stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<GateId>,
+}
+
+impl PackScratch {
+    fn new(num_gates: usize) -> Self {
+        PackScratch {
+            cut_stamp: vec![0; num_gates],
+            seen_stamp: vec![0; num_gates],
+            epoch: 0,
+            stack: Vec::new(),
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.cut_stamp.iter_mut().for_each(|s| *s = 0);
+            self.seen_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
 }
 
 fn compute_level(luts: &[Lut], i: usize, levels: &mut Vec<Option<u32>>) -> u32 {
@@ -201,17 +339,33 @@ fn compute_level(luts: &[Lut], i: usize, levels: &mut Vec<Option<u32>>) -> u32 {
 
 /// Gates covered by the LUT rooted at `root` with boundary `cut`:
 /// everything reachable backwards from `root` without crossing the cut.
-fn covered_gates(view: &CombView, root: GateId, cut: &[GateId]) -> Vec<GateId> {
-    let cut_set: HashSet<GateId> = cut.iter().copied().collect();
+fn covered_gates(
+    view: &CombView,
+    root: GateId,
+    cut: &[GateId],
+    scratch: &mut PackScratch,
+) -> Vec<GateId> {
+    let epoch = scratch.next_epoch();
+    for &c in cut {
+        scratch.cut_stamp[c.index()] = epoch;
+    }
     let mut covered = Vec::new();
-    let mut seen = HashSet::default();
-    let mut stack = vec![root];
-    seen.insert(root);
-    while let Some(u) = stack.pop() {
+    scratch.stack.clear();
+    scratch.stack.push(root);
+    scratch.seen_stamp[root.index()] = epoch;
+    while let Some(u) = scratch.stack.pop() {
         covered.push(u);
-        for &f in &view.fanins[&u] {
-            if !cut_set.contains(&f) && view.is_logic(f) && seen.insert(f) {
-                stack.push(f);
+        // Covered nodes are logic by construction (only logic fanins are
+        // pushed, and the root is a mapping root).
+        if let Some(du) = view.dense_of(u) {
+            for &f in view.fanins_of(du) {
+                if scratch.cut_stamp[f.index()] != epoch
+                    && view.is_logic(f)
+                    && scratch.seen_stamp[f.index()] != epoch
+                {
+                    scratch.seen_stamp[f.index()] = epoch;
+                    scratch.stack.push(f);
+                }
             }
         }
     }
@@ -253,6 +407,14 @@ mod tests {
 
     const O: Origin = Origin::External;
 
+    fn opts(k: usize, area_recovery: bool) -> MapOptions {
+        MapOptions {
+            k,
+            area_recovery,
+            jobs: 1,
+        }
+    }
+
     #[test]
     fn maps_wide_and_into_two_levels() {
         let mut nl = Netlist::new();
@@ -277,14 +439,7 @@ mod tests {
             let inputs: Vec<GateId> = (0..8).map(|_| nl.input(O)).collect();
             let root = nl.and_tree(&inputs, O);
             nl.add_keep(root, "out");
-            map_netlist(
-                &nl,
-                &MapOptions {
-                    k: 6,
-                    area_recovery: area,
-                },
-            )
-            .unwrap()
+            map_netlist(&nl, &opts(6, area)).unwrap()
         };
         let basic = mk(false);
         let recovered = mk(true);
@@ -317,14 +472,7 @@ mod tests {
     fn rejects_tiny_k() {
         let nl = Netlist::new();
         assert_eq!(
-            map_netlist(
-                &nl,
-                &MapOptions {
-                    k: 2,
-                    area_recovery: true,
-                }
-            )
-            .unwrap_err(),
+            map_netlist(&nl, &opts(2, true)).unwrap_err(),
             MapError::KTooSmall(2)
         );
     }
@@ -404,16 +552,9 @@ mod tests {
             seeded_stats.labels_reused + seeded_stats.labels_computed,
             fresh_stats.labels_computed
         );
+        assert_eq!(seeded_stats.luts_packed, fresh_stats.luts_packed);
         // Bit-identical cover.
-        assert_eq!(fresh.num_luts(), seeded.num_luts());
-        assert_eq!(fresh.depth(), seeded.depth());
-        for ((_, a), (_, b)) in fresh.luts().zip(seeded.luts()) {
-            assert_eq!(a.root(), b.root());
-            assert_eq!(a.inputs(), b.inputs());
-            assert_eq!(a.gates(), b.gates());
-            assert_eq!(a.origin(), b.origin());
-            assert_eq!(a.level(), b.level());
-        }
+        assert!(fresh.bit_identical(&seeded));
     }
 
     #[test]

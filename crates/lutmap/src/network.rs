@@ -38,7 +38,7 @@ pub enum LutInput {
 }
 
 /// A mapped K-input LUT.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Lut {
     pub(crate) root: GateId,
@@ -79,7 +79,7 @@ impl Lut {
 
 /// The result of technology mapping: a network of K-LUTs covering the
 /// combinational logic between startpoints and endpoints.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LutNetwork {
     pub(crate) luts: Vec<Lut>,
@@ -125,6 +125,20 @@ impl LutNetwork {
     /// The K used for mapping.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// `true` iff the two networks are equal field for field — every LUT's
+    /// root, input order, covered-gate order, origin, and level, plus the
+    /// root→LUT map and K. This is the equivalence the parallel labeler,
+    /// the seeded mapper, and the reference mapper are all held to.
+    pub fn bit_identical(&self, other: &LutNetwork) -> bool {
+        self == other
+    }
+
+    /// Sum of cut sizes (LUT input counts) over the network — a compact
+    /// mapping-quality scalar used by the synthesis bench regression gate.
+    pub fn total_cut_inputs(&self) -> usize {
+        self.luts.iter().map(|l| l.inputs.len()).sum()
     }
 
     /// All LUT-to-LUT edges as `(src, dst)` pairs — the *LUT edges* the

@@ -2,7 +2,7 @@
 //! to the gate netlist on random stimulus, and never deeper than the gate
 //! network itself.
 
-use lutmap::{check_equivalence, map_netlist, LutInput, MapOptions};
+use lutmap::{check_equivalence, map_netlist, map_netlist_reference, LutInput, MapOptions};
 use netlist::{GateId, Netlist, NetlistSim, Origin};
 use proptest::prelude::*;
 
@@ -74,7 +74,7 @@ proptest! {
     ) {
         let (mut nl, inputs) = build(n_inputs, &rs);
         nl.optimize();
-        let net = map_netlist(&nl, &MapOptions { k, area_recovery: true }).expect("acyclic");
+        let net = map_netlist(&nl, &MapOptions { k, area_recovery: true, jobs: 1 }).expect("acyclic");
         for (_, lut) in net.luts() {
             prop_assert!(lut.inputs().len() <= k, "LUT exceeds K={k}");
         }
@@ -103,6 +103,30 @@ proptest! {
             net.depth(),
             gate_depth
         );
+    }
+
+    /// The dense labeler matches the retained reference labeler LUT for
+    /// LUT on random netlists, at every job count and both cut modes.
+    #[test]
+    fn dense_mapper_is_bit_identical_to_reference(
+        n_inputs in 1usize..6,
+        rs in prop::collection::vec(recipe(), 1..60),
+        k in 4usize..7,
+        area_recovery in any::<bool>(),
+    ) {
+        let (mut nl, _) = build(n_inputs, &rs);
+        nl.optimize();
+        let reference = map_netlist_reference(
+            &nl,
+            &MapOptions { k, area_recovery, jobs: 1 },
+        ).expect("acyclic");
+        for jobs in [1usize, 2, 8] {
+            let dense = map_netlist(&nl, &MapOptions { k, area_recovery, jobs }).expect("acyclic");
+            prop_assert!(
+                dense.bit_identical(&reference),
+                "dense mapper diverged from reference at jobs={jobs}"
+            );
+        }
     }
 
     #[test]

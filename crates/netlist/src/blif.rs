@@ -587,7 +587,7 @@ mod tests {
         let e = g.add_unit(UnitKind::Entry, "e", bb, 0).unwrap();
         let x = g.add_unit(UnitKind::Exit, "x", bb, 0).unwrap();
         g.connect(PortRef::new(e, 0), PortRef::new(x, 0)).unwrap();
-        let mut nl = crate::elaborate(&g).netlist;
+        let mut nl = crate::elaborate(&g).unwrap().netlist;
         nl.optimize();
         let before_regs = nl.num_live_regs();
         let back = roundtrip(&nl);

@@ -30,6 +30,45 @@ use crate::gate::{GateId, Origin};
 use crate::netgraph::Netlist;
 use dataflow::{ChannelId, Graph, OpKind, UnitId, UnitKind};
 
+/// A malformed graph reaching elaboration: a unit port with no channel.
+///
+/// [`Graph::validate`] rejects these graphs up front; elaboration reports
+/// the same defect as a structured error instead of panicking, so flows
+/// fed an unvalidated graph (hand-built, or deserialized from outside)
+/// fail with a diagnosis rather than a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElaborateError {
+    /// Input port `port` of `unit` has no incoming channel.
+    DanglingInput {
+        /// The unit with the unconnected port.
+        unit: UnitId,
+        /// The dangling input port index.
+        port: usize,
+    },
+    /// Output port `port` of `unit` has no outgoing channel.
+    DanglingOutput {
+        /// The unit with the unconnected port.
+        unit: UnitId,
+        /// The dangling output port index.
+        port: usize,
+    },
+}
+
+impl std::fmt::Display for ElaborateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElaborateError::DanglingInput { unit, port } => {
+                write!(f, "input port {port} of unit {unit} has no channel")
+            }
+            ElaborateError::DanglingOutput { unit, port } => {
+                write!(f, "output port {port} of unit {unit} has no channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElaborateError {}
+
 /// The nets of one channel after elaboration.
 ///
 /// All handles are alias gates; after [`Netlist::optimize`] call
@@ -68,19 +107,22 @@ impl Elaboration {
 
 /// Elaborates `g` (with its current buffer annotations) into gates.
 ///
-/// The graph should be [validated](Graph::validate) first; dangling ports
-/// elaborate as unbound (constant-0) aliases, which is almost never what a
-/// caller wants.
-pub fn elaborate(g: &Graph) -> Elaboration {
+/// The graph should be [validated](Graph::validate) first.
+///
+/// # Errors
+///
+/// [`ElaborateError`] if a unit port has no channel — the defect
+/// [`Graph::validate`] would have reported up front.
+pub fn elaborate(g: &Graph) -> Result<Elaboration, ElaborateError> {
     let mut e = Elaborator::new(g);
     e.build_channels();
     for (uid, _) in g.units() {
-        e.elaborate_unit(uid);
+        e.elaborate_unit(uid)?;
     }
-    Elaboration {
+    Ok(Elaboration {
         netlist: e.nl,
         channels: e.channels,
-    }
+    })
 }
 
 pub(crate) struct Elaborator<'g> {
@@ -195,23 +237,31 @@ impl<'g> Elaborator<'g> {
     }
 
     /// Consumer-side nets of input port `p` of `uid`.
-    fn input_nets(&self, uid: UnitId, p: usize) -> (Vec<GateId>, GateId, GateId) {
+    fn input_nets(
+        &self,
+        uid: UnitId,
+        p: usize,
+    ) -> Result<(Vec<GateId>, GateId, GateId), ElaborateError> {
         let ch = self
             .g
             .input_channel(uid, p)
-            .expect("validated graph has no dangling inputs");
+            .ok_or(ElaborateError::DanglingInput { unit: uid, port: p })?;
         let nets = &self.channels[ch.index()];
-        (nets.data_dst.clone(), nets.valid_dst, nets.ready_dst)
+        Ok((nets.data_dst.clone(), nets.valid_dst, nets.ready_dst))
     }
 
     /// Producer-side nets of output port `p` of `uid`.
-    fn output_nets(&self, uid: UnitId, p: usize) -> (Vec<GateId>, GateId, GateId) {
+    fn output_nets(
+        &self,
+        uid: UnitId,
+        p: usize,
+    ) -> Result<(Vec<GateId>, GateId, GateId), ElaborateError> {
         let ch = self
             .g
             .output_channel(uid, p)
-            .expect("validated graph has no dangling outputs");
+            .ok_or(ElaborateError::DanglingOutput { unit: uid, port: p })?;
         let nets = &self.channels[ch.index()];
-        (nets.data_src.clone(), nets.valid_src, nets.ready_src)
+        Ok((nets.data_src.clone(), nets.valid_src, nets.ready_src))
     }
 
     fn bind_data(&mut self, aliases: &[GateId], values: &[GateId]) {
@@ -226,12 +276,12 @@ impl<'g> Elaborator<'g> {
         self.nl.reg(zero, o)
     }
 
-    pub(crate) fn elaborate_unit(&mut self, uid: UnitId) {
+    pub(crate) fn elaborate_unit(&mut self, uid: UnitId) -> Result<(), ElaborateError> {
         let unit = self.g.unit(uid).clone();
         let o = Origin::Unit(uid);
         match *unit.kind() {
             UnitKind::Entry | UnitKind::Argument { .. } => {
-                let (data_out, valid_out, ready) = self.output_nets(uid, 0);
+                let (data_out, valid_out, ready) = self.output_nets(uid, 0)?;
                 let fired = self.zero_reg(o);
                 let not_fired = self.nl.not(fired, o);
                 self.nl.bind_alias(valid_out, not_fired);
@@ -244,7 +294,7 @@ impl<'g> Elaborator<'g> {
                 }
             }
             UnitKind::Exit => {
-                let (data_in, valid_in, ready) = self.input_nets(uid, 0);
+                let (data_in, valid_in, ready) = self.input_nets(uid, 0)?;
                 let one = self.nl.constant(true);
                 self.nl.bind_alias(ready, one);
                 self.nl
@@ -255,30 +305,30 @@ impl<'g> Elaborator<'g> {
                 }
             }
             UnitKind::Sink => {
-                let (_, _, ready) = self.input_nets(uid, 0);
+                let (_, _, ready) = self.input_nets(uid, 0)?;
                 let one = self.nl.constant(true);
                 self.nl.bind_alias(ready, one);
             }
             UnitKind::Source => {
-                let (_, valid_out, _) = self.output_nets(uid, 0);
+                let (_, valid_out, _) = self.output_nets(uid, 0)?;
                 let one = self.nl.constant(true);
                 self.nl.bind_alias(valid_out, one);
             }
             UnitKind::Constant { value } => {
-                let (_, valid_in, ready_in) = self.input_nets(uid, 0);
-                let (data_out, valid_out, ready_out) = self.output_nets(uid, 0);
+                let (_, valid_in, ready_in) = self.input_nets(uid, 0)?;
+                let (data_out, valid_out, ready_out) = self.output_nets(uid, 0)?;
                 self.nl.bind_alias(valid_out, valid_in);
                 self.nl.bind_alias(ready_in, ready_out);
                 let bits = dp::const_word(&mut self.nl, value, data_out.len());
                 self.bind_data(&data_out, &bits);
             }
-            UnitKind::Fork { outputs } => self.eager_fork(uid, outputs as usize, o),
-            UnitKind::LazyFork { outputs } => self.lazy_fork(uid, outputs as usize, o),
+            UnitKind::Fork { outputs } => self.eager_fork(uid, outputs as usize, o)?,
+            UnitKind::LazyFork { outputs } => self.lazy_fork(uid, outputs as usize, o)?,
             UnitKind::Join { inputs } => {
                 let ins: Vec<_> = (0..inputs as usize)
                     .map(|p| self.input_nets(uid, p))
-                    .collect();
-                let (_, valid_out, ready_out) = self.output_nets(uid, 0);
+                    .collect::<Result<_, _>>()?;
+                let (_, valid_out, ready_out) = self.output_nets(uid, 0)?;
                 let valids: Vec<GateId> = ins.iter().map(|(_, v, _)| *v).collect();
                 let all = self.nl.and_tree(&valids, o);
                 self.nl.bind_alias(valid_out, all);
@@ -294,23 +344,26 @@ impl<'g> Elaborator<'g> {
                     self.nl.bind_alias(*ready_in, r);
                 }
             }
-            UnitKind::Branch => self.branch(uid, o),
+            UnitKind::Branch => self.branch(uid, o)?,
             UnitKind::Merge { inputs } => {
-                self.merge_like(uid, inputs as usize, false, o);
+                self.merge_like(uid, inputs as usize, false, o)?;
             }
             UnitKind::ControlMerge { inputs } => {
-                self.merge_like(uid, inputs as usize, true, o);
+                self.merge_like(uid, inputs as usize, true, o)?;
             }
-            UnitKind::Mux { inputs } => self.mux_unit(uid, inputs as usize, o),
-            UnitKind::Operator(op) => self.operator(uid, op, o),
-            UnitKind::Load { .. } => self.load(uid, unit.name(), o),
-            UnitKind::Store { .. } => self.store(uid, unit.name(), o),
+            UnitKind::Mux { inputs } => self.mux_unit(uid, inputs as usize, o)?,
+            UnitKind::Operator(op) => self.operator(uid, op, o)?,
+            UnitKind::Load { .. } => self.load(uid, unit.name(), o)?,
+            UnitKind::Store { .. } => self.store(uid, unit.name(), o)?,
         }
+        Ok(())
     }
 
-    fn eager_fork(&mut self, uid: UnitId, n: usize, o: Origin) {
-        let (data_in, valid_in, ready_in) = self.input_nets(uid, 0);
-        let outs: Vec<_> = (0..n).map(|p| self.output_nets(uid, p)).collect();
+    fn eager_fork(&mut self, uid: UnitId, n: usize, o: Origin) -> Result<(), ElaborateError> {
+        let (data_in, valid_in, ready_in) = self.input_nets(uid, 0)?;
+        let outs: Vec<_> = (0..n)
+            .map(|p| self.output_nets(uid, p))
+            .collect::<Result<_, _>>()?;
         let mut dones = Vec::with_capacity(n);
         let mut sat = Vec::with_capacity(n);
         for (_, _, ready_i) in &outs {
@@ -332,11 +385,14 @@ impl<'g> Elaborator<'g> {
             self.nl.gate_mut(dones[i]).fanin = vec![next];
             self.bind_data(data_i, &data_in);
         }
+        Ok(())
     }
 
-    fn lazy_fork(&mut self, uid: UnitId, n: usize, o: Origin) {
-        let (data_in, valid_in, ready_in) = self.input_nets(uid, 0);
-        let outs: Vec<_> = (0..n).map(|p| self.output_nets(uid, p)).collect();
+    fn lazy_fork(&mut self, uid: UnitId, n: usize, o: Origin) -> Result<(), ElaborateError> {
+        let (data_in, valid_in, ready_in) = self.input_nets(uid, 0)?;
+        let outs: Vec<_> = (0..n)
+            .map(|p| self.output_nets(uid, p))
+            .collect::<Result<_, _>>()?;
         let readys: Vec<GateId> = outs.iter().map(|(_, _, r)| *r).collect();
         let all = self.nl.and_tree(&readys, o);
         self.nl.bind_alias(ready_in, all);
@@ -352,14 +408,15 @@ impl<'g> Elaborator<'g> {
             self.nl.bind_alias(*valid_i, v);
             self.bind_data(data_i, &data_in);
         }
+        Ok(())
     }
 
-    fn branch(&mut self, uid: UnitId, o: Origin) {
-        let (data_in, valid_d, ready_d) = self.input_nets(uid, 0);
-        let (cond_in, valid_c, ready_c) = self.input_nets(uid, 1);
+    fn branch(&mut self, uid: UnitId, o: Origin) -> Result<(), ElaborateError> {
+        let (data_in, valid_d, ready_d) = self.input_nets(uid, 0)?;
+        let (cond_in, valid_c, ready_c) = self.input_nets(uid, 1)?;
         let cond = cond_in[0];
-        let (data_t, valid_t, ready_t) = self.output_nets(uid, 0);
-        let (data_f, valid_f, ready_f) = self.output_nets(uid, 1);
+        let (data_t, valid_t, ready_t) = self.output_nets(uid, 0)?;
+        let (data_f, valid_f, ready_f) = self.output_nets(uid, 1)?;
         let both = self.nl.and(valid_d, valid_c, o);
         let vt = self.nl.and(both, cond, o);
         let ncond = self.nl.not(cond, o);
@@ -373,12 +430,21 @@ impl<'g> Elaborator<'g> {
         self.nl.bind_alias(ready_c, rc);
         self.bind_data(&data_t, &data_in);
         self.bind_data(&data_f, &data_in);
+        Ok(())
     }
 
     /// Merge and control-merge share the priority-grant structure.
-    fn merge_like(&mut self, uid: UnitId, n: usize, with_index: bool, o: Origin) {
-        let ins: Vec<_> = (0..n).map(|p| self.input_nets(uid, p)).collect();
-        let (data_out, valid_out, ready_out0) = self.output_nets(uid, 0);
+    fn merge_like(
+        &mut self,
+        uid: UnitId,
+        n: usize,
+        with_index: bool,
+        o: Origin,
+    ) -> Result<(), ElaborateError> {
+        let ins: Vec<_> = (0..n)
+            .map(|p| self.input_nets(uid, p))
+            .collect::<Result<_, _>>()?;
+        let (data_out, valid_out, ready_out0) = self.output_nets(uid, 0)?;
         let valids: Vec<GateId> = ins.iter().map(|(_, v, _)| *v).collect();
         // Priority grants (highest index wins: loop back edges outrank
         // entry tokens so buffered circuits keep iteration order).
@@ -398,7 +464,7 @@ impl<'g> Elaborator<'g> {
         // the grant is latched for the token's lifetime so a later arrival
         // on another input cannot corrupt the in-flight pair.
         let (fire_ready, eff_grants, any) = if with_index {
-            let (index_out, valid_out1, ready_out1) = self.output_nets(uid, 1);
+            let (index_out, valid_out1, ready_out1) = self.output_nets(uid, 1)?;
             let locked = self.zero_reg(o);
             let not_locked = self.nl.not(locked, o);
             // One latched-select bit per grant (one-hot; n is always 2 in
@@ -471,12 +537,15 @@ impl<'g> Elaborator<'g> {
             assert_eq!(acc.len(), w);
             self.bind_data(&data_out, &acc);
         }
+        Ok(())
     }
 
-    fn mux_unit(&mut self, uid: UnitId, n: usize, o: Origin) {
-        let (sel_in, valid_sel, ready_sel) = self.input_nets(uid, 0);
-        let ins: Vec<_> = (1..=n).map(|p| self.input_nets(uid, p)).collect();
-        let (data_out, valid_out, ready_out) = self.output_nets(uid, 0);
+    fn mux_unit(&mut self, uid: UnitId, n: usize, o: Origin) -> Result<(), ElaborateError> {
+        let (sel_in, valid_sel, ready_sel) = self.input_nets(uid, 0)?;
+        let ins: Vec<_> = (1..=n)
+            .map(|p| self.input_nets(uid, p))
+            .collect::<Result<_, _>>()?;
+        let (data_out, valid_out, ready_out) = self.output_nets(uid, 0)?;
         let mut hits = Vec::with_capacity(n);
         let mut seleqs = Vec::with_capacity(n);
         for (i, (_, v, _)) in ins.iter().enumerate() {
@@ -501,6 +570,7 @@ impl<'g> Elaborator<'g> {
             }
             self.bind_data(&data_out, &acc);
         }
+        Ok(())
     }
 
     /// Join-style control for an operator's inputs: returns
@@ -521,10 +591,12 @@ impl<'g> Elaborator<'g> {
         (all, others)
     }
 
-    fn operator(&mut self, uid: UnitId, op: OpKind, o: Origin) {
+    fn operator(&mut self, uid: UnitId, op: OpKind, o: Origin) -> Result<(), ElaborateError> {
         let arity = op.arity();
-        let ins: Vec<_> = (0..arity).map(|p| self.input_nets(uid, p)).collect();
-        let (data_out, valid_out, ready_out) = self.output_nets(uid, 0);
+        let ins: Vec<_> = (0..arity)
+            .map(|p| self.input_nets(uid, p))
+            .collect::<Result<_, _>>()?;
+        let (data_out, valid_out, ready_out) = self.output_nets(uid, 0)?;
         let valids: Vec<GateId> = ins.iter().map(|(_, v, _)| *v).collect();
         let (valid_all, others) = self.join_control(&valids, o);
 
@@ -576,6 +648,7 @@ impl<'g> Elaborator<'g> {
             let bits: Vec<GateId> = (0..data_out.len()).map(|_| self.nl.input(o)).collect();
             self.bind_data(&data_out, &bits);
         }
+        Ok(())
     }
 
     fn comb_datapath(
@@ -621,9 +694,9 @@ impl<'g> Elaborator<'g> {
         result
     }
 
-    fn load(&mut self, uid: UnitId, name: &str, o: Origin) {
-        let (addr_in, valid_in, ready_in) = self.input_nets(uid, 0);
-        let (data_out, valid_out, ready_out) = self.output_nets(uid, 0);
+    fn load(&mut self, uid: UnitId, name: &str, o: Origin) -> Result<(), ElaborateError> {
+        let (addr_in, valid_in, ready_in) = self.input_nets(uid, 0)?;
+        let (data_out, valid_out, ready_out) = self.output_nets(uid, 0)?;
         let v = self.zero_reg(o);
         let not_v = self.nl.not(v, o);
         let en = self.nl.or(ready_out, not_v, o);
@@ -639,12 +712,13 @@ impl<'g> Elaborator<'g> {
         }
         let bits: Vec<GateId> = (0..data_out.len()).map(|_| self.nl.input(o)).collect();
         self.bind_data(&data_out, &bits);
+        Ok(())
     }
 
-    fn store(&mut self, uid: UnitId, name: &str, o: Origin) {
-        let (addr_in, valid_a, ready_a) = self.input_nets(uid, 0);
-        let (data_in, valid_d, ready_d) = self.input_nets(uid, 1);
-        let (_, valid_out, ready_out) = self.output_nets(uid, 0);
+    fn store(&mut self, uid: UnitId, name: &str, o: Origin) -> Result<(), ElaborateError> {
+        let (addr_in, valid_a, ready_a) = self.input_nets(uid, 0)?;
+        let (data_in, valid_d, ready_d) = self.input_nets(uid, 1)?;
+        let (_, valid_out, ready_out) = self.output_nets(uid, 0)?;
         let both = self.nl.and(valid_a, valid_d, o);
         let v = self.zero_reg(o);
         let not_v = self.nl.not(v, o);
@@ -666,6 +740,7 @@ impl<'g> Elaborator<'g> {
         for (bi, &d) in data_in.iter().enumerate() {
             self.nl.add_keep(d, format!("{name}:bram_din{bi}"));
         }
+        Ok(())
     }
 }
 
@@ -701,7 +776,7 @@ mod tests {
     #[test]
     fn elaborates_without_combinational_cycles() {
         let g = figure2_graph();
-        let mut e = elaborate(&g);
+        let mut e = elaborate(&g).unwrap();
         e.netlist.optimize();
         assert!(e.netlist.topo_logic().is_ok());
         assert!(e.netlist.num_live_logic() > 0);
@@ -711,14 +786,14 @@ mod tests {
     fn buffers_add_registers() {
         let mut g = figure2_graph();
         let base = {
-            let e = elaborate(&g);
+            let e = elaborate(&g).unwrap();
             let mut nl = e.netlist;
             nl.optimize();
             nl.num_live_regs()
         };
         let ch = g.output_channel(g.unit_by_name("shl").unwrap(), 0).unwrap();
         g.set_buffer(ch, BufferSpec::FULL);
-        let e = elaborate(&g);
+        let e = elaborate(&g).unwrap();
         let mut nl = e.netlist;
         nl.optimize();
         // Full buffer on an 8-bit channel: OEHB (8 data + 1 vld) +
@@ -729,7 +804,7 @@ mod tests {
     #[test]
     fn argument_data_becomes_primary_inputs() {
         let g = figure2_graph();
-        let e = elaborate(&g);
+        let e = elaborate(&g).unwrap();
         let n_inputs = e
             .netlist
             .gates()
@@ -741,7 +816,7 @@ mod tests {
     #[test]
     fn exit_keeps_make_datapath_live() {
         let g = figure2_graph();
-        let mut e = elaborate(&g);
+        let mut e = elaborate(&g).unwrap();
         e.netlist.optimize();
         // The adder datapath must survive optimization (it feeds the exit).
         let live_logic = e.netlist.num_live_logic();
@@ -754,7 +829,7 @@ mod tests {
         // logic that strash can merge with fork-side AND structures only if
         // shapes align; at minimum, optimization must shrink the netlist.
         let g = figure2_graph();
-        let e = elaborate(&g);
+        let e = elaborate(&g).unwrap();
         let mut nl = e.netlist;
         let before = nl.num_live_gates();
         let stats = nl.optimize();
@@ -763,12 +838,19 @@ mod tests {
     }
 
     #[test]
-    fn unconnected_use_panics_via_validate_contract() {
-        // Elaborating an unvalidated graph with dangling ports panics.
+    fn unconnected_use_reports_structured_error() {
+        // Elaborating an unvalidated graph with dangling ports returns a
+        // structured error naming the offending unit and port instead of
+        // panicking.
         let mut g = Graph::new("bad");
         let bb = g.add_basic_block("bb0");
-        g.add_unit(UnitKind::fork(2), "f", bb, 4).unwrap();
-        let result = std::panic::catch_unwind(|| elaborate(&g));
-        assert!(result.is_err());
+        let f = g.add_unit(UnitKind::fork(2), "f", bb, 4).unwrap();
+        match elaborate(&g) {
+            Err(ElaborateError::DanglingInput { unit, port }) => {
+                assert_eq!(unit, f);
+                assert_eq!(port, 0);
+            }
+            other => panic!("expected DanglingInput, got {other:?}"),
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! placement — ignoring all cross-unit optimization. This module produces
 //! the isolated netlist; the LUT mapper then measures its depth.
 
-use crate::elaborate::Elaborator;
+use crate::elaborate::{ElaborateError, Elaborator};
 use crate::gate::Origin;
 use crate::netgraph::Netlist;
 use dataflow::{Graph, UnitId};
@@ -34,16 +34,16 @@ use dataflow::{Graph, UnitId};
 /// g.connect(PortRef::new(a, 0), PortRef::new(add, 0))?;
 /// g.connect(PortRef::new(b, 0), PortRef::new(add, 1))?;
 /// g.connect(PortRef::new(add, 0), PortRef::new(x, 0))?;
-/// let mut nl = elaborate_isolated(&g, add);
+/// let mut nl = elaborate_isolated(&g, add).unwrap();
 /// nl.optimize();
 /// assert!(nl.max_gate_depth().unwrap() > 0); // the adder's carry logic
 /// # Ok(())
 /// # }
 /// ```
-pub fn elaborate_isolated(g: &Graph, uid: UnitId) -> Netlist {
+pub fn elaborate_isolated(g: &Graph, uid: UnitId) -> Result<Netlist, ElaborateError> {
     let mut e = Elaborator::new(g);
     e.build_channels();
-    e.elaborate_unit(uid);
+    e.elaborate_unit(uid)?;
     let unit = g.unit(uid);
     let ext = Origin::External;
     // Stub producers: incoming data/valid are primary inputs.
@@ -69,7 +69,7 @@ pub fn elaborate_isolated(g: &Graph, uid: UnitId) -> Netlist {
             e.nl.add_keep(*d, format!("{}:data_out{}_{}", unit.name(), p, bi));
         }
     }
-    e.nl
+    Ok(e.nl)
 }
 
 #[cfg(test)]
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn isolated_adder_contains_only_adder_logic() {
         let (g, add) = graph_with_add();
-        let mut nl = elaborate_isolated(&g, add);
+        let mut nl = elaborate_isolated(&g, add).unwrap();
         nl.optimize();
         // Every live logic gate must belong to the adder unit.
         let live = nl.live_mask();
@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn isolated_depth_is_positive_for_adder() {
         let (g, add) = graph_with_add();
-        let mut nl = elaborate_isolated(&g, add);
+        let mut nl = elaborate_isolated(&g, add).unwrap();
         nl.optimize();
         assert!(nl.max_gate_depth().unwrap() >= 3);
     }
@@ -137,7 +137,7 @@ mod tests {
         g.connect(PortRef::new(f, 2), PortRef::new(s2, 0)).unwrap();
         g.connect(PortRef::new(f, 3), PortRef::new(s3, 0)).unwrap();
         g.validate().unwrap();
-        let mut nl = elaborate_isolated(&g, f);
+        let mut nl = elaborate_isolated(&g, f).unwrap();
         nl.optimize();
         assert!(nl.max_gate_depth().unwrap() >= 2, "fork ready tree depth");
     }

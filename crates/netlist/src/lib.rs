@@ -27,7 +27,7 @@
 //! let x = g.add_unit(UnitKind::Exit, "x", bb, 0)?;
 //! g.connect(PortRef::new(e, 0), PortRef::new(x, 0))?;
 //! g.validate()?;
-//! let mut nl = elaborate(&g).netlist;
+//! let mut nl = elaborate(&g).unwrap().netlist;
 //! nl.optimize();
 //! assert!(nl.num_live_gates() > 0);
 //! # Ok(())
@@ -45,7 +45,7 @@ mod opt;
 mod simulate;
 
 pub use blif::{read_blif, write_blif, BlifError};
-pub use elaborate::{elaborate, ChannelNets, Elaboration};
+pub use elaborate::{elaborate, ChannelNets, ElaborateError, Elaboration};
 pub use gate::{Gate, GateId, GateKind, Origin};
 pub use isolate::elaborate_isolated;
 pub use matching::{match_netlists, NetlistMatching};

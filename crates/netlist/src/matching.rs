@@ -59,6 +59,28 @@ impl NetlistMatching {
             self.matched_logic as f64 / total as f64
         }
     }
+
+    /// Flattens the two hash maps into gate-index-addressed arrays for hot
+    /// consumers (the seeded FlowMap labeler translates every cut gate of
+    /// every reused label through these): `(cur_of_prev, prev_of_cur)`,
+    /// indexed by `GateId::index()` with `u32::MAX` marking an unmatched
+    /// gate. Entries beyond the given gate counts are dropped — callers
+    /// pass the true gate counts of the two netlists.
+    pub fn dense_maps(&self, prev_gates: usize, cur_gates: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut cur_of_prev = vec![u32::MAX; prev_gates];
+        let mut prev_of_cur = vec![u32::MAX; cur_gates];
+        for (&c, &p) in &self.cur_to_prev {
+            if let Some(slot) = prev_of_cur.get_mut(c.index()) {
+                *slot = p.index() as u32;
+            }
+        }
+        for (&p, &c) in &self.prev_to_cur {
+            if let Some(slot) = cur_of_prev.get_mut(p.index()) {
+                *slot = c.index() as u32;
+            }
+        }
+        (cur_of_prev, prev_of_cur)
+    }
 }
 
 /// Resolved, adjacent-deduplicated fanins — the exact view downstream cut

@@ -121,6 +121,23 @@ proptest! {
         prop_assert_eq!(incr.converged, full.converged);
         prop_assert_eq!(&incr.iterations, &full.iterations);
     }
+
+    /// Incremental re-synthesis composes with the parallel synthesis lane:
+    /// with the worker pools widened the basis-seeded flow still matches
+    /// the forced-full flow field for field.
+    #[test]
+    fn incremental_equals_full_with_parallel_synthesis(
+        ops in prop::collection::vec(any::<u8>(), 1..10),
+        jobs in 2usize..9,
+    ) {
+        let g = op_chain(&ops);
+        let opts = FlowOptions { jobs, ..test_opts() };
+        let (incr, full) = run_both(&g, &[], &opts);
+        prop_assert_eq!(&incr.buffers, &full.buffers);
+        prop_assert_eq!(incr.achieved_levels, full.achieved_levels);
+        prop_assert_eq!(incr.converged, full.converged);
+        prop_assert_eq!(&incr.iterations, &full.iterations);
+    }
 }
 
 /// Cross-iteration MILP warm starts must be invisible, like incremental

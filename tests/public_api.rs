@@ -15,7 +15,7 @@ fn dataflow_to_netlist_to_luts() {
     g.connect(PortRef::new(e, 0), PortRef::new(x, 0)).unwrap();
     g.validate().unwrap();
 
-    let mut nl = elaborate(&g).netlist;
+    let mut nl = elaborate(&g).unwrap().netlist;
     nl.optimize();
     let luts = map_netlist(&nl, &MapOptions::default()).unwrap();
     assert!(luts.depth() <= 2);
